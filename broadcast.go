@@ -1,0 +1,312 @@
+// Package broadcast is the public façade of the repository: a library for
+// building and evaluating pipelined broadcast trees on heterogeneous
+// platforms, reproducing "Broadcast Trees for Heterogeneous Platforms"
+// (Beaumont, Marchal, Robert, IPPS 2005 / LIP RR-2004-46).
+//
+// The typical workflow is:
+//
+//  1. obtain a Platform (generate a random or Tiers-like one, build one by
+//     hand with NewPlatform/AddLink, or load one from JSON);
+//  2. build a broadcast tree with one of the paper's heuristics
+//     (BuildTree or the heuristics registry);
+//  3. evaluate it: analytic steady-state throughput (TreeThroughput),
+//     relative performance against the MTP optimum (OptimalThroughput),
+//     or a slice-by-slice simulation (Simulate);
+//  4. optionally run the full experiment harness (RunExperiment) to
+//     regenerate the paper's figures and tables.
+//
+// The heavy lifting lives in the internal packages; this package only
+// re-exports the stable surface.
+package broadcast
+
+import (
+	"math/rand"
+
+	"repro/internal/experiments"
+	"repro/internal/heuristics"
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/sta"
+	"repro/internal/steady"
+	"repro/internal/throughput"
+	"repro/internal/topology"
+)
+
+// Core platform types.
+type (
+	// Platform is a heterogeneous target platform: processors connected by
+	// directed links with affine communication costs.
+	Platform = platform.Platform
+	// Node is one processor of a platform.
+	Node = platform.Node
+	// Link is one directed communication link.
+	Link = platform.Link
+	// Tree is a spanning broadcast tree (out-arborescence rooted at the
+	// source).
+	Tree = platform.Tree
+	// Routing is a broadcast schedule whose logical transfers may follow
+	// multi-hop physical paths (used by the binomial heuristic).
+	Routing = platform.Routing
+	// AffineCost is an affine communication cost α + L·β.
+	AffineCost = model.AffineCost
+	// PortModel selects the communication model (one-port or multi-port).
+	PortModel = model.PortModel
+	// Regime identifies the broadcasting approach (STA, STP, MTP).
+	Regime = model.Regime
+)
+
+// Port models and regimes (Table 1 and Section 2 of the paper).
+const (
+	OnePort               = model.OnePortBidirectional
+	OnePortUnidirectional = model.OnePortUnidirectional
+	MultiPort             = model.MultiPort
+
+	STA = model.STA
+	STP = model.STP
+	MTP = model.MTP
+)
+
+// Heuristic names accepted by BuildTree and the experiment harness.
+const (
+	PruneSimple          = heuristics.NamePruneSimple
+	PruneDegree          = heuristics.NamePruneDegree
+	GrowTree             = heuristics.NameGrowTree
+	Binomial             = heuristics.NameBinomial
+	LPPrune              = heuristics.NameLPPrune
+	LPGrowTree           = heuristics.NameLPGrowTree
+	MultiportGrowTree    = heuristics.NameMultiportGrowTree
+	MultiportPruneDegree = heuristics.NameMultiportPruneDegree
+)
+
+// Builder is the tree-construction interface implemented by every heuristic.
+type Builder = heuristics.Builder
+
+// RoutingBuilder is implemented by heuristics whose natural output is a
+// routed schedule (the binomial heuristic).
+type RoutingBuilder = heuristics.RoutingBuilder
+
+// OptimalSolution is the optimal steady-state MTP solution: throughput and
+// per-link message rates.
+type OptimalSolution = steady.Solution
+
+// Evaluation types.
+type (
+	// Report is the per-node steady-state evaluation of a tree.
+	Report = throughput.Report
+	// SimulationResult is the outcome of a slice-by-slice simulation.
+	SimulationResult = sim.Result
+	// SimulationConfig parameterizes a simulation.
+	SimulationConfig = sim.Config
+	// STAResult is the outcome of an atomic-broadcast (STA) heuristic.
+	STAResult = sta.Result
+)
+
+// Experiment harness types.
+type (
+	// ExperimentConfig controls the size and determinism of an experiment.
+	ExperimentConfig = experiments.Config
+	// ResultTable is the output of one experiment (one row per sweep value,
+	// one column per heuristic).
+	ResultTable = experiments.Table
+)
+
+// Topology generation types.
+type (
+	// RandomConfig describes the random platforms of the paper's Table 2.
+	RandomConfig = topology.RandomConfig
+	// TiersConfig describes a Tiers-like hierarchical platform.
+	TiersConfig = topology.TiersConfig
+	// ClusterConfig describes a cluster-of-clusters platform.
+	ClusterConfig = topology.ClusterConfig
+	// BandwidthDist is a truncated Gaussian bandwidth distribution.
+	BandwidthDist = topology.BandwidthDist
+)
+
+// NewPlatform returns an empty platform with n processors. Add links with
+// (*Platform).AddLink or (*Platform).AddBidirectionalLink.
+func NewPlatform(n int) *Platform { return platform.New(n) }
+
+// NewTree returns an empty broadcast-tree skeleton rooted at root.
+func NewTree(n, root int) *Tree { return platform.NewTree(n, root) }
+
+// Linear returns an affine cost with zero start-up and the given per-unit
+// transfer time (the cost form used throughout the paper's experiments).
+func Linear(perUnit float64) AffineCost { return model.Linear(perUnit) }
+
+// FromBandwidth returns a linear cost for a link of the given bandwidth.
+func FromBandwidth(bandwidth float64) AffineCost { return model.FromBandwidth(bandwidth) }
+
+// RandomPlatform generates a random heterogeneous platform following the
+// paper's Table 2 parameters (Gaussian bandwidths, connectivity guaranteed,
+// multi-port overheads at 80% of the fastest outgoing link).
+func RandomPlatform(nodes int, density float64, seed int64) (*Platform, error) {
+	return topology.Random(topology.DefaultRandomConfig(nodes, density), rand.New(rand.NewSource(seed)))
+}
+
+// GeneratePlatform generates a random platform from an explicit
+// configuration.
+func GeneratePlatform(cfg RandomConfig, seed int64) (*Platform, error) {
+	return topology.Random(cfg, rand.New(rand.NewSource(seed)))
+}
+
+// TiersPlatform generates a Tiers-like hierarchical platform from an
+// explicit configuration. Tiers30Config and Tiers65Config return the presets
+// used by the paper's Table 3.
+func TiersPlatform(cfg TiersConfig, seed int64) (*Platform, error) {
+	return topology.Tiers(cfg, rand.New(rand.NewSource(seed)))
+}
+
+// Tiers30Config returns the 30-node Tiers-like preset of Table 3.
+func Tiers30Config() TiersConfig { return topology.Tiers30() }
+
+// Tiers65Config returns the 65-node Tiers-like preset of Table 3.
+func Tiers65Config() TiersConfig { return topology.Tiers65() }
+
+// ClusterPlatform generates a cluster-of-clusters platform (fast clusters
+// linked by a slow backbone), the scenario motivating topology-aware
+// broadcast trees.
+func ClusterPlatform(cfg ClusterConfig, seed int64) (*Platform, error) {
+	return topology.Clusters(cfg, rand.New(rand.NewSource(seed)))
+}
+
+// DefaultClusterConfig returns a 4x8 cluster-of-clusters configuration with
+// a 10x gap between intra-cluster and backbone bandwidth.
+func DefaultClusterConfig() ClusterConfig { return topology.DefaultClusterConfig() }
+
+// Heuristics returns the canonical names of all tree-construction
+// heuristics, in the presentation order of the paper.
+func Heuristics() []string { return heuristics.Names() }
+
+// OnePortHeuristics returns the heuristics compared in the paper's one-port
+// experiments (Figures 4(a), 4(b), Table 3).
+func OnePortHeuristics() []string { return heuristics.OnePortNames() }
+
+// MultiPortHeuristics returns the heuristics compared in the paper's
+// multi-port experiment (Figure 5).
+func MultiPortHeuristics() []string { return heuristics.MultiPortNames() }
+
+// HeuristicLabel returns the label the paper uses for a heuristic name.
+func HeuristicLabel(name string) string { return heuristics.PaperLabel(name) }
+
+// NewBuilder returns the tree builder registered under the given name.
+func NewBuilder(name string) (Builder, error) { return heuristics.ByName(name) }
+
+// BuildTree builds a spanning broadcast tree with the named heuristic.
+func BuildTree(p *Platform, source int, heuristic string) (*Tree, error) {
+	b, err := heuristics.ByName(heuristic)
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(p, source)
+}
+
+// BuildTreeWithRates builds a spanning broadcast tree with the named
+// heuristic, injecting precomputed steady-state edge rates into the LP-based
+// heuristics (LPPrune, LPGrowTree) so the linear program is solved only once
+// per platform. For every other heuristic it behaves like BuildTree.
+func BuildTreeWithRates(p *Platform, source int, heuristic string, rates []float64) (*Tree, error) {
+	switch heuristic {
+	case LPPrune:
+		return heuristics.LPPrune{Rates: rates}.Build(p, source)
+	case LPGrowTree:
+		return heuristics.LPGrowTree{Rates: rates}.Build(p, source)
+	default:
+		return BuildTree(p, source, heuristic)
+	}
+}
+
+// BuildRouting builds the routed broadcast schedule of a heuristic that has
+// one (currently only the binomial heuristic); for plain tree heuristics it
+// lifts the tree into the routing representation.
+func BuildRouting(p *Platform, source int, heuristic string) (*Routing, error) {
+	b, err := heuristics.ByName(heuristic)
+	if err != nil {
+		return nil, err
+	}
+	if rb, ok := b.(heuristics.RoutingBuilder); ok {
+		return rb.BuildRouting(p, source)
+	}
+	tree, err := b.Build(p, source)
+	if err != nil {
+		return nil, err
+	}
+	return platform.RoutingFromTree(tree), nil
+}
+
+// TreeThroughput returns the steady-state throughput (slices per time unit)
+// of a broadcast tree under the given port model.
+func TreeThroughput(p *Platform, t *Tree, m PortModel) float64 {
+	return throughput.TreeThroughput(p, t, m)
+}
+
+// RoutingThroughput returns the steady-state throughput of a routed
+// broadcast schedule under the given port model, accounting for link and
+// node contention between logical transfers.
+func RoutingThroughput(p *Platform, r *Routing, m PortModel) float64 {
+	return throughput.RoutingThroughput(p, r, m)
+}
+
+// EvaluateTree returns the full per-node steady-state report of a tree.
+func EvaluateTree(p *Platform, t *Tree, m PortModel) *Report {
+	return throughput.Evaluate(p, t, m)
+}
+
+// STAMakespan returns the completion time of an atomic (non-pipelined)
+// broadcast of a message of the given size along the tree (one-port model).
+func STAMakespan(p *Platform, t *Tree, totalSize float64) float64 {
+	return throughput.STAMakespan(p, t, totalSize)
+}
+
+// OptimalThroughput computes the optimal steady-state MTP throughput of the
+// platform under the one-port model (the value of the paper's linear
+// program (2)) together with the per-link message rates. It is the reference
+// against which the heuristics' "relative performance" is measured.
+func OptimalThroughput(p *Platform, source int) (*OptimalSolution, error) {
+	return steady.Solve(p, source, nil)
+}
+
+// Simulate broadcasts the given number of slices along the tree and returns
+// timing statistics; the measured steady-state throughput converges to
+// TreeThroughput as the slice count grows.
+func Simulate(p *Platform, t *Tree, m PortModel, slices int) (*SimulationResult, error) {
+	return sim.Simulate(p, t, sim.Config{Model: m, Slices: slices})
+}
+
+// BuildSTATree builds an atomic-broadcast (STA) tree with the Fastest Node
+// First heuristic for a message of the given total size and returns it with
+// its greedy makespan.
+func BuildSTATree(p *Platform, source int, totalSize float64) (*STAResult, error) {
+	return sta.Build(p, source, totalSize, sta.FastestNodeFirst)
+}
+
+// Experiments returns the identifiers of the paper-reproduction experiments
+// accepted by RunExperiment: fig4a, fig4b, fig5, table3 and two ablations.
+func Experiments() []string { return experiments.ExperimentIDs() }
+
+// RunExperiment runs one experiment of the evaluation harness and returns
+// its result table. Use PaperExperimentConfig for the paper's sizes or
+// QuickExperimentConfig for a fast smoke run.
+func RunExperiment(id string, cfg ExperimentConfig) (*ResultTable, error) {
+	return experiments.Run(id, cfg)
+}
+
+// PaperExperimentConfig returns the experiment sizes used by the paper
+// (10 random configurations per cell, 100 Tiers platforms per size).
+func PaperExperimentConfig() ExperimentConfig { return experiments.PaperConfig() }
+
+// QuickExperimentConfig returns a reduced configuration for smoke tests and
+// benchmarks.
+func QuickExperimentConfig() ExperimentConfig { return experiments.QuickConfig() }
+
+// Compare builds every named heuristic on the platform and returns its
+// relative performance with respect to the one-port MTP optimum, evaluating
+// trees under the given port model. It is a convenience wrapper around the
+// experiment harness's per-platform evaluation.
+func Compare(p *Platform, source int, names []string, m PortModel) (map[string]float64, error) {
+	ev, err := experiments.EvaluatePlatform(p, source, names, m)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Ratio, nil
+}

@@ -1,0 +1,187 @@
+package broadcast
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	p, err := RandomPlatform(15, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := OptimalThroughput(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Throughput <= 0 {
+		t.Fatalf("optimal throughput = %v", opt.Throughput)
+	}
+	for _, name := range Heuristics() {
+		tree, err := BuildTree(p, 0, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := tree.Validate(p); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tp := TreeThroughput(p, tree, OnePort)
+		if tp <= 0 || tp > opt.Throughput*(1+1e-6) {
+			t.Fatalf("%s: throughput %v outside (0, optimal]", name, tp)
+		}
+		if HeuristicLabel(name) == "" {
+			t.Fatalf("%s: empty label", name)
+		}
+	}
+}
+
+func TestPublicAPIBuildByHand(t *testing.T) {
+	p := NewPlatform(3)
+	if _, err := p.AddLink(0, 1, Linear(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddLink(1, 2, FromBandwidth(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildTree(p, 0, GrowTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TreeThroughput(p, tree, OnePort); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("throughput = %v, want 0.5", got)
+	}
+	rep := EvaluateTree(p, tree, OnePort)
+	if rep.Bottleneck != 1 && rep.Bottleneck != 0 {
+		t.Fatalf("bottleneck = %d", rep.Bottleneck)
+	}
+	if ms := STAMakespan(p, tree, 10); ms <= 0 {
+		t.Fatalf("STA makespan = %v", ms)
+	}
+	manual := NewTree(3, 0)
+	manual.SetParent(1, 0, 0)
+	manual.SetParent(2, 1, 1)
+	if err := manual.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIUnknownHeuristic(t *testing.T) {
+	p, err := RandomPlatform(6, 0.4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildTree(p, 0, "nope"); err == nil {
+		t.Fatal("unknown heuristic accepted")
+	}
+	if _, err := BuildRouting(p, 0, "nope"); err == nil {
+		t.Fatal("unknown heuristic accepted")
+	}
+	if _, err := NewBuilder("nope"); err == nil {
+		t.Fatal("unknown heuristic accepted")
+	}
+}
+
+func TestPublicAPIRoutingAndSimulation(t *testing.T) {
+	p, err := RandomPlatform(12, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binomial exposes its routed schedule; a plain heuristic is lifted.
+	routing, err := BuildRouting(p, 0, Binomial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := routing.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	lifted, err := BuildRouting(p, 0, GrowTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildTree(p, 0, GrowTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(RoutingThroughput(p, lifted, OnePort)-TreeThroughput(p, tree, OnePort)) > 1e-9 {
+		t.Fatal("lifted routing should evaluate like its tree")
+	}
+
+	res, err := Simulate(p, tree, OnePort, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := TreeThroughput(p, tree, OnePort)
+	if math.Abs(res.SteadyThroughput-analytic)/analytic > 0.05 {
+		t.Fatalf("simulated %v vs analytic %v", res.SteadyThroughput, analytic)
+	}
+}
+
+func TestPublicAPITopologiesAndSTA(t *testing.T) {
+	tiers, err := TiersPlatform(Tiers30Config(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiers.NumNodes() != 30 {
+		t.Fatalf("tiers nodes = %d", tiers.NumNodes())
+	}
+	if _, err := TiersPlatform(Tiers65Config(), 4); err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := ClusterPlatform(DefaultClusterConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BuildSTATree(clusters, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("STA makespan = %v", res.Makespan)
+	}
+	cfg := RandomConfig{Nodes: 9, Density: 0.3, Bandwidth: BandwidthDist{Mean: 100, StdDev: 20, Min: 10}}
+	if _, err := GeneratePlatform(cfg, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPICompareAndExperiments(t *testing.T) {
+	p, err := RandomPlatform(10, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios, err := Compare(p, 0, OnePortHeuristics(), OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ratios) != len(OnePortHeuristics()) {
+		t.Fatalf("ratios = %v", ratios)
+	}
+	for name, r := range ratios {
+		if r <= 0 || r > 1+1e-6 {
+			t.Fatalf("%s: ratio %v", name, r)
+		}
+	}
+	if len(MultiPortHeuristics()) == 0 || len(Experiments()) != 6 {
+		t.Fatal("registry lists wrong")
+	}
+
+	cfg := ExperimentConfig{
+		Seed:           3,
+		Configurations: 1,
+		NodeCounts:     []int{8},
+		Densities:      []float64{0.25},
+	}
+	table, err := RunExperiment("fig4a", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 1 || table.Rows[0].Samples != 1 {
+		t.Fatalf("table = %+v", table)
+	}
+	if PaperExperimentConfig().Configurations != 10 || QuickExperimentConfig().Configurations >= 10 {
+		t.Fatal("experiment config presets wrong")
+	}
+	if _, err := RunExperiment("nope", cfg); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Command bcast-bench runs the paper-reproduction experiment harness: the
+// relative-performance figures on random platforms (Figures 4(a), 4(b), 5),
+// the Tiers-platform table (Table 3), and two ablations. Results are printed
+// as aligned text and optionally written as CSV files (one per experiment).
+//
+// Examples:
+//
+//	bcast-bench -exp all -scale quick
+//	bcast-bench -exp fig4a,table3 -scale paper -csv results/
+//	bcast-bench -exp fig5 -configs 5 -seed 99
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	broadcast "repro"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiment IDs or \"all\" (available: "+strings.Join(broadcast.Experiments(), ", ")+")")
+		scale   = flag.String("scale", "quick", "experiment scale: quick | paper")
+		seed    = flag.Int64("seed", 0, "override the base seed (0 = scale default)")
+		configs = flag.Int("configs", 0, "override the number of platforms per cell (0 = scale default)")
+		workers = flag.Int("workers", 0, "number of parallel workers (0 = all CPUs)")
+		csvDir  = flag.String("csv", "", "also write one CSV file per experiment into this directory")
+	)
+	flag.Parse()
+
+	if err := run(*exp, *scale, *seed, *configs, *workers, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "bcast-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, scale string, seed int64, configs, workers int, csvDir string) error {
+	var cfg broadcast.ExperimentConfig
+	switch scale {
+	case "quick":
+		cfg = broadcast.QuickExperimentConfig()
+	case "paper":
+		cfg = broadcast.PaperExperimentConfig()
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or paper)", scale)
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if configs > 0 {
+		cfg.Configurations = configs
+		cfg.TiersConfigurations = configs
+	}
+	cfg.Workers = workers
+
+	ids := broadcast.Experiments()
+	if exp != "all" {
+		ids = strings.Split(exp, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+	}
+
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		table, err := broadcast.RunExperiment(id, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(table.Format())
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if csvDir != "" {
+			path := filepath.Join(csvDir, id+".csv")
+			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	return nil
+}

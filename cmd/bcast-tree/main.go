@@ -1,0 +1,150 @@
+// Command bcast-tree builds broadcast trees on one platform and compares the
+// paper's heuristics against the optimal multiple-tree (MTP) throughput.
+//
+// The platform is either loaded from a JSON file produced by platform-gen or
+// generated on the fly. For every selected heuristic the command prints the
+// steady-state throughput, the relative performance with respect to the MTP
+// optimum, and (optionally) the throughput measured by a slice-by-slice
+// simulation.
+//
+// Examples:
+//
+//	bcast-tree -platform platform.json -source 0
+//	bcast-tree -random 30,0.12 -seed 3 -heuristic grow-tree -simulate 500
+//	bcast-tree -random 20,0.2 -model multiport
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	broadcast "repro"
+)
+
+func main() {
+	var (
+		platformFile = flag.String("platform", "", "platform JSON file (from platform-gen)")
+		random       = flag.String("random", "", "generate a random platform: \"nodes,density\"")
+		seed         = flag.Int64("seed", 1, "seed for -random")
+		source       = flag.Int("source", 0, "broadcast source processor")
+		heuristic    = flag.String("heuristic", "all", "heuristic name or \"all\"")
+		portModel    = flag.String("model", "oneport", "evaluation model: oneport | multiport")
+		simulate     = flag.Int("simulate", 0, "also simulate this many slices per tree (0 = off)")
+		showTree     = flag.Bool("tree", false, "print the parent array of each tree")
+	)
+	flag.Parse()
+
+	if err := run(*platformFile, *random, *seed, *source, *heuristic, *portModel, *simulate, *showTree); err != nil {
+		fmt.Fprintln(os.Stderr, "bcast-tree:", err)
+		os.Exit(1)
+	}
+}
+
+func run(platformFile, random string, seed int64, source int, heuristic, portModel string, simulate int, showTree bool) error {
+	p, err := loadPlatform(platformFile, random, seed)
+	if err != nil {
+		return err
+	}
+	var m broadcast.PortModel
+	switch portModel {
+	case "oneport":
+		m = broadcast.OnePort
+	case "multiport":
+		m = broadcast.MultiPort
+	default:
+		return fmt.Errorf("unknown model %q (want oneport or multiport)", portModel)
+	}
+
+	names := broadcast.Heuristics()
+	if heuristic != "all" {
+		names = []string{heuristic}
+	}
+
+	opt, err := broadcast.OptimalThroughput(p, source)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("platform: %s\n", p.String())
+	fmt.Printf("source: %d, model: %s\n", source, m)
+	fmt.Printf("MTP optimal throughput (one-port LP bound): %.4f slices/time-unit\n\n", opt.Throughput)
+	fmt.Printf("%-26s %12s %10s", "heuristic", "throughput", "ratio")
+	if simulate > 0 {
+		fmt.Printf(" %12s", "simulated")
+	}
+	fmt.Println()
+
+	for _, name := range names {
+		tree, err := broadcast.BuildTreeWithRates(p, source, name, opt.EdgeRate)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		var tp float64
+		if name == broadcast.Binomial {
+			// Evaluate the binomial schedule with routing contention, as the
+			// paper does.
+			routing, err := broadcast.BuildRouting(p, source, name)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			tp = broadcast.RoutingThroughput(p, routing, m)
+		} else {
+			tp = broadcast.TreeThroughput(p, tree, m)
+		}
+		fmt.Printf("%-26s %12.4f %9.1f%%", broadcast.HeuristicLabel(name), tp, 100*tp/opt.Throughput)
+		if simulate > 0 {
+			if name == broadcast.Binomial {
+				// The simulator works on plain trees; the binomial column
+				// above is the routed MPI schedule, so no simulation is shown.
+				fmt.Printf(" %12s", "-")
+			} else {
+				res, err := broadcast.Simulate(p, tree, m, simulate)
+				if err != nil {
+					return fmt.Errorf("%s: simulate: %w", name, err)
+				}
+				fmt.Printf(" %12.4f", res.SteadyThroughput)
+			}
+		}
+		fmt.Println()
+		if showTree {
+			fmt.Printf("    parents: %v\n", tree.Parent)
+		}
+	}
+	return nil
+}
+
+func loadPlatform(platformFile, random string, seed int64) (*broadcast.Platform, error) {
+	switch {
+	case platformFile != "" && random != "":
+		return nil, fmt.Errorf("use either -platform or -random, not both")
+	case platformFile != "":
+		data, err := os.ReadFile(platformFile)
+		if err != nil {
+			return nil, err
+		}
+		var p broadcast.Platform
+		if err := json.Unmarshal(data, &p); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", platformFile, err)
+		}
+		return &p, nil
+	case random != "":
+		parts := strings.Split(random, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("-random wants \"nodes,density\", got %q", random)
+		}
+		nodes, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("parsing nodes: %w", err)
+		}
+		density, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing density: %w", err)
+		}
+		return broadcast.RandomPlatform(nodes, density, seed)
+	default:
+		return nil, fmt.Errorf("either -platform or -random is required")
+	}
+}

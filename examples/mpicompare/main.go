@@ -1,0 +1,76 @@
+// MPI comparison: how much is lost by broadcasting with the index-based
+// binomial tree of classical MPI implementations instead of a
+// topology-aware tree, as the platform grows and as its heterogeneity
+// increases. This reproduces, on a single run, the qualitative message of
+// the paper's Figures 4 and Table 3: the binomial schedule collapses on
+// heterogeneous platforms because it routes many logical transfers across
+// the same slow links.
+//
+// Run with:
+//
+//	go run ./examples/mpicompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	broadcast "repro"
+)
+
+func main() {
+	fmt.Println("binomial (MPI-style) vs topology-aware broadcast trees")
+	fmt.Println("ratio = steady-state throughput relative to the MTP optimum (one-port)")
+	fmt.Println()
+
+	// Sweep the platform size on random platforms (density 0.12).
+	fmt.Printf("%-22s %12s %14s %14s\n", "platform", "binomial", "grow-tree", "lp-grow-tree")
+	for _, nodes := range []int{10, 20, 30, 40, 50} {
+		p, err := broadcast.RandomPlatform(nodes, 0.12, int64(100+nodes))
+		if err != nil {
+			log.Fatal(err)
+		}
+		printRow(fmt.Sprintf("random %d nodes", nodes), p)
+	}
+
+	// Hierarchical (Tiers-like) platforms are where the gap is largest.
+	for _, preset := range []struct {
+		label string
+		cfg   broadcast.TiersConfig
+	}{
+		{"tiers 30 nodes", broadcast.Tiers30Config()},
+		{"tiers 65 nodes", broadcast.Tiers65Config()},
+	} {
+		p, err := broadcast.TiersPlatform(preset.cfg, 17)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printRow(preset.label, p)
+	}
+}
+
+func printRow(label string, p *broadcast.Platform) {
+	source := 0
+	opt, err := broadcast.OptimalThroughput(p, source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The binomial schedule is evaluated with its routing contention (the
+	// way an MPI library would actually run it on this platform).
+	routing, err := broadcast.BuildRouting(p, source, broadcast.Binomial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	binomial := broadcast.RoutingThroughput(p, routing, broadcast.OnePort) / opt.Throughput
+
+	ratios := make(map[string]float64)
+	for _, name := range []string{broadcast.GrowTree, broadcast.LPGrowTree} {
+		tree, err := broadcast.BuildTreeWithRates(p, source, name, opt.EdgeRate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratios[name] = broadcast.TreeThroughput(p, tree, broadcast.OnePort) / opt.Throughput
+	}
+	fmt.Printf("%-22s %11.1f%% %13.1f%% %13.1f%%\n",
+		label, 100*binomial, 100*ratios[broadcast.GrowTree], 100*ratios[broadcast.LPGrowTree])
+}

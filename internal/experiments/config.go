@@ -1,0 +1,86 @@
+// Package experiments reproduces the evaluation section of the paper: the
+// relative-performance figures on random platforms (Figures 4(a), 4(b) and
+// 5) and the Tiers-platform table (Table 3), plus two ablations suggested by
+// the paper's text. Every experiment returns a Table whose rows mirror the
+// series/rows of the corresponding paper artifact.
+package experiments
+
+import (
+	"repro/internal/topology"
+)
+
+// Config controls the size and determinism of an experiment run.
+type Config struct {
+	// Seed is the base seed; every platform instance derives its own seed
+	// from it, so results are reproducible bit-for-bit.
+	Seed int64
+	// Configurations is the number of random platforms generated per
+	// parameter cell (the paper uses 10).
+	Configurations int
+	// TiersConfigurations is the number of Tiers-like platforms per size in
+	// Table 3 (the paper uses 100).
+	TiersConfigurations int
+	// NodeCounts are the platform sizes swept by Figures 4(a) and 5
+	// (default: 10, 20, 30, 40, 50).
+	NodeCounts []int
+	// Densities are the link densities swept by Figure 4(b) and averaged
+	// over in Figures 4(a)/5 (default: 0.04 ... 0.20).
+	Densities []float64
+	// Source is the broadcast source processor (default 0).
+	Source int
+	// MultiPortFraction is the fraction of the fastest outgoing link used as
+	// the per-send overhead under the multi-port model (the paper uses 0.8).
+	MultiPortFraction float64
+	// Workers bounds the number of platforms evaluated concurrently
+	// (default: number of CPUs).
+	Workers int
+}
+
+// PaperConfig returns the experiment sizes used by the paper: 10 random
+// configurations per parameter cell and 100 Tiers platforms per size.
+func PaperConfig() Config {
+	return Config{
+		Seed:                2004,
+		Configurations:      10,
+		TiersConfigurations: 100,
+		NodeCounts:          topology.PaperNodeCounts(),
+		Densities:           topology.PaperDensities(),
+		MultiPortFraction:   0.8,
+	}
+}
+
+// QuickConfig returns a reduced configuration suitable for benchmarks and
+// smoke tests: smaller platforms and fewer repetitions, same structure.
+func QuickConfig() Config {
+	return Config{
+		Seed:                2004,
+		Configurations:      3,
+		TiersConfigurations: 5,
+		NodeCounts:          []int{10, 20, 30},
+		Densities:           []float64{0.08, 0.16},
+		MultiPortFraction:   0.8,
+	}
+}
+
+// withDefaults fills the zero fields of a configuration.
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 2004
+	}
+	if c.Configurations <= 0 {
+		c.Configurations = 10
+	}
+	if c.TiersConfigurations <= 0 {
+		c.TiersConfigurations = c.Configurations
+	}
+	if len(c.NodeCounts) == 0 {
+		c.NodeCounts = topology.PaperNodeCounts()
+	}
+	if len(c.Densities) == 0 {
+		c.Densities = topology.PaperDensities()
+	}
+	if c.MultiPortFraction <= 0 {
+		c.MultiPortFraction = 0.8
+	}
+	return c
+}

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/heuristics"
+	"repro/internal/model"
+	"repro/internal/topology"
+)
+
+// tinyConfig keeps the experiment tests fast while still exercising the full
+// pipeline (generation, LP solve, heuristics, aggregation).
+func tinyConfig() Config {
+	return Config{
+		Seed:                7,
+		Configurations:      2,
+		TiersConfigurations: 2,
+		NodeCounts:          []int{8, 12},
+		Densities:           []float64{0.2},
+		MultiPortFraction:   0.8,
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Seed == 0 || c.Configurations != 10 || c.TiersConfigurations != 10 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if len(c.NodeCounts) != 5 || len(c.Densities) != 5 || c.MultiPortFraction != 0.8 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	p := PaperConfig()
+	if p.Configurations != 10 || p.TiersConfigurations != 100 {
+		t.Fatalf("paper config wrong: %+v", p)
+	}
+	q := QuickConfig()
+	if q.Configurations >= p.Configurations {
+		t.Fatal("quick config should be smaller than the paper config")
+	}
+}
+
+func TestEvaluatePlatform(t *testing.T) {
+	p, err := topology.Random(topology.DefaultRandomConfig(10, 0.25), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := EvaluatePlatform(p, 0, heuristics.OnePortNames(), model.OnePortBidirectional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Optimal <= 0 {
+		t.Fatalf("optimal = %v", ev.Optimal)
+	}
+	for _, name := range heuristics.OnePortNames() {
+		r, ok := ev.Ratio[name]
+		if !ok {
+			t.Fatalf("missing ratio for %s", name)
+		}
+		if r <= 0 || r > 1+1e-6 {
+			t.Fatalf("%s: ratio %v outside (0, 1]", name, r)
+		}
+		if math.Abs(ev.Throughput[name]-r*ev.Optimal) > 1e-6*ev.Optimal {
+			t.Fatalf("%s: throughput and ratio inconsistent", name)
+		}
+	}
+}
+
+func TestEvaluatePlatformUnknownHeuristic(t *testing.T) {
+	p, err := topology.Random(topology.DefaultRandomConfig(6, 0.4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvaluatePlatform(p, 0, []string{"bogus"}, model.OnePortBidirectional); err == nil {
+		t.Fatal("unknown heuristic accepted")
+	}
+}
+
+func TestFig4aShapeAndOrdering(t *testing.T) {
+	table, err := Fig4a(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.ID != "fig4a" || len(table.Rows) != 2 {
+		t.Fatalf("table = %+v", table)
+	}
+	wantSamples := 2 * 1 // configurations x densities
+	for _, row := range table.Rows {
+		if row.Samples != wantSamples {
+			t.Fatalf("row %q has %d samples, want %d", row.Label, row.Samples, wantSamples)
+		}
+		for _, h := range table.Heuristics {
+			m := row.Mean[h]
+			if m <= 0 || m > 1+1e-6 {
+				t.Fatalf("row %q, %s: mean ratio %v outside (0, 1]", row.Label, h, m)
+			}
+			if row.Dev[h] < 0 {
+				t.Fatalf("negative deviation")
+			}
+		}
+		// Headline ordering of the paper: the advanced heuristics beat the
+		// binomial tree by a wide margin.
+		if row.Mean[heuristics.NamePruneDegree] <= row.Mean[heuristics.NameBinomial] {
+			t.Fatalf("row %q: PruneDegree (%v) should beat Binomial (%v)",
+				row.Label, row.Mean[heuristics.NamePruneDegree], row.Mean[heuristics.NameBinomial])
+		}
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Densities = []float64{0.15, 0.3}
+	table, err := Fig4b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	if table.Rows[0].X != 0.15 || table.Rows[1].X != 0.3 {
+		t.Fatalf("density rows wrong: %+v", table.Rows)
+	}
+	for _, row := range table.Rows {
+		if row.Samples != cfg.Configurations*len(cfg.NodeCounts) {
+			t.Fatalf("samples = %d", row.Samples)
+		}
+	}
+}
+
+func TestFig5AllowsRatiosAboveOne(t *testing.T) {
+	table, err := Fig5(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		for _, h := range table.Heuristics {
+			if row.Mean[h] <= 0 {
+				t.Fatalf("%s: non-positive ratio", h)
+			}
+		}
+		// Multi-port grow tree must beat the binomial tree, as in Figure 5.
+		if row.Mean[heuristics.NameMultiportGrowTree] <= row.Mean[heuristics.NameBinomial] {
+			t.Fatalf("row %q: MultiportGrowTree should beat Binomial", row.Label)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	table, err := Table3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 || table.Rows[0].Label != "30 nodes" || table.Rows[1].Label != "65 nodes" {
+		t.Fatalf("rows = %+v", table.Rows)
+	}
+	for _, row := range table.Rows {
+		if row.Samples != 2 {
+			t.Fatalf("samples = %d", row.Samples)
+		}
+		// The paper's ordering on Tiers platforms: refined heuristics beat
+		// the simple pruning, and the binomial tree is far worse.
+		if row.Mean[heuristics.NamePruneDegree] <= row.Mean[heuristics.NameBinomial] {
+			t.Fatalf("row %q: PruneDegree should beat Binomial", row.Label)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := tinyConfig()
+	frac, err := AblationSendFraction(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frac.Rows) != 4 {
+		t.Fatalf("fraction rows = %d", len(frac.Rows))
+	}
+	dir, err := AblationPortDirection(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dir.Rows) != len(cfg.NodeCounts) {
+		t.Fatalf("direction rows = %d", len(dir.Rows))
+	}
+	// The unidirectional model is more constrained, so ratios cannot exceed
+	// the bidirectional ones... they may, however, stay equal on stars; just
+	// check they remain in (0, 1].
+	for _, row := range dir.Rows {
+		for _, h := range dir.Heuristics {
+			if row.Mean[h] <= 0 || row.Mean[h] > 1+1e-6 {
+				t.Fatalf("unidirectional ratio %v outside (0, 1]", row.Mean[h])
+			}
+		}
+	}
+}
+
+func TestRunAndAllIDs(t *testing.T) {
+	if _, err := Run("nope", tinyConfig()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	ids := ExperimentIDs()
+	if len(ids) != 6 {
+		t.Fatalf("ids = %v", ids)
+	}
+	// Run a single known ID through the dispatcher.
+	table, err := Run("fig4a", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.ID != "fig4a" {
+		t.Fatalf("table ID = %q", table.ID)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := tinyConfig()
+	a, err := Fig4a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig4a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		for _, h := range a.Heuristics {
+			if math.Abs(a.Rows[i].Mean[h]-b.Rows[i].Mean[h]) > 1e-12 {
+				t.Fatalf("experiment is not deterministic for a fixed seed")
+			}
+		}
+	}
+}
+
+func TestTableFormatCSVAndSeries(t *testing.T) {
+	table, err := Fig4a(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := table.Format()
+	if !strings.Contains(text, "FIG4A") || !strings.Contains(text, "Prune Platform Degree") {
+		t.Fatalf("formatted table missing headers:\n%s", text)
+	}
+	csv := table.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+len(table.Rows) {
+		t.Fatalf("csv has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "x,label,samples") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	xs, ys := table.Series(table.Heuristics[0])
+	if len(xs) != len(table.Rows) || len(ys) != len(table.Rows) {
+		t.Fatal("series length mismatch")
+	}
+	if _, ys := table.Series("unknown"); ys != nil {
+		t.Fatal("unknown heuristic should give an empty series")
+	}
+}
+
+func TestJobSeedDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for a := 0; a < 5; a++ {
+		for b := 0; b < 5; b++ {
+			s := jobSeed(1, a, b)
+			if seen[s] {
+				t.Fatalf("duplicate seed for (%d, %d)", a, b)
+			}
+			seen[s] = true
+		}
+	}
+	if jobSeed(0) == 0 {
+		t.Fatal("seed must never be zero")
+	}
+}

@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/heuristics"
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/topology"
+)
+
+// Fig4a reproduces Figure 4(a) of the paper: the relative performance of the
+// one-port heuristics as a function of the number of nodes, on random
+// platforms, averaged over the density sweep and the per-cell
+// configurations. The reference is the one-port MTP optimum.
+func Fig4a(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	names := heuristics.OnePortNames()
+	var jobs []job
+	for ci, nodes := range cfg.NodeCounts {
+		for di, density := range cfg.Densities {
+			for rep := 0; rep < cfg.Configurations; rep++ {
+				nodes, density := nodes, density
+				jobs = append(jobs, job{
+					cell: ci,
+					seed: jobSeed(cfg.Seed, 1, ci, di, rep),
+					gen: func(rng *rand.Rand) (*platform.Platform, error) {
+						c := topology.DefaultRandomConfig(nodes, density)
+						c.MultiPortFraction = cfg.MultiPortFraction
+						return topology.Random(c, rng)
+					},
+				})
+			}
+		}
+	}
+	means, devs, counts, err := runJobs(cfg, jobs, len(cfg.NodeCounts), names, model.OnePortBidirectional)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:         "fig4a",
+		Title:      "Relative performance vs. number of nodes (one-port, random platforms)",
+		XLabel:     "nodes",
+		Heuristics: names,
+	}
+	for ci, nodes := range cfg.NodeCounts {
+		t.Rows = append(t.Rows, Row{
+			Label:   fmt.Sprintf("%d nodes", nodes),
+			X:       float64(nodes),
+			Mean:    means[ci],
+			Dev:     devs[ci],
+			Samples: counts[ci],
+		})
+	}
+	return t, nil
+}
+
+// Fig4b reproduces Figure 4(b): relative performance of the one-port
+// heuristics as a function of the platform density, averaged over the node
+// count sweep and the per-cell configurations.
+func Fig4b(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	names := heuristics.OnePortNames()
+	var jobs []job
+	for di, density := range cfg.Densities {
+		for ci, nodes := range cfg.NodeCounts {
+			for rep := 0; rep < cfg.Configurations; rep++ {
+				nodes, density := nodes, density
+				jobs = append(jobs, job{
+					cell: di,
+					seed: jobSeed(cfg.Seed, 2, di, ci, rep),
+					gen: func(rng *rand.Rand) (*platform.Platform, error) {
+						c := topology.DefaultRandomConfig(nodes, density)
+						c.MultiPortFraction = cfg.MultiPortFraction
+						return topology.Random(c, rng)
+					},
+				})
+			}
+		}
+	}
+	means, devs, counts, err := runJobs(cfg, jobs, len(cfg.Densities), names, model.OnePortBidirectional)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:         "fig4b",
+		Title:      "Relative performance vs. density (one-port, random platforms)",
+		XLabel:     "density",
+		Heuristics: names,
+	}
+	for di, density := range cfg.Densities {
+		t.Rows = append(t.Rows, Row{
+			Label:   fmt.Sprintf("density %.2f", density),
+			X:       density,
+			Mean:    means[di],
+			Dev:     devs[di],
+			Samples: counts[di],
+		})
+	}
+	return t, nil
+}
+
+// Fig5 reproduces Figure 5: the multi-port heuristics (and the LP-based and
+// binomial heuristics re-evaluated under the multi-port model) as a function
+// of the number of nodes, still normalized by the one-port MTP optimum —
+// which is why ratios above 1 are possible, exactly as in the paper.
+func Fig5(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	names := heuristics.MultiPortNames()
+	var jobs []job
+	for ci, nodes := range cfg.NodeCounts {
+		for di, density := range cfg.Densities {
+			for rep := 0; rep < cfg.Configurations; rep++ {
+				nodes, density := nodes, density
+				jobs = append(jobs, job{
+					cell: ci,
+					seed: jobSeed(cfg.Seed, 3, ci, di, rep),
+					gen: func(rng *rand.Rand) (*platform.Platform, error) {
+						c := topology.DefaultRandomConfig(nodes, density)
+						c.MultiPortFraction = cfg.MultiPortFraction
+						return topology.Random(c, rng)
+					},
+				})
+			}
+		}
+	}
+	means, devs, counts, err := runJobs(cfg, jobs, len(cfg.NodeCounts), names, model.MultiPort)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:         "fig5",
+		Title:      "Relative performance vs. number of nodes (multi-port heuristics, one-port MTP reference)",
+		XLabel:     "nodes",
+		Heuristics: names,
+	}
+	for ci, nodes := range cfg.NodeCounts {
+		t.Rows = append(t.Rows, Row{
+			Label:   fmt.Sprintf("%d nodes", nodes),
+			X:       float64(nodes),
+			Mean:    means[ci],
+			Dev:     devs[ci],
+			Samples: counts[ci],
+		})
+	}
+	return t, nil
+}
+
+// Table3 reproduces Table 3 of the paper: the one-port heuristics on
+// Tiers-like platforms with 30 and 65 nodes (mean relative performance and
+// deviation over the generated platforms).
+func Table3(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	names := heuristics.OnePortNames()
+	presets := []struct {
+		label string
+		nodes int
+		cfg   topology.TiersConfig
+	}{
+		{"30 nodes", 30, topology.Tiers30()},
+		{"65 nodes", 65, topology.Tiers65()},
+	}
+	var jobs []job
+	for ci, preset := range presets {
+		for rep := 0; rep < cfg.TiersConfigurations; rep++ {
+			tiersCfg := preset.cfg
+			tiersCfg.MultiPortFraction = cfg.MultiPortFraction
+			jobs = append(jobs, job{
+				cell: ci,
+				seed: jobSeed(cfg.Seed, 4, ci, rep),
+				gen: func(rng *rand.Rand) (*platform.Platform, error) {
+					return topology.Tiers(tiersCfg, rng)
+				},
+			})
+		}
+	}
+	means, devs, counts, err := runJobs(cfg, jobs, len(presets), names, model.OnePortBidirectional)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:         "table3",
+		Title:      "One-port heuristics on Tiers-like platforms",
+		XLabel:     "platform",
+		Heuristics: names,
+	}
+	for ci, preset := range presets {
+		t.Rows = append(t.Rows, Row{
+			Label:   preset.label,
+			X:       float64(preset.nodes),
+			Mean:    means[ci],
+			Dev:     devs[ci],
+			Samples: counts[ci],
+		})
+	}
+	return t, nil
+}
+
+// AblationSendFraction explores the paper's remark that the multi-port
+// results "do not strongly depend" on setting the per-send overhead to 80%
+// of the fastest outgoing link: the multi-port heuristics are re-evaluated
+// with the fraction swept from 0.5 to 1.0 on mid-size random platforms.
+func AblationSendFraction(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	names := heuristics.MultiPortNames()
+	fractions := []float64{0.5, 0.65, 0.8, 0.95}
+	nodes := 30
+	if len(cfg.NodeCounts) > 0 {
+		nodes = cfg.NodeCounts[len(cfg.NodeCounts)/2]
+	}
+	var jobs []job
+	for fi, fraction := range fractions {
+		for di, density := range cfg.Densities {
+			for rep := 0; rep < cfg.Configurations; rep++ {
+				fraction, density := fraction, density
+				jobs = append(jobs, job{
+					cell: fi,
+					seed: jobSeed(cfg.Seed, 5, fi, di, rep),
+					gen: func(rng *rand.Rand) (*platform.Platform, error) {
+						c := topology.DefaultRandomConfig(nodes, density)
+						c.MultiPortFraction = fraction
+						return topology.Random(c, rng)
+					},
+				})
+			}
+		}
+	}
+	means, devs, counts, err := runJobs(cfg, jobs, len(fractions), names, model.MultiPort)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:         "ablation-send-fraction",
+		Title:      fmt.Sprintf("Sensitivity to the multi-port send-overhead fraction (%d-node random platforms)", nodes),
+		XLabel:     "send fraction",
+		Heuristics: names,
+	}
+	for fi, fraction := range fractions {
+		t.Rows = append(t.Rows, Row{
+			Label:   fmt.Sprintf("fraction %.2f", fraction),
+			X:       fraction,
+			Mean:    means[fi],
+			Dev:     devs[fi],
+			Samples: counts[fi],
+		})
+	}
+	return t, nil
+}
+
+// AblationPortDirection evaluates the one-port heuristics' trees under the
+// stricter unidirectional one-port model (a node cannot send and receive at
+// the same time), still normalized by the bidirectional MTP optimum. It
+// quantifies how much of the reported performance relies on send/receive
+// overlap.
+func AblationPortDirection(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	names := heuristics.OnePortNames()
+	var jobs []job
+	for ci, nodes := range cfg.NodeCounts {
+		for di, density := range cfg.Densities {
+			for rep := 0; rep < cfg.Configurations; rep++ {
+				nodes, density := nodes, density
+				jobs = append(jobs, job{
+					cell: ci,
+					seed: jobSeed(cfg.Seed, 6, ci, di, rep),
+					gen: func(rng *rand.Rand) (*platform.Platform, error) {
+						c := topology.DefaultRandomConfig(nodes, density)
+						c.MultiPortFraction = cfg.MultiPortFraction
+						return topology.Random(c, rng)
+					},
+				})
+			}
+		}
+	}
+	means, devs, counts, err := runJobs(cfg, jobs, len(cfg.NodeCounts), names, model.OnePortUnidirectional)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:         "ablation-port-direction",
+		Title:      "One-port heuristics evaluated under the unidirectional one-port model",
+		XLabel:     "nodes",
+		Heuristics: names,
+	}
+	for ci, nodes := range cfg.NodeCounts {
+		t.Rows = append(t.Rows, Row{
+			Label:   fmt.Sprintf("%d nodes", nodes),
+			X:       float64(nodes),
+			Mean:    means[ci],
+			Dev:     devs[ci],
+			Samples: counts[ci],
+		})
+	}
+	return t, nil
+}
+
+// ExperimentIDs lists the identifiers accepted by Run.
+func ExperimentIDs() []string {
+	return []string{"fig4a", "fig4b", "fig5", "table3", "ablation-send-fraction", "ablation-port-direction"}
+}
+
+// Run executes the experiment with the given identifier.
+func Run(id string, cfg Config) (*Table, error) {
+	switch id {
+	case "fig4a":
+		return Fig4a(cfg)
+	case "fig4b":
+		return Fig4b(cfg)
+	case "fig5":
+		return Fig5(cfg)
+	case "table3":
+		return Table3(cfg)
+	case "ablation-send-fraction":
+		return AblationSendFraction(cfg)
+	case "ablation-port-direction":
+		return AblationPortDirection(cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+}
+
+// All runs every experiment and returns the tables in ExperimentIDs order.
+func All(cfg Config) ([]*Table, error) {
+	var tables []*Table
+	for _, id := range ExperimentIDs() {
+		t, err := Run(id, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

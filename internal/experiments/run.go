@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/heuristics"
+	"repro/internal/model"
+	"repro/internal/parallel"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/steady"
+	"repro/internal/throughput"
+)
+
+// Evaluation is the outcome of evaluating all requested heuristics on one
+// platform instance.
+type Evaluation struct {
+	// Optimal is the MTP optimal throughput (one-port) used as reference.
+	Optimal float64
+	// Ratio maps heuristic name to its relative performance
+	// (tree throughput under the evaluation model divided by Optimal).
+	Ratio map[string]float64
+	// Throughput maps heuristic name to the absolute tree throughput.
+	Throughput map[string]float64
+}
+
+// EvaluatePlatform builds every named heuristic's tree on the platform and
+// returns the relative performance with respect to the one-port MTP optimum,
+// evaluating the trees under the given port model (the paper evaluates
+// one-port heuristics under one-port and multi-port heuristics under
+// multi-port, but always normalizes by the one-port LP bound).
+//
+// The steady-state LP is solved once; its edge rates are shared by the
+// LP-based heuristics.
+func EvaluatePlatform(p *platform.Platform, source int, names []string, evalModel model.PortModel) (*Evaluation, error) {
+	opt, err := steady.Solve(p, source, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: steady-state LP: %w", err)
+	}
+	ev := &Evaluation{
+		Optimal:    opt.Throughput,
+		Ratio:      make(map[string]float64, len(names)),
+		Throughput: make(map[string]float64, len(names)),
+	}
+	for _, name := range names {
+		builder, err := builderWithRates(name, opt.EdgeRate)
+		if err != nil {
+			return nil, err
+		}
+		var tp float64
+		if rb, ok := builder.(heuristics.RoutingBuilder); ok {
+			// Heuristics whose natural output is a routed schedule (the
+			// binomial tree) are evaluated with link/node contention, as in
+			// the paper.
+			routing, err := rb.BuildRouting(p, source)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", name, err)
+			}
+			tp = throughput.RoutingThroughput(p, routing, evalModel)
+		} else {
+			tree, err := builder.Build(p, source)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", name, err)
+			}
+			tp = throughput.TreeThroughput(p, tree, evalModel)
+		}
+		ev.Throughput[name] = tp
+		if opt.Throughput > 0 && !math.IsInf(opt.Throughput, 1) {
+			ev.Ratio[name] = tp / opt.Throughput
+		} else {
+			ev.Ratio[name] = math.NaN()
+		}
+	}
+	return ev, nil
+}
+
+// builderWithRates returns the named heuristic, injecting the precomputed
+// steady-state edge rates into the LP-based ones so the LP is not re-solved
+// per heuristic.
+func builderWithRates(name string, rates []float64) (heuristics.Builder, error) {
+	switch name {
+	case heuristics.NameLPPrune:
+		return heuristics.LPPrune{Rates: rates}, nil
+	case heuristics.NameLPGrowTree:
+		return heuristics.LPGrowTree{Rates: rates}, nil
+	default:
+		return heuristics.ByName(name)
+	}
+}
+
+// job is one platform instance to evaluate inside a cell of an experiment.
+type job struct {
+	cell int // row index the result contributes to
+	gen  func(rng *rand.Rand) (*platform.Platform, error)
+	seed int64
+}
+
+// runJobs evaluates all jobs concurrently and aggregates the per-cell mean
+// and deviation of each heuristic's relative performance.
+func runJobs(cfg Config, jobs []job, numCells int, names []string, evalModel model.PortModel) ([]map[string]float64, []map[string]float64, []int, error) {
+	type outcome struct {
+		cell  int
+		ratio map[string]float64
+		err   error
+	}
+	results := parallel.Map(len(jobs), cfg.Workers, func(i int) outcome {
+		j := jobs[i]
+		rng := rand.New(rand.NewSource(j.seed))
+		p, err := j.gen(rng)
+		if err != nil {
+			return outcome{cell: j.cell, err: err}
+		}
+		ev, err := EvaluatePlatform(p, cfg.Source, names, evalModel)
+		if err != nil {
+			return outcome{cell: j.cell, err: err}
+		}
+		return outcome{cell: j.cell, ratio: ev.Ratio}
+	})
+
+	samplesByCell := make([][]map[string]float64, numCells)
+	for _, r := range results {
+		if r.err != nil {
+			return nil, nil, nil, r.err
+		}
+		samplesByCell[r.cell] = append(samplesByCell[r.cell], r.ratio)
+	}
+
+	means := make([]map[string]float64, numCells)
+	devs := make([]map[string]float64, numCells)
+	counts := make([]int, numCells)
+	for cell := 0; cell < numCells; cell++ {
+		means[cell] = make(map[string]float64, len(names))
+		devs[cell] = make(map[string]float64, len(names))
+		counts[cell] = len(samplesByCell[cell])
+		for _, name := range names {
+			sample := make([]float64, 0, counts[cell])
+			for _, ratios := range samplesByCell[cell] {
+				sample = append(sample, ratios[name])
+			}
+			s := stats.Summarize(sample)
+			means[cell][name] = s.Mean
+			devs[cell][name] = s.StdDev
+		}
+	}
+	return means, devs, counts, nil
+}
+
+// jobSeed derives a deterministic per-job seed from the base seed and the
+// job's position in the experiment.
+func jobSeed(base int64, parts ...int) int64 {
+	seed := base
+	for _, p := range parts {
+		seed = seed*1_000_003 + int64(p) + 1
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}

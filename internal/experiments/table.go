@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/heuristics"
+)
+
+// Row is one line of an experiment table: an x value (number of nodes,
+// density, ...) and, for every heuristic, the mean and standard deviation of
+// its relative performance across the platforms of the cell.
+type Row struct {
+	// Label is a human-readable description of the cell (e.g. "30 nodes").
+	Label string
+	// X is the numeric sweep value of the cell (node count, density, ...).
+	X float64
+	// Mean maps heuristic name to mean relative performance.
+	Mean map[string]float64
+	// Dev maps heuristic name to the standard deviation of the relative
+	// performance.
+	Dev map[string]float64
+	// Samples is the number of platforms aggregated in the cell.
+	Samples int
+}
+
+// Table is the result of one experiment: one row per sweep value, one column
+// per heuristic. It can be rendered as aligned text (Format) or CSV.
+type Table struct {
+	// ID identifies the experiment ("fig4a", "fig4b", "fig5", "table3", ...).
+	ID string
+	// Title is a human-readable description.
+	Title string
+	// XLabel describes the sweep dimension.
+	XLabel string
+	// Heuristics is the column order (canonical heuristic names).
+	Heuristics []string
+	// Rows are the table rows in sweep order.
+	Rows []Row
+}
+
+// Format renders the table as aligned text with "mean ± dev" cells,
+// mirroring the presentation of the paper's Table 3.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+	cols := make([]string, 0, len(t.Heuristics)+1)
+	cols = append(cols, t.XLabel)
+	for _, h := range t.Heuristics {
+		cols = append(cols, heuristics.PaperLabel(h))
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(t.Rows))
+	for r, row := range t.Rows {
+		line := make([]string, 0, len(cols))
+		line = append(line, row.Label)
+		for _, h := range t.Heuristics {
+			line = append(line, fmt.Sprintf("%.0f%% (±%.0f%%)", 100*row.Mean[h], 100*row.Dev[h]))
+		}
+		cells[r] = line
+		for i, c := range line {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeLine := func(line []string) {
+		for i, c := range line {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeLine(cols)
+	for _, line := range cells {
+		writeLine(line)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with one column per
+// heuristic mean and one per deviation.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("x,label,samples")
+	for _, h := range t.Heuristics {
+		fmt.Fprintf(&b, ",%s_mean,%s_dev", h, h)
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%g,%q,%d", row.X, row.Label, row.Samples)
+		for _, h := range t.Heuristics {
+			fmt.Fprintf(&b, ",%.6f,%.6f", row.Mean[h], row.Dev[h])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Series returns, for one heuristic, the x values and mean relative
+// performances across the table rows — the data of one curve of a paper
+// figure.
+func (t *Table) Series(heuristic string) (xs, ys []float64) {
+	for _, row := range t.Rows {
+		if y, ok := row.Mean[heuristic]; ok {
+			xs = append(xs, row.X)
+			ys = append(ys, y)
+		}
+	}
+	return xs, ys
+}

@@ -1,0 +1,216 @@
+// Package graph provides a lightweight directed-graph substrate used by the
+// broadcast-tree library: adjacency storage, traversals, reachability under
+// edge subsets, shortest paths, and a union-find structure.
+//
+// Nodes are dense integer identifiers in [0, N). Edges are directed and
+// carry a float64 weight (in this repository the weight is the time T(u,v)
+// needed to transfer one message slice across the link).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Edge is a directed, weighted edge of a Digraph. ID is the position of the
+// edge in the graph's edge list and is stable for the lifetime of the graph.
+type Edge struct {
+	ID     int
+	From   int
+	To     int
+	Weight float64
+}
+
+// Digraph is a directed multigraph with a fixed number of nodes and an
+// append-only edge list. The zero value is an empty graph with zero nodes;
+// use New to create a graph with a given node count.
+type Digraph struct {
+	n     int
+	edges []Edge
+	out   [][]int // node -> edge IDs leaving the node
+	in    [][]int // node -> edge IDs entering the node
+}
+
+// New returns an empty directed graph with n nodes and no edges.
+// It panics if n is negative.
+func New(n int) *Digraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Digraph{
+		n:   n,
+		out: make([][]int, n),
+		in:  make([][]int, n),
+	}
+}
+
+// ErrNodeRange is returned (wrapped) when an endpoint is outside [0, N).
+var ErrNodeRange = errors.New("graph: node out of range")
+
+// NumNodes returns the number of nodes.
+func (g *Digraph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of edges.
+func (g *Digraph) NumEdges() int { return len(g.edges) }
+
+// AddEdge appends a directed edge from -> to with the given weight and
+// returns its edge ID. Self-loops and parallel edges are allowed (callers
+// that need simple graphs should check with HasEdge first).
+func (g *Digraph) AddEdge(from, to int, weight float64) (int, error) {
+	if from < 0 || from >= g.n {
+		return -1, fmt.Errorf("%w: from=%d, n=%d", ErrNodeRange, from, g.n)
+	}
+	if to < 0 || to >= g.n {
+		return -1, fmt.Errorf("%w: to=%d, n=%d", ErrNodeRange, to, g.n)
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Weight: weight})
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	return id, nil
+}
+
+// MustAddEdge is AddEdge that panics on error; intended for tests and
+// generators that construct graphs from validated data.
+func (g *Digraph) MustAddEdge(from, to int, weight float64) int {
+	id, err := g.AddEdge(from, to, weight)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Edge returns the edge with the given ID.
+func (g *Digraph) Edge(id int) Edge {
+	return g.edges[id]
+}
+
+// SetWeight updates the weight of an existing edge.
+func (g *Digraph) SetWeight(id int, weight float64) {
+	g.edges[id].Weight = weight
+}
+
+// Edges returns a copy of the edge list.
+func (g *Digraph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// OutEdgeIDs returns the IDs of edges leaving node u. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Digraph) OutEdgeIDs(u int) []int { return g.out[u] }
+
+// InEdgeIDs returns the IDs of edges entering node u. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Digraph) InEdgeIDs(u int) []int { return g.in[u] }
+
+// OutEdges returns copies of the edges leaving node u.
+func (g *Digraph) OutEdges(u int) []Edge {
+	ids := g.out[u]
+	res := make([]Edge, len(ids))
+	for i, id := range ids {
+		res[i] = g.edges[id]
+	}
+	return res
+}
+
+// InEdges returns copies of the edges entering node u.
+func (g *Digraph) InEdges(u int) []Edge {
+	ids := g.in[u]
+	res := make([]Edge, len(ids))
+	for i, id := range ids {
+		res[i] = g.edges[id]
+	}
+	return res
+}
+
+// OutDegree returns the number of edges leaving u.
+func (g *Digraph) OutDegree(u int) int { return len(g.out[u]) }
+
+// InDegree returns the number of edges entering u.
+func (g *Digraph) InDegree(u int) int { return len(g.in[u]) }
+
+// HasEdge reports whether at least one edge from -> to exists.
+func (g *Digraph) HasEdge(from, to int) bool {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return false
+	}
+	for _, id := range g.out[from] {
+		if g.edges[id].To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeBetween returns the ID of the first edge from -> to, or -1 if none
+// exists.
+func (g *Digraph) EdgeBetween(from, to int) int {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return -1
+	}
+	for _, id := range g.out[from] {
+		if g.edges[id].To == to {
+			return id
+		}
+	}
+	return -1
+}
+
+// WeightedOutDegree returns the sum of the weights of edges leaving u,
+// restricted to edges for which enabled is true. A nil enabled slice means
+// all edges are enabled.
+func (g *Digraph) WeightedOutDegree(u int, enabled []bool) float64 {
+	var sum float64
+	for _, id := range g.out[u] {
+		if enabled != nil && !enabled[id] {
+			continue
+		}
+		sum += g.edges[id].Weight
+	}
+	return sum
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Digraph) Clone() *Digraph {
+	c := New(g.n)
+	c.edges = make([]Edge, len(g.edges))
+	copy(c.edges, g.edges)
+	for u := 0; u < g.n; u++ {
+		c.out[u] = append([]int(nil), g.out[u]...)
+		c.in[u] = append([]int(nil), g.in[u]...)
+	}
+	return c
+}
+
+// SortedEdgeIDsByWeight returns the IDs of enabled edges sorted by weight.
+// If descending is true the heaviest edge comes first. Ties are broken by
+// edge ID to keep the ordering deterministic. A nil enabled slice means all
+// edges participate.
+func (g *Digraph) SortedEdgeIDsByWeight(enabled []bool, descending bool) []int {
+	ids := make([]int, 0, len(g.edges))
+	for id := range g.edges {
+		if enabled != nil && !enabled[id] {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		wi, wj := g.edges[ids[i]].Weight, g.edges[ids[j]].Weight
+		if wi != wj {
+			if descending {
+				return wi > wj
+			}
+			return wi < wj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// String returns a short human-readable description of the graph.
+func (g *Digraph) String() string {
+	return fmt.Sprintf("Digraph{nodes: %d, edges: %d}", g.n, len(g.edges))
+}

@@ -1,0 +1,529 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmptyGraph(t *testing.T) {
+	g := New(5)
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d, want 0", g.NumEdges())
+	}
+	for u := 0; u < 5; u++ {
+		if g.OutDegree(u) != 0 || g.InDegree(u) != 0 {
+			t.Fatalf("node %d has nonzero degree in empty graph", u)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddEdge(t *testing.T) {
+	g := New(3)
+	id, err := g.AddEdge(0, 1, 2.5)
+	if err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if id != 0 {
+		t.Fatalf("first edge ID = %d, want 0", id)
+	}
+	e := g.Edge(id)
+	if e.From != 0 || e.To != 1 || e.Weight != 2.5 {
+		t.Fatalf("edge = %+v", e)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatal("HasEdge(0,1) = false")
+	}
+	if g.HasEdge(1, 0) {
+		t.Fatal("HasEdge(1,0) = true, edges are directed")
+	}
+	if g.OutDegree(0) != 1 || g.InDegree(1) != 1 {
+		t.Fatal("degrees not updated")
+	}
+}
+
+func TestAddEdgeRangeErrors(t *testing.T) {
+	g := New(2)
+	cases := [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}, {5, 5}}
+	for _, c := range cases {
+		if _, err := g.AddEdge(c[0], c[1], 1); !errors.Is(err, ErrNodeRange) {
+			t.Errorf("AddEdge(%d,%d) error = %v, want ErrNodeRange", c[0], c[1], err)
+		}
+	}
+}
+
+func TestMustAddEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddEdge out of range did not panic")
+		}
+	}()
+	New(1).MustAddEdge(0, 5, 1)
+}
+
+func TestEdgeBetween(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	id := g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(2, 3, 3)
+	if got := g.EdgeBetween(1, 2); got != id {
+		t.Fatalf("EdgeBetween(1,2) = %d, want %d", got, id)
+	}
+	if got := g.EdgeBetween(2, 1); got != -1 {
+		t.Fatalf("EdgeBetween(2,1) = %d, want -1", got)
+	}
+	if got := g.EdgeBetween(-1, 2); got != -1 {
+		t.Fatalf("EdgeBetween(-1,2) = %d, want -1", got)
+	}
+}
+
+func TestSetWeight(t *testing.T) {
+	g := New(2)
+	id := g.MustAddEdge(0, 1, 1)
+	g.SetWeight(id, 7)
+	if g.Edge(id).Weight != 7 {
+		t.Fatalf("weight = %v, want 7", g.Edge(id).Weight)
+	}
+}
+
+func TestOutInEdges(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 2, 2)
+	g.MustAddEdge(1, 2, 3)
+	out := g.OutEdges(0)
+	if len(out) != 2 {
+		t.Fatalf("len(OutEdges(0)) = %d, want 2", len(out))
+	}
+	in := g.InEdges(2)
+	if len(in) != 2 {
+		t.Fatalf("len(InEdges(2)) = %d, want 2", len(in))
+	}
+	if len(g.Edges()) != 3 {
+		t.Fatalf("len(Edges) = %d, want 3", len(g.Edges()))
+	}
+}
+
+func TestWeightedOutDegree(t *testing.T) {
+	g := New(3)
+	a := g.MustAddEdge(0, 1, 1.5)
+	b := g.MustAddEdge(0, 2, 2.5)
+	if got := g.WeightedOutDegree(0, nil); got != 4 {
+		t.Fatalf("WeightedOutDegree = %v, want 4", got)
+	}
+	enabled := make([]bool, g.NumEdges())
+	enabled[a] = true
+	if got := g.WeightedOutDegree(0, enabled); got != 1.5 {
+		t.Fatalf("WeightedOutDegree(enabled a) = %v, want 1.5", got)
+	}
+	enabled[a] = false
+	enabled[b] = true
+	if got := g.WeightedOutDegree(0, enabled); got != 2.5 {
+		t.Fatalf("WeightedOutDegree(enabled b) = %v, want 2.5", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2)
+	c := g.Clone()
+	c.MustAddEdge(2, 0, 3)
+	c.SetWeight(0, 42)
+	if g.NumEdges() != 2 {
+		t.Fatalf("original edge count changed: %d", g.NumEdges())
+	}
+	if g.Edge(0).Weight != 1 {
+		t.Fatalf("original weight changed: %v", g.Edge(0).Weight)
+	}
+	if c.NumEdges() != 3 || c.Edge(0).Weight != 42 {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestSortedEdgeIDsByWeight(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 3) // id 0
+	g.MustAddEdge(0, 2, 1) // id 1
+	g.MustAddEdge(0, 3, 2) // id 2
+	g.MustAddEdge(1, 2, 1) // id 3 (tie with id 1)
+
+	asc := g.SortedEdgeIDsByWeight(nil, false)
+	want := []int{1, 3, 2, 0}
+	for i := range want {
+		if asc[i] != want[i] {
+			t.Fatalf("ascending order = %v, want %v", asc, want)
+		}
+	}
+	desc := g.SortedEdgeIDsByWeight(nil, true)
+	wantDesc := []int{0, 2, 1, 3}
+	for i := range wantDesc {
+		if desc[i] != wantDesc[i] {
+			t.Fatalf("descending order = %v, want %v", desc, wantDesc)
+		}
+	}
+	enabled := []bool{true, false, true, false}
+	filtered := g.SortedEdgeIDsByWeight(enabled, false)
+	if len(filtered) != 2 || filtered[0] != 2 || filtered[1] != 0 {
+		t.Fatalf("filtered order = %v, want [2 0]", filtered)
+	}
+}
+
+func TestString(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1, 1)
+	if got := g.String(); got == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func lineGraph(n int) *Digraph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+func TestReachableFromLine(t *testing.T) {
+	g := lineGraph(5)
+	r := g.ReachableFrom(0, nil)
+	for i, ok := range r {
+		if !ok {
+			t.Fatalf("node %d not reachable from 0 in line", i)
+		}
+	}
+	r2 := g.ReachableFrom(2, nil)
+	if r2[0] || r2[1] || !r2[2] || !r2[3] || !r2[4] {
+		t.Fatalf("reachable from 2 = %v", r2)
+	}
+	if g.CountReachableFrom(2, nil) != 3 {
+		t.Fatalf("CountReachableFrom(2) = %d, want 3", g.CountReachableFrom(2, nil))
+	}
+	if !g.AllReachableFrom(0, nil) {
+		t.Fatal("AllReachableFrom(0) = false")
+	}
+	if g.AllReachableFrom(1, nil) {
+		t.Fatal("AllReachableFrom(1) = true")
+	}
+}
+
+func TestReachableWithDisabledEdges(t *testing.T) {
+	g := lineGraph(4)
+	enabled := []bool{true, false, true}
+	r := g.ReachableFrom(0, enabled)
+	if !r[0] || !r[1] || r[2] || r[3] {
+		t.Fatalf("reachable = %v", r)
+	}
+}
+
+func TestReachableFromInvalidSource(t *testing.T) {
+	g := lineGraph(3)
+	if g.CountReachableFrom(-1, nil) != 0 {
+		t.Fatal("negative source should reach nothing")
+	}
+	if got := g.BFSOrder(17, nil); len(got) != 0 {
+		t.Fatal("out-of-range source should give empty BFS order")
+	}
+}
+
+func TestBFSOrder(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(1, 3, 1)
+	order := g.BFSOrder(0, nil)
+	if len(order) != 4 || order[0] != 0 {
+		t.Fatalf("BFS order = %v", order)
+	}
+	pos := make(map[int]int)
+	for i, u := range order {
+		pos[u] = i
+	}
+	if pos[1] > pos[3] || pos[2] > pos[3] {
+		t.Fatalf("BFS order violates level ordering: %v", order)
+	}
+}
+
+func TestBFSArborescence(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(1, 3, 1)
+	g.MustAddEdge(2, 3, 1) // alternative parent for 3
+	g.MustAddEdge(3, 4, 1)
+	parentEdge, reached := g.BFSArborescence(0, nil)
+	if reached != 5 {
+		t.Fatalf("reached = %d, want 5", reached)
+	}
+	if parentEdge[0] != -1 {
+		t.Fatalf("source parent edge = %d, want -1", parentEdge[0])
+	}
+	enabled := make([]bool, g.NumEdges())
+	for v, id := range parentEdge {
+		if v != 0 {
+			if id < 0 {
+				t.Fatalf("node %d has no parent edge", v)
+			}
+			enabled[id] = true
+		}
+	}
+	if !g.IsArborescence(0, enabled) {
+		t.Fatal("BFS arborescence edges do not form an arborescence")
+	}
+}
+
+func TestIsArborescence(t *testing.T) {
+	g := New(3)
+	e0 := g.MustAddEdge(0, 1, 1)
+	e1 := g.MustAddEdge(1, 2, 1)
+	e2 := g.MustAddEdge(2, 0, 1)
+	enabled := make([]bool, 3)
+	enabled[e0], enabled[e1] = true, true
+	if !g.IsArborescence(0, enabled) {
+		t.Fatal("chain 0->1->2 should be an arborescence rooted at 0")
+	}
+	if g.IsArborescence(1, enabled) {
+		t.Fatal("chain rooted at wrong node accepted")
+	}
+	enabled[e2] = true
+	if g.IsArborescence(0, enabled) {
+		t.Fatal("cycle with n edges accepted as arborescence")
+	}
+	if g.IsArborescence(-1, enabled) {
+		t.Fatal("invalid source accepted")
+	}
+}
+
+func TestDijkstraSimple(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 5)
+	g.MustAddEdge(2, 3, 1)
+	res := g.Dijkstra(0, nil)
+	want := []float64{0, 1, 2, 3}
+	for i, w := range want {
+		if math.Abs(res.Dist[i]-w) > 1e-12 {
+			t.Fatalf("Dist[%d] = %v, want %v", i, res.Dist[i], w)
+		}
+	}
+	path := g.PathEdges(res, 3)
+	if len(path) != 3 {
+		t.Fatalf("path length = %d, want 3 edges", len(path))
+	}
+	if g.Edge(path[0]).From != 0 || g.Edge(path[len(path)-1]).To != 3 {
+		t.Fatalf("path endpoints wrong: %v", path)
+	}
+	if !res.Reachable(3) {
+		t.Fatal("node 3 should be reachable")
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	res := g.Dijkstra(0, nil)
+	if !math.IsInf(res.Dist[2], 1) {
+		t.Fatalf("Dist[2] = %v, want +Inf", res.Dist[2])
+	}
+	if res.Reachable(2) {
+		t.Fatal("node 2 reported reachable")
+	}
+	if g.PathEdges(res, 2) != nil {
+		t.Fatal("path to unreachable node should be nil")
+	}
+	if g.PathEdges(res, 0) != nil {
+		t.Fatal("path to source should be nil")
+	}
+}
+
+func TestDijkstraRespectsEnabled(t *testing.T) {
+	g := New(3)
+	fast := g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	enabled := make([]bool, g.NumEdges())
+	for i := range enabled {
+		enabled[i] = true
+	}
+	enabled[fast] = false
+	res := g.Dijkstra(0, enabled)
+	if math.Abs(res.Dist[2]-2) > 1e-12 {
+		t.Fatalf("Dist[2] = %v, want 2 when direct edge disabled", res.Dist[2])
+	}
+}
+
+func TestDijkstraInvalidSource(t *testing.T) {
+	g := lineGraph(3)
+	res := g.Dijkstra(9, nil)
+	for i := range res.Dist {
+		if !math.IsInf(res.Dist[i], 1) {
+			t.Fatalf("Dist[%d] finite for invalid source", i)
+		}
+	}
+}
+
+func TestDijkstraAgainstHopsOnUnitWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 20; iter++ {
+		n := 3 + rng.Intn(20)
+		g := New(n)
+		for i := 1; i < n; i++ {
+			g.MustAddEdge(rng.Intn(i), i, 1)
+		}
+		for k := 0; k < n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v, 1)
+			}
+		}
+		res := g.Dijkstra(0, nil)
+		hops := g.HopDistance(0, nil)
+		for v := 0; v < n; v++ {
+			if hops[v] < 0 {
+				if !math.IsInf(res.Dist[v], 1) {
+					t.Fatalf("node %d unreachable by BFS but Dijkstra dist %v", v, res.Dist[v])
+				}
+				continue
+			}
+			if math.Abs(res.Dist[v]-float64(hops[v])) > 1e-9 {
+				t.Fatalf("node %d: Dijkstra %v vs hops %d", v, res.Dist[v], hops[v])
+			}
+		}
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 2, 10)
+	g.MustAddEdge(0, 2, 100)
+	d := g.HopDistance(0, nil)
+	if d[0] != 0 || d[1] != 1 || d[2] != 1 || d[3] != -1 {
+		t.Fatalf("hop distances = %v", d)
+	}
+	if got := g.HopDistance(-3, nil); got[0] != -1 {
+		t.Fatal("invalid source should yield all -1")
+	}
+}
+
+func TestUnionFindBasic(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", uf.Count())
+	}
+	if !uf.Union(0, 1) {
+		t.Fatal("first union returned false")
+	}
+	if uf.Union(0, 1) {
+		t.Fatal("repeated union returned true")
+	}
+	if !uf.Connected(0, 1) {
+		t.Fatal("0 and 1 should be connected")
+	}
+	if uf.Connected(0, 2) {
+		t.Fatal("0 and 2 should not be connected")
+	}
+	uf.Union(2, 3)
+	uf.Union(1, 3)
+	if uf.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", uf.Count())
+	}
+	if !uf.Connected(0, 3) {
+		t.Fatal("transitive connectivity failed")
+	}
+}
+
+func TestUnionFindPropertyMatchesBFS(t *testing.T) {
+	// Property: after applying the same undirected edges, union-find
+	// connectivity matches reachability on a symmetrized graph.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		g := New(n)
+		uf := NewUnionFind(n)
+		for k := 0; k < n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			g.MustAddEdge(u, v, 1)
+			g.MustAddEdge(v, u, 1)
+			uf.Union(u, v)
+		}
+		for u := 0; u < n; u++ {
+			r := g.ReachableFrom(u, nil)
+			for v := 0; v < n; v++ {
+				if r[v] != uf.Connected(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArborescencePropertyFromRandomGraphs(t *testing.T) {
+	// Property: for any graph where all nodes are reachable from 0, the BFS
+	// arborescence edge set is accepted by IsArborescence, and removing any
+	// one of its edges breaks reachability.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := New(n)
+		for i := 1; i < n; i++ {
+			g.MustAddEdge(rng.Intn(i), i, 1+rng.Float64())
+		}
+		for k := 0; k < n/2; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.MustAddEdge(u, v, 1+rng.Float64())
+			}
+		}
+		parentEdge, reached := g.BFSArborescence(0, nil)
+		if reached != n {
+			return false
+		}
+		enabled := make([]bool, g.NumEdges())
+		for v, id := range parentEdge {
+			if v != 0 {
+				enabled[id] = true
+			}
+		}
+		if !g.IsArborescence(0, enabled) {
+			return false
+		}
+		for v, id := range parentEdge {
+			if v == 0 {
+				continue
+			}
+			enabled[id] = false
+			if g.AllReachableFrom(0, enabled) {
+				return false
+			}
+			enabled[id] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// PathResult holds the output of a single-source shortest-path computation.
+type PathResult struct {
+	Source     int
+	Dist       []float64 // Dist[v] is +Inf if v is unreachable
+	ParentEdge []int     // edge ID used to reach v, -1 for source/unreachable
+}
+
+// Reachable reports whether node v is reachable from the source.
+func (r *PathResult) Reachable(v int) bool {
+	return v == r.Source || r.ParentEdge[v] >= 0
+}
+
+// pqItem is an entry of the Dijkstra priority queue.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pqueue []pqItem
+
+func (q pqueue) Len() int            { return len(q) }
+func (q pqueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pqueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pqueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pqueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra computes shortest paths from source over the enabled edges using
+// edge weights as lengths. Negative weights are not supported (weights in
+// this repository are transfer times, always non-negative). A nil enabled
+// slice means all edges participate.
+func (g *Digraph) Dijkstra(source int, enabled []bool) *PathResult {
+	res := &PathResult{
+		Source:     source,
+		Dist:       make([]float64, g.n),
+		ParentEdge: make([]int, g.n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = math.Inf(1)
+		res.ParentEdge[i] = -1
+	}
+	if source < 0 || source >= g.n {
+		return res
+	}
+	res.Dist[source] = 0
+	done := make([]bool, g.n)
+	q := &pqueue{{node: source, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, id := range g.out[u] {
+			if enabled != nil && !enabled[id] {
+				continue
+			}
+			e := g.edges[id]
+			nd := res.Dist[u] + e.Weight
+			if nd < res.Dist[e.To] {
+				res.Dist[e.To] = nd
+				res.ParentEdge[e.To] = id
+				heap.Push(q, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return res
+}
+
+// PathEdges reconstructs the list of edge IDs on the shortest path from the
+// source to target, in source-to-target order. It returns nil if target is
+// unreachable or equal to the source.
+func (g *Digraph) PathEdges(res *PathResult, target int) []int {
+	if target < 0 || target >= g.n || target == res.Source || res.ParentEdge[target] < 0 {
+		return nil
+	}
+	var rev []int
+	for v := target; v != res.Source; {
+		id := res.ParentEdge[v]
+		if id < 0 {
+			return nil
+		}
+		rev = append(rev, id)
+		v = g.edges[id].From
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// HopDistance computes the minimum number of hops from source to every node
+// over the enabled edges (ignoring weights). Unreachable nodes get -1.
+func (g *Digraph) HopDistance(source int, enabled []bool) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if source < 0 || source >= g.n {
+		return dist
+	}
+	dist[source] = 0
+	queue := []int{source}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, id := range g.out[u] {
+			if enabled != nil && !enabled[id] {
+				continue
+			}
+			v := g.edges[id].To
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}

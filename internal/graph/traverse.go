@@ -1,0 +1,145 @@
+package graph
+
+// ReachableFrom returns a boolean slice marking every node reachable from
+// source by following directed edges. Only edges for which enabled[id] is
+// true are traversed; a nil enabled slice means all edges are usable.
+func (g *Digraph) ReachableFrom(source int, enabled []bool) []bool {
+	visited := make([]bool, g.n)
+	if source < 0 || source >= g.n {
+		return visited
+	}
+	queue := make([]int, 0, g.n)
+	queue = append(queue, source)
+	visited[source] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, id := range g.out[u] {
+			if enabled != nil && !enabled[id] {
+				continue
+			}
+			v := g.edges[id].To
+			if !visited[v] {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return visited
+}
+
+// CountReachableFrom returns the number of nodes reachable from source using
+// only enabled edges (including source itself).
+func (g *Digraph) CountReachableFrom(source int, enabled []bool) int {
+	visited := g.ReachableFrom(source, enabled)
+	count := 0
+	for _, v := range visited {
+		if v {
+			count++
+		}
+	}
+	return count
+}
+
+// AllReachableFrom reports whether every node of the graph is reachable from
+// source using only enabled edges.
+func (g *Digraph) AllReachableFrom(source int, enabled []bool) bool {
+	return g.CountReachableFrom(source, enabled) == g.n
+}
+
+// BFSOrder returns the nodes reachable from source in breadth-first order,
+// using only enabled edges.
+func (g *Digraph) BFSOrder(source int, enabled []bool) []int {
+	order := make([]int, 0, g.n)
+	if source < 0 || source >= g.n {
+		return order
+	}
+	visited := make([]bool, g.n)
+	queue := []int{source}
+	visited[source] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, id := range g.out[u] {
+			if enabled != nil && !enabled[id] {
+				continue
+			}
+			v := g.edges[id].To
+			if !visited[v] {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return order
+}
+
+// BFSArborescence computes a breadth-first spanning arborescence rooted at
+// source over the enabled edges. It returns, for every node, the ID of the
+// edge used to reach it (-1 for the source and for unreachable nodes), and
+// the number of reachable nodes.
+func (g *Digraph) BFSArborescence(source int, enabled []bool) (parentEdge []int, reached int) {
+	parentEdge = make([]int, g.n)
+	for i := range parentEdge {
+		parentEdge[i] = -1
+	}
+	if source < 0 || source >= g.n {
+		return parentEdge, 0
+	}
+	visited := make([]bool, g.n)
+	queue := []int{source}
+	visited[source] = true
+	reached = 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, id := range g.out[u] {
+			if enabled != nil && !enabled[id] {
+				continue
+			}
+			v := g.edges[id].To
+			if !visited[v] {
+				visited[v] = true
+				parentEdge[v] = id
+				reached++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return parentEdge, reached
+}
+
+// IsArborescence reports whether the set of enabled edges forms a spanning
+// out-arborescence rooted at source: exactly n-1 enabled edges, every
+// non-source node has exactly one enabled incoming edge, the source has
+// none, and all nodes are reachable from source.
+func (g *Digraph) IsArborescence(source int, enabled []bool) bool {
+	if source < 0 || source >= g.n {
+		return false
+	}
+	count := 0
+	indeg := make([]int, g.n)
+	for id, e := range g.edges {
+		if enabled != nil && !enabled[id] {
+			continue
+		}
+		count++
+		indeg[e.To]++
+	}
+	if count != g.n-1 {
+		return false
+	}
+	if indeg[source] != 0 {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if u == source {
+			continue
+		}
+		if indeg[u] != 1 {
+			return false
+		}
+	}
+	return g.AllReachableFrom(source, enabled)
+}

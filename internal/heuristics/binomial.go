@@ -1,0 +1,165 @@
+package heuristics
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// RoutingBuilder is implemented by heuristics whose natural output is a
+// routed broadcast schedule (a logical tree whose transfers follow multi-hop
+// physical paths) rather than a plain spanning tree. Evaluating such a
+// heuristic through its routing captures the link and node contention that a
+// collapsed spanning tree would hide.
+type RoutingBuilder interface {
+	Builder
+	// BuildRouting returns the routed broadcast schedule.
+	BuildRouting(p *platform.Platform, source int) (*platform.Routing, error)
+}
+
+// Binomial is Algorithm 4 of the paper: the classical MPI-style binomial
+// broadcast tree, built from processor indices only, with no topological
+// information. The source plays rank 0 and rank r is mapped to processor
+// (source + r) mod |V|. Transfers of the binomial schedule between ranks
+// whose processors are not adjacent are routed along the shortest path
+// (in slice-transfer time) of the platform graph.
+//
+// BuildRouting returns this schedule faithfully (logical binomial tree plus
+// one routed path per transfer); its throughput accounts for all the links
+// and relay nodes shared by different transfers, which is what makes the
+// binomial heuristic perform poorly on heterogeneous platforms (Figures 4
+// and 5, Table 3 of the paper).
+//
+// Build returns a plain spanning tree obtained by walking every routed
+// transfer in schedule order and keeping, for every processor, the first
+// link through which it is reached. This collapsed tree is useful when a
+// genuine single tree is required (e.g. to feed the simulator), but it is
+// *more optimistic* than the MPI schedule it approximates; the experiment
+// harness therefore evaluates Binomial through BuildRouting.
+type Binomial struct{}
+
+// Name implements Builder.
+func (Binomial) Name() string { return NameBinomial }
+
+// transfer is one logical edge of the binomial schedule, in schedule order.
+type transfer struct {
+	fromRank, toRank int
+}
+
+// schedule lists the logical transfers of the binomial broadcast over n
+// ranks: the classical recursive-doubling phases over the first 2^m ranks
+// (m = floor(log2 n)), then one transfer for each remaining rank.
+func (Binomial) schedule(n int) []transfer {
+	if n <= 1 {
+		return nil
+	}
+	m := bits.Len(uint(n)) - 1
+	var ts []transfer
+	for ph := 0; ph < m; ph++ {
+		stride := 1 << (m - ph)
+		for x := 0; x < (1 << ph); x++ {
+			from := x * stride
+			to := from + stride/2
+			if from < n && to < n {
+				ts = append(ts, transfer{from, to})
+			}
+		}
+	}
+	for r := 1 << m; r < n; r++ {
+		ts = append(ts, transfer{r - (1 << m), r})
+	}
+	return ts
+}
+
+// BuildRouting implements RoutingBuilder.
+func (b Binomial) BuildRouting(p *platform.Platform, source int) (*platform.Routing, error) {
+	if err := validate(p, source); err != nil {
+		return nil, err
+	}
+	n := p.NumNodes()
+	routing := platform.NewRouting(n, source)
+	if n == 1 {
+		return routing, nil
+	}
+	proc := func(rank int) int { return (source + rank) % n }
+
+	g := p.Graph()
+	dijkstra := make(map[int]*graph.PathResult)
+	shortestPath := func(fromProc, toProc int) ([]int, error) {
+		res, ok := dijkstra[fromProc]
+		if !ok {
+			res = g.Dijkstra(fromProc, nil)
+			dijkstra[fromProc] = res
+		}
+		if !res.Reachable(toProc) {
+			return nil, fmt.Errorf("%w: no path from %d to %d", ErrNotBroadcastable, fromProc, toProc)
+		}
+		return g.PathEdges(res, toProc), nil
+	}
+
+	for _, tr := range b.schedule(n) {
+		fromProc, toProc := proc(tr.fromRank), proc(tr.toRank)
+		path, err := shortestPath(fromProc, toProc)
+		if err != nil {
+			return nil, err
+		}
+		routing.SetTransfer(toProc, fromProc, path)
+	}
+	if err := routing.Validate(p); err != nil {
+		return nil, fmt.Errorf("%w: binomial routing invalid: %v", ErrInternal, err)
+	}
+	return routing, nil
+}
+
+// Build implements Builder by collapsing the routed schedule into a plain
+// spanning tree (first link through which each processor is reached, in
+// schedule order).
+func (b Binomial) Build(p *platform.Platform, source int) (*platform.Tree, error) {
+	if err := validate(p, source); err != nil {
+		return nil, err
+	}
+	n := p.NumNodes()
+	tree := platform.NewTree(n, source)
+	if n == 1 {
+		return tree, nil
+	}
+	proc := func(rank int) int { return (source + rank) % n }
+
+	g := p.Graph()
+	dijkstra := make(map[int]*graph.PathResult)
+	shortestPath := func(fromProc, toProc int) ([]int, error) {
+		res, ok := dijkstra[fromProc]
+		if !ok {
+			res = g.Dijkstra(fromProc, nil)
+			dijkstra[fromProc] = res
+		}
+		if !res.Reachable(toProc) {
+			return nil, fmt.Errorf("%w: no path from %d to %d", ErrNotBroadcastable, fromProc, toProc)
+		}
+		return g.PathEdges(res, toProc), nil
+	}
+	hasParent := func(v int) bool { return v == source || tree.Parent[v] >= 0 }
+
+	for _, tr := range b.schedule(n) {
+		fromProc, toProc := proc(tr.fromRank), proc(tr.toRank)
+		if fromProc == toProc {
+			continue
+		}
+		path, err := shortestPath(fromProc, toProc)
+		if err != nil {
+			return nil, err
+		}
+		for _, linkID := range path {
+			l := p.Link(linkID)
+			if !hasParent(l.To) {
+				tree.SetParent(l.To, l.From, linkID)
+			}
+		}
+	}
+	if err := tree.Validate(p); err != nil {
+		return nil, fmt.Errorf("%w: binomial construction left the tree invalid: %v", ErrInternal, err)
+	}
+	return tree, nil
+}

@@ -1,0 +1,134 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/throughput"
+	"repro/internal/topology"
+)
+
+func TestBinomialSchedule(t *testing.T) {
+	b := Binomial{}
+	if got := b.schedule(1); got != nil {
+		t.Fatalf("schedule(1) = %v, want nil", got)
+	}
+	// n = 8: 7 transfers; phase structure 0->4, 0->2, 4->6, 0->1, 2->3,
+	// 4->5, 6->7.
+	s := b.schedule(8)
+	if len(s) != 7 {
+		t.Fatalf("schedule(8) has %d transfers", len(s))
+	}
+	if s[0] != (transfer{0, 4}) {
+		t.Fatalf("first transfer = %+v", s[0])
+	}
+	// Every rank 1..7 is a destination exactly once, senders already
+	// reached.
+	seen := map[int]bool{0: true}
+	for _, tr := range s {
+		if !seen[tr.fromRank] {
+			t.Fatalf("sender %d used before being reached", tr.fromRank)
+		}
+		if seen[tr.toRank] {
+			t.Fatalf("rank %d reached twice", tr.toRank)
+		}
+		seen[tr.toRank] = true
+	}
+	// Non-power-of-two: n = 11 -> 2^3 = 8 binomial ranks + 3 extra.
+	s = b.schedule(11)
+	if len(s) != 10 {
+		t.Fatalf("schedule(11) has %d transfers", len(s))
+	}
+}
+
+func TestBinomialBuildRoutingValid(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		p := randomPlatform(t, seed, 14, 0.2)
+		routing, err := Binomial{}.BuildRouting(p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := routing.Validate(p); err != nil {
+			t.Fatal(err)
+		}
+		if routing.Root != 3 {
+			t.Fatalf("root = %d", routing.Root)
+		}
+	}
+}
+
+func TestBinomialRoutingNeverBeatsCollapsedTree(t *testing.T) {
+	// The collapsed tree removes all contention, so its throughput is an
+	// upper bound on the routed schedule's throughput.
+	for _, seed := range []int64{4, 5, 6} {
+		p := randomPlatform(t, seed, 16, 0.15)
+		b := Binomial{}
+		tree, err := b.Build(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routing, err := b.BuildRouting(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		treeTP := throughput.OnePortThroughput(p, tree)
+		routedTP := throughput.RoutingThroughput(p, routing, model.OnePortBidirectional)
+		if routedTP > treeTP*(1+1e-9) {
+			t.Fatalf("seed %d: routed binomial %v beats its collapsed tree %v", seed, routedTP, treeTP)
+		}
+	}
+}
+
+func TestBinomialRoutingOnCompleteGraphMatchesTree(t *testing.T) {
+	// On a complete platform every logical transfer is a direct link, so the
+	// routed schedule has no contention beyond the logical binomial tree
+	// itself and the routing evaluation equals the tree evaluation.
+	n := 8
+	p := platform.New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				p.MustAddLink(u, v, model.Linear(1))
+			}
+		}
+	}
+	b := Binomial{}
+	tree, err := b.Build(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routing, err := b.BuildRouting(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := throughput.OnePortThroughput(p, tree)
+	c := throughput.RoutingThroughput(p, routing, model.OnePortBidirectional)
+	if a != c {
+		t.Fatalf("complete graph: tree %v vs routing %v", a, c)
+	}
+}
+
+func TestBinomialRoutingSuffersOnHierarchicalPlatforms(t *testing.T) {
+	// On a Tiers-like platform the binomial schedule routes many transfers
+	// through the same wide-area links; its throughput must be well below
+	// a topology-aware tree (this is the paper's Table 3 headline).
+	p, err := topology.Tiers(topology.Tiers30(), rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	routing, err := Binomial{}.BuildRouting(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grow, err := GrowTree{}.Build(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binTP := throughput.RoutingThroughput(p, routing, model.OnePortBidirectional)
+	growTP := throughput.OnePortThroughput(p, grow)
+	if binTP*2 > growTP {
+		t.Fatalf("binomial routing (%v) should be far below GrowTree (%v) on Tiers platforms", binTP, growTP)
+	}
+}

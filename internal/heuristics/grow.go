@@ -1,0 +1,130 @@
+package heuristics
+
+import (
+	"math"
+
+	"repro/internal/platform"
+)
+
+// GrowTree is Algorithm 3 of the paper ("Grow Tree"): a Prim-like heuristic
+// that grows a spanning tree from the source, always attaching the new node
+// whose connection minimizes the resulting weighted out-degree of its parent
+// (the per-slice sending time of the parent under the one-port model).
+type GrowTree struct{}
+
+// Name implements Builder.
+func (GrowTree) Name() string { return NameGrowTree }
+
+// Build implements Builder.
+func (GrowTree) Build(p *platform.Platform, source int) (*platform.Tree, error) {
+	return growTree(p, source, func(outSum, maxOut, linkTime float64, children int, sendOverhead float64) float64 {
+		// Resulting weighted out-degree of the parent if this link is added.
+		return outSum + linkTime
+	})
+}
+
+// MultiportGrowTree is Algorithm 5 of the paper: the Grow Tree heuristic
+// with the cost of attaching a new child set to the resulting multi-port
+// period of the parent, max((children+1)·send_u, max link occupation).
+type MultiportGrowTree struct{}
+
+// Name implements Builder.
+func (MultiportGrowTree) Name() string { return NameMultiportGrowTree }
+
+// Build implements Builder.
+func (MultiportGrowTree) Build(p *platform.Platform, source int) (*platform.Tree, error) {
+	return growTree(p, source, func(outSum, maxOut, linkTime float64, children int, sendOverhead float64) float64 {
+		period := float64(children+1) * sendOverhead
+		if maxOut > period {
+			period = maxOut
+		}
+		if linkTime > period {
+			period = linkTime
+		}
+		return period
+	})
+}
+
+// growTree is the shared Prim-like construction. The cost function receives,
+// for a candidate link (u, v) with u already in the tree:
+//
+//	outSum       — the sum of slice times of u's current tree links,
+//	maxOut       — the largest slice time among u's current tree links,
+//	linkTime     — the slice time of the candidate link,
+//	children     — the current number of children of u,
+//	sendOverhead — the per-send overhead of u (multi-port),
+//
+// and returns the cost of attaching v through this link; the candidate with
+// the smallest cost is selected at every step.
+func growTree(p *platform.Platform, source int, cost func(outSum, maxOut, linkTime float64, children int, sendOverhead float64) float64) (*platform.Tree, error) {
+	if err := validate(p, source); err != nil {
+		return nil, err
+	}
+	n := p.NumNodes()
+	tree := platform.NewTree(n, source)
+	inTree := make([]bool, n)
+	inTree[source] = true
+
+	outSum := make([]float64, n)
+	maxOut := make([]float64, n)
+	children := make([]int, n)
+
+	for added := 1; added < n; added++ {
+		bestCost := math.Inf(1)
+		bestLink := -1
+		for u := 0; u < n; u++ {
+			if !inTree[u] {
+				continue
+			}
+			for _, id := range p.OutLinkIDs(u) {
+				v := p.Link(id).To
+				if inTree[v] {
+					continue
+				}
+				c := cost(outSum[u], maxOut[u], p.SliceTime(id), children[u], p.SendTime(u))
+				if c < bestCost || (c == bestCost && bestLink >= 0 && id < bestLink) {
+					bestCost = c
+					bestLink = id
+				}
+			}
+		}
+		if bestLink < 0 {
+			return nil, ErrNotBroadcastable
+		}
+		l := p.Link(bestLink)
+		tree.SetParent(l.To, l.From, bestLink)
+		inTree[l.To] = true
+		t := p.SliceTime(bestLink)
+		outSum[l.From] += t
+		if t > maxOut[l.From] {
+			maxOut[l.From] = t
+		}
+		children[l.From]++
+	}
+	if err := tree.Validate(p); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+// MultiportPruneDegree adapts the refined pruning heuristic (Algorithm 2) to
+// the multi-port model, as mentioned in Section 5.2.2 of the paper: the node
+// metric becomes the multi-port period max(δout·send_u, max outgoing link
+// occupation) instead of the weighted out-degree.
+type MultiportPruneDegree struct{}
+
+// Name implements Builder.
+func (MultiportPruneDegree) Name() string { return NameMultiportPruneDegree }
+
+// Build implements Builder.
+func (MultiportPruneDegree) Build(p *platform.Platform, source int) (*platform.Tree, error) {
+	return pruneByNodeMetric(p, source, func(u int, outTimes []float64) float64 {
+		period := float64(len(outTimes)) * p.SendTime(u)
+		for _, t := range outTimes {
+			if t > period {
+				period = t
+			}
+		}
+		return period
+	})
+}

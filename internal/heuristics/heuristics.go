@@ -1,0 +1,263 @@
+// Package heuristics implements the paper's spanning-tree construction
+// heuristics for the STP problem (Single Tree, Pipelined): given a platform
+// graph and a source processor, build a spanning broadcast tree with good
+// steady-state throughput.
+//
+// Platform-based heuristics (Section 3):
+//
+//   - PruneSimple    — Algorithm 1, "Prune Platform Simple"
+//   - PruneDegree    — Algorithm 2, "Prune Platform Degree"
+//   - GrowTree       — Algorithm 3, "Grow Tree"
+//   - Binomial       — Algorithm 4, MPI-style binomial tree
+//   - MultiportGrowTree    — Algorithm 5 (multi-port cost model)
+//   - MultiportPruneDegree — Section 5.2.2 (PruneDegree with multi-port cost)
+//
+// LP-based heuristics (Section 4.2), seeded by the per-edge rates n(u,v) of
+// the optimal MTP solution:
+//
+//   - LPPrune    — Algorithm 6, "LP Prune"
+//   - LPGrowTree — Algorithm 7, "LP Grow Tree"
+package heuristics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/steady"
+)
+
+// Builder constructs a spanning broadcast tree for a platform and source.
+// Implementations are stateless unless documented otherwise and safe for
+// concurrent use.
+type Builder interface {
+	// Name returns a stable identifier (used by the CLI and experiment
+	// tables; matches the labels of the paper's figures).
+	Name() string
+	// Build returns a spanning broadcast tree rooted at source.
+	Build(p *platform.Platform, source int) (*platform.Tree, error)
+}
+
+// Errors returned by the builders.
+var (
+	ErrNotBroadcastable = errors.New("heuristics: platform is not broadcastable from the source")
+	ErrInternal         = errors.New("heuristics: internal error")
+)
+
+// Canonical heuristic names.
+const (
+	NamePruneSimple          = "prune-simple"
+	NamePruneDegree          = "prune-degree"
+	NameGrowTree             = "grow-tree"
+	NameBinomial             = "binomial"
+	NameLPPrune              = "lp-prune"
+	NameLPGrowTree           = "lp-grow-tree"
+	NameMultiportGrowTree    = "multiport-grow-tree"
+	NameMultiportPruneDegree = "multiport-prune-degree"
+)
+
+// PaperLabel maps a canonical name to the label used in the paper's figures
+// and tables. Unknown names are returned unchanged.
+func PaperLabel(name string) string {
+	switch name {
+	case NamePruneSimple:
+		return "Prune Platform Simple"
+	case NamePruneDegree:
+		return "Prune Platform Degree"
+	case NameGrowTree:
+		return "Grow Tree"
+	case NameBinomial:
+		return "Binomial Tree"
+	case NameLPPrune:
+		return "LP Prune"
+	case NameLPGrowTree:
+		return "LP Grow Tree"
+	case NameMultiportGrowTree:
+		return "Multi Port Grow Tree"
+	case NameMultiportPruneDegree:
+		return "Multi Port Prune Degree"
+	default:
+		return name
+	}
+}
+
+// ByName returns a builder for the given canonical name. LP-based builders
+// are returned without precomputed rates and therefore solve the steady-
+// state LP themselves on the first Build call.
+func ByName(name string) (Builder, error) {
+	switch name {
+	case NamePruneSimple:
+		return PruneSimple{}, nil
+	case NamePruneDegree:
+		return PruneDegree{}, nil
+	case NameGrowTree:
+		return GrowTree{}, nil
+	case NameBinomial:
+		return Binomial{}, nil
+	case NameLPPrune:
+		return LPPrune{}, nil
+	case NameLPGrowTree:
+		return LPGrowTree{}, nil
+	case NameMultiportGrowTree:
+		return MultiportGrowTree{}, nil
+	case NameMultiportPruneDegree:
+		return MultiportPruneDegree{}, nil
+	default:
+		return nil, fmt.Errorf("heuristics: unknown heuristic %q", name)
+	}
+}
+
+// Names returns the canonical names of all heuristics in presentation order
+// (the order used by the paper's figures).
+func Names() []string {
+	return []string{
+		NamePruneSimple,
+		NamePruneDegree,
+		NameGrowTree,
+		NameBinomial,
+		NameLPPrune,
+		NameLPGrowTree,
+		NameMultiportGrowTree,
+		NameMultiportPruneDegree,
+	}
+}
+
+// OnePortNames returns the heuristics compared in the one-port experiments
+// (Figures 4(a), 4(b) and Table 3).
+func OnePortNames() []string {
+	return []string{
+		NamePruneSimple,
+		NamePruneDegree,
+		NameGrowTree,
+		NameLPGrowTree,
+		NameLPPrune,
+		NameBinomial,
+	}
+}
+
+// MultiPortNames returns the heuristics compared in the multi-port
+// experiment (Figure 5).
+func MultiPortNames() []string {
+	return []string{
+		NameMultiportPruneDegree,
+		NameMultiportGrowTree,
+		NameLPGrowTree,
+		NameLPPrune,
+		NameBinomial,
+	}
+}
+
+// validate checks the platform and source before running a heuristic.
+func validate(p *platform.Platform, source int) error {
+	if err := p.Validate(source); err != nil {
+		return fmt.Errorf("%w: %v", ErrNotBroadcastable, err)
+	}
+	return nil
+}
+
+// treeFromEnabledLinks builds a broadcast tree from a set of enabled links
+// that must form (or contain) a spanning structure reachable from the
+// source: a BFS arborescence over the enabled links is extracted and
+// converted into a platform.Tree.
+func treeFromEnabledLinks(p *platform.Platform, source int, enabled []bool) (*platform.Tree, error) {
+	g := p.Graph()
+	parentEdge, reached := g.BFSArborescence(source, enabled)
+	if reached != p.NumNodes() {
+		return nil, fmt.Errorf("%w: pruned graph spans only %d of %d nodes", ErrInternal, reached, p.NumNodes())
+	}
+	t := platform.TreeFromParentLinks(p, source, parentEdge)
+	if err := t.Validate(p); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInternal, err)
+	}
+	return t, nil
+}
+
+// pruneToArborescence removes links from the enabled set, in the order given
+// by ranked link IDs (most expendable first), as long as every node remains
+// reachable from the source, until exactly n-1 links remain. The ranking
+// function is called to (re)order the candidate links after every removal
+// when reorder is true; otherwise a single pass over the initial ranking is
+// performed (sufficient for rankings that do not depend on the current
+// enabled set).
+func pruneToArborescence(g *graph.Digraph, source int, enabled []bool, rank func() []int, reorder bool) {
+	n := g.NumNodes()
+	remaining := 0
+	for _, ok := range enabled {
+		if ok {
+			remaining++
+		}
+	}
+	for remaining > n-1 {
+		progress := false
+		for _, id := range rank() {
+			if remaining <= n-1 {
+				break
+			}
+			if !enabled[id] {
+				continue
+			}
+			enabled[id] = false
+			if g.AllReachableFrom(source, enabled) {
+				remaining--
+				progress = true
+				if reorder {
+					break
+				}
+				continue
+			}
+			enabled[id] = true
+		}
+		if !progress {
+			// No removable link found; the enabled set is already minimal.
+			return
+		}
+	}
+}
+
+// allEnabled returns a slice marking every link of the platform as enabled.
+func allEnabled(p *platform.Platform) []bool {
+	enabled := make([]bool, p.NumLinks())
+	for i := range enabled {
+		enabled[i] = true
+	}
+	return enabled
+}
+
+// sortLinksBy returns the link IDs of the platform sorted by the given key
+// (ascending when ascending is true), ties broken by link ID.
+func sortLinksBy(numLinks int, key func(id int) float64, ascending bool) []int {
+	ids := make([]int, numLinks)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ka, kb := key(ids[a]), key(ids[b])
+		if ka != kb {
+			if ascending {
+				return ka < kb
+			}
+			return ka > kb
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// lpRates returns the per-link rates to use for the LP-based heuristics:
+// the provided ones if non-nil (they must match the platform's link count),
+// otherwise the rates of a fresh steady-state solve.
+func lpRates(p *platform.Platform, source int, rates []float64) ([]float64, error) {
+	if rates != nil {
+		if len(rates) != p.NumLinks() {
+			return nil, fmt.Errorf("%w: %d rates for %d links", ErrInternal, len(rates), p.NumLinks())
+		}
+		return rates, nil
+	}
+	sol, err := steady.Solve(p, source, nil)
+	if err != nil {
+		return nil, err
+	}
+	return sol.EdgeRate, nil
+}

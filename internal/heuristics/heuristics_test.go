@@ -1,0 +1,431 @@
+package heuristics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/steady"
+	"repro/internal/throughput"
+	"repro/internal/topology"
+)
+
+// allBuilders returns one instance of every heuristic.
+func allBuilders(t *testing.T) []Builder {
+	t.Helper()
+	var bs []Builder
+	for _, name := range Names() {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		bs = append(bs, b)
+	}
+	return bs
+}
+
+func randomPlatform(t *testing.T, seed int64, nodes int, density float64) *platform.Platform {
+	t.Helper()
+	p, err := topology.Random(topology.DefaultRandomConfig(nodes, density), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNamesAndLabels(t *testing.T) {
+	if len(Names()) != 8 {
+		t.Fatalf("expected 8 heuristics, got %d", len(Names()))
+	}
+	for _, name := range Names() {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if b.Name() != name {
+			t.Fatalf("builder name %q != registry name %q", b.Name(), name)
+		}
+		if PaperLabel(name) == name {
+			t.Fatalf("no paper label for %q", name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown heuristic accepted")
+	}
+	if PaperLabel("custom") != "custom" {
+		t.Fatal("unknown labels should pass through")
+	}
+	if len(OnePortNames()) != 6 || len(MultiPortNames()) != 5 {
+		t.Fatal("experiment name lists have unexpected sizes")
+	}
+}
+
+func TestAllHeuristicsProduceValidTrees(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		p := randomPlatform(t, seed, 15, 0.2)
+		for _, b := range allBuilders(t) {
+			tree, err := b.Build(p, 0)
+			if err != nil {
+				t.Fatalf("seed %d, %s: %v", seed, b.Name(), err)
+			}
+			if err := tree.Validate(p); err != nil {
+				t.Fatalf("seed %d, %s: invalid tree: %v", seed, b.Name(), err)
+			}
+			if tree.Root != 0 {
+				t.Fatalf("%s: root = %d", b.Name(), tree.Root)
+			}
+		}
+	}
+}
+
+func TestHeuristicsWithNonZeroSource(t *testing.T) {
+	p := randomPlatform(t, 11, 12, 0.25)
+	src := 7
+	for _, b := range allBuilders(t) {
+		tree, err := b.Build(p, src)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if tree.Root != src {
+			t.Fatalf("%s: root = %d, want %d", b.Name(), tree.Root, src)
+		}
+		if err := tree.Validate(p); err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+	}
+}
+
+func TestHeuristicsRejectUnreachablePlatform(t *testing.T) {
+	p := platform.New(3)
+	p.MustAddLink(0, 1, model.Linear(1))
+	// Node 2 unreachable.
+	for _, b := range allBuilders(t) {
+		if _, err := b.Build(p, 0); !errors.Is(err, ErrNotBroadcastable) {
+			t.Fatalf("%s: err = %v, want ErrNotBroadcastable", b.Name(), err)
+		}
+	}
+}
+
+func TestHeuristicsOnChainProduceTheOnlyTree(t *testing.T) {
+	// On a directed chain there is a single spanning tree; every heuristic
+	// must find it.
+	p := platform.New(5)
+	for i := 0; i+1 < 5; i++ {
+		p.MustAddLink(i, i+1, model.Linear(float64(i+1)))
+	}
+	want := 1.0 / 4.0 // slowest link has time 4
+	for _, b := range allBuilders(t) {
+		tree, err := b.Build(p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		got := throughput.OnePortThroughput(p, tree)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("%s: throughput %v, want %v", b.Name(), got, want)
+		}
+	}
+}
+
+func TestHeuristicsOnStar(t *testing.T) {
+	// On a star every spanning tree is the star itself.
+	p := platform.New(4)
+	tr := platform.NewTree(4, 0)
+	for v := 1; v < 4; v++ {
+		id := p.MustAddLink(0, v, model.Linear(float64(v)))
+		p.MustAddLink(v, 0, model.Linear(float64(v)))
+		tr.SetParent(v, 0, id)
+	}
+	want := throughput.OnePortThroughput(p, tr)
+	for _, b := range allBuilders(t) {
+		tree, err := b.Build(p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		got := throughput.OnePortThroughput(p, tree)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("%s: throughput %v, want %v", b.Name(), got, want)
+		}
+	}
+}
+
+func TestNoTreeBeatsTheMTPOptimum(t *testing.T) {
+	// The MTP optimum is an upper bound on the throughput of any single
+	// spanning tree under the one-port model; no heuristic may exceed it.
+	for _, seed := range []int64{5, 6} {
+		p := randomPlatform(t, seed, 12, 0.25)
+		opt, err := steady.Solve(p, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range allBuilders(t) {
+			tree, err := b.Build(p, 0)
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name(), err)
+			}
+			tp := throughput.OnePortThroughput(p, tree)
+			if tp > opt.Throughput*(1+1e-6) {
+				t.Fatalf("%s: tree throughput %v exceeds MTP optimum %v", b.Name(), tp, opt.Throughput)
+			}
+		}
+	}
+}
+
+func TestAdvancedHeuristicsBeatBinomialOnAverage(t *testing.T) {
+	// The paper's headline result: topology-aware heuristics vastly
+	// outperform the index-based binomial tree. Check it on a small batch
+	// of random platforms (in aggregate, not per instance).
+	var sums = map[string]float64{}
+	const trials = 6
+	for seed := int64(0); seed < trials; seed++ {
+		p := randomPlatform(t, 100+seed, 20, 0.15)
+		for _, name := range []string{NamePruneDegree, NameGrowTree, NameBinomial} {
+			b, _ := ByName(name)
+			tree, err := b.Build(p, 0)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			sums[name] += throughput.OnePortThroughput(p, tree)
+		}
+	}
+	if sums[NamePruneDegree] <= sums[NameBinomial] {
+		t.Fatalf("PruneDegree (%v) should beat Binomial (%v) in aggregate", sums[NamePruneDegree], sums[NameBinomial])
+	}
+	if sums[NameGrowTree] <= sums[NameBinomial] {
+		t.Fatalf("GrowTree (%v) should beat Binomial (%v) in aggregate", sums[NameGrowTree], sums[NameBinomial])
+	}
+}
+
+func TestLPHeuristicsWithPrecomputedRates(t *testing.T) {
+	p := randomPlatform(t, 42, 10, 0.3)
+	sol, err := steady.Solve(p, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Using precomputed rates must give the same trees as solving inside.
+	for _, pair := range []struct {
+		with, without Builder
+	}{
+		{LPPrune{Rates: sol.EdgeRate}, LPPrune{}},
+		{LPGrowTree{Rates: sol.EdgeRate}, LPGrowTree{}},
+	} {
+		a, err := pair.with.Build(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := pair.without.Build(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ta := throughput.OnePortThroughput(p, a)
+		tb := throughput.OnePortThroughput(p, b)
+		if math.Abs(ta-tb) > 1e-9 {
+			t.Fatalf("%s: precomputed rates change the result: %v vs %v", pair.with.Name(), ta, tb)
+		}
+	}
+	// Mismatched rate vector length is rejected.
+	if _, err := (LPPrune{Rates: []float64{1}}).Build(p, 0); err == nil {
+		t.Fatal("mismatched rates accepted")
+	}
+	if _, err := (LPGrowTree{Rates: []float64{1}}).Build(p, 0); err == nil {
+		t.Fatal("mismatched rates accepted")
+	}
+}
+
+func TestBinomialTreeShapeOnCompleteGraph(t *testing.T) {
+	// On a complete homogeneous platform with 8 nodes the binomial heuristic
+	// reduces to the classical binomial tree: the source has log2(8) = 3
+	// children and the height is 3.
+	n := 8
+	p := platform.New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				p.MustAddLink(u, v, model.Linear(1))
+			}
+		}
+	}
+	tree, err := Binomial{}.Build(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.OutDegree(0); got != 3 {
+		t.Fatalf("source out-degree = %d, want 3", got)
+	}
+	if h := tree.Height(); h != 3 {
+		t.Fatalf("height = %d, want 3", h)
+	}
+	// Check the classical recursive doubling structure: ranks 4, 2, 1 are
+	// children of the source.
+	wantChildren := map[int]bool{4: true, 2: true, 1: true}
+	for _, c := range tree.Children(0) {
+		if !wantChildren[c] {
+			t.Fatalf("unexpected child %d of the source", c)
+		}
+	}
+}
+
+func TestBinomialNonPowerOfTwoAndShiftedSource(t *testing.T) {
+	n := 11
+	p := platform.New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				p.MustAddLink(u, v, model.Linear(1))
+			}
+		}
+	}
+	tree, err := Binomial{}.Build(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root != 5 {
+		t.Fatalf("root = %d", tree.Root)
+	}
+}
+
+func TestBinomialRoutesThroughSparseTopology(t *testing.T) {
+	// On a ring the binomial schedule needs multi-hop routing; the result
+	// must still be a valid spanning tree.
+	p, err := topology.Ring(9, topology.Uniform(1), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Binomial{}.Build(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowTreePrefersFastHub(t *testing.T) {
+	// Platform: source 0, a fast hub 1, and three leaves. Direct links from
+	// the source to the leaves are slow (10); links from the hub to the
+	// leaves are fast (1); the link 0 -> 1 is fast (1). The grow-tree
+	// heuristic must route the leaves through the hub rather than attaching
+	// everything to the source.
+	p := platform.New(5)
+	p.MustAddLink(0, 1, model.Linear(1))
+	for leaf := 2; leaf < 5; leaf++ {
+		p.MustAddLink(0, leaf, model.Linear(10))
+		p.MustAddLink(1, leaf, model.Linear(1))
+	}
+	tree, err := GrowTree{}.Build(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.OutDegree(1); got != 3 {
+		t.Fatalf("hub out-degree = %d, want 3 (tree: parents %v)", got, tree.Parent)
+	}
+	tp := throughput.OnePortThroughput(p, tree)
+	if math.Abs(tp-1.0/3.0) > 1e-9 {
+		t.Fatalf("throughput = %v, want 1/3", tp)
+	}
+}
+
+func TestPruneDegreeBeatsPruneSimpleOnSkewedPlatform(t *testing.T) {
+	// Reproduce the paper's motivating example for the refined heuristic
+	// (Section 3.1.2): a node with many medium-weight children is worse than
+	// a node with a single heavier child. PruneSimple deletes heavy edges
+	// first and can end up overloading one sender; PruneDegree balances the
+	// weighted out-degree. In aggregate over random platforms PruneDegree
+	// must not be worse.
+	var simple, refined float64
+	for seed := int64(0); seed < 8; seed++ {
+		p := randomPlatform(t, 200+seed, 18, 0.2)
+		ts, err := PruneSimple{}.Build(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		td, err := PruneDegree{}.Build(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simple += throughput.OnePortThroughput(p, ts)
+		refined += throughput.OnePortThroughput(p, td)
+	}
+	if refined < simple {
+		t.Fatalf("PruneDegree aggregate %v should be at least PruneSimple %v", refined, simple)
+	}
+}
+
+func TestMultiportHeuristicsValidAndReasonable(t *testing.T) {
+	p := randomPlatform(t, 33, 16, 0.2)
+	gt, err := MultiportGrowTree{}.Build(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := MultiportPruneDegree{}.Build(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tree := range []*platform.Tree{gt, pd} {
+		if err := tree.Validate(p); err != nil {
+			t.Fatal(err)
+		}
+		if tp := throughput.MultiPortThroughput(p, tree); tp <= 0 {
+			t.Fatalf("non-positive multi-port throughput %v", tp)
+		}
+	}
+	// The multi-port grow tree should take advantage of overlapping sends:
+	// in aggregate it must beat the binomial tree under the multi-port model.
+	var mg, bi float64
+	for seed := int64(0); seed < 6; seed++ {
+		q := randomPlatform(t, 300+seed, 20, 0.15)
+		a, err := MultiportGrowTree{}.Build(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Binomial{}.Build(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mg += throughput.MultiPortThroughput(q, a)
+		bi += throughput.MultiPortThroughput(q, b)
+	}
+	if mg <= bi {
+		t.Fatalf("MultiportGrowTree aggregate %v should beat Binomial %v", mg, bi)
+	}
+}
+
+func TestHeuristicsAreDeterministic(t *testing.T) {
+	p := randomPlatform(t, 9, 14, 0.25)
+	for _, b := range allBuilders(t) {
+		t1, err := b.Build(p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		t2, err := b.Build(p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		for v := range t1.Parent {
+			if t1.Parent[v] != t2.Parent[v] || t1.ParentLink[v] != t2.ParentLink[v] {
+				t.Fatalf("%s: non-deterministic tree at node %d", b.Name(), v)
+			}
+		}
+	}
+}
+
+func TestPruneHeuristicsOnTiersPlatforms(t *testing.T) {
+	p, err := topology.Tiers(topology.Tiers30(), rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range allBuilders(t) {
+		tree, err := b.Build(p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if err := tree.Validate(p); err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package heuristics
+
+import (
+	"math"
+
+	"repro/internal/platform"
+)
+
+// LPPrune is Algorithm 6 of the paper ("LP Prune"): the platform graph is
+// weighted by the per-edge message rates n(u,v) of the optimal MTP solution
+// (the "communication graph"), and the edges carrying the fewest messages
+// are deleted — as long as every node stays reachable from the source —
+// until only a spanning tree remains.
+//
+// Rates may be precomputed (one steady-state LP solve shared by LPPrune,
+// LPGrowTree and the relative-performance denominator); when Rates is nil
+// the builder solves the LP itself.
+type LPPrune struct {
+	// Rates are the per-link message rates n(u,v); optional.
+	Rates []float64
+}
+
+// Name implements Builder.
+func (LPPrune) Name() string { return NameLPPrune }
+
+// Build implements Builder.
+func (h LPPrune) Build(p *platform.Platform, source int) (*platform.Tree, error) {
+	if err := validate(p, source); err != nil {
+		return nil, err
+	}
+	rates, err := lpRates(p, source, h.Rates)
+	if err != nil {
+		return nil, err
+	}
+	g := p.Graph()
+	enabled := allEnabled(p)
+	rank := func() []int {
+		// Least-used edges first (the paper's prose; the pseudo-code's
+		// "non-increasing" ordering is a typo — pruning the most-used edges
+		// first would defeat the heuristic's purpose).
+		return sortLinksBy(p.NumLinks(), func(id int) float64 { return rates[id] }, true)
+	}
+	pruneToArborescence(g, source, enabled, rank, false)
+	return treeFromEnabledLinks(p, source, enabled)
+}
+
+// LPGrowTree is Algorithm 7 of the paper ("LP Grow Tree"): a spanning tree
+// is grown from the source over the communication graph, always adding the
+// crossing edge that carries the largest message rate n(u,v) in the optimal
+// MTP solution.
+type LPGrowTree struct {
+	// Rates are the per-link message rates n(u,v); optional.
+	Rates []float64
+}
+
+// Name implements Builder.
+func (LPGrowTree) Name() string { return NameLPGrowTree }
+
+// Build implements Builder.
+func (h LPGrowTree) Build(p *platform.Platform, source int) (*platform.Tree, error) {
+	if err := validate(p, source); err != nil {
+		return nil, err
+	}
+	rates, err := lpRates(p, source, h.Rates)
+	if err != nil {
+		return nil, err
+	}
+	n := p.NumNodes()
+	tree := platform.NewTree(n, source)
+	inTree := make([]bool, n)
+	inTree[source] = true
+	for added := 1; added < n; added++ {
+		bestRate := math.Inf(-1)
+		bestLink := -1
+		for u := 0; u < n; u++ {
+			if !inTree[u] {
+				continue
+			}
+			for _, id := range p.OutLinkIDs(u) {
+				v := p.Link(id).To
+				if inTree[v] {
+					continue
+				}
+				if rates[id] > bestRate || (rates[id] == bestRate && bestLink >= 0 && id < bestLink) {
+					bestRate = rates[id]
+					bestLink = id
+				}
+			}
+		}
+		if bestLink < 0 {
+			return nil, ErrNotBroadcastable
+		}
+		l := p.Link(bestLink)
+		tree.SetParent(l.To, l.From, bestLink)
+		inTree[l.To] = true
+	}
+	if err := tree.Validate(p); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}

@@ -1,0 +1,132 @@
+package heuristics
+
+import (
+	"sort"
+
+	"repro/internal/platform"
+)
+
+// PruneSimple is Algorithm 1 of the paper ("Prune Platform Simple"): starting
+// from the whole platform graph, repeatedly delete the heaviest link (largest
+// slice transfer time) whose removal keeps every node reachable from the
+// source, until only a spanning tree remains.
+type PruneSimple struct{}
+
+// Name implements Builder.
+func (PruneSimple) Name() string { return NamePruneSimple }
+
+// Build implements Builder.
+func (PruneSimple) Build(p *platform.Platform, source int) (*platform.Tree, error) {
+	if err := validate(p, source); err != nil {
+		return nil, err
+	}
+	g := p.Graph()
+	enabled := allEnabled(p)
+	rank := func() []int {
+		return sortLinksBy(p.NumLinks(), func(id int) float64 { return p.SliceTime(id) }, false)
+	}
+	pruneToArborescence(g, source, enabled, rank, false)
+	return treeFromEnabledLinks(p, source, enabled)
+}
+
+// PruneDegree is Algorithm 2 of the paper ("Prune Platform Degree", also
+// called the refined platform pruning heuristic): the node metric is the
+// weighted out-degree (the sum of the slice times of its remaining outgoing
+// links), which is exactly the per-slice time the node spends sending under
+// the one-port model. The heuristic repeatedly picks the node with the
+// largest weighted out-degree and removes its heaviest removable outgoing
+// link, until only a spanning tree remains.
+type PruneDegree struct{}
+
+// Name implements Builder.
+func (PruneDegree) Name() string { return NamePruneDegree }
+
+// Build implements Builder.
+func (PruneDegree) Build(p *platform.Platform, source int) (*platform.Tree, error) {
+	return pruneByNodeMetric(p, source, func(_ int, outTimes []float64) float64 {
+		var sum float64
+		for _, t := range outTimes {
+			sum += t
+		}
+		return sum
+	})
+}
+
+// pruneByNodeMetric implements the refined pruning loop shared by
+// PruneDegree (one-port metric: weighted out-degree) and
+// MultiportPruneDegree (multi-port metric: node period). The metric function
+// receives the node and the slice times of its currently enabled outgoing
+// links.
+func pruneByNodeMetric(p *platform.Platform, source int, metric func(u int, outTimes []float64) float64) (*platform.Tree, error) {
+	if err := validate(p, source); err != nil {
+		return nil, err
+	}
+	g := p.Graph()
+	n := p.NumNodes()
+	enabled := allEnabled(p)
+	remaining := p.NumLinks()
+
+	nodeMetric := func(u int) float64 {
+		ids := p.OutLinkIDs(u)
+		times := make([]float64, 0, len(ids))
+		for _, id := range ids {
+			if enabled[id] {
+				times = append(times, p.SliceTime(id))
+			}
+		}
+		return metric(u, times)
+	}
+
+	for remaining > n-1 {
+		// Nodes sorted by non-increasing metric.
+		nodes := make([]int, n)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		metrics := make([]float64, n)
+		for u := range metrics {
+			metrics[u] = nodeMetric(u)
+		}
+		sort.Slice(nodes, func(a, b int) bool {
+			if metrics[nodes[a]] != metrics[nodes[b]] {
+				return metrics[nodes[a]] > metrics[nodes[b]]
+			}
+			return nodes[a] < nodes[b]
+		})
+
+		removed := false
+	nodeLoop:
+		for _, u := range nodes {
+			// The node's enabled outgoing links, heaviest first.
+			ids := make([]int, 0, len(p.OutLinkIDs(u)))
+			for _, id := range p.OutLinkIDs(u) {
+				if enabled[id] {
+					ids = append(ids, id)
+				}
+			}
+			sort.Slice(ids, func(a, b int) bool {
+				ta, tb := p.SliceTime(ids[a]), p.SliceTime(ids[b])
+				if ta != tb {
+					return ta > tb
+				}
+				return ids[a] < ids[b]
+			})
+			for _, id := range ids {
+				enabled[id] = false
+				if g.AllReachableFrom(source, enabled) {
+					remaining--
+					removed = true
+					break nodeLoop
+				}
+				enabled[id] = true
+			}
+		}
+		if !removed {
+			// Every remaining link is required for reachability; the set is
+			// already an arborescence (possibly with fewer than n-1 links if
+			// the platform graph had parallel structure removed earlier).
+			break
+		}
+	}
+	return treeFromEnabledLinks(p, source, enabled)
+}

@@ -1,0 +1,258 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	maximize    c·x
+//	subject to  a_i·x {<=, =, >=} b_i   for every constraint i
+//	            x >= 0
+//
+// It replaces the Maple/MuPAD LP solver the paper uses to compute the
+// optimal steady-state broadcast throughput (Section 4.1). The solver is
+// deliberately simple (dense tableau, Dantzig pricing with a Bland
+// anti-cycling fallback) but robust enough for the master problems produced
+// by the cutting-plane decomposition in package steady (a few hundred
+// variables, a few thousand constraints).
+package lp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Relation is the direction of a linear constraint.
+type Relation int
+
+const (
+	// LE is a_i·x <= b_i.
+	LE Relation = iota
+	// GE is a_i·x >= b_i.
+	GE
+	// EQ is a_i·x == b_i.
+	EQ
+)
+
+// String returns the usual symbol for the relation.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Term is a single coefficient of a sparse constraint row.
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+// constraint is an internal dense constraint row.
+type constraint struct {
+	coeffs []float64
+	rel    Relation
+	rhs    float64
+}
+
+// Problem is a linear program under construction. Create one with
+// NewProblem, set the objective, add constraints, then call Solve.
+type Problem struct {
+	numVars     int
+	objective   []float64
+	constraints []constraint
+}
+
+// NewProblem returns an empty maximization problem with numVars decision
+// variables (all implicitly >= 0) and a zero objective.
+func NewProblem(numVars int) *Problem {
+	if numVars <= 0 {
+		panic(fmt.Sprintf("lp: non-positive variable count %d", numVars))
+	}
+	return &Problem{
+		numVars:   numVars,
+		objective: make([]float64, numVars),
+	}
+}
+
+// NumVars returns the number of decision variables.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.constraints) }
+
+// SetObjective sets the maximization objective coefficients. The slice is
+// copied; it must have exactly NumVars entries.
+func (p *Problem) SetObjective(c []float64) {
+	if len(c) != p.numVars {
+		panic(fmt.Sprintf("lp: objective has %d coefficients, want %d", len(c), p.numVars))
+	}
+	copy(p.objective, c)
+}
+
+// SetObjectiveCoeff sets a single objective coefficient.
+func (p *Problem) SetObjectiveCoeff(v int, c float64) {
+	p.objective[v] = c
+}
+
+// AddConstraint adds a dense constraint row. The coefficient slice is
+// copied; it must have exactly NumVars entries.
+func (p *Problem) AddConstraint(coeffs []float64, rel Relation, rhs float64) {
+	if len(coeffs) != p.numVars {
+		panic(fmt.Sprintf("lp: constraint has %d coefficients, want %d", len(coeffs), p.numVars))
+	}
+	row := make([]float64, p.numVars)
+	copy(row, coeffs)
+	p.constraints = append(p.constraints, constraint{coeffs: row, rel: rel, rhs: rhs})
+}
+
+// AddSparseConstraint adds a constraint given as a list of (variable,
+// coefficient) terms; coefficients of repeated variables are accumulated.
+func (p *Problem) AddSparseConstraint(terms []Term, rel Relation, rhs float64) {
+	row := make([]float64, p.numVars)
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= p.numVars {
+			panic(fmt.Sprintf("lp: term variable %d out of range [0, %d)", t.Var, p.numVars))
+		}
+		row[t.Var] += t.Coeff
+	}
+	p.constraints = append(p.constraints, constraint{coeffs: row, rel: rel, rhs: rhs})
+}
+
+// Status is the outcome of a Solve call.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective can be made arbitrarily large.
+	Unbounded
+	// IterationLimit means the solver stopped before convergence.
+	IterationLimit
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status     Status
+	Objective  float64   // objective value of X (valid when Status == Optimal)
+	X          []float64 // values of the decision variables
+	Iterations int       // total simplex pivots (both phases)
+}
+
+// Options tunes the solver.
+type Options struct {
+	// MaxIterations bounds the total number of pivots (default: 50 times
+	// the number of rows plus columns).
+	MaxIterations int
+	// Tolerance is the numerical tolerance used for pivoting and
+	// feasibility tests (default 1e-9).
+	Tolerance float64
+}
+
+// ErrBadProblem is returned for structurally invalid problems.
+var ErrBadProblem = errors.New("lp: invalid problem")
+
+// Solve solves the problem with the two-phase primal simplex method.
+func Solve(p *Problem, opts *Options) (*Solution, error) {
+	if p == nil || p.numVars == 0 {
+		return nil, ErrBadProblem
+	}
+	tol := 1e-9
+	if opts != nil && opts.Tolerance > 0 {
+		tol = opts.Tolerance
+	}
+
+	m := len(p.constraints)
+	if m == 0 {
+		// No constraints: optimum is 0 if all objective coefficients are
+		// non-positive, unbounded otherwise.
+		for _, c := range p.objective {
+			if c > tol {
+				return &Solution{Status: Unbounded, X: make([]float64, p.numVars)}, nil
+			}
+		}
+		return &Solution{Status: Optimal, Objective: 0, X: make([]float64, p.numVars)}, nil
+	}
+
+	t := newTableau(p, tol)
+	maxIter := 50 * (t.rows + t.cols)
+	if opts != nil && opts.MaxIterations > 0 {
+		maxIter = opts.MaxIterations
+	}
+
+	sol := &Solution{X: make([]float64, p.numVars)}
+
+	// Phase 1: drive artificial variables to zero, if any are needed.
+	if t.numArtificial > 0 {
+		phase1 := make([]float64, t.cols)
+		for _, j := range t.artificialCols {
+			phase1[j] = -1
+		}
+		t.setCostRow(phase1)
+		status := t.iterate(maxIter, &sol.Iterations, false)
+		if status == IterationLimit {
+			sol.Status = IterationLimit
+			return sol, nil
+		}
+		// The phase-1 optimum is -(sum of artificials); a strictly negative
+		// value means some artificial variable cannot be driven to zero.
+		if t.objectiveValue() < -1e-7 {
+			sol.Status = Infeasible
+			return sol, nil
+		}
+		t.forbidArtificials()
+	}
+
+	// Phase 2: optimize the real objective.
+	phase2 := make([]float64, t.cols)
+	copy(phase2, p.objective)
+	t.setCostRow(phase2)
+	status := t.iterate(maxIter, &sol.Iterations, true)
+	sol.Status = status
+	if status == Unbounded {
+		return sol, nil
+	}
+	t.extract(sol.X)
+	sol.Objective = dot(p.objective, sol.X)
+	return sol, nil
+}
+
+// Minimize converts a minimization objective into the maximization form
+// expected by Problem.SetObjective (it simply negates the coefficients) and
+// returns the negated vector. The optimal objective of the original
+// minimization problem is then -Solution.Objective.
+func Minimize(c []float64) []float64 {
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = -v
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

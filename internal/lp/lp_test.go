@@ -1,0 +1,401 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestRelationAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Fatal("relation strings wrong")
+	}
+	if Relation(9).String() == "" {
+		t.Fatal("unknown relation string empty")
+	}
+	for _, s := range []Status{Optimal, Infeasible, Unbounded, IterationLimit, Status(9)} {
+		if s.String() == "" {
+			t.Fatal("empty status string")
+		}
+	}
+}
+
+func TestSimpleMaximization(t *testing.T) {
+	// maximize 3x + 2y s.t. x + y <= 4, x + 3y <= 6.
+	p := NewProblem(2)
+	p.SetObjective([]float64{3, 2})
+	p.AddConstraint([]float64{1, 1}, LE, 4)
+	p.AddConstraint([]float64{1, 3}, LE, 6)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-12) > 1e-7 {
+		t.Fatalf("objective = %v, want 12", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-4) > 1e-7 || math.Abs(sol.X[1]) > 1e-7 {
+		t.Fatalf("x = %v, want [4 0]", sol.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// maximize x + y s.t. x + y = 5, x <= 3.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 1})
+	p.AddConstraint([]float64{1, 1}, EQ, 5)
+	p.AddConstraint([]float64{1, 0}, LE, 3)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-5) > 1e-7 {
+		t.Fatalf("objective = %v, want 5", sol.Objective)
+	}
+	if math.Abs(sol.X[0]+sol.X[1]-5) > 1e-7 {
+		t.Fatalf("equality violated: %v", sol.X)
+	}
+}
+
+func TestMinimizationViaNegation(t *testing.T) {
+	// minimize x + y s.t. x + 2y >= 4, 3x + y >= 6 -> optimum 2.8 at (1.6, 1.2).
+	p := NewProblem(2)
+	p.SetObjective(Minimize([]float64{1, 1}))
+	p.AddConstraint([]float64{1, 2}, GE, 4)
+	p.AddConstraint([]float64{3, 1}, GE, 6)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(-sol.Objective-2.8) > 1e-6 {
+		t.Fatalf("minimum = %v, want 2.8", -sol.Objective)
+	}
+	if math.Abs(sol.X[0]-1.6) > 1e-6 || math.Abs(sol.X[1]-1.2) > 1e-6 {
+		t.Fatalf("x = %v, want [1.6 1.2]", sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective([]float64{1})
+	p.AddConstraint([]float64{1}, LE, 1)
+	p.AddConstraint([]float64{1}, GE, 2)
+	sol := solveOK(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleEquality(t *testing.T) {
+	// x + y = 10 with x <= 2, y <= 3 is infeasible.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 0})
+	p.AddConstraint([]float64{1, 1}, EQ, 10)
+	p.AddConstraint([]float64{1, 0}, LE, 2)
+	p.AddConstraint([]float64{0, 1}, LE, 3)
+	sol := solveOK(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// maximize x with only y bounded.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 0})
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	sol := solveOK(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective([]float64{0, -1})
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || sol.Objective != 0 {
+		t.Fatalf("sol = %+v", sol)
+	}
+	p.SetObjective([]float64{1, 0})
+	sol = solveOK(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x - y <= -2  is  x + y >= 2; minimize x + y -> 2.
+	p := NewProblem(2)
+	p.SetObjective(Minimize([]float64{1, 1}))
+	p.AddConstraint([]float64{-1, -1}, LE, -2)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(-sol.Objective-2) > 1e-7 {
+		t.Fatalf("minimum = %v, want 2", -sol.Objective)
+	}
+}
+
+func TestSparseConstraint(t *testing.T) {
+	p := NewProblem(4)
+	p.SetObjective([]float64{1, 1, 1, 1})
+	p.AddSparseConstraint([]Term{{Var: 0, Coeff: 1}, {Var: 2, Coeff: 1}, {Var: 0, Coeff: 1}}, LE, 4)
+	p.AddSparseConstraint([]Term{{Var: 1, Coeff: 1}, {Var: 3, Coeff: 2}}, LE, 2)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	// 2x0 + x2 <= 4 and x1 + 2x3 <= 2; best is x2=4, x1=2 -> objective 6.
+	if math.Abs(sol.Objective-6) > 1e-7 {
+		t.Fatalf("objective = %v, want 6", sol.Objective)
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// A classic degenerate corner: multiple constraints meet at the optimum.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 1})
+	p.AddConstraint([]float64{1, 0}, LE, 1)
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	p.AddConstraint([]float64{1, 1}, LE, 2)
+	p.AddConstraint([]float64{2, 1}, LE, 3)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-2) > 1e-7 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestMixedConstraintTypes(t *testing.T) {
+	// maximize 2x + 3y s.t. x + y <= 10, x >= 2, y = 3 -> x = 7, y = 3, obj 23.
+	p := NewProblem(2)
+	p.SetObjective([]float64{2, 3})
+	p.AddConstraint([]float64{1, 1}, LE, 10)
+	p.AddConstraint([]float64{1, 0}, GE, 2)
+	p.AddConstraint([]float64{0, 1}, EQ, 3)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-23) > 1e-7 {
+		t.Fatalf("objective = %v, want 23", sol.Objective)
+	}
+	if math.Abs(sol.X[1]-3) > 1e-7 {
+		t.Fatalf("y = %v, want 3", sol.X[1])
+	}
+}
+
+func TestIterationLimit(t *testing.T) {
+	p := NewProblem(3)
+	p.SetObjective([]float64{1, 1, 1})
+	p.AddConstraint([]float64{1, 1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 1, 1}, LE, 4)
+	p.AddConstraint([]float64{1, 0, 1}, LE, 4)
+	sol, err := Solve(p, &Options{MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterationLimit && sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("NewProblem(0)", func() { NewProblem(0) })
+	mustPanic("short objective", func() { NewProblem(2).SetObjective([]float64{1}) })
+	mustPanic("short constraint", func() { NewProblem(2).AddConstraint([]float64{1}, LE, 1) })
+	mustPanic("bad sparse var", func() {
+		NewProblem(2).AddSparseConstraint([]Term{{Var: 5, Coeff: 1}}, LE, 1)
+	})
+}
+
+func TestSolveNilProblem(t *testing.T) {
+	if _, err := Solve(nil, nil); err == nil {
+		t.Fatal("nil problem accepted")
+	}
+}
+
+func TestSetObjectiveCoeff(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjectiveCoeff(1, 5)
+	p.AddConstraint([]float64{1, 1}, LE, 2)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-10) > 1e-7 {
+		t.Fatalf("objective = %v, want 10", sol.Objective)
+	}
+	if p.NumVars() != 2 || p.NumConstraints() != 1 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+// TestKnownTransportationProblem solves a small transportation LP with a
+// known optimum (minimize shipping cost).
+func TestKnownTransportationProblem(t *testing.T) {
+	// Two supplies (10, 15), three demands (8, 7, 10).
+	// Costs: s0 -> (4, 6, 8), s1 -> (5, 3, 7).
+	// Variables x[s][d] flattened as s*3+d.
+	p := NewProblem(6)
+	p.SetObjective(Minimize([]float64{4, 6, 8, 5, 3, 7}))
+	p.AddConstraint([]float64{1, 1, 1, 0, 0, 0}, LE, 10)
+	p.AddConstraint([]float64{0, 0, 0, 1, 1, 1}, LE, 15)
+	p.AddConstraint([]float64{1, 0, 0, 1, 0, 0}, EQ, 8)
+	p.AddConstraint([]float64{0, 1, 0, 0, 1, 0}, EQ, 7)
+	p.AddConstraint([]float64{0, 0, 1, 0, 0, 1}, EQ, 10)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	// Optimal plan: s0 ships 8 to d0 and 2 to d2; s1 ships 7 to d1 and 8 to d2.
+	// Cost = 8*4 + 2*8 + 7*3 + 8*7 = 32 + 16 + 21 + 56 = 125.
+	if math.Abs(-sol.Objective-125) > 1e-6 {
+		t.Fatalf("cost = %v, want 125", -sol.Objective)
+	}
+}
+
+// TestBoundedBoxProperty checks a family of LPs with a known closed-form
+// optimum: maximize sum(x) with per-variable bounds x_i <= b_i and a global
+// budget sum(x) <= S. The optimum is min(sum(b), S).
+func TestBoundedBoxProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		p := NewProblem(n)
+		obj := make([]float64, n)
+		bounds := make([]float64, n)
+		var sumB float64
+		for i := range obj {
+			obj[i] = 1
+			bounds[i] = 0.5 + 5*rng.Float64()
+			sumB += bounds[i]
+			row := make([]float64, n)
+			row[i] = 1
+			p.AddConstraint(row, LE, bounds[i])
+		}
+		p.SetObjective(obj)
+		budget := 0.5 + 10*rng.Float64()
+		all := make([]float64, n)
+		for i := range all {
+			all[i] = 1
+		}
+		p.AddConstraint(all, LE, budget)
+		sol, err := Solve(p, nil)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		want := math.Min(sumB, budget)
+		if math.Abs(sol.Objective-want) > 1e-6 {
+			return false
+		}
+		// The solution must be feasible.
+		var sum float64
+		for i, x := range sol.X {
+			if x < -1e-9 || x > bounds[i]+1e-6 {
+				return false
+			}
+			sum += x
+		}
+		return sum <= budget+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomFeasibleLPsAreSolvedConsistently generates random LPs with <=
+// constraints and non-negative right-hand sides (always feasible at the
+// origin) and checks that the solver returns a feasible solution whose
+// objective is at least as good as a sample of random feasible points.
+func TestRandomFeasibleLPsAreSolvedConsistently(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(8)
+		p := NewProblem(n)
+		obj := make([]float64, n)
+		for i := range obj {
+			obj[i] = rng.Float64() // non-negative objective
+		}
+		p.SetObjective(obj)
+		rows := make([][]float64, m)
+		rhs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			rows[i] = make([]float64, n)
+			for j := range rows[i] {
+				rows[i][j] = rng.Float64() // non-negative coefficients -> bounded
+			}
+			rows[i][rng.Intn(n)] += 0.5 // ensure at least one strictly positive entry
+			rhs[i] = 1 + rng.Float64()*5
+			p.AddConstraint(rows[i], LE, rhs[i])
+		}
+		// Make sure every variable appears in some constraint so the problem
+		// is bounded.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.AddConstraint(row, LE, 10)
+		}
+		sol, err := Solve(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		// Feasibility check.
+		for i := 0; i < m; i++ {
+			var lhs float64
+			for j := 0; j < n; j++ {
+				lhs += rows[i][j] * sol.X[j]
+			}
+			if lhs > rhs[i]+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated (%v > %v)", trial, i, lhs, rhs[i])
+			}
+		}
+		// Compare against random feasible points obtained by scaling random
+		// directions until all constraints hold.
+		for probe := 0; probe < 20; probe++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Float64() * 10
+			}
+			scale := 1.0
+			for i := 0; i < m; i++ {
+				var lhs float64
+				for j := 0; j < n; j++ {
+					lhs += rows[i][j] * x[j]
+				}
+				if lhs > rhs[i] {
+					if s := rhs[i] / lhs; s < scale {
+						scale = s
+					}
+				}
+			}
+			var val float64
+			for j := range x {
+				val += obj[j] * x[j] * scale
+			}
+			if val > sol.Objective+1e-6 {
+				t.Fatalf("trial %d: random feasible point beats the optimum (%v > %v)", trial, val, sol.Objective)
+			}
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package lp
+
+import "math"
+
+// tableau is the dense simplex tableau. Columns are laid out as
+// [decision variables | slack/surplus variables | artificial variables],
+// with the right-hand side stored separately. Row i describes the current
+// expression of basic variable basis[i] in terms of the non-basic columns.
+type tableau struct {
+	rows int // number of constraints
+	cols int // total number of structural columns (vars + slacks + artificials)
+
+	a     [][]float64 // rows x cols coefficient matrix
+	rhs   []float64   // rows right-hand sides (always kept >= 0 up to tolerance)
+	basis []int       // column currently basic in each row
+
+	cost    []float64 // current reduced-cost row (length cols)
+	costRHS float64   // negative of the current objective value
+
+	numVars        int
+	numArtificial  int
+	artificialCols []int
+	banned         []bool // columns forbidden from entering (artificials in phase 2)
+
+	tol float64
+}
+
+// newTableau builds the initial tableau for the problem: every constraint
+// gets a slack (LE), a surplus plus an artificial (GE), or an artificial
+// (EQ); rows with negative right-hand sides are negated first so the
+// starting basis (slacks and artificials) is feasible.
+func newTableau(p *Problem, tol float64) *tableau {
+	m := len(p.constraints)
+	n := p.numVars
+
+	// First pass: count slack and artificial columns.
+	numSlack, numArtificial := 0, 0
+	for _, c := range p.constraints {
+		rel, rhs := c.rel, c.rhs
+		if rhs < 0 {
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++
+			numArtificial++
+		case EQ:
+			numArtificial++
+		}
+	}
+
+	cols := n + numSlack + numArtificial
+	t := &tableau{
+		rows:    m,
+		cols:    cols,
+		a:       make([][]float64, m),
+		rhs:     make([]float64, m),
+		basis:   make([]int, m),
+		cost:    make([]float64, cols),
+		numVars: n,
+		banned:  make([]bool, cols),
+		tol:     tol,
+	}
+
+	slackCol := n
+	artCol := n + numSlack
+	for i, c := range p.constraints {
+		row := make([]float64, cols)
+		rhs := c.rhs
+		sign := 1.0
+		rel := c.rel
+		if rhs < 0 {
+			sign = -1
+			rhs = -rhs
+			rel = flip(rel)
+		}
+		for j, v := range c.coeffs {
+			row[j] = sign * v
+		}
+		switch rel {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			t.artificialCols = append(t.artificialCols, artCol)
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			t.artificialCols = append(t.artificialCols, artCol)
+			artCol++
+		}
+		t.a[i] = row
+		t.rhs[i] = rhs
+	}
+	t.numArtificial = numArtificial
+	return t
+}
+
+func flip(r Relation) Relation {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// setCostRow installs a new objective (given over all structural columns;
+// missing entries are zero) and prices it against the current basis so that
+// t.cost holds reduced costs and t.costRHS holds the negated objective value.
+func (t *tableau) setCostRow(c []float64) {
+	copy(t.cost, c)
+	for j := len(c); j < t.cols; j++ {
+		t.cost[j] = 0
+	}
+	t.costRHS = 0
+	for i := 0; i < t.rows; i++ {
+		cb := basicCost(c, t.basis[i])
+		if cb == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := 0; j < t.cols; j++ {
+			t.cost[j] -= cb * row[j]
+		}
+		t.costRHS -= cb * t.rhs[i]
+	}
+}
+
+func basicCost(c []float64, col int) float64 {
+	if col < len(c) {
+		return c[col]
+	}
+	return 0
+}
+
+// objectiveValue returns the current objective value.
+func (t *tableau) objectiveValue() float64 { return -t.costRHS }
+
+// forbidArtificials bans artificial columns from entering the basis (used
+// when switching to phase 2) and tries to pivot any artificial variable that
+// is still basic (necessarily at level zero) out of the basis.
+func (t *tableau) forbidArtificials() {
+	isArtificial := make(map[int]bool, len(t.artificialCols))
+	for _, j := range t.artificialCols {
+		t.banned[j] = true
+		isArtificial[j] = true
+	}
+	for i := 0; i < t.rows; i++ {
+		if !isArtificial[t.basis[i]] {
+			continue
+		}
+		// Pivot on any non-artificial column with a nonzero coefficient.
+		for j := 0; j < t.cols; j++ {
+			if t.banned[j] {
+				continue
+			}
+			if math.Abs(t.a[i][j]) > t.tol {
+				t.pivot(i, j)
+				break
+			}
+		}
+		// If no pivot column exists the row is redundant; the artificial
+		// stays basic at zero, which does not affect the optimum.
+	}
+}
+
+// iterate runs primal simplex pivots until optimality, unboundedness or the
+// iteration limit. detectUnbounded controls whether an entering column with
+// no positive row coefficient reports Unbounded (phase 1 can never be
+// unbounded, so it passes false).
+//
+// Pricing uses Dantzig's rule and permanently switches to Bland's rule once
+// the objective value stalls for a long stretch of (necessarily degenerate)
+// pivots, which guarantees termination without paying Bland's slow
+// convergence on well-behaved problems.
+func (t *tableau) iterate(maxIter int, counter *int, detectUnbounded bool) Status {
+	stallLimit := 4 * (t.rows + 16)
+	lastObjective := t.objectiveValue()
+	stalled := 0
+	useBland := false
+	for {
+		if *counter >= maxIter {
+			return IterationLimit
+		}
+		if !useBland {
+			if obj := t.objectiveValue(); obj > lastObjective+t.tol {
+				lastObjective = obj
+				stalled = 0
+			} else {
+				stalled++
+				if stalled > stallLimit {
+					useBland = true
+				}
+			}
+		}
+
+		enter := t.chooseEntering(useBland)
+		if enter < 0 {
+			return Optimal
+		}
+		leave := t.chooseLeaving(enter)
+		if leave < 0 {
+			if detectUnbounded {
+				return Unbounded
+			}
+			// Phase 1 objective is bounded above by zero; a missing ratio
+			// here can only be a numerical artifact. Treat as optimal.
+			return Optimal
+		}
+		t.pivot(leave, enter)
+		*counter++
+	}
+}
+
+// chooseEntering picks the entering column: the one with the most positive
+// reduced cost (Dantzig) or the lowest-index positive one (Bland).
+func (t *tableau) chooseEntering(bland bool) int {
+	best := -1
+	bestVal := t.tol
+	for j := 0; j < t.cols; j++ {
+		if t.banned[j] {
+			continue
+		}
+		if t.cost[j] > bestVal {
+			if bland {
+				return j
+			}
+			best = j
+			bestVal = t.cost[j]
+		}
+	}
+	return best
+}
+
+// chooseLeaving performs the minimum-ratio test for the entering column and
+// returns the pivot row, or -1 if no row bounds the entering variable.
+// Ties are broken by the smallest basic-variable index (lexicographic-ish
+// rule that combines well with the Bland fallback).
+func (t *tableau) chooseLeaving(enter int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.rows; i++ {
+		coef := t.a[i][enter]
+		if coef <= t.tol {
+			continue
+		}
+		ratio := t.rhs[i] / coef
+		if ratio < bestRatio-t.tol || (math.Abs(ratio-bestRatio) <= t.tol && (best < 0 || t.basis[i] < t.basis[best])) {
+			best = i
+			bestRatio = ratio
+		}
+	}
+	return best
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	row := t.a[leave]
+	p := row[enter]
+	inv := 1 / p
+	for j := 0; j < t.cols; j++ {
+		row[j] *= inv
+	}
+	t.rhs[leave] *= inv
+	row[enter] = 1 // avoid drift
+
+	for i := 0; i < t.rows; i++ {
+		if i == leave {
+			continue
+		}
+		factor := t.a[i][enter]
+		if factor == 0 {
+			continue
+		}
+		target := t.a[i]
+		for j := 0; j < t.cols; j++ {
+			target[j] -= factor * row[j]
+		}
+		target[enter] = 0
+		t.rhs[i] -= factor * t.rhs[leave]
+		if t.rhs[i] < 0 && t.rhs[i] > -t.tol {
+			t.rhs[i] = 0
+		}
+	}
+
+	factor := t.cost[enter]
+	if factor != 0 {
+		for j := 0; j < t.cols; j++ {
+			t.cost[j] -= factor * row[j]
+		}
+		t.cost[enter] = 0
+		t.costRHS -= factor * t.rhs[leave]
+	}
+	t.basis[leave] = enter
+}
+
+// extract writes the values of the decision variables into x.
+func (t *tableau) extract(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+	for i := 0; i < t.rows; i++ {
+		b := t.basis[i]
+		if b < t.numVars {
+			v := t.rhs[i]
+			if v < 0 && v > -t.tol {
+				v = 0
+			}
+			x[b] = v
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package maxflow implements Dinic's maximum-flow algorithm on networks
+// with float64 capacities, together with minimum-cut extraction. It is the
+// separation oracle of the cutting-plane solver in package steady: the
+// steady-state broadcast LP requires that, for every destination, the edge
+// rates support a flow of value TP from the source, which by max-flow /
+// min-cut duality is equivalent to every source-destination cut having
+// capacity at least TP.
+package maxflow
+
+import (
+	"fmt"
+	"math"
+)
+
+// epsilon below which capacities and flows are treated as zero.
+const eps = 1e-12
+
+// edge is an internal arc of the residual network. Arcs are stored in pairs:
+// arc 2k is the forward arc of user edge k and arc 2k+1 is its reverse.
+type edge struct {
+	to  int
+	cap float64 // remaining capacity
+}
+
+// Network is a flow network with float64 capacities.
+type Network struct {
+	n     int
+	arcs  []edge
+	adj   [][]int // node -> arc indices
+	orig  []float64
+	level []int
+	iter  []int
+}
+
+// New returns an empty network with n nodes.
+func New(n int) *Network {
+	if n < 0 {
+		panic(fmt.Sprintf("maxflow: negative node count %d", n))
+	}
+	return &Network{
+		n:   n,
+		adj: make([][]int, n),
+	}
+}
+
+// NumNodes returns the number of nodes of the network.
+func (nw *Network) NumNodes() int { return nw.n }
+
+// NumEdges returns the number of user edges (not counting reverse arcs).
+func (nw *Network) NumEdges() int { return len(nw.arcs) / 2 }
+
+// AddEdge adds a directed edge with the given capacity and returns its edge
+// ID. Negative capacities are treated as zero.
+func (nw *Network) AddEdge(from, to int, capacity float64) int {
+	if from < 0 || from >= nw.n || to < 0 || to >= nw.n {
+		panic(fmt.Sprintf("maxflow: edge (%d, %d) out of range [0, %d)", from, to, nw.n))
+	}
+	if capacity < 0 || math.IsNaN(capacity) {
+		capacity = 0
+	}
+	id := len(nw.arcs) / 2
+	nw.arcs = append(nw.arcs, edge{to: to, cap: capacity}, edge{to: from, cap: 0})
+	nw.adj[from] = append(nw.adj[from], 2*id)
+	nw.adj[to] = append(nw.adj[to], 2*id+1)
+	nw.orig = append(nw.orig, capacity)
+	return id
+}
+
+// SetCapacity resets the capacity of a user edge and clears any flow on it.
+// Call Reset (or SetCapacity on every edge) before re-running MaxFlow with
+// new capacities.
+func (nw *Network) SetCapacity(edgeID int, capacity float64) {
+	if capacity < 0 || math.IsNaN(capacity) {
+		capacity = 0
+	}
+	nw.orig[edgeID] = capacity
+	nw.arcs[2*edgeID].cap = capacity
+	nw.arcs[2*edgeID+1].cap = 0
+}
+
+// Reset restores every edge to its original capacity, removing all flow.
+func (nw *Network) Reset() {
+	for id, c := range nw.orig {
+		nw.arcs[2*id].cap = c
+		nw.arcs[2*id+1].cap = 0
+	}
+}
+
+// Flow returns the amount of flow currently routed through a user edge
+// (meaningful after MaxFlow).
+func (nw *Network) Flow(edgeID int) float64 {
+	f := nw.orig[edgeID] - nw.arcs[2*edgeID].cap
+	if f < eps {
+		return 0
+	}
+	return f
+}
+
+// bfsLevels builds the level graph for Dinic's algorithm. It returns true if
+// the sink is reachable in the residual network.
+func (nw *Network) bfsLevels(s, t int) bool {
+	if nw.level == nil {
+		nw.level = make([]int, nw.n)
+	}
+	for i := range nw.level {
+		nw.level[i] = -1
+	}
+	queue := make([]int, 0, nw.n)
+	queue = append(queue, s)
+	nw.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, ai := range nw.adj[u] {
+			a := nw.arcs[ai]
+			if a.cap > eps && nw.level[a.to] < 0 {
+				nw.level[a.to] = nw.level[u] + 1
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	return nw.level[t] >= 0
+}
+
+// dfsBlocking pushes flow along the level graph (blocking-flow step).
+func (nw *Network) dfsBlocking(u, t int, pushed float64) float64 {
+	if u == t {
+		return pushed
+	}
+	for ; nw.iter[u] < len(nw.adj[u]); nw.iter[u]++ {
+		ai := nw.adj[u][nw.iter[u]]
+		a := &nw.arcs[ai]
+		if a.cap <= eps || nw.level[a.to] != nw.level[u]+1 {
+			continue
+		}
+		d := nw.dfsBlocking(a.to, t, math.Min(pushed, a.cap))
+		if d > eps {
+			a.cap -= d
+			nw.arcs[ai^1].cap += d
+			return d
+		}
+	}
+	return 0
+}
+
+// MaxFlow computes the maximum flow from s to t with Dinic's algorithm and
+// returns its value. The flow remains recorded in the network (see Flow and
+// MinCutSourceSide); call Reset before computing a flow with fresh
+// capacities.
+func (nw *Network) MaxFlow(s, t int) float64 {
+	if s < 0 || s >= nw.n || t < 0 || t >= nw.n {
+		panic(fmt.Sprintf("maxflow: source/sink (%d, %d) out of range [0, %d)", s, t, nw.n))
+	}
+	if s == t {
+		return 0
+	}
+	var total float64
+	if nw.iter == nil {
+		nw.iter = make([]int, nw.n)
+	}
+	for nw.bfsLevels(s, t) {
+		for i := range nw.iter {
+			nw.iter[i] = 0
+		}
+		for {
+			pushed := nw.dfsBlocking(s, t, math.Inf(1))
+			if pushed <= eps {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}
+
+// MinCutSourceSide returns, after MaxFlow(s, t), the set of nodes reachable
+// from s in the residual network. The edges leaving this set form a minimum
+// s-t cut.
+func (nw *Network) MinCutSourceSide(s int) []bool {
+	reach := make([]bool, nw.n)
+	if s < 0 || s >= nw.n {
+		return reach
+	}
+	queue := []int{s}
+	reach[s] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, ai := range nw.adj[u] {
+			a := nw.arcs[ai]
+			if a.cap > eps && !reach[a.to] {
+				reach[a.to] = true
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	return reach
+}
+
+// MinCutSinkSide returns, after MaxFlow(s, t), the complement of the set of
+// nodes that can still reach t in the residual network. The edges leaving
+// this set also form a minimum s-t cut (in general a different one from
+// MinCutSourceSide), which is useful to generate several violated
+// constraints per separation round in cutting-plane algorithms.
+func (nw *Network) MinCutSinkSide(t int) []bool {
+	canReach := make([]bool, nw.n)
+	if t < 0 || t >= nw.n {
+		return canReach
+	}
+	// Reverse reachability: v can reach t if some residual arc v -> u exists
+	// with u already able to reach t.
+	queue := []int{t}
+	canReach[t] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, ai := range nw.adj[u] {
+			// Arc ai leaves u; its paired arc ai^1 enters u from arcs[ai].to.
+			// v = arcs[ai].to can reach t through the residual arc v -> u iff
+			// that arc (ai^1) has residual capacity.
+			v := nw.arcs[ai].to
+			if !canReach[v] && nw.arcs[ai^1].cap > eps {
+				canReach[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	side := make([]bool, nw.n)
+	for v := range side {
+		side[v] = !canReach[v]
+	}
+	return side
+}
+
+// CutEdges returns the user-edge IDs that cross the given cut from the
+// source side to the sink side (i.e. the edges whose capacities sum to the
+// cut capacity).
+func (nw *Network) CutEdges(sourceSide []bool) []int {
+	var ids []int
+	for id := 0; id < nw.NumEdges(); id++ {
+		// The forward arc 2*id enters arcs[2*id].to; its reverse arc points
+		// back to the tail node.
+		to := nw.arcs[2*id].to
+		from := nw.arcs[2*id+1].to
+		if sourceSide[from] && !sourceSide[to] {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// CutCapacity returns the total original capacity of the edges crossing the
+// cut from the source side to the sink side.
+func (nw *Network) CutCapacity(sourceSide []bool) float64 {
+	var total float64
+	for _, id := range nw.CutEdges(sourceSide) {
+		total += nw.orig[id]
+	}
+	return total
+}

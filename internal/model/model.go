@@ -1,0 +1,168 @@
+// Package model defines the communication cost models of the paper
+// "Broadcast Trees for Heterogeneous Platforms" (Beaumont, Marchal, Robert):
+// affine link costs, the one-port (bidirectional and unidirectional)
+// and multi-port port models, and the per-node steady-state period formulas
+// used to evaluate broadcast trees.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Regime identifies one of the three broadcasting approaches summarized in
+// Table 1 of the paper.
+type Regime int
+
+const (
+	// STA is "Single Tree, Atomic": the whole message is sent at once along
+	// a single spanning tree; the objective is makespan minimization.
+	STA Regime = iota
+	// STP is "Single Tree, Pipelined": the message is cut into slices that
+	// are pipelined along a single spanning tree; the objective is
+	// steady-state throughput maximization. This is the paper's main subject.
+	STP
+	// MTP is "Multiple Trees, Pipelined": slices are pipelined along several
+	// spanning trees simultaneously; the optimal throughput is computable in
+	// polynomial time and serves as the reference bound.
+	MTP
+)
+
+// String returns the paper's label for the regime.
+func (r Regime) String() string {
+	switch r {
+	case STA:
+		return "STA"
+	case STP:
+		return "STP"
+	case MTP:
+		return "MTP"
+	default:
+		return fmt.Sprintf("Regime(%d)", int(r))
+	}
+}
+
+// PortModel selects how many communications a node may be involved in
+// simultaneously (Section 2 of the paper).
+type PortModel int
+
+const (
+	// OnePortBidirectional: a node performs at most one send and one receive
+	// at any time; they may overlap with each other. Sender and receiver are
+	// blocked for the whole link occupation T(u,v). This is the model used
+	// for most of the paper's experiments.
+	OnePortBidirectional PortModel = iota
+	// OnePortUnidirectional: a node is involved in at most one communication
+	// at a time, send or receive (stricter variant, provided as an
+	// ablation).
+	OnePortUnidirectional
+	// MultiPort: a sender serializes only its per-send overhead send_u while
+	// link occupations may overlap (Section 3.2).
+	MultiPort
+)
+
+// String returns a human-readable name for the port model.
+func (m PortModel) String() string {
+	switch m {
+	case OnePortBidirectional:
+		return "one-port (bidirectional)"
+	case OnePortUnidirectional:
+		return "one-port (unidirectional)"
+	case MultiPort:
+		return "multi-port"
+	default:
+		return fmt.Sprintf("PortModel(%d)", int(m))
+	}
+}
+
+// AffineCost is an affine communication cost: Time(L) = Latency + L*PerUnit.
+// In the paper's notation, a link occupation uses (α, β), the sender
+// occupation (s, s') and the receiver occupation (r, r').
+type AffineCost struct {
+	Latency float64 `json:"latency"`
+	PerUnit float64 `json:"perUnit"`
+}
+
+// Time returns the occupation time for a message of the given size.
+func (c AffineCost) Time(size float64) float64 {
+	return c.Latency + size*c.PerUnit
+}
+
+// IsZero reports whether the cost is the zero cost.
+func (c AffineCost) IsZero() bool { return c.Latency == 0 && c.PerUnit == 0 }
+
+// Valid reports whether the cost parameters are finite and non-negative.
+func (c AffineCost) Valid() bool {
+	ok := func(x float64) bool { return x >= 0 && !math.IsInf(x, 0) && !math.IsNaN(x) }
+	return ok(c.Latency) && ok(c.PerUnit)
+}
+
+// Linear returns an affine cost with zero latency and the given per-unit
+// cost (the form used throughout the paper's experiments, where slices have
+// a fixed size and start-up overheads are folded into the per-slice time).
+func Linear(perUnit float64) AffineCost { return AffineCost{PerUnit: perUnit} }
+
+// FromBandwidth returns a linear cost corresponding to the given bandwidth
+// (data units per time unit). It panics if bandwidth is not positive.
+func FromBandwidth(bandwidth float64) AffineCost {
+	if bandwidth <= 0 {
+		panic(fmt.Sprintf("model: non-positive bandwidth %v", bandwidth))
+	}
+	return AffineCost{PerUnit: 1 / bandwidth}
+}
+
+// NodePeriod computes the steady-state period of a tree node, i.e. the time
+// the node needs between two consecutive message slices, under the given
+// port model. The throughput contribution of the node is 1/period.
+//
+//   - childTimes are the link occupations T(u,v) towards the node's children
+//     in the broadcast tree (empty for leaves);
+//   - inTime is the link occupation T(parent,u) of the incoming tree edge
+//     (0 for the source);
+//   - sendOverhead and recvOverhead are the per-transfer sender/receiver
+//     occupations used under the multi-port model (ignored otherwise).
+//
+// Formulas (Sections 2.4 and 3.2 of the paper):
+//
+//	one-port bidirectional:  max( Σ childTimes, inTime )
+//	one-port unidirectional: Σ childTimes + inTime
+//	multi-port:              max( |children|·sendOverhead, max childTimes, recvOverhead )
+func NodePeriod(m PortModel, childTimes []float64, inTime, sendOverhead, recvOverhead float64) float64 {
+	switch m {
+	case OnePortBidirectional:
+		var sum float64
+		for _, t := range childTimes {
+			sum += t
+		}
+		return math.Max(sum, inTime)
+	case OnePortUnidirectional:
+		var sum float64
+		for _, t := range childTimes {
+			sum += t
+		}
+		return sum + inTime
+	case MultiPort:
+		period := float64(len(childTimes)) * sendOverhead
+		for _, t := range childTimes {
+			if t > period {
+				period = t
+			}
+		}
+		if recvOverhead > period && inTime > 0 {
+			period = recvOverhead
+		}
+		return period
+	default:
+		panic(fmt.Sprintf("model: unknown port model %d", int(m)))
+	}
+}
+
+// Throughput converts a steady-state period into a throughput (slices per
+// time unit). A zero or negative period (a node with nothing to do) yields
+// +Inf, so that it never constrains the tree throughput.
+func Throughput(period float64) float64 {
+	if period <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / period
+}

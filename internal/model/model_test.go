@@ -1,0 +1,170 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegimeString(t *testing.T) {
+	cases := map[Regime]string{STA: "STA", STP: "STP", MTP: "MTP", Regime(42): "Regime(42)"}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Regime(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestPortModelString(t *testing.T) {
+	if OnePortBidirectional.String() == "" || OnePortUnidirectional.String() == "" || MultiPort.String() == "" {
+		t.Fatal("empty port model name")
+	}
+	if PortModel(9).String() != "PortModel(9)" {
+		t.Fatalf("unknown port model string = %q", PortModel(9).String())
+	}
+}
+
+func TestAffineCostTime(t *testing.T) {
+	c := AffineCost{Latency: 2, PerUnit: 0.5}
+	if got := c.Time(10); got != 7 {
+		t.Fatalf("Time(10) = %v, want 7", got)
+	}
+	if got := c.Time(0); got != 2 {
+		t.Fatalf("Time(0) = %v, want 2", got)
+	}
+}
+
+func TestAffineCostValid(t *testing.T) {
+	if !(AffineCost{Latency: 1, PerUnit: 2}).Valid() {
+		t.Fatal("valid cost rejected")
+	}
+	bad := []AffineCost{
+		{Latency: -1},
+		{PerUnit: -0.1},
+		{Latency: math.Inf(1)},
+		{PerUnit: math.NaN()},
+	}
+	for _, c := range bad {
+		if c.Valid() {
+			t.Errorf("invalid cost %+v accepted", c)
+		}
+	}
+}
+
+func TestAffineCostIsZero(t *testing.T) {
+	if !(AffineCost{}).IsZero() {
+		t.Fatal("zero cost not detected")
+	}
+	if (AffineCost{PerUnit: 1}).IsZero() {
+		t.Fatal("nonzero cost reported zero")
+	}
+}
+
+func TestLinearAndFromBandwidth(t *testing.T) {
+	c := Linear(3)
+	if c.Latency != 0 || c.PerUnit != 3 {
+		t.Fatalf("Linear(3) = %+v", c)
+	}
+	b := FromBandwidth(100)
+	if math.Abs(b.Time(200)-2) > 1e-12 {
+		t.Fatalf("FromBandwidth(100).Time(200) = %v, want 2", b.Time(200))
+	}
+}
+
+func TestFromBandwidthPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromBandwidth(0) did not panic")
+		}
+	}()
+	FromBandwidth(0)
+}
+
+func TestNodePeriodOnePortBidirectional(t *testing.T) {
+	// Sum of child times dominates.
+	p := NodePeriod(OnePortBidirectional, []float64{2, 3, 1}, 4, 0, 0)
+	if p != 6 {
+		t.Fatalf("period = %v, want 6", p)
+	}
+	// Incoming time dominates.
+	p = NodePeriod(OnePortBidirectional, []float64{1}, 5, 0, 0)
+	if p != 5 {
+		t.Fatalf("period = %v, want 5", p)
+	}
+	// Leaf node.
+	p = NodePeriod(OnePortBidirectional, nil, 3, 0, 0)
+	if p != 3 {
+		t.Fatalf("leaf period = %v, want 3", p)
+	}
+}
+
+func TestNodePeriodOnePortUnidirectional(t *testing.T) {
+	p := NodePeriod(OnePortUnidirectional, []float64{2, 3}, 4, 0, 0)
+	if p != 9 {
+		t.Fatalf("period = %v, want 9", p)
+	}
+}
+
+func TestNodePeriodMultiPort(t *testing.T) {
+	// Paper Figure 3(a): serialized send overhead dominates.
+	p := NodePeriod(MultiPort, []float64{2, 2, 2}, 1, 1.5, 0)
+	if p != 4.5 {
+		t.Fatalf("period = %v, want 4.5 (3 x 1.5)", p)
+	}
+	// Paper Figure 3(b): longest link occupation dominates.
+	p = NodePeriod(MultiPort, []float64{2, 7, 2}, 1, 1.5, 0)
+	if p != 7 {
+		t.Fatalf("period = %v, want 7", p)
+	}
+	// Receiver overhead can dominate for a node with a parent.
+	p = NodePeriod(MultiPort, []float64{1}, 2, 0.5, 3)
+	if p != 3 {
+		t.Fatalf("period = %v, want 3", p)
+	}
+	// Source (inTime = 0) ignores the receive overhead.
+	p = NodePeriod(MultiPort, []float64{1}, 0, 0.5, 3)
+	if p != 1 {
+		t.Fatalf("source period = %v, want 1", p)
+	}
+}
+
+func TestNodePeriodUnknownModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown port model did not panic")
+		}
+	}()
+	NodePeriod(PortModel(99), nil, 0, 0, 0)
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(2); got != 0.5 {
+		t.Fatalf("Throughput(2) = %v, want 0.5", got)
+	}
+	if !math.IsInf(Throughput(0), 1) {
+		t.Fatal("Throughput(0) should be +Inf")
+	}
+	if !math.IsInf(Throughput(-1), 1) {
+		t.Fatal("Throughput(-1) should be +Inf")
+	}
+}
+
+func TestNodePeriodProperties(t *testing.T) {
+	// Property: the bidirectional one-port period is never larger than the
+	// unidirectional one, and the multi-port period is never larger than the
+	// bidirectional one-port period when the send overhead is at most the
+	// smallest child link time and recv overhead is zero.
+	f := func(a, b, c, in uint8) bool {
+		childTimes := []float64{float64(a%50) + 1, float64(b%50) + 1, float64(c%50) + 1}
+		inTime := float64(in % 50)
+		bi := NodePeriod(OnePortBidirectional, childTimes, inTime, 0, 0)
+		uni := NodePeriod(OnePortUnidirectional, childTimes, inTime, 0, 0)
+		minChild := math.Min(childTimes[0], math.Min(childTimes[1], childTimes[2]))
+		send := minChild / 3 // 3 children x send <= min child <= sum
+		mp := NodePeriod(MultiPort, childTimes, inTime, send, 0)
+		return bi <= uni+1e-12 && mp <= bi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package parallel provides a small bounded worker pool used to fan the
+// evaluation of many platform configurations (hundreds of platforms times
+// several heuristics and one LP solve each) across CPU cores while keeping
+// result ordering deterministic.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) using at most workers goroutines.
+// If workers <= 0, runtime.NumCPU() workers are used. ForEach returns after
+// every call has completed. fn must be safe for concurrent invocation with
+// distinct indices.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next struct {
+		sync.Mutex
+		i int
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				next.Lock()
+				i := next.i
+				next.i++
+				next.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn(i) for every i in [0, n) with at most workers goroutines and
+// returns the results in index order. Panics inside fn propagate to the
+// caller of Map.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	results := make([]T, n)
+	var (
+		mu       sync.Mutex
+		panicked interface{}
+	)
+	ForEach(n, workers, func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if panicked == nil {
+					panicked = r
+				}
+				mu.Unlock()
+			}
+		}()
+		results[i] = fn(i)
+	})
+	if panicked != nil {
+		panic(panicked)
+	}
+	return results
+}
+
+// MapErr runs fn(i) for every i in [0, n) concurrently and returns the
+// results in index order along with the first error encountered (by lowest
+// index). All calls run to completion even if some fail.
+func MapErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	ForEach(n, workers, func(i int) {
+		results[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

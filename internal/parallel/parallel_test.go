@@ -1,0 +1,104 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAllIndices(t *testing.T) {
+	const n = 100
+	var seen [n]int32
+	ForEach(n, 4, func(i int) { atomic.AddInt32(&seen[i], 1) })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d executed %d times", i, c)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	calls := 0
+	ForEach(0, 4, func(int) { calls++ })
+	ForEach(-3, 4, func(int) { calls++ })
+	if calls != 0 {
+		t.Fatalf("calls = %d, want 0", calls)
+	}
+}
+
+func TestForEachSingleWorkerIsSequential(t *testing.T) {
+	var order []int
+	ForEach(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order broken: %v", order)
+		}
+	}
+}
+
+func TestForEachDefaultWorkers(t *testing.T) {
+	var count int32
+	ForEach(50, 0, func(int) { atomic.AddInt32(&count, 1) })
+	if count != 50 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	res := Map(20, 8, func(i int) int { return i * i })
+	for i, v := range res {
+		if v != i*i {
+			t.Fatalf("res[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	Map(10, 4, func(i int) int {
+		if i == 3 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+func TestMapErr(t *testing.T) {
+	wantErr := errors.New("bad index")
+	res, err := MapErr(10, 4, func(i int) (int, error) {
+		if i == 7 {
+			return 0, wantErr
+		}
+		return i * 2, nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if res[3] != 6 {
+		t.Fatal("successful results should still be populated")
+	}
+	res, err = MapErr(5, 2, func(i int) (int, error) { return i, nil })
+	if err != nil || len(res) != 5 {
+		t.Fatalf("unexpected err=%v len=%d", err, len(res))
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	_, err := MapErr(10, 4, func(i int) (int, error) {
+		switch i {
+		case 2:
+			return 0, errA
+		case 8:
+			return 0, errB
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want first (lowest index) error", err)
+	}
+}

@@ -1,0 +1,43 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// platformJSON is the serialized form of a Platform.
+type platformJSON struct {
+	Nodes     []Node  `json:"nodes"`
+	Links     []Link  `json:"links"`
+	SliceSize float64 `json:"sliceSize"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Platform) MarshalJSON() ([]byte, error) {
+	return json.Marshal(platformJSON{
+		Nodes:     append([]Node(nil), p.nodes...),
+		Links:     append([]Link(nil), p.links...),
+		SliceSize: p.sliceSize,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The adjacency index is rebuilt
+// and the link list is validated.
+func (p *Platform) UnmarshalJSON(data []byte) error {
+	var in platformJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	np := New(len(in.Nodes))
+	copy(np.nodes, in.Nodes)
+	if in.SliceSize > 0 {
+		np.sliceSize = in.SliceSize
+	}
+	for i, l := range in.Links {
+		if _, err := np.AddLink(l.From, l.To, l.Cost); err != nil {
+			return fmt.Errorf("platform: link %d: %w", i, err)
+		}
+	}
+	*p = *np
+	return nil
+}

@@ -1,0 +1,146 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Routing is a broadcast schedule where the logical communication structure
+// is a tree over the processors but each logical transfer may be routed
+// along a multi-hop physical path. It generalizes Tree: a Tree is a Routing
+// whose every path has length one.
+//
+// This representation is needed to evaluate the MPI-style binomial heuristic
+// faithfully: the binomial schedule is defined on processor indices, so a
+// logical transfer between non-adjacent processors is routed along the
+// shortest physical path, and several logical transfers may share physical
+// links and nodes — which is exactly the contention that makes the binomial
+// tree perform poorly on heterogeneous platforms.
+type Routing struct {
+	// Root is the source processor.
+	Root int `json:"root"`
+	// LogicalParent[v] is the processor that logically sends the data to v,
+	// or -1 for the root.
+	LogicalParent []int `json:"logicalParent"`
+	// Paths[v] is the ordered list of platform link IDs along which the
+	// logical transfer LogicalParent[v] -> v is routed (nil for the root).
+	Paths [][]int `json:"paths"`
+}
+
+// NewRouting returns an empty routing skeleton for n nodes rooted at root.
+func NewRouting(n, root int) *Routing {
+	r := &Routing{
+		Root:          root,
+		LogicalParent: make([]int, n),
+		Paths:         make([][]int, n),
+	}
+	for i := range r.LogicalParent {
+		r.LogicalParent[i] = -1
+	}
+	return r
+}
+
+// NumNodes returns the number of processors covered by the routing.
+func (r *Routing) NumNodes() int { return len(r.LogicalParent) }
+
+// SetTransfer records that node v logically receives the data from parent
+// along the given physical path.
+func (r *Routing) SetTransfer(v, parent int, path []int) {
+	r.LogicalParent[v] = parent
+	r.Paths[v] = append([]int(nil), path...)
+}
+
+// Errors returned by Routing.Validate.
+var (
+	ErrRoutingNotSpanning = errors.New("platform: routing does not span all nodes")
+	ErrRoutingBadPath     = errors.New("platform: routed path does not connect the logical endpoints")
+	ErrRoutingCycle       = errors.New("platform: logical routing structure has a cycle")
+)
+
+// Validate checks that the routing is a spanning logical arborescence rooted
+// at Root and that every path is a valid physical route from the logical
+// parent to the node.
+func (r *Routing) Validate(p *Platform) error {
+	n := p.NumNodes()
+	if len(r.LogicalParent) != n || len(r.Paths) != n {
+		return fmt.Errorf("%w: routing has %d nodes, platform has %d", ErrTreeSizeMismatch, len(r.LogicalParent), n)
+	}
+	if r.Root < 0 || r.Root >= n {
+		return fmt.Errorf("%w: root=%d", ErrTreeRootRange, r.Root)
+	}
+	if r.LogicalParent[r.Root] != -1 {
+		return ErrTreeRootHasParent
+	}
+	for v := 0; v < n; v++ {
+		if v == r.Root {
+			continue
+		}
+		parent := r.LogicalParent[v]
+		if parent < 0 || parent >= n {
+			return fmt.Errorf("%w: node %d has no logical parent", ErrRoutingNotSpanning, v)
+		}
+		path := r.Paths[v]
+		if len(path) == 0 {
+			return fmt.Errorf("%w: node %d has an empty path", ErrRoutingBadPath, v)
+		}
+		at := parent
+		for _, linkID := range path {
+			if linkID < 0 || linkID >= p.NumLinks() {
+				return fmt.Errorf("%w: node %d uses link %d", ErrRoutingBadPath, v, linkID)
+			}
+			l := p.Link(linkID)
+			if l.From != at {
+				return fmt.Errorf("%w: node %d path breaks at link %d (%d -> %d, expected from %d)",
+					ErrRoutingBadPath, v, linkID, l.From, l.To, at)
+			}
+			at = l.To
+		}
+		if at != v {
+			return fmt.Errorf("%w: node %d path ends at %d", ErrRoutingBadPath, v, at)
+		}
+	}
+	// The logical parent structure must be acyclic and reach the root.
+	for v := 0; v < n; v++ {
+		seen := 0
+		at := v
+		for at != r.Root {
+			at = r.LogicalParent[at]
+			seen++
+			if at < 0 || seen > n {
+				return fmt.Errorf("%w: starting from node %d", ErrRoutingCycle, v)
+			}
+		}
+	}
+	return nil
+}
+
+// LinkMultiplicity returns, for every platform link, the number of logical
+// transfers routed through it. Under a pipelined broadcast every slice must
+// traverse each logical transfer's full path, so a link with multiplicity m
+// is occupied m times its transfer time per slice period.
+func (r *Routing) LinkMultiplicity(p *Platform) []int {
+	mult := make([]int, p.NumLinks())
+	for v, path := range r.Paths {
+		if v == r.Root {
+			continue
+		}
+		for _, linkID := range path {
+			mult[linkID]++
+		}
+	}
+	return mult
+}
+
+// RoutingFromTree lifts a plain broadcast tree into the routing
+// representation (every logical transfer uses exactly the tree link).
+func RoutingFromTree(t *Tree) *Routing {
+	r := NewRouting(t.NumNodes(), t.Root)
+	for v := range t.Parent {
+		if v == t.Root || t.Parent[v] < 0 {
+			continue
+		}
+		r.LogicalParent[v] = t.Parent[v]
+		r.Paths[v] = []int{t.ParentLink[v]}
+	}
+	return r
+}

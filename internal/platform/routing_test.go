@@ -1,0 +1,126 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// linePlatform builds 0 -> 1 -> 2 -> 3 with unit costs and returns it.
+func linePlatform() *Platform {
+	p := New(4)
+	for i := 0; i+1 < 4; i++ {
+		p.MustAddLink(i, i+1, model.Linear(1))
+	}
+	return p
+}
+
+func TestRoutingFromTreeValidates(t *testing.T) {
+	p := starPlatform(4)
+	tr := starTree(p)
+	r := RoutingFromTree(tr)
+	if err := r.Validate(p); err != nil {
+		t.Fatalf("routing from valid tree rejected: %v", err)
+	}
+	if r.NumNodes() != 4 || r.Root != 0 {
+		t.Fatalf("routing shape wrong: %+v", r)
+	}
+	mult := r.LinkMultiplicity(p)
+	for v := 1; v < 4; v++ {
+		if mult[p.LinkBetween(0, v)] != 1 {
+			t.Fatalf("tree link multiplicity != 1")
+		}
+	}
+}
+
+func TestRoutingMultiHopTransfers(t *testing.T) {
+	p := linePlatform()
+	r := NewRouting(4, 0)
+	// Node 1 directly, node 2 via 0->1->2 (logical parent 0), node 3 from 2.
+	r.SetTransfer(1, 0, []int{p.LinkBetween(0, 1)})
+	r.SetTransfer(2, 0, []int{p.LinkBetween(0, 1), p.LinkBetween(1, 2)})
+	r.SetTransfer(3, 2, []int{p.LinkBetween(2, 3)})
+	if err := r.Validate(p); err != nil {
+		t.Fatalf("multi-hop routing rejected: %v", err)
+	}
+	mult := r.LinkMultiplicity(p)
+	if mult[p.LinkBetween(0, 1)] != 2 {
+		t.Fatalf("link 0->1 multiplicity = %d, want 2", mult[p.LinkBetween(0, 1)])
+	}
+	if mult[p.LinkBetween(1, 2)] != 1 || mult[p.LinkBetween(2, 3)] != 1 {
+		t.Fatal("other multiplicities wrong")
+	}
+}
+
+func TestRoutingValidateErrors(t *testing.T) {
+	p := linePlatform()
+
+	// Size mismatch.
+	if err := NewRouting(3, 0).Validate(p); !errors.Is(err, ErrTreeSizeMismatch) {
+		t.Errorf("size mismatch: %v", err)
+	}
+	// Root out of range.
+	r := NewRouting(4, 9)
+	if err := r.Validate(p); !errors.Is(err, ErrTreeRootRange) {
+		t.Errorf("root range: %v", err)
+	}
+	// Root with a parent.
+	r = NewRouting(4, 0)
+	r.LogicalParent[0] = 1
+	if err := r.Validate(p); !errors.Is(err, ErrTreeRootHasParent) {
+		t.Errorf("root parent: %v", err)
+	}
+	// Missing parent.
+	r = NewRouting(4, 0)
+	r.SetTransfer(1, 0, []int{p.LinkBetween(0, 1)})
+	if err := r.Validate(p); !errors.Is(err, ErrRoutingNotSpanning) {
+		t.Errorf("missing parent: %v", err)
+	}
+	// Empty path.
+	r = fullLineRouting(p)
+	r.Paths[2] = nil
+	if err := r.Validate(p); !errors.Is(err, ErrRoutingBadPath) {
+		t.Errorf("empty path: %v", err)
+	}
+	// Path that does not start at the logical parent.
+	r = fullLineRouting(p)
+	r.Paths[2] = []int{p.LinkBetween(2, 3)}
+	if err := r.Validate(p); !errors.Is(err, ErrRoutingBadPath) {
+		t.Errorf("broken path: %v", err)
+	}
+	// Path that ends at the wrong node.
+	r = fullLineRouting(p)
+	r.Paths[3] = []int{p.LinkBetween(2, 3)}
+	r.LogicalParent[3] = 1
+	if err := r.Validate(p); !errors.Is(err, ErrRoutingBadPath) {
+		t.Errorf("wrong endpoint: %v", err)
+	}
+	// Out-of-range link ID.
+	r = fullLineRouting(p)
+	r.Paths[1] = []int{99}
+	if err := r.Validate(p); !errors.Is(err, ErrRoutingBadPath) {
+		t.Errorf("bad link id: %v", err)
+	}
+	// Logical cycle between 2 and 3 (both have valid physical paths).
+	q := New(4)
+	q.MustAddLink(0, 1, model.Linear(1))
+	q.MustAddLink(2, 3, model.Linear(1))
+	q.MustAddLink(3, 2, model.Linear(1))
+	r = NewRouting(4, 0)
+	r.SetTransfer(1, 0, []int{q.LinkBetween(0, 1)})
+	r.SetTransfer(2, 3, []int{q.LinkBetween(3, 2)})
+	r.SetTransfer(3, 2, []int{q.LinkBetween(2, 3)})
+	if err := r.Validate(q); !errors.Is(err, ErrRoutingCycle) {
+		t.Errorf("cycle: %v", err)
+	}
+}
+
+// fullLineRouting builds a valid chain routing on the line platform.
+func fullLineRouting(p *Platform) *Routing {
+	r := NewRouting(4, 0)
+	r.SetTransfer(1, 0, []int{p.LinkBetween(0, 1)})
+	r.SetTransfer(2, 1, []int{p.LinkBetween(1, 2)})
+	r.SetTransfer(3, 2, []int{p.LinkBetween(2, 3)})
+	return r
+}

@@ -1,0 +1,203 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tree is a spanning broadcast tree (an out-arborescence rooted at the
+// source processor) over a platform. Every non-root node has exactly one
+// parent and records the platform link used to receive slices from it.
+type Tree struct {
+	// Root is the source processor of the broadcast.
+	Root int `json:"root"`
+	// Parent[v] is the parent of v in the tree, or -1 for the root.
+	Parent []int `json:"parent"`
+	// ParentLink[v] is the platform link ID used for the transfer
+	// Parent[v] -> v, or -1 for the root.
+	ParentLink []int `json:"parentLink"`
+
+	children [][]int // lazily built child lists
+}
+
+// NewTree returns an empty tree skeleton for n nodes rooted at root, with
+// all parents unset (-1). Callers fill Parent/ParentLink and may then call
+// Validate.
+func NewTree(n, root int) *Tree {
+	t := &Tree{
+		Root:       root,
+		Parent:     make([]int, n),
+		ParentLink: make([]int, n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+		t.ParentLink[i] = -1
+	}
+	return t
+}
+
+// NumNodes returns the number of nodes spanned by the tree.
+func (t *Tree) NumNodes() int { return len(t.Parent) }
+
+// SetParent records that node v receives slices from parent through the
+// given platform link, and invalidates the cached child lists.
+func (t *Tree) SetParent(v, parent, linkID int) {
+	t.Parent[v] = parent
+	t.ParentLink[v] = linkID
+	t.children = nil
+}
+
+// Children returns the children of node u. The returned slice is owned by
+// the tree and must not be modified.
+func (t *Tree) Children(u int) []int {
+	if t.children == nil {
+		t.children = make([][]int, len(t.Parent))
+		for v, p := range t.Parent {
+			if p >= 0 {
+				t.children[p] = append(t.children[p], v)
+			}
+		}
+	}
+	return t.children[u]
+}
+
+// OutDegree returns the number of children of node u.
+func (t *Tree) OutDegree(u int) int { return len(t.Children(u)) }
+
+// IsLeaf reports whether u has no children.
+func (t *Tree) IsLeaf(u int) bool { return t.OutDegree(u) == 0 }
+
+// LinkIDs returns the platform link IDs used by the tree, in node order.
+func (t *Tree) LinkIDs() []int {
+	ids := make([]int, 0, len(t.Parent)-1)
+	for v, id := range t.ParentLink {
+		if v != t.Root && id >= 0 {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Depth returns the number of tree edges on the path from the root to v, or
+// -1 if v is not attached to the tree.
+func (t *Tree) Depth(v int) int {
+	d := 0
+	for v != t.Root {
+		p := t.Parent[v]
+		if p < 0 {
+			return -1
+		}
+		v = p
+		d++
+		if d > len(t.Parent) {
+			return -1 // cycle guard
+		}
+	}
+	return d
+}
+
+// Height returns the maximum depth over all nodes (0 for a single-node
+// tree). Unattached nodes are ignored.
+func (t *Tree) Height() int {
+	h := 0
+	for v := range t.Parent {
+		if d := t.Depth(v); d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// BFSOrder returns the tree nodes in breadth-first order starting at the
+// root. Unattached nodes are omitted.
+func (t *Tree) BFSOrder() []int {
+	order := make([]int, 0, len(t.Parent))
+	queue := []int{t.Root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		queue = append(queue, t.Children(u)...)
+	}
+	return order
+}
+
+// Errors returned by Validate.
+var (
+	ErrTreeRootRange      = errors.New("platform: tree root out of range")
+	ErrTreeNotSpanning    = errors.New("platform: tree does not span all nodes")
+	ErrTreeBadLink        = errors.New("platform: tree edge does not match a platform link")
+	ErrTreeRootHasParent  = errors.New("platform: tree root has a parent")
+	ErrTreeSizeMismatch   = errors.New("platform: tree size differs from platform size")
+	ErrTreeParentMismatch = errors.New("platform: parent and parent-link arrays disagree")
+)
+
+// Validate checks that the tree is a spanning out-arborescence of the
+// platform rooted at its Root: correct sizes, every non-root node has a
+// parent connected through an existing platform link with matching
+// endpoints, and every node is reachable from the root through tree edges.
+func (t *Tree) Validate(p *Platform) error {
+	n := p.NumNodes()
+	if len(t.Parent) != n || len(t.ParentLink) != n {
+		return fmt.Errorf("%w: tree has %d nodes, platform has %d", ErrTreeSizeMismatch, len(t.Parent), n)
+	}
+	if t.Root < 0 || t.Root >= n {
+		return fmt.Errorf("%w: root=%d", ErrTreeRootRange, t.Root)
+	}
+	if t.Parent[t.Root] != -1 || t.ParentLink[t.Root] != -1 {
+		return ErrTreeRootHasParent
+	}
+	for v := 0; v < n; v++ {
+		if v == t.Root {
+			continue
+		}
+		parent, linkID := t.Parent[v], t.ParentLink[v]
+		if parent < 0 || linkID < 0 {
+			return fmt.Errorf("%w: node %d has no parent", ErrTreeNotSpanning, v)
+		}
+		if parent >= n || linkID >= p.NumLinks() {
+			return fmt.Errorf("%w: node %d parent=%d link=%d", ErrTreeBadLink, v, parent, linkID)
+		}
+		l := p.Link(linkID)
+		if l.From != parent || l.To != v {
+			return fmt.Errorf("%w: node %d uses link %d (%d -> %d) but parent is %d",
+				ErrTreeParentMismatch, v, linkID, l.From, l.To, parent)
+		}
+	}
+	// Reachability from the root through tree edges.
+	seen := make([]bool, n)
+	seen[t.Root] = true
+	count := 1
+	queue := []int{t.Root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, c := range t.Children(u) {
+			if !seen[c] {
+				seen[c] = true
+				count++
+				queue = append(queue, c)
+			}
+		}
+	}
+	if count != n {
+		return fmt.Errorf("%w: only %d of %d nodes reachable from root", ErrTreeNotSpanning, count, n)
+	}
+	return nil
+}
+
+// TreeFromParentLinks builds a Tree from a per-node parent-link assignment
+// (link ID used to reach each node, -1 for the root), as produced by
+// graph.BFSArborescence when edge IDs coincide with platform link IDs.
+func TreeFromParentLinks(p *Platform, root int, parentLink []int) *Tree {
+	t := NewTree(p.NumNodes(), root)
+	for v, id := range parentLink {
+		if v == root || id < 0 {
+			continue
+		}
+		l := p.Link(id)
+		t.Parent[v] = l.From
+		t.ParentLink[v] = id
+	}
+	return t
+}

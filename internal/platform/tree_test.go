@@ -1,0 +1,181 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// starPlatform returns a platform where node 0 is connected to every other
+// node by a bidirectional pair of unit-cost links.
+func starPlatform(n int) *Platform {
+	p := New(n)
+	for i := 1; i < n; i++ {
+		p.MustAddLink(0, i, model.Linear(1))
+		p.MustAddLink(i, 0, model.Linear(1))
+	}
+	return p
+}
+
+// starTree builds the obvious broadcast tree on a star platform.
+func starTree(p *Platform) *Tree {
+	t := NewTree(p.NumNodes(), 0)
+	for v := 1; v < p.NumNodes(); v++ {
+		t.SetParent(v, 0, p.LinkBetween(0, v))
+	}
+	return t
+}
+
+func TestNewTree(t *testing.T) {
+	tr := NewTree(4, 2)
+	if tr.Root != 2 || tr.NumNodes() != 4 {
+		t.Fatalf("root=%d nodes=%d", tr.Root, tr.NumNodes())
+	}
+	for v := 0; v < 4; v++ {
+		if tr.Parent[v] != -1 || tr.ParentLink[v] != -1 {
+			t.Fatalf("node %d not initialized to -1", v)
+		}
+	}
+}
+
+func TestTreeChildrenAndDegrees(t *testing.T) {
+	p := starPlatform(4)
+	tr := starTree(p)
+	if got := tr.OutDegree(0); got != 3 {
+		t.Fatalf("OutDegree(0) = %d, want 3", got)
+	}
+	if !tr.IsLeaf(1) || tr.IsLeaf(0) {
+		t.Fatal("leaf detection wrong")
+	}
+	// SetParent invalidates the cache.
+	tr.SetParent(3, 1, -1)
+	if got := tr.OutDegree(0); got != 2 {
+		t.Fatalf("OutDegree(0) after reparent = %d, want 2", got)
+	}
+	if got := tr.OutDegree(1); got != 1 {
+		t.Fatalf("OutDegree(1) after reparent = %d, want 1", got)
+	}
+}
+
+func TestTreeDepthHeightOrder(t *testing.T) {
+	p := New(5)
+	for i := 0; i+1 < 5; i++ {
+		p.MustAddLink(i, i+1, model.Linear(1))
+	}
+	tr := NewTree(5, 0)
+	for v := 1; v < 5; v++ {
+		tr.SetParent(v, v-1, p.LinkBetween(v-1, v))
+	}
+	if tr.Depth(0) != 0 || tr.Depth(4) != 4 {
+		t.Fatalf("depths: %d %d", tr.Depth(0), tr.Depth(4))
+	}
+	if tr.Height() != 4 {
+		t.Fatalf("height = %d, want 4", tr.Height())
+	}
+	order := tr.BFSOrder()
+	if len(order) != 5 || order[0] != 0 || order[4] != 4 {
+		t.Fatalf("BFS order = %v", order)
+	}
+	if len(tr.LinkIDs()) != 4 {
+		t.Fatalf("LinkIDs length = %d, want 4", len(tr.LinkIDs()))
+	}
+}
+
+func TestTreeDepthUnattachedAndCycle(t *testing.T) {
+	tr := NewTree(3, 0)
+	if tr.Depth(2) != -1 {
+		t.Fatal("unattached node should have depth -1")
+	}
+	// Artificial cycle 1 <-> 2 disconnected from the root.
+	tr.Parent[1] = 2
+	tr.Parent[2] = 1
+	if tr.Depth(1) != -1 {
+		t.Fatal("cycle should yield depth -1")
+	}
+}
+
+func TestTreeValidateAcceptsStar(t *testing.T) {
+	p := starPlatform(5)
+	tr := starTree(p)
+	if err := tr.Validate(p); err != nil {
+		t.Fatalf("valid star tree rejected: %v", err)
+	}
+}
+
+func TestTreeValidateErrors(t *testing.T) {
+	p := starPlatform(4)
+
+	// Size mismatch.
+	if err := NewTree(3, 0).Validate(p); !errors.Is(err, ErrTreeSizeMismatch) {
+		t.Errorf("size mismatch: %v", err)
+	}
+
+	// Root out of range.
+	tr := starTree(p)
+	tr.Root = 9
+	tr.Parent[9-9] = -1 // keep arrays consistent; root index is just invalid
+	if err := tr.Validate(p); !errors.Is(err, ErrTreeRootRange) {
+		t.Errorf("root range: %v", err)
+	}
+
+	// Root with a parent.
+	tr = starTree(p)
+	tr.Parent[0] = 1
+	tr.ParentLink[0] = p.LinkBetween(1, 0)
+	if err := tr.Validate(p); !errors.Is(err, ErrTreeRootHasParent) {
+		t.Errorf("root has parent: %v", err)
+	}
+
+	// Missing parent.
+	tr = starTree(p)
+	tr.SetParent(2, -1, -1)
+	if err := tr.Validate(p); !errors.Is(err, ErrTreeNotSpanning) {
+		t.Errorf("missing parent: %v", err)
+	}
+
+	// Link out of range.
+	tr = starTree(p)
+	tr.SetParent(2, 0, 999)
+	if err := tr.Validate(p); !errors.Is(err, ErrTreeBadLink) {
+		t.Errorf("bad link id: %v", err)
+	}
+
+	// Link endpoints do not match the declared parent.
+	tr = starTree(p)
+	tr.SetParent(2, 1, p.LinkBetween(0, 2))
+	if err := tr.Validate(p); !errors.Is(err, ErrTreeParentMismatch) {
+		t.Errorf("parent mismatch: %v", err)
+	}
+
+	// Cycle detached from the root: parents set but not reachable.
+	q := New(4)
+	q.MustAddLink(0, 1, model.Linear(1))
+	q.MustAddLink(2, 3, model.Linear(1))
+	q.MustAddLink(3, 2, model.Linear(1))
+	tr = NewTree(4, 0)
+	tr.SetParent(1, 0, q.LinkBetween(0, 1))
+	tr.SetParent(2, 3, q.LinkBetween(3, 2))
+	tr.SetParent(3, 2, q.LinkBetween(2, 3))
+	if err := tr.Validate(q); !errors.Is(err, ErrTreeNotSpanning) {
+		t.Errorf("detached cycle: %v", err)
+	}
+}
+
+func TestTreeFromParentLinks(t *testing.T) {
+	p := starPlatform(4)
+	g := p.Graph()
+	parentEdge, reached := g.BFSArborescence(0, nil)
+	if reached != 4 {
+		t.Fatalf("reached = %d", reached)
+	}
+	tr := TreeFromParentLinks(p, 0, parentEdge)
+	if err := tr.Validate(p); err != nil {
+		t.Fatalf("tree from parent links invalid: %v", err)
+	}
+	for v := 1; v < 4; v++ {
+		if tr.Parent[v] != 0 {
+			t.Fatalf("node %d parent = %d, want 0", v, tr.Parent[v])
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package robustness quantifies how sensitive a broadcast tree is to small
+// changes in link performance — the property the paper's conclusion puts
+// forward as an argument for single-tree (STP) schedules. Each trial scales
+// every link cost by an independent factor drawn uniformly from
+// [1-δ, 1+δ] and measures the throughput of (i) the original tree kept
+// unchanged and (ii) the tree rebuilt by the heuristic on the perturbed
+// platform, both relative to the perturbed platform's MTP optimum.
+package robustness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/heuristics"
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/steady"
+	"repro/internal/throughput"
+)
+
+// Config parameterizes a robustness analysis.
+type Config struct {
+	// Perturbation δ: each link cost is multiplied by a factor in [1-δ, 1+δ].
+	Perturbation float64
+	// Trials is the number of perturbed platforms to evaluate.
+	Trials int
+	// Model is the port model used to evaluate trees (default one-port).
+	Model model.PortModel
+	// Seed drives the perturbation RNG.
+	Seed int64
+}
+
+// Report aggregates the outcome of a robustness analysis.
+type Report struct {
+	// Heuristic is the name of the analysed heuristic.
+	Heuristic string
+	// BaselineRatio is the relative performance of the tree on the original
+	// (unperturbed) platform.
+	BaselineRatio float64
+	// FixedTree summarizes the relative performance of the original tree on
+	// the perturbed platforms (what happens if the schedule is not changed
+	// when link performance drifts).
+	FixedTree stats.Summary
+	// RebuiltTree summarizes the relative performance when the heuristic is
+	// re-run on each perturbed platform.
+	RebuiltTree stats.Summary
+	// RetainedFraction is the mean ratio of the fixed tree's throughput to
+	// the rebuilt tree's throughput across trials (1 means re-optimizing is
+	// pointless, lower values mean the fixed tree ages badly).
+	RetainedFraction float64
+}
+
+// Errors returned by Analyze.
+var ErrBadConfig = errors.New("robustness: invalid configuration")
+
+// Analyze runs the robustness analysis of one heuristic on one platform.
+func Analyze(p *platform.Platform, source int, builder heuristics.Builder, cfg Config) (*Report, error) {
+	if cfg.Perturbation < 0 || cfg.Perturbation >= 1 {
+		return nil, fmt.Errorf("%w: perturbation %v outside [0, 1)", ErrBadConfig, cfg.Perturbation)
+	}
+	if cfg.Trials < 1 {
+		return nil, fmt.Errorf("%w: %d trials", ErrBadConfig, cfg.Trials)
+	}
+	baseOpt, err := steady.Solve(p, source, nil)
+	if err != nil {
+		return nil, err
+	}
+	baseTree, err := builder.Build(p, source)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Heuristic:     builder.Name(),
+		BaselineRatio: throughput.TreeThroughput(p, baseTree, cfg.Model) / baseOpt.Throughput,
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fixed := make([]float64, 0, cfg.Trials)
+	rebuilt := make([]float64, 0, cfg.Trials)
+	retained := make([]float64, 0, cfg.Trials)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		perturbed := p.Clone()
+		for id := 0; id < perturbed.NumLinks(); id++ {
+			factor := 1 + cfg.Perturbation*(2*rng.Float64()-1)
+			perturbed.ScaleLinkCost(id, factor)
+		}
+		opt, err := steady.Solve(perturbed, source, nil)
+		if err != nil {
+			return nil, err
+		}
+		fixedTP := throughput.TreeThroughput(perturbed, baseTree, cfg.Model)
+		newTree, err := builder.Build(perturbed, source)
+		if err != nil {
+			return nil, err
+		}
+		rebuiltTP := throughput.TreeThroughput(perturbed, newTree, cfg.Model)
+		fixed = append(fixed, fixedTP/opt.Throughput)
+		rebuilt = append(rebuilt, rebuiltTP/opt.Throughput)
+		if rebuiltTP > 0 {
+			retained = append(retained, fixedTP/rebuiltTP)
+		}
+	}
+	rep.FixedTree = stats.Summarize(fixed)
+	rep.RebuiltTree = stats.Summarize(rebuilt)
+	rep.RetainedFraction = stats.Mean(retained)
+	return rep, nil
+}

@@ -1,0 +1,104 @@
+package robustness
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/heuristics"
+	"repro/internal/model"
+	"repro/internal/topology"
+)
+
+func TestAnalyzeBadConfig(t *testing.T) {
+	p, err := topology.Random(topology.DefaultRandomConfig(8, 0.3), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := heuristics.ByName(heuristics.NameGrowTree)
+	if _, err := Analyze(p, 0, b, Config{Perturbation: -0.1, Trials: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("negative perturbation: %v", err)
+	}
+	if _, err := Analyze(p, 0, b, Config{Perturbation: 1.5, Trials: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("too large perturbation: %v", err)
+	}
+	if _, err := Analyze(p, 0, b, Config{Perturbation: 0.1, Trials: 0}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero trials: %v", err)
+	}
+}
+
+func TestAnalyzeZeroPerturbationIsNeutral(t *testing.T) {
+	p, err := topology.Random(topology.DefaultRandomConfig(10, 0.25), rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := heuristics.ByName(heuristics.NamePruneDegree)
+	rep, err := Analyze(p, 0, b, Config{Perturbation: 0, Trials: 3, Model: model.OnePortBidirectional, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.FixedTree.Mean-rep.BaselineRatio) > 1e-9 {
+		t.Fatalf("zero perturbation should keep the baseline ratio: %v vs %v", rep.FixedTree.Mean, rep.BaselineRatio)
+	}
+	if math.Abs(rep.RetainedFraction-1) > 1e-9 {
+		t.Fatalf("retained fraction = %v, want 1", rep.RetainedFraction)
+	}
+}
+
+func TestAnalyzeSmallPerturbation(t *testing.T) {
+	p, err := topology.Random(topology.DefaultRandomConfig(12, 0.2), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := heuristics.ByName(heuristics.NameGrowTree)
+	rep, err := Analyze(p, 0, b, Config{Perturbation: 0.1, Trials: 5, Model: model.OnePortBidirectional, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Heuristic != heuristics.NameGrowTree {
+		t.Fatalf("heuristic name = %q", rep.Heuristic)
+	}
+	if rep.BaselineRatio <= 0 || rep.BaselineRatio > 1+1e-9 {
+		t.Fatalf("baseline ratio = %v", rep.BaselineRatio)
+	}
+	// The rebuilt tree can never be worse than the fixed tree on average
+	// beyond noise, and both stay within (0, 1].
+	if rep.FixedTree.Count != 5 || rep.RebuiltTree.Count != 5 {
+		t.Fatalf("sample counts: %d, %d", rep.FixedTree.Count, rep.RebuiltTree.Count)
+	}
+	if rep.FixedTree.Min <= 0 || rep.RebuiltTree.Min <= 0 {
+		t.Fatal("ratios must stay positive")
+	}
+	if rep.FixedTree.Max > 1+1e-6 || rep.RebuiltTree.Max > 1+1e-6 {
+		t.Fatalf("single-tree ratio exceeded the MTP optimum: fixed max %v, rebuilt max %v",
+			rep.FixedTree.Max, rep.RebuiltTree.Max)
+	}
+	if rep.RetainedFraction <= 0 || rep.RetainedFraction > 1.5 {
+		t.Fatalf("retained fraction = %v", rep.RetainedFraction)
+	}
+	// With a 10% perturbation a reasonable tree keeps most of its value.
+	if rep.RetainedFraction < 0.5 {
+		t.Fatalf("retained fraction %v suspiciously low for a 10%% perturbation", rep.RetainedFraction)
+	}
+}
+
+func TestAnalyzeDeterministicForSeed(t *testing.T) {
+	p, err := topology.Random(topology.DefaultRandomConfig(9, 0.3), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := heuristics.ByName(heuristics.NameLPGrowTree)
+	a1, err := Analyze(p, 0, b, Config{Perturbation: 0.2, Trials: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Analyze(p, 0, b, Config{Perturbation: 0.2, Trials: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a1.FixedTree.Mean-a2.FixedTree.Mean) > 1e-12 ||
+		math.Abs(a1.RebuiltTree.Mean-a2.RebuiltTree.Mean) > 1e-12 {
+		t.Fatal("analysis is not deterministic for a fixed seed")
+	}
+}

@@ -1,0 +1,200 @@
+// Package sim simulates the pipelined broadcast of a message along a
+// spanning tree, slice by slice, under the bidirectional one-port and
+// multi-port models. The simulation reproduces the schedule an actual
+// implementation would follow (every node forwards slices to its children
+// in a fixed round-robin order, serializing its port or its per-send
+// overhead), and therefore validates the analytic steady-state throughput
+// used everywhere else in the repository: as the number of slices grows the
+// measured steady-state rate converges to throughput.Evaluate's prediction.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/platform"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Model is the port model; OnePortBidirectional and MultiPort are
+	// supported (the unidirectional variant is only used analytically).
+	Model model.PortModel
+	// Slices is the number of message slices to broadcast (must be >= 1).
+	Slices int
+	// SliceSize overrides the platform's slice size when positive.
+	SliceSize float64
+}
+
+// Result holds the outcome of a simulation.
+type Result struct {
+	// Makespan is the time at which the last node receives the last slice.
+	Makespan float64
+	// Throughput is Slices / Makespan (includes the pipeline fill time).
+	Throughput float64
+	// SteadyThroughput estimates the steady-state rate by discarding the
+	// first half of the slices (it converges to the analytic tree
+	// throughput as Slices grows).
+	SteadyThroughput float64
+	// NodeCompletion[v] is the time at which node v received the last slice.
+	NodeCompletion []float64
+	// SliceCompletion[k] is the time at which slice k reached every node.
+	SliceCompletion []float64
+}
+
+// Errors returned by Simulate.
+var (
+	ErrUnsupportedModel = errors.New("sim: unsupported port model")
+	ErrBadConfig        = errors.New("sim: invalid configuration")
+)
+
+// Simulate runs the pipelined broadcast of cfg.Slices slices along the tree
+// and returns timing statistics. The tree must be a valid spanning tree of
+// the platform.
+func Simulate(p *platform.Platform, t *platform.Tree, cfg Config) (*Result, error) {
+	if cfg.Slices < 1 {
+		return nil, fmt.Errorf("%w: %d slices", ErrBadConfig, cfg.Slices)
+	}
+	if cfg.Model != model.OnePortBidirectional && cfg.Model != model.MultiPort {
+		return nil, fmt.Errorf("%w: %v", ErrUnsupportedModel, cfg.Model)
+	}
+	if err := t.Validate(p); err != nil {
+		return nil, err
+	}
+	n := p.NumNodes()
+	k := cfg.Slices
+
+	// Re-evaluate the affine costs at the requested slice size (if any) so
+	// that start-up costs are charged once per slice rather than scaled.
+	costs := p
+	if cfg.SliceSize > 0 && cfg.SliceSize != p.SliceSize() {
+		costs = p.Clone()
+		costs.SetSliceSize(cfg.SliceSize)
+	}
+	linkTime := func(linkID int) float64 { return costs.SliceTime(linkID) }
+	sendTime := func(u int) float64 { return costs.SendTime(u) }
+
+	// avail[v][s] is the time at which node v holds slice s.
+	avail := make([][]float64, n)
+	for v := range avail {
+		avail[v] = make([]float64, k)
+	}
+	// The source holds every slice from the start.
+	order := t.BFSOrder()
+	if len(order) != n {
+		return nil, fmt.Errorf("%w: tree spans %d of %d nodes", ErrBadConfig, len(order), n)
+	}
+
+	// Process nodes in BFS order: a node's children only depend on the
+	// node's own receive times, which are known once its parent has been
+	// processed.
+	for _, u := range order {
+		children := t.Children(u)
+		if len(children) == 0 {
+			continue
+		}
+		switch cfg.Model {
+		case model.OnePortBidirectional:
+			simulateOnePortSender(p, t, u, children, avail, linkTime)
+		case model.MultiPort:
+			simulateMultiPortSender(p, t, u, children, avail, linkTime, sendTime(u))
+		}
+	}
+
+	res := &Result{
+		NodeCompletion:  make([]float64, n),
+		SliceCompletion: make([]float64, k),
+	}
+	for v := 0; v < n; v++ {
+		if v == t.Root {
+			continue
+		}
+		res.NodeCompletion[v] = avail[v][k-1]
+		if res.NodeCompletion[v] > res.Makespan {
+			res.Makespan = res.NodeCompletion[v]
+		}
+		for s := 0; s < k; s++ {
+			if avail[v][s] > res.SliceCompletion[s] {
+				res.SliceCompletion[s] = avail[v][s]
+			}
+		}
+	}
+	if res.Makespan > 0 {
+		res.Throughput = float64(k) / res.Makespan
+	} else {
+		res.Throughput = math.Inf(1)
+	}
+	res.SteadyThroughput = res.Throughput
+	if k >= 4 {
+		half := k / 2
+		span := res.SliceCompletion[k-1] - res.SliceCompletion[half-1]
+		if span > 0 {
+			res.SteadyThroughput = float64(k-half) / span
+		} else {
+			res.SteadyThroughput = math.Inf(1)
+		}
+	}
+	return res, nil
+}
+
+// simulateOnePortSender schedules all transfers of sender u under the
+// bidirectional one-port model: the sender's port handles one transfer at a
+// time, slices are forwarded in order, children served round-robin within a
+// slice. Receiving never conflicts with sending (bidirectional), and a node
+// has a single parent so its receive port is trivially serialized.
+func simulateOnePortSender(p *platform.Platform, t *platform.Tree, u int, children []int, avail [][]float64, linkTime func(int) float64) {
+	sendFree := 0.0
+	slices := len(avail[u])
+	isRoot := u == t.Root
+	for s := 0; s < slices; s++ {
+		ready := 0.0
+		if !isRoot {
+			ready = avail[u][s]
+		}
+		for _, c := range children {
+			start := math.Max(sendFree, ready)
+			finish := start + linkTime(t.ParentLink[c])
+			avail[c][s] = finish
+			sendFree = finish
+		}
+	}
+}
+
+// simulateMultiPortSender schedules all transfers of sender u under the
+// multi-port model: the sender serializes only its per-send overhead, each
+// link carries one transfer at a time, and a transfer completes one full
+// link occupation after it starts.
+func simulateMultiPortSender(p *platform.Platform, t *platform.Tree, u int, children []int, avail [][]float64, linkTime func(int) float64, sendOverhead float64) {
+	interfaceFree := 0.0
+	linkFree := make(map[int]float64, len(children))
+	slices := len(avail[u])
+	isRoot := u == t.Root
+	for s := 0; s < slices; s++ {
+		ready := 0.0
+		if !isRoot {
+			ready = avail[u][s]
+		}
+		for _, c := range children {
+			link := t.ParentLink[c]
+			overheadStart := math.Max(interfaceFree, ready)
+			interfaceFree = overheadStart + sendOverhead
+			start := math.Max(overheadStart, linkFree[link])
+			finish := start + linkTime(link)
+			linkFree[link] = finish
+			avail[c][s] = finish
+		}
+	}
+}
+
+// MeasureThroughput is a convenience helper that simulates the broadcast of
+// the given number of slices and returns the measured steady-state
+// throughput.
+func MeasureThroughput(p *platform.Platform, t *platform.Tree, m model.PortModel, slices int) (float64, error) {
+	res, err := Simulate(p, t, Config{Model: m, Slices: slices})
+	if err != nil {
+		return 0, err
+	}
+	return res.SteadyThroughput, nil
+}

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/heuristics"
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/throughput"
+	"repro/internal/topology"
+)
+
+func chainTree(times []float64) (*platform.Platform, *platform.Tree) {
+	n := len(times) + 1
+	p := platform.New(n)
+	tr := platform.NewTree(n, 0)
+	for i, t := range times {
+		id := p.MustAddLink(i, i+1, model.Linear(t))
+		tr.SetParent(i+1, i, id)
+	}
+	return p, tr
+}
+
+func starTree(times []float64) (*platform.Platform, *platform.Tree) {
+	n := len(times) + 1
+	p := platform.New(n)
+	tr := platform.NewTree(n, 0)
+	for i, t := range times {
+		id := p.MustAddLink(0, i+1, model.Linear(t))
+		tr.SetParent(i+1, 0, id)
+	}
+	return p, tr
+}
+
+func TestSimulateChainOnePort(t *testing.T) {
+	p, tr := chainTree([]float64{1, 4, 2})
+	res, err := Simulate(p, tr, Config{Model: model.OnePortBidirectional, Slices: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic steady-state throughput is 1/4.
+	if math.Abs(res.SteadyThroughput-0.25) > 0.01 {
+		t.Fatalf("steady throughput = %v, want ~0.25", res.SteadyThroughput)
+	}
+	// The pipeline fill adds the path length once: makespan ~= 7 + 99*4.
+	want := 7.0 + 99*4
+	if math.Abs(res.Makespan-want) > 1e-6 {
+		t.Fatalf("makespan = %v, want %v", res.Makespan, want)
+	}
+	if res.Throughput >= res.SteadyThroughput {
+		t.Fatal("total throughput should be below steady state (fill time)")
+	}
+}
+
+func TestSimulateStarOnePortExact(t *testing.T) {
+	p, tr := starTree([]float64{1, 2, 3})
+	res, err := Simulate(p, tr, Config{Model: model.OnePortBidirectional, Slices: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The source serializes 6 time units per slice; the last child of the
+	// last slice finishes at exactly 50 * 6.
+	if math.Abs(res.Makespan-300) > 1e-9 {
+		t.Fatalf("makespan = %v, want 300", res.Makespan)
+	}
+	if math.Abs(res.SteadyThroughput-1.0/6.0) > 1e-9 {
+		t.Fatalf("steady throughput = %v, want 1/6", res.SteadyThroughput)
+	}
+}
+
+func TestSimulateSingleSlice(t *testing.T) {
+	p, tr := chainTree([]float64{1, 1})
+	res, err := Simulate(p, tr, Config{Model: model.OnePortBidirectional, Slices: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-2) > 1e-9 {
+		t.Fatalf("makespan = %v, want 2", res.Makespan)
+	}
+	if len(res.SliceCompletion) != 1 || math.Abs(res.SliceCompletion[0]-2) > 1e-9 {
+		t.Fatalf("slice completion = %v", res.SliceCompletion)
+	}
+}
+
+func TestSimulateSliceSizeOverride(t *testing.T) {
+	p, tr := chainTree([]float64{1, 1})
+	res, err := Simulate(p, tr, Config{Model: model.OnePortBidirectional, Slices: 1, SliceSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-4) > 1e-9 {
+		t.Fatalf("makespan with doubled slices = %v, want 4", res.Makespan)
+	}
+}
+
+func TestSimulateMultiPortStar(t *testing.T) {
+	p, tr := starTree([]float64{2, 2, 2})
+	p.SetNode(0, platform.Node{Send: model.Linear(1.5)})
+	res, err := Simulate(p, tr, Config{Model: model.MultiPort, Slices: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic period = max(3*1.5, 2) = 4.5.
+	if math.Abs(res.SteadyThroughput-1/4.5) > 0.01 {
+		t.Fatalf("steady throughput = %v, want ~%v", res.SteadyThroughput, 1/4.5)
+	}
+	// With negligible overhead, the link time dominates and the multi-port
+	// star is limited by the slowest link.
+	p.SetNode(0, platform.Node{Send: model.Linear(0.01)})
+	res, err = Simulate(p, tr, Config{Model: model.MultiPort, Slices: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.SteadyThroughput-0.5) > 0.02 {
+		t.Fatalf("steady throughput = %v, want ~0.5", res.SteadyThroughput)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	p, tr := chainTree([]float64{1})
+	if _, err := Simulate(p, tr, Config{Model: model.OnePortBidirectional, Slices: 0}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero slices: %v", err)
+	}
+	if _, err := Simulate(p, tr, Config{Model: model.OnePortUnidirectional, Slices: 1}); !errors.Is(err, ErrUnsupportedModel) {
+		t.Fatalf("unsupported model: %v", err)
+	}
+	bad := platform.NewTree(2, 0) // not spanning
+	if _, err := Simulate(p, bad, Config{Model: model.OnePortBidirectional, Slices: 1}); err == nil {
+		t.Fatal("invalid tree accepted")
+	}
+}
+
+// TestSimulationMatchesAnalyticThroughput is the key cross-validation: for
+// random platforms and every heuristic tree, the measured steady-state
+// throughput converges to the analytic prediction of package throughput.
+func TestSimulationMatchesAnalyticThroughput(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 3; trial++ {
+		p, err := topology.Random(topology.DefaultRandomConfig(12, 0.2), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{heuristics.NamePruneDegree, heuristics.NameGrowTree, heuristics.NameBinomial} {
+			b, err := heuristics.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, err := b.Build(p, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range []model.PortModel{model.OnePortBidirectional, model.MultiPort} {
+				analytic := throughput.TreeThroughput(p, tree, m)
+				measured, err := MeasureThroughput(p, tree, m, 400)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rel := math.Abs(measured-analytic) / analytic
+				if rel > 0.05 {
+					t.Fatalf("trial %d, %s, %v: simulated %v vs analytic %v (rel %.3f)",
+						trial, name, m, measured, analytic, rel)
+				}
+			}
+		}
+	}
+}
+
+// TestSimulatedThroughputNeverExceedsAnalytic checks that the simulation
+// (which includes fill effects) never reports a total throughput above the
+// steady-state bound.
+func TestSimulatedThroughputNeverExceedsAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	p, err := topology.Random(topology.DefaultRandomConfig(10, 0.25), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := heuristics.ByName(heuristics.NameGrowTree)
+	tree, err := b.Build(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := throughput.OnePortThroughput(p, tree)
+	for _, slices := range []int{1, 5, 50, 300} {
+		res, err := Simulate(p, tree, Config{Model: model.OnePortBidirectional, Slices: slices})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Throughput > analytic*(1+1e-9) {
+			t.Fatalf("slices=%d: total throughput %v exceeds analytic bound %v", slices, res.Throughput, analytic)
+		}
+	}
+}
+
+func TestSliceCompletionMonotone(t *testing.T) {
+	p, tr := chainTree([]float64{1, 2, 1})
+	res, err := Simulate(p, tr, Config{Model: model.OnePortBidirectional, Slices: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(res.SliceCompletion); k++ {
+		if res.SliceCompletion[k] < res.SliceCompletion[k-1] {
+			t.Fatalf("slice completion not monotone at %d: %v", k, res.SliceCompletion)
+		}
+	}
+	if res.NodeCompletion[0] != 0 {
+		t.Fatal("root completion should be 0")
+	}
+}

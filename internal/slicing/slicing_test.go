@@ -1,0 +1,130 @@
+package slicing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/heuristics"
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/topology"
+)
+
+// chainWithLatency builds a chain 0 -> 1 -> ... -> n-1 where every link has
+// start-up latency alpha and per-unit cost beta.
+func chainWithLatency(n int, alpha, beta float64) (*platform.Platform, *platform.Tree) {
+	p := platform.New(n)
+	tr := platform.NewTree(n, 0)
+	for i := 0; i+1 < n; i++ {
+		id := p.MustAddLink(i, i+1, model.AffineCost{Latency: alpha, PerUnit: beta})
+		tr.SetParent(i+1, i, id)
+	}
+	return p, tr
+}
+
+func TestOptimizeRejectsBadInput(t *testing.T) {
+	p, tr := chainWithLatency(3, 0, 1)
+	if _, err := Optimize(p, tr, model.OnePortBidirectional, 0, 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := Optimize(p, tr, model.OnePortBidirectional, math.NaN(), 0); err == nil {
+		t.Fatal("NaN size accepted")
+	}
+	bad := platform.NewTree(3, 0)
+	if _, err := Optimize(p, bad, model.OnePortBidirectional, 1, 0); err == nil {
+		t.Fatal("invalid tree accepted")
+	}
+}
+
+func TestOptimizeZeroLatencyPrefersManySlices(t *testing.T) {
+	// Without start-up costs, more slices always help (up to the cap): the
+	// optimum should sit at or near maxSlices and beat the atomic broadcast
+	// by roughly the pipeline depth on a long chain.
+	p, tr := chainWithLatency(6, 0, 1)
+	plan, err := Optimize(p, tr, model.OnePortBidirectional, 100, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Slices < 128 {
+		t.Fatalf("expected many slices with zero latency, got %d", plan.Slices)
+	}
+	if plan.Speedup < 3 {
+		t.Fatalf("speed-up = %v, want a large pipelining gain on a deep chain", plan.Speedup)
+	}
+	if plan.AtomicMakespan != 500 { // 5 links x size 100
+		t.Fatalf("atomic makespan = %v, want 500", plan.AtomicMakespan)
+	}
+}
+
+func TestOptimizeWithLatencyPicksIntermediateCount(t *testing.T) {
+	// With a noticeable per-slice start-up cost the optimum is an
+	// intermediate slice count: neither 1 nor the maximum.
+	p, tr := chainWithLatency(6, 0.5, 0.01)
+	plan, err := Optimize(p, tr, model.OnePortBidirectional, 1000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Slices <= 1 || plan.Slices >= 4096 {
+		t.Fatalf("expected an intermediate slice count, got %d", plan.Slices)
+	}
+	// The chosen count must be at least as good as its neighbours (local
+	// optimality) and as the two extremes.
+	for _, k := range []int{1, plan.Slices - 1, plan.Slices + 1, 4096} {
+		if k < 1 {
+			continue
+		}
+		if ms := EstimateMakespan(p, tr, model.OnePortBidirectional, 1000, k); ms < plan.Makespan-1e-9 {
+			t.Fatalf("slice count %d (makespan %v) beats the chosen %d (%v)", k, ms, plan.Slices, plan.Makespan)
+		}
+	}
+	if plan.SliceSize != 1000/float64(plan.Slices) {
+		t.Fatalf("slice size inconsistent: %v", plan.SliceSize)
+	}
+}
+
+func TestOptimizeSingleNodeDegenerate(t *testing.T) {
+	p := platform.New(1)
+	tr := platform.NewTree(1, 0)
+	plan, err := Optimize(p, tr, model.OnePortBidirectional, 10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Makespan != 0 || plan.Slices < 1 {
+		t.Fatalf("degenerate plan = %+v", plan)
+	}
+}
+
+func TestOptimizeOnRandomPlatformBeatsAtomic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p, err := topology.Random(topology.DefaultRandomConfig(15, 0.2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := heuristics.ByName(heuristics.NameGrowTree)
+	tree, err := b.Build(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Optimize(p, tree, model.OnePortBidirectional, 512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Speedup < 1 {
+		t.Fatalf("pipelining should never lose to the atomic broadcast, speedup = %v", plan.Speedup)
+	}
+	if plan.Slices < 2 {
+		t.Fatalf("expected pipelining to help on a random platform, got %d slices", plan.Slices)
+	}
+}
+
+func TestGrowCandidateMonotone(t *testing.T) {
+	k := 1
+	for i := 0; i < 100; i++ {
+		next := growCandidate(k)
+		if next <= k {
+			t.Fatalf("growCandidate(%d) = %d did not advance", k, next)
+		}
+		k = next
+	}
+}

@@ -1,0 +1,133 @@
+// Package sta implements heuristics for the STA problem (Single Tree,
+// Atomic): broadcasting the whole message at once along a spanning tree and
+// minimizing the makespan. These are the classical baselines the paper's
+// related-work section discusses — Fastest Node First [Banikazemi et al.]
+// and Fastest Edge First [Bhat et al.] — and are provided as an extension so
+// the repository covers all three regimes of Table 1.
+//
+// Both heuristics are greedy constructions under the bidirectional one-port
+// model: a node that holds the message forwards it to one destination at a
+// time, each transfer taking the full link occupation for the whole message.
+package sta
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+)
+
+// Result is a tree built by an STA heuristic together with its schedule.
+type Result struct {
+	// Tree is the broadcast tree (an out-arborescence rooted at the source).
+	Tree *platform.Tree
+	// Makespan is the completion time of the greedy schedule that built the
+	// tree (the time the last node receives the whole message).
+	Makespan float64
+	// Completion[v] is the time node v receives the message (0 for the
+	// source).
+	Completion []float64
+}
+
+// Errors returned by the heuristics.
+var ErrNotBroadcastable = errors.New("sta: platform is not broadcastable from the source")
+
+// Heuristic identifies an STA tree-construction strategy.
+type Heuristic int
+
+const (
+	// FastestNodeFirst (FNF) repeatedly performs the transfer that completes
+	// earliest: among all pairs (u holding the message, v not holding it),
+	// it picks the one minimizing max(free_u, recv_u) + T(u,v)(size), i.e.
+	// it favours fast senders becoming available early — the earliest
+	// completion time rule of Banikazemi et al.
+	FastestNodeFirst Heuristic = iota
+	// FastestEdgeFirst (FEF) repeatedly uses the fastest crossing link
+	// (smallest T(u,v)(size)) regardless of when its sender becomes free.
+	FastestEdgeFirst
+)
+
+// String returns a short name for the heuristic.
+func (h Heuristic) String() string {
+	switch h {
+	case FastestNodeFirst:
+		return "fastest-node-first"
+	case FastestEdgeFirst:
+		return "fastest-edge-first"
+	default:
+		return fmt.Sprintf("Heuristic(%d)", int(h))
+	}
+}
+
+// Build constructs an STA broadcast tree for a message of the given total
+// size with the selected heuristic and returns the tree together with the
+// greedy schedule's makespan.
+func Build(p *platform.Platform, source int, totalSize float64, h Heuristic) (*Result, error) {
+	if totalSize <= 0 || math.IsNaN(totalSize) || math.IsInf(totalSize, 0) {
+		return nil, fmt.Errorf("sta: invalid message size %v", totalSize)
+	}
+	if err := p.Validate(source); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotBroadcastable, err)
+	}
+	n := p.NumNodes()
+	tree := platform.NewTree(n, source)
+	completion := make([]float64, n) // time the node holds the message
+	free := make([]float64, n)       // time the node's send port becomes free
+	inTree := make([]bool, n)
+	inTree[source] = true
+
+	linkTime := func(id int) float64 { return p.Link(id).Cost.Time(totalSize) }
+
+	for added := 1; added < n; added++ {
+		bestLink := -1
+		bestFinish := math.Inf(1)
+		bestKey := math.Inf(1)
+		for u := 0; u < n; u++ {
+			if !inTree[u] {
+				continue
+			}
+			start := math.Max(free[u], completion[u])
+			for _, id := range p.OutLinkIDs(u) {
+				v := p.Link(id).To
+				if inTree[v] {
+					continue
+				}
+				finish := start + linkTime(id)
+				var key float64
+				switch h {
+				case FastestNodeFirst:
+					key = finish
+				case FastestEdgeFirst:
+					key = linkTime(id)
+				default:
+					return nil, fmt.Errorf("sta: unknown heuristic %v", h)
+				}
+				if key < bestKey || (key == bestKey && bestLink >= 0 && finish < bestFinish) {
+					bestKey = key
+					bestFinish = finish
+					bestLink = id
+				}
+			}
+		}
+		if bestLink < 0 {
+			return nil, ErrNotBroadcastable
+		}
+		l := p.Link(bestLink)
+		tree.SetParent(l.To, l.From, bestLink)
+		inTree[l.To] = true
+		completion[l.To] = bestFinish
+		free[l.From] = bestFinish
+		free[l.To] = bestFinish
+	}
+	if err := tree.Validate(p); err != nil {
+		return nil, err
+	}
+	makespan := 0.0
+	for v := 0; v < n; v++ {
+		if completion[v] > makespan {
+			makespan = completion[v]
+		}
+	}
+	return &Result{Tree: tree, Makespan: makespan, Completion: completion}, nil
+}

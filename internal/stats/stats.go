@@ -1,0 +1,157 @@
+// Package stats provides the descriptive statistics used to aggregate
+// experiment results (the paper reports mean relative performance and its
+// deviation across platform configurations).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics for the sample. NaN values are
+// ignored; an empty (or all-NaN) sample yields a zero Summary.
+func Summarize(sample []float64) Summary {
+	clean := make([]float64, 0, len(sample))
+	for _, x := range sample {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		Count: len(clean),
+		Min:   clean[0],
+		Max:   clean[0],
+	}
+	var sum float64
+	for _, x := range clean {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(clean))
+	if len(clean) > 1 {
+		var ss float64
+		for _, x := range clean {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(clean)-1))
+	}
+	s.Median = Median(clean)
+	return s
+}
+
+// Mean returns the arithmetic mean of the sample, or NaN for an empty
+// sample.
+func Mean(sample []float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range sample {
+		sum += x
+	}
+	return sum / float64(len(sample))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0 for
+// samples with fewer than two values.
+func StdDev(sample []float64) float64 {
+	if len(sample) < 2 {
+		return 0
+	}
+	m := Mean(sample)
+	var ss float64
+	for _, x := range sample {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(sample)-1))
+}
+
+// Median returns the median of the sample (average of the two middle values
+// for even-sized samples), or NaN for an empty sample. The input slice is
+// not modified.
+func Median(sample []float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// Min returns the smallest value of the sample, or NaN for an empty sample.
+func Min(sample []float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	m := sample[0]
+	for _, x := range sample[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value of the sample, or NaN for an empty sample.
+func Max(sample []float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	m := sample[0]
+	for _, x := range sample[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ConfidenceInterval95 returns the half-width of an approximate 95%
+// confidence interval on the mean (1.96 standard errors). It returns 0 for
+// samples with fewer than two values.
+func ConfidenceInterval95(sample []float64) float64 {
+	if len(sample) < 2 {
+		return 0
+	}
+	return 1.96 * StdDev(sample) / math.Sqrt(float64(len(sample)))
+}
+
+// GeometricMean returns the geometric mean of a sample of positive values,
+// or NaN if the sample is empty or contains a non-positive value.
+func GeometricMean(sample []float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	var logSum float64
+	for _, x := range sample {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(sample)))
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Count != 8 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if !almostEqual(s.Mean, 5) {
+		t.Fatalf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev of this classic dataset is sqrt(32/7).
+	if !almostEqual(s.StdDev, math.Sqrt(32.0/7.0)) {
+		t.Fatalf("StdDev = %v", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if !almostEqual(s.Median, 4.5) {
+		t.Fatalf("Median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndNaN(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{math.NaN(), 3, math.NaN(), 5})
+	if s.Count != 2 || !almostEqual(s.Mean, 4) {
+		t.Fatalf("NaN-filtered summary = %+v", s)
+	}
+	if s := Summarize([]float64{math.NaN()}); s.Count != 0 {
+		t.Fatalf("all-NaN summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingleValue(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.Count != 1 || s.Mean != 3 || s.StdDev != 0 || s.Median != 3 {
+		t.Fatalf("single-value summary = %+v", s)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+	if !almostEqual(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("Mean wrong")
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("StdDev of single value should be 0")
+	}
+	if !almostEqual(StdDev([]float64{1, 2, 3, 4}), math.Sqrt(5.0/3.0)) {
+		t.Fatalf("StdDev = %v", StdDev([]float64{1, 2, 3, 4}))
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("Median(nil) should be NaN")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median wrong")
+	}
+	if !almostEqual(Median([]float64{4, 1, 3, 2}), 2.5) {
+		t.Fatal("even median wrong")
+	}
+	// Input must not be reordered.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Median modified its input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("Min/Max of empty should be NaN")
+	}
+	if Min([]float64{3, -1, 2}) != -1 || Max([]float64{3, -1, 2}) != 3 {
+		t.Fatal("Min/Max wrong")
+	}
+}
+
+func TestConfidenceInterval95(t *testing.T) {
+	if ConfidenceInterval95([]float64{1}) != 0 {
+		t.Fatal("CI of single value should be 0")
+	}
+	sample := []float64{1, 2, 3, 4, 5}
+	want := 1.96 * StdDev(sample) / math.Sqrt(5)
+	if !almostEqual(ConfidenceInterval95(sample), want) {
+		t.Fatal("CI wrong")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if !almostEqual(GeometricMean([]float64{1, 4, 16}), 4) {
+		t.Fatalf("GeometricMean = %v, want 4", GeometricMean([]float64{1, 4, 16}))
+	}
+	if !math.IsNaN(GeometricMean(nil)) {
+		t.Fatal("empty geometric mean should be NaN")
+	}
+	if !math.IsNaN(GeometricMean([]float64{1, 0, 2})) {
+		t.Fatal("non-positive value should yield NaN")
+	}
+}
+
+func TestSummaryProperties(t *testing.T) {
+	// Property: Min <= Median <= Max, Min <= Mean <= Max, StdDev >= 0.
+	f := func(raw []float64) bool {
+		sample := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				// Keep the magnitude bounded to avoid float overflow noise.
+				sample = append(sample, math.Mod(x, 1e6))
+			}
+		}
+		if len(sample) == 0 {
+			return true
+		}
+		s := Summarize(sample)
+		const eps = 1e-6
+		return s.Min <= s.Median+eps && s.Median <= s.Max+eps &&
+			s.Min <= s.Mean+eps && s.Mean <= s.Max+eps && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanShiftProperty(t *testing.T) {
+	// Property: adding a constant shifts the mean by that constant and
+	// leaves the standard deviation unchanged.
+	f := func(raw []float64, shiftRaw float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		sample := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				sample = append(sample, math.Mod(x, 1e3))
+			}
+		}
+		if len(sample) < 2 {
+			return true
+		}
+		shift := math.Mod(shiftRaw, 1e3)
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			shift = 1
+		}
+		shifted := make([]float64, len(sample))
+		for i, x := range sample {
+			shifted[i] = x + shift
+		}
+		return math.Abs(Mean(shifted)-(Mean(sample)+shift)) < 1e-6 &&
+			math.Abs(StdDev(shifted)-StdDev(sample)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

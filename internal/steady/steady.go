@@ -1,0 +1,379 @@
+// Package steady computes the optimal steady-state broadcast throughput of
+// the MTP problem (Multiple Trees, Pipelined) for a heterogeneous platform
+// under the bidirectional one-port model, i.e. the value of the linear
+// program (2) of Section 4.1 of the paper. This optimum serves as the
+// reference ("relative performance" denominator) for every STP heuristic,
+// and its per-edge message rates n(u,v) seed the LP-based heuristics.
+//
+// Two solvers are provided:
+//
+//   - Solve uses a cutting-plane decomposition: by max-flow/min-cut duality,
+//     the projection of LP (2) onto the edge rates n and the throughput TP
+//     is exactly {per-node one-port occupation constraints} together with
+//     {for every destination w and every source→w cut C: Σ_{e∈C} n_e ≥ TP}.
+//     A small master LP over (n, TP) is solved repeatedly, violated cuts
+//     being separated with a max-flow computation per destination.
+//
+//   - SolveDirect encodes LP (2) directly (per-destination flow variables);
+//     its size grows as |E|·|V| so it is only practical for small platforms,
+//     where it cross-checks the cutting-plane solver in tests.
+package steady
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/lp"
+	"repro/internal/maxflow"
+	"repro/internal/platform"
+)
+
+// Solution is the optimal steady-state broadcast solution.
+type Solution struct {
+	// Throughput is the optimal number of message slices the source can
+	// broadcast per time unit using multiple trees (the value TP of LP (2)).
+	Throughput float64
+	// EdgeRate[linkID] is the number of slices per time unit that cross the
+	// link in the optimal solution (n(u,v) in the paper). The LP-based
+	// heuristics use these as edge weights.
+	EdgeRate []float64
+	// Rounds is the number of cutting-plane iterations (1 for SolveDirect).
+	Rounds int
+	// Cuts is the number of cut constraints generated (0 for SolveDirect).
+	Cuts int
+	// LPIterations is the total number of simplex pivots performed.
+	LPIterations int
+}
+
+// Options tunes the solvers.
+type Options struct {
+	// MaxRounds bounds the number of cutting-plane iterations (default 200).
+	MaxRounds int
+	// Tolerance is the relative violation tolerance used when separating
+	// cuts (default 1e-7).
+	Tolerance float64
+	// GapTolerance stops the cutting-plane loop as soon as the relative gap
+	// between the master LP value (an upper bound on the optimum) and the
+	// throughput actually supported by the current edge rates (a lower
+	// bound, the smallest destination max-flow) falls below this value
+	// (default 1e-5). The reported throughput is then the achievable lower
+	// bound.
+	GapTolerance float64
+	// LP are the options passed to the simplex solver.
+	LP *lp.Options
+}
+
+func (o *Options) maxRounds() int {
+	if o != nil && o.MaxRounds > 0 {
+		return o.MaxRounds
+	}
+	return 200
+}
+
+func (o *Options) tolerance() float64 {
+	if o != nil && o.Tolerance > 0 {
+		return o.Tolerance
+	}
+	return 1e-7
+}
+
+func (o *Options) gapTolerance() float64 {
+	if o != nil && o.GapTolerance > 0 {
+		return o.GapTolerance
+	}
+	return 1e-5
+}
+
+func (o *Options) lpOptions() *lp.Options {
+	if o != nil && o.LP != nil {
+		return o.LP
+	}
+	// Bound the worst-case cost of one master solve: on rare, highly
+	// degenerate masters the simplex can otherwise spend minutes proving
+	// optimality. A solve that hits this limit still returns a primal
+	// feasible point, which the cutting-plane loop tolerates (see Solve).
+	return &lp.Options{MaxIterations: 30000}
+}
+
+// Errors returned by the solvers.
+var (
+	ErrNoConvergence = errors.New("steady: cutting-plane solver did not converge")
+	ErrLPFailed      = errors.New("steady: linear program could not be solved")
+)
+
+// Solve computes the optimal MTP throughput and edge rates with the
+// cutting-plane decomposition. The platform must be broadcastable from the
+// source (every node reachable), which is checked up front.
+func Solve(p *platform.Platform, source int, opts *Options) (*Solution, error) {
+	if err := p.Validate(source); err != nil {
+		return nil, err
+	}
+	n := p.NumNodes()
+	e := p.NumLinks()
+	if n == 1 {
+		return &Solution{Throughput: math.Inf(1), EdgeRate: make([]float64, e), Rounds: 0}, nil
+	}
+
+	// Link slice times.
+	times := make([]float64, e)
+	for id := 0; id < e; id++ {
+		times[id] = p.SliceTime(id)
+	}
+
+	// Variable layout: [0, e) edge rates, e = TP.
+	tpVar := e
+	problem := lp.NewProblem(e + 1)
+	problem.SetObjectiveCoeff(tpVar, 1)
+
+	// One-port occupation constraints per node.
+	for u := 0; u < n; u++ {
+		if ids := p.InLinkIDs(u); len(ids) > 0 {
+			terms := make([]lp.Term, 0, len(ids))
+			for _, id := range ids {
+				terms = append(terms, lp.Term{Var: id, Coeff: times[id]})
+			}
+			problem.AddSparseConstraint(terms, lp.LE, 1)
+		}
+		if ids := p.OutLinkIDs(u); len(ids) > 0 {
+			terms := make([]lp.Term, 0, len(ids))
+			for _, id := range ids {
+				terms = append(terms, lp.Term{Var: id, Coeff: times[id]})
+			}
+			problem.AddSparseConstraint(terms, lp.LE, 1)
+		}
+	}
+
+	// Cut constraints are expressed as TP - Σ_{e in cut} n_e <= 0 so that the
+	// master LP never needs artificial variables. A distinct tiny positive
+	// right-hand side is used for every cut: with dozens of cuts sharing an
+	// exact zero RHS the master becomes massively degenerate and the simplex
+	// stalls; the perturbation (standard anti-degeneracy trick) changes the
+	// optimum by less than 1e-6 in absolute value, far below the accuracy at
+	// which relative performances are reported.
+	const cutPerturbation = 1e-9
+	seen := make(map[string]bool)
+	addCut := func(cutLinks []int) bool {
+		if len(cutLinks) == 0 {
+			return false
+		}
+		key := cutKey(cutLinks)
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		terms := make([]lp.Term, 0, len(cutLinks)+1)
+		terms = append(terms, lp.Term{Var: tpVar, Coeff: 1})
+		for _, id := range cutLinks {
+			terms = append(terms, lp.Term{Var: id, Coeff: -1})
+		}
+		problem.AddSparseConstraint(terms, lp.LE, cutPerturbation*float64(len(seen)))
+		return true
+	}
+
+	// Initial cuts: the out-cut of the source and the in-cut of every
+	// destination. These bound TP so the first master LP is not unbounded.
+	addCut(append([]int(nil), p.OutLinkIDs(source)...))
+	for w := 0; w < n; w++ {
+		if w != source {
+			addCut(append([]int(nil), p.InLinkIDs(w)...))
+		}
+	}
+
+	// Separation network: edge IDs coincide with link IDs.
+	nw := maxflow.New(n)
+	for id := 0; id < e; id++ {
+		l := p.Link(id)
+		nw.AddEdge(l.From, l.To, 0)
+	}
+
+	sol := &Solution{EdgeRate: make([]float64, e)}
+	tol := opts.tolerance()
+	for round := 1; round <= opts.maxRounds(); round++ {
+		sol.Rounds = round
+		lpSol, err := lp.Solve(problem, opts.lpOptions())
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrLPFailed, err)
+		}
+		switch lpSol.Status {
+		case lp.Optimal:
+			// Normal case.
+		case lp.IterationLimit:
+			// The simplex ran out of pivots on a degenerate master. Its
+			// solution is still primal feasible, so the edge rates are
+			// usable; keep going — the gap-based termination below decides
+			// whether the achievable throughput is already close enough.
+		default:
+			return nil, fmt.Errorf("%w: status %v", ErrLPFailed, lpSol.Status)
+		}
+		sol.LPIterations += lpSol.Iterations
+		tp := lpSol.X[tpVar]
+		copy(sol.EdgeRate, lpSol.X[:e])
+		sol.Throughput = tp
+
+		// Separate violated cuts with one max-flow per destination. The
+		// smallest destination max-flow is the throughput the current edge
+		// rates actually support, i.e. a feasible lower bound on the
+		// optimum, while the master value tp is an upper bound.
+		violated := 0
+		for id := 0; id < e; id++ {
+			nw.SetCapacity(id, lpSol.X[id])
+		}
+		threshold := tp - tol*math.Max(1, tp)
+		supported := math.Inf(1)
+		for w := 0; w < n; w++ {
+			if w == source {
+				continue
+			}
+			nw.Reset()
+			flow := nw.MaxFlow(source, w)
+			if flow < supported {
+				supported = flow
+			}
+			if flow >= threshold {
+				continue
+			}
+			// Add both canonical minimum cuts (source side and sink side) —
+			// they are usually different, and generating two constraints per
+			// violated destination roughly halves the number of master
+			// re-solves on hierarchical platforms.
+			cutSide := nw.MinCutSourceSide(source)
+			if addCut(nw.CutEdges(cutSide)) {
+				violated++
+			}
+			if addCut(nw.CutEdges(nw.MinCutSinkSide(w))) {
+				violated++
+			}
+		}
+		sol.Cuts = len(seen)
+		if violated == 0 {
+			return sol, nil
+		}
+		if tp-supported <= opts.gapTolerance()*math.Max(1, tp) {
+			// The current rates already support a throughput within the gap
+			// tolerance of the upper bound; report the achievable value.
+			sol.Throughput = supported
+			return sol, nil
+		}
+	}
+	return sol, fmt.Errorf("%w after %d rounds", ErrNoConvergence, sol.Rounds)
+}
+
+// cutKey builds a canonical signature of a cut (sorted link IDs).
+func cutKey(links []int) string {
+	ids := append([]int(nil), links...)
+	sort.Ints(ids)
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", id)
+	}
+	return b.String()
+}
+
+// SolveDirect encodes LP (2) of the paper directly: per-destination flow
+// variables x^w_e, edge rates n_e and the throughput TP. It is exponential
+// in neither |V| nor |E| but its dense tableau grows as (|V|·|E|)², so it is
+// intended for small platforms (tests and examples).
+func SolveDirect(p *platform.Platform, source int, opts *Options) (*Solution, error) {
+	if err := p.Validate(source); err != nil {
+		return nil, err
+	}
+	n := p.NumNodes()
+	e := p.NumLinks()
+	if n == 1 {
+		return &Solution{Throughput: math.Inf(1), EdgeRate: make([]float64, e), Rounds: 1}, nil
+	}
+
+	// Destinations in increasing node order.
+	dests := make([]int, 0, n-1)
+	for w := 0; w < n; w++ {
+		if w != source {
+			dests = append(dests, w)
+		}
+	}
+	numDest := len(dests)
+
+	// Variable layout: x[wIdx][e] at wIdx*e + e, then n_e, then TP.
+	xVar := func(wIdx, linkID int) int { return wIdx*e + linkID }
+	nVar := func(linkID int) int { return numDest*e + linkID }
+	tpVar := numDest*e + e
+	problem := lp.NewProblem(tpVar + 1)
+	problem.SetObjectiveCoeff(tpVar, 1)
+
+	// Flow conservation per destination and node.
+	for wIdx, w := range dests {
+		for v := 0; v < n; v++ {
+			terms := make([]lp.Term, 0, 8)
+			for _, id := range p.OutLinkIDs(v) {
+				terms = append(terms, lp.Term{Var: xVar(wIdx, id), Coeff: 1})
+			}
+			for _, id := range p.InLinkIDs(v) {
+				terms = append(terms, lp.Term{Var: xVar(wIdx, id), Coeff: -1})
+			}
+			switch v {
+			case source:
+				// Net outflow of slices destined to w equals TP.
+				terms = append(terms, lp.Term{Var: tpVar, Coeff: -1})
+				problem.AddSparseConstraint(terms, lp.EQ, 0)
+			case w:
+				// Net inflow equals TP (outflow minus inflow equals -TP).
+				terms = append(terms, lp.Term{Var: tpVar, Coeff: 1})
+				problem.AddSparseConstraint(terms, lp.EQ, 0)
+			default:
+				problem.AddSparseConstraint(terms, lp.EQ, 0)
+			}
+		}
+	}
+
+	// x^w_e <= n_e (constraint (d) relaxed to an inequality, which does not
+	// change the optimum since n_e only appears in occupation constraints).
+	for wIdx := range dests {
+		for id := 0; id < e; id++ {
+			problem.AddSparseConstraint([]lp.Term{
+				{Var: xVar(wIdx, id), Coeff: 1},
+				{Var: nVar(id), Coeff: -1},
+			}, lp.LE, 0)
+		}
+	}
+
+	// One-port occupation constraints ((f), (g), (i), (j)).
+	for u := 0; u < n; u++ {
+		if ids := p.InLinkIDs(u); len(ids) > 0 {
+			terms := make([]lp.Term, 0, len(ids))
+			for _, id := range ids {
+				terms = append(terms, lp.Term{Var: nVar(id), Coeff: p.SliceTime(id)})
+			}
+			problem.AddSparseConstraint(terms, lp.LE, 1)
+		}
+		if ids := p.OutLinkIDs(u); len(ids) > 0 {
+			terms := make([]lp.Term, 0, len(ids))
+			for _, id := range ids {
+				terms = append(terms, lp.Term{Var: nVar(id), Coeff: p.SliceTime(id)})
+			}
+			problem.AddSparseConstraint(terms, lp.LE, 1)
+		}
+	}
+
+	lpSol, err := lp.Solve(problem, opts.lpOptions())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrLPFailed, err)
+	}
+	if lpSol.Status != lp.Optimal {
+		return nil, fmt.Errorf("%w: status %v", ErrLPFailed, lpSol.Status)
+	}
+	sol := &Solution{
+		Throughput:   lpSol.X[tpVar],
+		EdgeRate:     make([]float64, e),
+		Rounds:       1,
+		LPIterations: lpSol.Iterations,
+	}
+	for id := 0; id < e; id++ {
+		sol.EdgeRate[id] = lpSol.X[nVar(id)]
+	}
+	return sol, nil
+}

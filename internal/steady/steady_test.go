@@ -1,0 +1,301 @@
+package steady
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/maxflow"
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/topology"
+)
+
+// starPlatform builds a star with node 0 at the center and the given
+// outgoing slice times towards each leaf (plus symmetric return links).
+func starPlatform(outTimes []float64) *platform.Platform {
+	p := platform.New(len(outTimes) + 1)
+	for i, t := range outTimes {
+		p.MustAddLink(0, i+1, model.Linear(t))
+		p.MustAddLink(i+1, 0, model.Linear(t))
+	}
+	return p
+}
+
+// chainPlatform builds a directed chain 0 -> 1 -> ... with the given times.
+func chainPlatform(times []float64) *platform.Platform {
+	p := platform.New(len(times) + 1)
+	for i, t := range times {
+		p.MustAddLink(i, i+1, model.Linear(t))
+	}
+	return p
+}
+
+// completeUnit builds a complete directed graph with unit slice times.
+func completeUnit(n int) *platform.Platform {
+	p := platform.New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				p.MustAddLink(u, v, model.Linear(1))
+			}
+		}
+	}
+	return p
+}
+
+func TestStarThroughput(t *testing.T) {
+	// On a star the source must serialize all sends: TP = 1 / sum(T_i).
+	outTimes := []float64{1, 2, 3}
+	p := starPlatform(outTimes)
+	sol, err := Solve(p, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / 6.0
+	if math.Abs(sol.Throughput-want) > 1e-6 {
+		t.Fatalf("throughput = %v, want %v", sol.Throughput, want)
+	}
+}
+
+func TestChainThroughput(t *testing.T) {
+	// On a chain the bottleneck is the slowest link: TP = 1 / max(T_i).
+	p := chainPlatform([]float64{1, 4, 2})
+	sol, err := Solve(p, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Throughput-0.25) > 1e-6 {
+		t.Fatalf("throughput = %v, want 0.25", sol.Throughput)
+	}
+}
+
+func TestCompleteGraphK3(t *testing.T) {
+	// On K3 with unit times the optimal MTP throughput is 1 (each
+	// destination receives half the slices directly and half relayed).
+	p := completeUnit(3)
+	sol, err := Solve(p, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Throughput-1) > 1e-6 {
+		t.Fatalf("throughput = %v, want 1", sol.Throughput)
+	}
+}
+
+func TestSingleNodePlatform(t *testing.T) {
+	p := platform.New(1)
+	sol, err := Solve(p, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(sol.Throughput, 1) {
+		t.Fatalf("single-node throughput = %v, want +Inf", sol.Throughput)
+	}
+	sold, err := SolveDirect(p, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(sold.Throughput, 1) {
+		t.Fatal("direct solver should also return +Inf")
+	}
+}
+
+func TestUnreachablePlatformRejected(t *testing.T) {
+	p := platform.New(3)
+	p.MustAddLink(0, 1, model.Linear(1))
+	if _, err := Solve(p, 0, nil); err == nil {
+		t.Fatal("unreachable platform accepted by Solve")
+	}
+	if _, err := SolveDirect(p, 0, nil); err == nil {
+		t.Fatal("unreachable platform accepted by SolveDirect")
+	}
+}
+
+func TestDirectMatchesKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *platform.Platform
+		want float64
+	}{
+		{"star", starPlatform([]float64{1, 2, 3}), 1.0 / 6.0},
+		{"chain", chainPlatform([]float64{1, 4, 2}), 0.25},
+		{"k3", completeUnit(3), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sol, err := SolveDirect(tc.p, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(sol.Throughput-tc.want) > 1e-6 {
+				t.Fatalf("throughput = %v, want %v", sol.Throughput, tc.want)
+			}
+		})
+	}
+}
+
+// checkSolutionFeasible verifies that the edge rates satisfy the one-port
+// occupation constraints and support a flow of value Throughput towards
+// every destination.
+func checkSolutionFeasible(t *testing.T, p *platform.Platform, source int, sol *Solution) {
+	t.Helper()
+	const tol = 1e-5
+	n := p.NumNodes()
+	for u := 0; u < n; u++ {
+		var in, out float64
+		for _, id := range p.InLinkIDs(u) {
+			in += sol.EdgeRate[id] * p.SliceTime(id)
+		}
+		for _, id := range p.OutLinkIDs(u) {
+			out += sol.EdgeRate[id] * p.SliceTime(id)
+		}
+		if in > 1+tol || out > 1+tol {
+			t.Fatalf("node %d occupation violated: in=%v out=%v", u, in, out)
+		}
+	}
+	nw := maxflow.New(n)
+	for id := 0; id < p.NumLinks(); id++ {
+		l := p.Link(id)
+		nw.AddEdge(l.From, l.To, sol.EdgeRate[id])
+	}
+	for w := 0; w < n; w++ {
+		if w == source {
+			continue
+		}
+		nw.Reset()
+		if flow := nw.MaxFlow(source, w); flow < sol.Throughput-1e-4*math.Max(1, sol.Throughput) {
+			t.Fatalf("destination %d receives only %v < %v", w, flow, sol.Throughput)
+		}
+	}
+}
+
+func TestSolutionFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 5; trial++ {
+		p, err := topology.Random(topology.DefaultRandomConfig(12, 0.2), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := Solve(p, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Throughput <= 0 {
+			t.Fatalf("non-positive throughput %v", sol.Throughput)
+		}
+		checkSolutionFeasible(t, p, 0, sol)
+	}
+}
+
+func TestCuttingPlaneMatchesDirectOnRandomPlatforms(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 8; trial++ {
+		n := 4 + rng.Intn(4) // 4..7 nodes keeps the direct LP small
+		p, err := topology.Random(topology.DefaultRandomConfig(n, 0.4), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		source := rng.Intn(n)
+		got, err := Solve(p, source, nil)
+		if err != nil {
+			t.Fatalf("trial %d: cutting plane: %v", trial, err)
+		}
+		want, err := SolveDirect(p, source, nil)
+		if err != nil {
+			t.Fatalf("trial %d: direct: %v", trial, err)
+		}
+		rel := math.Abs(got.Throughput-want.Throughput) / math.Max(want.Throughput, 1e-12)
+		if rel > 1e-4 {
+			t.Fatalf("trial %d (n=%d): cutting plane %v vs direct %v", trial, n, got.Throughput, want.Throughput)
+		}
+	}
+}
+
+func TestTiersPlatformSolvable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p, err := topology.Tiers(topology.Tiers30(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(p, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Throughput <= 0 {
+		t.Fatalf("throughput = %v", sol.Throughput)
+	}
+	checkSolutionFeasible(t, p, 0, sol)
+}
+
+func TestThroughputUpperBound(t *testing.T) {
+	// The optimal throughput can never exceed the inverse of the fastest
+	// incoming link of the slowest-to-feed destination (a destination cannot
+	// receive faster than its total incoming capacity allows), nor the
+	// source's total outgoing capacity divided by ... (weaker). Check the
+	// per-destination in-cut bound.
+	rng := rand.New(rand.NewSource(77))
+	p, err := topology.Random(topology.DefaultRandomConfig(10, 0.15), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(p, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < p.NumNodes(); w++ {
+		if w == 0 {
+			continue
+		}
+		// In-cut bound with occupancy: sum over in-links of rate is at most
+		// 1 / min_t since sum(rate*T) <= 1 -> sum(rate) <= 1/min T.
+		minT := math.Inf(1)
+		for _, id := range p.InLinkIDs(w) {
+			if tt := p.SliceTime(id); tt < minT {
+				minT = tt
+			}
+		}
+		if sol.Throughput > 1/minT+1e-6 {
+			t.Fatalf("throughput %v exceeds in-cut bound %v of node %d", sol.Throughput, 1/minT, w)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o *Options
+	if o.maxRounds() != 200 || o.tolerance() != 1e-7 || o.gapTolerance() != 1e-5 {
+		t.Fatal("nil options should use defaults")
+	}
+	if lpo := o.lpOptions(); lpo == nil || lpo.MaxIterations <= 0 {
+		t.Fatal("nil options should bound the master LP iterations")
+	}
+	o = &Options{MaxRounds: 3, Tolerance: 1e-5, GapTolerance: 1e-3}
+	if o.maxRounds() != 3 || o.tolerance() != 1e-5 || o.gapTolerance() != 1e-3 {
+		t.Fatal("explicit options ignored")
+	}
+}
+
+func TestNoConvergenceWithTinyRoundLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p, err := topology.Random(topology.DefaultRandomConfig(12, 0.3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Solve(p, 0, &Options{MaxRounds: 1})
+	// With a single round the solver may or may not converge; it must not
+	// return a nil error together with an infeasible solution. If it errors,
+	// the error must be ErrNoConvergence.
+	if err != nil && !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCutKey(t *testing.T) {
+	if cutKey([]int{3, 1, 2}) != cutKey([]int{2, 3, 1}) {
+		t.Fatal("cut keys should be order independent")
+	}
+	if cutKey([]int{1, 2}) == cutKey([]int{1, 3}) {
+		t.Fatal("different cuts should have different keys")
+	}
+}

@@ -1,0 +1,105 @@
+package throughput
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/topology"
+)
+
+func TestEvaluateRoutingMatchesTreeForPlainTrees(t *testing.T) {
+	// A routing lifted from a tree must evaluate exactly like the tree under
+	// every port model.
+	rng := rand.New(rand.NewSource(21))
+	p, err := topology.Random(topology.DefaultRandomConfig(12, 0.25), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Graph()
+	parentEdge, reached := g.BFSArborescence(0, nil)
+	if reached != p.NumNodes() {
+		t.Fatal("platform not broadcastable")
+	}
+	tree := platform.TreeFromParentLinks(p, 0, parentEdge)
+	routing := platform.RoutingFromTree(tree)
+	for _, m := range []model.PortModel{model.OnePortBidirectional, model.OnePortUnidirectional, model.MultiPort} {
+		a := TreeThroughput(p, tree, m)
+		b := RoutingThroughput(p, routing, m)
+		// The multi-port tree evaluation only applies the receive overhead
+		// when the node has a parent and otherwise uses the same formulas,
+		// so the two should agree exactly here as well.
+		if math.Abs(a-b) > 1e-9*math.Max(a, 1) {
+			t.Fatalf("model %v: tree %v vs routing %v", m, a, b)
+		}
+	}
+}
+
+func TestEvaluateRoutingContention(t *testing.T) {
+	// Chain 0 -> 1 -> 2 -> 3 with unit link times, but the logical structure
+	// sends 0->1, 0->2 and 0->3 (each routed along the chain): link 0->1
+	// carries 3 transfers, 1->2 carries 2, 2->3 carries 1. The bottleneck is
+	// node 0 (or node 1's incoming side) with occupation 3.
+	p := platform.New(4)
+	ids := make([]int, 3)
+	for i := 0; i+1 < 4; i++ {
+		ids[i] = p.MustAddLink(i, i+1, model.Linear(1))
+	}
+	r := platform.NewRouting(4, 0)
+	r.SetTransfer(1, 0, []int{ids[0]})
+	r.SetTransfer(2, 0, []int{ids[0], ids[1]})
+	r.SetTransfer(3, 0, []int{ids[0], ids[1], ids[2]})
+	if err := r.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	rep := EvaluateRouting(p, r, model.OnePortBidirectional)
+	if math.Abs(rep.Throughput-1.0/3.0) > 1e-9 {
+		t.Fatalf("throughput = %v, want 1/3", rep.Throughput)
+	}
+	// The same data sent along the natural chain (each node relays once) has
+	// throughput 1: contention makes the flat logical structure 3x worse.
+	tr := platform.NewTree(4, 0)
+	for i := 1; i < 4; i++ {
+		tr.SetParent(i, i-1, ids[i-1])
+	}
+	if tp := OnePortThroughput(p, tr); math.Abs(tp-1) > 1e-9 {
+		t.Fatalf("chain tree throughput = %v, want 1", tp)
+	}
+	// Unidirectional: node 1 pays in (3) + out (2) = 5.
+	rep = EvaluateRouting(p, r, model.OnePortUnidirectional)
+	if math.Abs(rep.Throughput-0.2) > 1e-9 {
+		t.Fatalf("unidirectional throughput = %v, want 1/5", rep.Throughput)
+	}
+}
+
+func TestEvaluateRoutingMultiPort(t *testing.T) {
+	// Star with 3 leaves, unit link times, but every transfer is logical
+	// from the source: multiplicities are 1 per link, send overhead 0.5.
+	p := platform.New(4)
+	r := platform.NewRouting(4, 0)
+	for v := 1; v < 4; v++ {
+		id := p.MustAddLink(0, v, model.Linear(1))
+		r.SetTransfer(v, 0, []int{id})
+	}
+	p.SetNode(0, platform.Node{Send: model.Linear(0.5)})
+	rep := EvaluateRouting(p, r, model.MultiPort)
+	// period = max(3*0.5, 1) = 1.5.
+	if math.Abs(rep.Throughput-1/1.5) > 1e-9 {
+		t.Fatalf("multi-port routing throughput = %v, want %v", rep.Throughput, 1/1.5)
+	}
+}
+
+func TestEvaluateRoutingUnknownModelPanics(t *testing.T) {
+	p := platform.New(2)
+	id := p.MustAddLink(0, 1, model.Linear(1))
+	r := platform.NewRouting(2, 0)
+	r.SetTransfer(1, 0, []int{id})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown model did not panic")
+		}
+	}()
+	EvaluateRouting(p, r, model.PortModel(42))
+}

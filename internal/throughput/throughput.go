@@ -1,0 +1,258 @@
+// Package throughput evaluates broadcast trees: the steady-state throughput
+// of a pipelined broadcast along a tree under the one-port and multi-port
+// models (Sections 2.4 and 3.2 of the paper), per-node bottleneck reports,
+// and the makespan of an atomic (STA) broadcast along a tree.
+package throughput
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/platform"
+)
+
+// NodeReport describes the steady-state behaviour of one tree node.
+type NodeReport struct {
+	Node int
+	// Period is the time the node needs between two consecutive slices.
+	Period float64
+	// OutTime is the total outgoing occupation per slice (sum of T(u,v)
+	// over the node's children under one-port; the serialized send overhead
+	// under multi-port).
+	OutTime float64
+	// InTime is the occupation of the incoming tree link per slice (0 for
+	// the root).
+	InTime float64
+	// Children is the number of children of the node in the tree.
+	Children int
+}
+
+// Report is the full evaluation of a tree.
+type Report struct {
+	// Throughput is the steady-state number of slices per time unit.
+	Throughput float64
+	// Bottleneck is the node whose period limits the throughput.
+	Bottleneck int
+	// Nodes holds the per-node reports indexed by node ID.
+	Nodes []NodeReport
+}
+
+// Evaluate computes the steady-state throughput of the tree under the given
+// port model. The tree must be a valid spanning tree of the platform
+// (callers typically validate once after construction).
+func Evaluate(p *platform.Platform, t *platform.Tree, m model.PortModel) *Report {
+	n := p.NumNodes()
+	rep := &Report{
+		Throughput: math.Inf(1),
+		Bottleneck: t.Root,
+		Nodes:      make([]NodeReport, n),
+	}
+	worst := 0.0
+	for u := 0; u < n; u++ {
+		children := t.Children(u)
+		childTimes := make([]float64, 0, len(children))
+		var outSum float64
+		for _, c := range children {
+			tt := p.SliceTime(t.ParentLink[c])
+			childTimes = append(childTimes, tt)
+			outSum += tt
+		}
+		inTime := 0.0
+		if u != t.Root && t.ParentLink[u] >= 0 {
+			inTime = p.SliceTime(t.ParentLink[u])
+		}
+		period := model.NodePeriod(m, childTimes, inTime, p.SendTime(u), p.RecvTime(u))
+		outTime := outSum
+		if m == model.MultiPort {
+			outTime = float64(len(children)) * p.SendTime(u)
+		}
+		rep.Nodes[u] = NodeReport{
+			Node:     u,
+			Period:   period,
+			OutTime:  outTime,
+			InTime:   inTime,
+			Children: len(children),
+		}
+		if period > worst {
+			worst = period
+			rep.Bottleneck = u
+		}
+	}
+	rep.Throughput = model.Throughput(worst)
+	return rep
+}
+
+// TreeThroughput returns only the steady-state throughput of the tree under
+// the given port model.
+func TreeThroughput(p *platform.Platform, t *platform.Tree, m model.PortModel) float64 {
+	return Evaluate(p, t, m).Throughput
+}
+
+// OnePortThroughput is a convenience wrapper for the bidirectional one-port
+// model used by most of the paper's experiments.
+func OnePortThroughput(p *platform.Platform, t *platform.Tree) float64 {
+	return TreeThroughput(p, t, model.OnePortBidirectional)
+}
+
+// MultiPortThroughput is a convenience wrapper for the multi-port model.
+func MultiPortThroughput(p *platform.Platform, t *platform.Tree) float64 {
+	return TreeThroughput(p, t, model.MultiPort)
+}
+
+// STAMakespan computes the completion time of an atomic (non-pipelined)
+// broadcast of a message of the given total size along the tree under the
+// bidirectional one-port model: each node, once it holds the whole message,
+// forwards it to its children one after the other, in the order returned by
+// Tree.Children. It returns the time at which the last node has received
+// the message.
+func STAMakespan(p *platform.Platform, t *platform.Tree, totalSize float64) float64 {
+	if totalSize <= 0 || math.IsNaN(totalSize) || math.IsInf(totalSize, 0) {
+		panic(fmt.Sprintf("throughput: invalid message size %v", totalSize))
+	}
+	ready := make([]float64, p.NumNodes())
+	makespan := 0.0
+	for _, u := range t.BFSOrder() {
+		send := ready[u]
+		for _, c := range t.Children(u) {
+			send += p.Link(t.ParentLink[c]).Cost.Time(totalSize)
+			ready[c] = send
+			if send > makespan {
+				makespan = send
+			}
+		}
+	}
+	return makespan
+}
+
+// PipelinedMakespan estimates the total time needed to broadcast a message
+// of the given size split into equal slices, along the tree, in the
+// steady-state approximation used by the paper: the first slice ripples down
+// the tree (sum of link times on the deepest path), after which one slice
+// completes every bottleneck period. It is a lower-bound style estimate
+// (the event-driven simulator in package sim gives the exact value).
+func PipelinedMakespan(p *platform.Platform, t *platform.Tree, m model.PortModel, totalSize float64, slices int) float64 {
+	if slices <= 0 {
+		panic(fmt.Sprintf("throughput: non-positive slice count %d", slices))
+	}
+	if totalSize <= 0 || math.IsNaN(totalSize) || math.IsInf(totalSize, 0) {
+		panic(fmt.Sprintf("throughput: invalid message size %v", totalSize))
+	}
+	sliceSize := totalSize / float64(slices)
+	// Re-evaluate link costs at the actual slice size so that affine
+	// start-up costs are charged once per slice (scaling the platform's
+	// per-slice time linearly would scale the start-up term as well).
+	scaled := p.Clone()
+	scaled.SetSliceSize(sliceSize)
+	// Fill time: longest root-to-leaf path measured in per-slice link times.
+	var fill func(u int) float64
+	fill = func(u int) float64 {
+		best := 0.0
+		for _, c := range t.Children(u) {
+			d := scaled.SliceTime(t.ParentLink[c]) + fill(c)
+			if d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	rep := Evaluate(scaled, t, m)
+	period := 0.0
+	if rep.Throughput > 0 && !math.IsInf(rep.Throughput, 1) {
+		period = 1 / rep.Throughput
+	}
+	return fill(t.Root) + float64(slices-1)*period
+}
+
+// EvaluateRouting computes the steady-state throughput of a routed broadcast
+// schedule (a logical tree whose transfers follow multi-hop physical paths,
+// e.g. the MPI-style binomial schedule of Algorithm 4). Because every slice
+// must traverse every logical transfer's full path, a physical link used by
+// m logical transfers is occupied m·T per slice period, and a node pays the
+// occupation of every routed transfer entering or leaving it:
+//
+//	one-port bidirectional:  period(u) = max( Σ_out m_l·T_l , Σ_in m_l·T_l )
+//	one-port unidirectional: period(u) = Σ_out m_l·T_l + Σ_in m_l·T_l
+//	multi-port:              period(u) = max( cnt_out·send_u, cnt_in·recv_u,
+//	                                          max_l  m_l·T_l )
+//
+// where m_l is the link multiplicity and cnt_out/cnt_in count the routed
+// transfers leaving/entering u. For a plain tree (all paths of length one,
+// multiplicities all 1) this coincides with Evaluate.
+func EvaluateRouting(p *platform.Platform, r *platform.Routing, m model.PortModel) *Report {
+	n := p.NumNodes()
+	rep := &Report{
+		Throughput: math.Inf(1),
+		Bottleneck: r.Root,
+		Nodes:      make([]NodeReport, n),
+	}
+	mult := r.LinkMultiplicity(p)
+	outOcc := make([]float64, n)
+	inOcc := make([]float64, n)
+	outCnt := make([]int, n)
+	inCnt := make([]int, n)
+	maxLink := make([]float64, n) // per sending node: max multiplied link occupation
+	for id, k := range mult {
+		if k == 0 {
+			continue
+		}
+		l := p.Link(id)
+		occ := float64(k) * p.SliceTime(id)
+		outOcc[l.From] += occ
+		inOcc[l.To] += occ
+		outCnt[l.From] += k
+		inCnt[l.To] += k
+		if occ > maxLink[l.From] {
+			maxLink[l.From] = occ
+		}
+	}
+	worst := 0.0
+	for u := 0; u < n; u++ {
+		var period float64
+		switch m {
+		case model.OnePortBidirectional:
+			period = math.Max(outOcc[u], inOcc[u])
+		case model.OnePortUnidirectional:
+			period = outOcc[u] + inOcc[u]
+		case model.MultiPort:
+			period = float64(outCnt[u]) * p.SendTime(u)
+			if rv := float64(inCnt[u]) * p.RecvTime(u); rv > period {
+				period = rv
+			}
+			if maxLink[u] > period {
+				period = maxLink[u]
+			}
+		default:
+			panic(fmt.Sprintf("throughput: unknown port model %d", int(m)))
+		}
+		rep.Nodes[u] = NodeReport{
+			Node:     u,
+			Period:   period,
+			OutTime:  outOcc[u],
+			InTime:   inOcc[u],
+			Children: outCnt[u],
+		}
+		if period > worst {
+			worst = period
+			rep.Bottleneck = u
+		}
+	}
+	rep.Throughput = model.Throughput(worst)
+	return rep
+}
+
+// RoutingThroughput returns only the steady-state throughput of a routed
+// broadcast schedule under the given port model.
+func RoutingThroughput(p *platform.Platform, r *platform.Routing, m model.PortModel) float64 {
+	return EvaluateRouting(p, r, m).Throughput
+}
+
+// RelativePerformance returns the ratio of the tree's throughput under the
+// given model to a reference throughput (typically the MTP optimum computed
+// by package steady). A non-positive reference yields NaN.
+func RelativePerformance(p *platform.Platform, t *platform.Tree, m model.PortModel, reference float64) float64 {
+	if reference <= 0 || math.IsInf(reference, 0) || math.IsNaN(reference) {
+		return math.NaN()
+	}
+	return TreeThroughput(p, t, m) / reference
+}

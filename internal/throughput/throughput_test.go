@@ -1,0 +1,206 @@
+package throughput
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/platform"
+)
+
+// starPlatformTree builds a star platform (center 0) with the given out
+// slice times and the corresponding broadcast tree.
+func starPlatformTree(outTimes []float64) (*platform.Platform, *platform.Tree) {
+	n := len(outTimes) + 1
+	p := platform.New(n)
+	tr := platform.NewTree(n, 0)
+	for i, t := range outTimes {
+		id := p.MustAddLink(0, i+1, model.Linear(t))
+		tr.SetParent(i+1, 0, id)
+	}
+	return p, tr
+}
+
+// chainPlatformTree builds a chain platform and its (only) broadcast tree.
+func chainPlatformTree(times []float64) (*platform.Platform, *platform.Tree) {
+	n := len(times) + 1
+	p := platform.New(n)
+	tr := platform.NewTree(n, 0)
+	for i, t := range times {
+		id := p.MustAddLink(i, i+1, model.Linear(t))
+		tr.SetParent(i+1, i, id)
+	}
+	return p, tr
+}
+
+func TestOnePortStar(t *testing.T) {
+	p, tr := starPlatformTree([]float64{1, 2, 3})
+	rep := Evaluate(p, tr, model.OnePortBidirectional)
+	if math.Abs(rep.Throughput-1.0/6.0) > 1e-12 {
+		t.Fatalf("throughput = %v, want 1/6", rep.Throughput)
+	}
+	if rep.Bottleneck != 0 {
+		t.Fatalf("bottleneck = %d, want 0 (the source)", rep.Bottleneck)
+	}
+	if rep.Nodes[0].Children != 3 || math.Abs(rep.Nodes[0].OutTime-6) > 1e-12 {
+		t.Fatalf("source report = %+v", rep.Nodes[0])
+	}
+	if rep.Nodes[1].InTime != 1 || rep.Nodes[1].Children != 0 {
+		t.Fatalf("leaf report = %+v", rep.Nodes[1])
+	}
+	if got := OnePortThroughput(p, tr); math.Abs(got-1.0/6.0) > 1e-12 {
+		t.Fatalf("OnePortThroughput = %v", got)
+	}
+}
+
+func TestOnePortChain(t *testing.T) {
+	p, tr := chainPlatformTree([]float64{1, 4, 2})
+	rep := Evaluate(p, tr, model.OnePortBidirectional)
+	if math.Abs(rep.Throughput-0.25) > 1e-12 {
+		t.Fatalf("throughput = %v, want 0.25", rep.Throughput)
+	}
+	if rep.Bottleneck != 1 && rep.Bottleneck != 2 {
+		t.Fatalf("bottleneck = %d, want the node adjacent to the slow link", rep.Bottleneck)
+	}
+}
+
+func TestOnePortUnidirectionalChain(t *testing.T) {
+	// Under the unidirectional one-port model a relay node pays both its
+	// incoming and outgoing transfers: period = in + out.
+	p, tr := chainPlatformTree([]float64{1, 4, 2})
+	rep := Evaluate(p, tr, model.OnePortUnidirectional)
+	// Node 1: in 1 + out 4 = 5; node 2: in 4 + out 2 = 6 -> throughput 1/6.
+	if math.Abs(rep.Throughput-1.0/6.0) > 1e-12 {
+		t.Fatalf("throughput = %v, want 1/6", rep.Throughput)
+	}
+	if rep.Bottleneck != 2 {
+		t.Fatalf("bottleneck = %d, want 2", rep.Bottleneck)
+	}
+}
+
+func TestMultiPortStar(t *testing.T) {
+	p, tr := starPlatformTree([]float64{2, 2, 2})
+	// send overhead 1.5 per transfer at the source.
+	p.SetNode(0, platform.Node{Send: model.Linear(1.5)})
+	rep := Evaluate(p, tr, model.MultiPort)
+	// Paper Figure 3(a): period = max(3*1.5, 2) = 4.5.
+	if math.Abs(rep.Throughput-1/4.5) > 1e-12 {
+		t.Fatalf("throughput = %v, want %v", rep.Throughput, 1/4.5)
+	}
+	if got := MultiPortThroughput(p, tr); math.Abs(got-1/4.5) > 1e-12 {
+		t.Fatalf("MultiPortThroughput = %v", got)
+	}
+	// With a negligible send overhead the longest link dominates.
+	p.SetNode(0, platform.Node{Send: model.Linear(0.1)})
+	rep = Evaluate(p, tr, model.MultiPort)
+	if math.Abs(rep.Throughput-0.5) > 1e-12 {
+		t.Fatalf("throughput = %v, want 0.5", rep.Throughput)
+	}
+}
+
+func TestMultiPortBeatsOnePortOnStars(t *testing.T) {
+	p, tr := starPlatformTree([]float64{1, 1, 1, 1})
+	p.DeriveMultiPortOverheads(0.8)
+	one := TreeThroughput(p, tr, model.OnePortBidirectional)
+	multi := TreeThroughput(p, tr, model.MultiPort)
+	if multi <= one {
+		t.Fatalf("multi-port (%v) should beat one-port (%v) on a star", multi, one)
+	}
+}
+
+func TestSingleNodeTree(t *testing.T) {
+	p := platform.New(1)
+	tr := platform.NewTree(1, 0)
+	rep := Evaluate(p, tr, model.OnePortBidirectional)
+	if !math.IsInf(rep.Throughput, 1) {
+		t.Fatalf("single-node throughput = %v, want +Inf", rep.Throughput)
+	}
+}
+
+func TestSTAMakespanChain(t *testing.T) {
+	// Chain with per-unit times 1, 4, 2 and a message of size 3: link times
+	// are 3, 12, 6 and the makespan is their sum.
+	p, tr := chainPlatformTree([]float64{1, 4, 2})
+	got := STAMakespan(p, tr, 3)
+	if math.Abs(got-21) > 1e-12 {
+		t.Fatalf("makespan = %v, want 21", got)
+	}
+}
+
+func TestSTAMakespanStarSerializesSends(t *testing.T) {
+	p, tr := starPlatformTree([]float64{1, 2, 3})
+	// Children are sent to in order 1, 2, 3: completion times 1, 3, 6 for a
+	// unit-size message.
+	got := STAMakespan(p, tr, 1)
+	if math.Abs(got-6) > 1e-12 {
+		t.Fatalf("makespan = %v, want 6", got)
+	}
+}
+
+func TestSTAMakespanPanics(t *testing.T) {
+	p, tr := chainPlatformTree([]float64{1})
+	for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("STAMakespan(%v) did not panic", bad)
+				}
+			}()
+			STAMakespan(p, tr, bad)
+		}()
+	}
+}
+
+func TestPipelinedMakespan(t *testing.T) {
+	p, tr := chainPlatformTree([]float64{1, 1})
+	// Total size 10 in 10 slices of size 1: fill = 2, then 9 more periods of
+	// 1 -> 11 time units.
+	got := PipelinedMakespan(p, tr, model.OnePortBidirectional, 10, 10)
+	if math.Abs(got-11) > 1e-9 {
+		t.Fatalf("pipelined makespan = %v, want 11", got)
+	}
+	// A single slice is just the fill time for the whole message.
+	got = PipelinedMakespan(p, tr, model.OnePortBidirectional, 10, 1)
+	if math.Abs(got-20) > 1e-9 {
+		t.Fatalf("single-slice makespan = %v, want 20", got)
+	}
+	// Pipelining a large message should beat the atomic broadcast.
+	atomic := STAMakespan(p, tr, 10)
+	pipelined := PipelinedMakespan(p, tr, model.OnePortBidirectional, 10, 100)
+	if pipelined >= atomic {
+		t.Fatalf("pipelined %v should beat atomic %v", pipelined, atomic)
+	}
+}
+
+func TestPipelinedMakespanPanics(t *testing.T) {
+	p, tr := chainPlatformTree([]float64{1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero slices did not panic")
+			}
+		}()
+		PipelinedMakespan(p, tr, model.OnePortBidirectional, 1, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad size did not panic")
+			}
+		}()
+		PipelinedMakespan(p, tr, model.OnePortBidirectional, -1, 2)
+	}()
+}
+
+func TestRelativePerformance(t *testing.T) {
+	p, tr := starPlatformTree([]float64{1, 1})
+	if got := RelativePerformance(p, tr, model.OnePortBidirectional, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("relative performance = %v, want 0.5", got)
+	}
+	if !math.IsNaN(RelativePerformance(p, tr, model.OnePortBidirectional, 0)) {
+		t.Fatal("zero reference should give NaN")
+	}
+	if !math.IsNaN(RelativePerformance(p, tr, model.OnePortBidirectional, math.Inf(1))) {
+		t.Fatal("infinite reference should give NaN")
+	}
+}

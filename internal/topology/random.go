@@ -1,0 +1,101 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/platform"
+)
+
+// RandomConfig describes the random platforms of Table 2 of the paper.
+type RandomConfig struct {
+	// Nodes is the number of processors (Table 2: 10, 20, ..., 50).
+	Nodes int `json:"nodes"`
+	// Density is the probability that an (unordered) pair of nodes is
+	// connected by a (bidirectional) link (Table 2: 0.04, 0.08, ..., 0.20).
+	// The generator then guarantees connectivity, so the effective density
+	// of very sparse configurations can be slightly higher.
+	Density float64 `json:"density"`
+	// Bandwidth is the link bandwidth distribution (Table 2: Gaussian with
+	// mean 100 MB/s, deviation 20 MB/s).
+	Bandwidth BandwidthDist `json:"bandwidth"`
+	// SliceSize is the message slice size L (in the same unit as
+	// bandwidth·time, e.g. MB). Defaults to platform.DefaultSliceSize.
+	SliceSize float64 `json:"sliceSize"`
+	// MultiPortFraction is the fraction of the smallest outgoing link
+	// occupation used as the per-send overhead send_u under the multi-port
+	// model (the paper uses 0.80). Zero disables the derivation.
+	MultiPortFraction float64 `json:"multiPortFraction"`
+}
+
+// DefaultRandomConfig returns the paper's configuration for a given node
+// count and density: Gaussian bandwidths (100, 20), slice size 1, multi-port
+// overheads at 80% of the fastest outgoing link.
+func DefaultRandomConfig(nodes int, density float64) RandomConfig {
+	return RandomConfig{
+		Nodes:             nodes,
+		Density:           density,
+		Bandwidth:         PaperBandwidth,
+		SliceSize:         platform.DefaultSliceSize,
+		MultiPortFraction: 0.8,
+	}
+}
+
+// Validate checks the configuration parameters.
+func (c RandomConfig) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("topology: random platform needs at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.Density < 0 || c.Density > 1 {
+		return fmt.Errorf("topology: density %v outside [0, 1]", c.Density)
+	}
+	if c.Bandwidth.Mean <= 0 {
+		return fmt.Errorf("topology: non-positive mean bandwidth %v", c.Bandwidth.Mean)
+	}
+	if c.SliceSize < 0 {
+		return fmt.Errorf("topology: negative slice size %v", c.SliceSize)
+	}
+	return nil
+}
+
+// Random generates a random heterogeneous platform following Table 2 of the
+// paper: every unordered pair of nodes is connected by a bidirectional pair
+// of links with probability Density, each direction drawing an independent
+// bandwidth from the configured distribution. The platform is then made
+// connected (so a broadcast from any source reaches every node) and, if
+// MultiPortFraction is positive, per-node multi-port overheads are derived.
+func Random(cfg RandomConfig, rng *rand.Rand) (*platform.Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	p := platform.New(cfg.Nodes)
+	if cfg.SliceSize > 0 {
+		p.SetSliceSize(cfg.SliceSize)
+	}
+	for u := 0; u < cfg.Nodes; u++ {
+		p.SetNode(u, platform.Node{Name: fmt.Sprintf("P%d", u)})
+	}
+	for u := 0; u < cfg.Nodes; u++ {
+		for v := u + 1; v < cfg.Nodes; v++ {
+			if rng.Float64() < cfg.Density {
+				symmetricPair(p, u, v, cfg.Bandwidth, rng)
+			}
+		}
+	}
+	connectComponents(p, cfg.Bandwidth, rng)
+	if cfg.MultiPortFraction > 0 {
+		p.DeriveMultiPortOverheads(cfg.MultiPortFraction)
+	}
+	return p, nil
+}
+
+// PaperNodeCounts returns the node counts swept by Figure 4(a) and Figure 5
+// of the paper: 10, 20, 30, 40, 50.
+func PaperNodeCounts() []int { return []int{10, 20, 30, 40, 50} }
+
+// PaperDensities returns the densities swept by Figure 4(b) of the paper:
+// 0.04, 0.08, 0.12, 0.16, 0.20.
+func PaperDensities() []float64 { return []float64{0.04, 0.08, 0.12, 0.16, 0.20} }

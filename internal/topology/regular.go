@@ -1,0 +1,190 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/platform"
+)
+
+// Star returns a platform where node 0 is connected to every other node by
+// a bidirectional pair of links; each direction draws an independent cost
+// from the distribution. Used by examples and as a simple worst case for
+// one-port broadcasting (the source serializes all sends).
+func Star(n int, d BandwidthDist, rng *rand.Rand) (*platform.Platform, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: star needs at least 2 nodes, got %d", n)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	p := platform.New(n)
+	for v := 1; v < n; v++ {
+		symmetricPair(p, 0, v, d, rng)
+	}
+	return p, nil
+}
+
+// Chain returns a platform 0 - 1 - ... - n-1 with bidirectional links.
+func Chain(n int, d BandwidthDist, rng *rand.Rand) (*platform.Platform, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: chain needs at least 2 nodes, got %d", n)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	p := platform.New(n)
+	for v := 0; v+1 < n; v++ {
+		symmetricPair(p, v, v+1, d, rng)
+	}
+	return p, nil
+}
+
+// Ring returns a bidirectional ring of n nodes.
+func Ring(n int, d BandwidthDist, rng *rand.Rand) (*platform.Platform, error) {
+	p, err := Chain(n, d, rng)
+	if err != nil {
+		return nil, err
+	}
+	if n > 2 {
+		if rng == nil {
+			rng = rand.New(rand.NewSource(1))
+		}
+		symmetricPair(p, n-1, 0, d, rng)
+	}
+	return p, nil
+}
+
+// Grid2D returns a rows x cols 2-D mesh with bidirectional links between
+// orthogonal neighbours. Node (r, c) has index r*cols + c.
+func Grid2D(rows, cols int, d BandwidthDist, rng *rand.Rand) (*platform.Platform, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("topology: invalid grid %dx%d", rows, cols)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	p := platform.New(rows * cols)
+	idx := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				symmetricPair(p, idx(r, c), idx(r, c+1), d, rng)
+			}
+			if r+1 < rows {
+				symmetricPair(p, idx(r, c), idx(r+1, c), d, rng)
+			}
+		}
+	}
+	return p, nil
+}
+
+// Hypercube returns a binary hypercube of dimension dim (2^dim nodes) with
+// bidirectional links between nodes whose indices differ in one bit.
+func Hypercube(dim int, d BandwidthDist, rng *rand.Rand) (*platform.Platform, error) {
+	if dim < 1 || dim > 20 {
+		return nil, fmt.Errorf("topology: hypercube dimension %d outside [1, 20]", dim)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	n := 1 << dim
+	p := platform.New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < dim; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				symmetricPair(p, u, v, d, rng)
+			}
+		}
+	}
+	return p, nil
+}
+
+// ClusterConfig describes a heterogeneous "cluster of clusters" platform:
+// several homogeneous clusters with fast internal links, whose front-end
+// nodes are connected by a slow wide-area backbone. This is the kind of
+// platform the paper's introduction motivates (grid of clusters).
+type ClusterConfig struct {
+	// Clusters is the number of clusters; the front-end of cluster i is the
+	// node with the smallest index in that cluster.
+	Clusters int `json:"clusters"`
+	// NodesPerCluster includes the front-end.
+	NodesPerCluster int `json:"nodesPerCluster"`
+	// IntraBandwidth is the bandwidth distribution of links inside a cluster.
+	IntraBandwidth BandwidthDist `json:"intraBandwidth"`
+	// InterBandwidth is the bandwidth distribution of backbone links between
+	// front-ends (typically much slower).
+	InterBandwidth BandwidthDist `json:"interBandwidth"`
+	// FullBackbone connects every pair of front-ends; otherwise the
+	// front-ends form a chain.
+	FullBackbone bool `json:"fullBackbone"`
+}
+
+// DefaultClusterConfig returns a 4-cluster, 8-nodes-per-cluster platform
+// with a 10x bandwidth gap between intra-cluster and backbone links.
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{
+		Clusters:        4,
+		NodesPerCluster: 8,
+		IntraBandwidth:  BandwidthDist{Mean: 1000, StdDev: 100, Min: 100},
+		InterBandwidth:  BandwidthDist{Mean: 100, StdDev: 20, Min: 10},
+		FullBackbone:    false,
+	}
+}
+
+// Clusters generates a cluster-of-clusters platform. Within a cluster every
+// node is connected to the front-end (a switch-like star); front-ends are
+// connected by the backbone.
+func Clusters(cfg ClusterConfig, rng *rand.Rand) (*platform.Platform, error) {
+	if cfg.Clusters < 1 || cfg.NodesPerCluster < 1 {
+		return nil, fmt.Errorf("topology: invalid cluster config %+v", cfg)
+	}
+	if cfg.Clusters*cfg.NodesPerCluster < 2 {
+		return nil, fmt.Errorf("topology: cluster platform needs at least 2 nodes")
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	n := cfg.Clusters * cfg.NodesPerCluster
+	p := platform.New(n)
+	frontends := make([]int, cfg.Clusters)
+	for c := 0; c < cfg.Clusters; c++ {
+		base := c * cfg.NodesPerCluster
+		frontends[c] = base
+		p.SetNode(base, platform.Node{Name: fmt.Sprintf("frontend%d", c)})
+		for i := 1; i < cfg.NodesPerCluster; i++ {
+			p.SetNode(base+i, platform.Node{Name: fmt.Sprintf("c%dn%d", c, i)})
+			symmetricPair(p, base, base+i, cfg.IntraBandwidth, rng)
+		}
+	}
+	if cfg.FullBackbone {
+		for i := 0; i < len(frontends); i++ {
+			for j := i + 1; j < len(frontends); j++ {
+				symmetricPair(p, frontends[i], frontends[j], cfg.InterBandwidth, rng)
+			}
+		}
+	} else {
+		for i := 0; i+1 < len(frontends); i++ {
+			symmetricPair(p, frontends[i], frontends[i+1], cfg.InterBandwidth, rng)
+		}
+	}
+	return p, nil
+}
+
+// Uniform returns a linear cost with the given transfer time per slice for
+// every link of a platform built by the callers of this package's helpers.
+// It is a convenience for tests that need fully deterministic platforms.
+func Uniform(timePerSlice float64) BandwidthDist {
+	if timePerSlice <= 0 {
+		panic(fmt.Sprintf("topology: non-positive time per slice %v", timePerSlice))
+	}
+	return BandwidthDist{Mean: 1 / timePerSlice, StdDev: 0, Min: 1 / timePerSlice}
+}
+
+// UniformCost returns the deterministic affine cost corresponding to
+// Uniform(timePerSlice) for a unit slice.
+func UniformCost(timePerSlice float64) model.AffineCost {
+	return model.Linear(timePerSlice)
+}

@@ -1,0 +1,218 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/platform"
+)
+
+// TiersConfig describes a Tiers-like hierarchical platform. The original
+// Tiers generator [Calvert, Doar, Zegura 1997] builds a three-level
+// WAN / MAN / LAN topology; this configuration reproduces that structure:
+// a wide-area core, metropolitan subnetworks attached to core nodes, and
+// local-area hosts attached to metropolitan nodes, plus redundancy links
+// that bring the density into the 0.05–0.15 range reported by the paper.
+type TiersConfig struct {
+	// TotalNodes is the number of processors of the platform (the paper
+	// uses 30 and 65).
+	TotalNodes int `json:"totalNodes"`
+	// WANNodes is the number of wide-area core nodes.
+	WANNodes int `json:"wanNodes"`
+	// MANNodesPerWAN is the number of metropolitan nodes attached to each
+	// WAN node.
+	MANNodesPerWAN int `json:"manNodesPerWAN"`
+	// WANRedundancy is the number of extra links added between random WAN
+	// node pairs (beyond the core tree).
+	WANRedundancy int `json:"wanRedundancy"`
+	// MANRedundancy is the number of extra links added inside each
+	// metropolitan subnetwork.
+	MANRedundancy int `json:"manRedundancy"`
+	// ExtraLinks is the number of additional links added between random node
+	// pairs anywhere in the hierarchy (Tiers adds such redundant edges to
+	// avoid single points of failure); it is used to bring the density of
+	// the large platforms into the 0.05–0.15 range reported by the paper.
+	ExtraLinks int `json:"extraLinks"`
+	// Bandwidth distributions per level. The paper uses the same Gaussian
+	// (100, 20) distribution as for random platforms on every level; the
+	// scale factors allow exploring more heterogeneous hierarchies.
+	Bandwidth BandwidthDist `json:"bandwidth"`
+	WANScale  float64       `json:"wanScale"` // multiplies WAN link *times* (>=1 means slower)
+	MANScale  float64       `json:"manScale"`
+	LANScale  float64       `json:"lanScale"`
+	// SliceSize is the message slice size L.
+	SliceSize float64 `json:"sliceSize"`
+	// MultiPortFraction derives multi-port overheads as in RandomConfig.
+	MultiPortFraction float64 `json:"multiPortFraction"`
+}
+
+// Tiers30 returns a preset configuration with 30 nodes, matching the small
+// Tiers platforms of Table 3 (density lands in the 0.05–0.15 range).
+func Tiers30() TiersConfig {
+	return TiersConfig{
+		TotalNodes:        30,
+		WANNodes:          4,
+		MANNodesPerWAN:    3,
+		WANRedundancy:     2,
+		MANRedundancy:     1,
+		ExtraLinks:        6,
+		Bandwidth:         PaperBandwidth,
+		WANScale:          1,
+		MANScale:          1,
+		LANScale:          1,
+		SliceSize:         platform.DefaultSliceSize,
+		MultiPortFraction: 0.8,
+	}
+}
+
+// Tiers65 returns a preset configuration with 65 nodes, matching the large
+// Tiers platforms of Table 3.
+func Tiers65() TiersConfig {
+	return TiersConfig{
+		TotalNodes:        65,
+		WANNodes:          6,
+		MANNodesPerWAN:    4,
+		WANRedundancy:     4,
+		MANRedundancy:     2,
+		ExtraLinks:        25,
+		Bandwidth:         PaperBandwidth,
+		WANScale:          1,
+		MANScale:          1,
+		LANScale:          1,
+		SliceSize:         platform.DefaultSliceSize,
+		MultiPortFraction: 0.8,
+	}
+}
+
+// Validate checks the configuration parameters.
+func (c TiersConfig) Validate() error {
+	if c.WANNodes < 1 {
+		return fmt.Errorf("topology: tiers needs at least 1 WAN node, got %d", c.WANNodes)
+	}
+	if c.MANNodesPerWAN < 0 {
+		return fmt.Errorf("topology: negative MAN nodes per WAN: %d", c.MANNodesPerWAN)
+	}
+	core := c.WANNodes + c.WANNodes*c.MANNodesPerWAN
+	if c.TotalNodes < core {
+		return fmt.Errorf("topology: total nodes %d smaller than WAN+MAN core %d", c.TotalNodes, core)
+	}
+	if c.Bandwidth.Mean <= 0 {
+		return fmt.Errorf("topology: non-positive mean bandwidth %v", c.Bandwidth.Mean)
+	}
+	if c.WANScale < 0 || c.MANScale < 0 || c.LANScale < 0 {
+		return fmt.Errorf("topology: negative level scale")
+	}
+	return nil
+}
+
+// scaled returns the bandwidth distribution whose link times are multiplied
+// by scale (i.e. bandwidths divided by scale). A zero scale means 1.
+func scaled(d BandwidthDist, scale float64) BandwidthDist {
+	if scale <= 0 || scale == 1 {
+		return d
+	}
+	return BandwidthDist{Mean: d.Mean / scale, StdDev: d.StdDev / scale, Min: d.Min / scale}
+}
+
+// Tiers generates a Tiers-like hierarchical platform:
+//
+//   - a WAN core: WANNodes nodes connected by a random spanning tree plus
+//     WANRedundancy extra links;
+//   - one MAN per WAN node: MANNodesPerWAN nodes attached to their WAN node
+//     as a random tree plus MANRedundancy extra links;
+//   - LAN hosts: the remaining TotalNodes - core nodes, attached round-robin
+//     to MAN nodes (or to WAN nodes when there are no MAN nodes) as leaves.
+//
+// All links are bidirectional pairs with independently drawn costs.
+func Tiers(cfg TiersConfig, rng *rand.Rand) (*platform.Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	p := platform.New(cfg.TotalNodes)
+	if cfg.SliceSize > 0 {
+		p.SetSliceSize(cfg.SliceSize)
+	}
+
+	wanBW := scaled(cfg.Bandwidth, cfg.WANScale)
+	manBW := scaled(cfg.Bandwidth, cfg.MANScale)
+	lanBW := scaled(cfg.Bandwidth, cfg.LANScale)
+
+	// Level 1: WAN core nodes are 0..WANNodes-1, connected as a random tree.
+	wan := make([]int, cfg.WANNodes)
+	for i := range wan {
+		wan[i] = i
+		p.SetNode(i, platform.Node{Name: fmt.Sprintf("wan%d", i)})
+	}
+	for i := 1; i < len(wan); i++ {
+		symmetricPair(p, wan[rng.Intn(i)], wan[i], wanBW, rng)
+	}
+	for k := 0; k < cfg.WANRedundancy && len(wan) > 1; k++ {
+		u, v := wan[rng.Intn(len(wan))], wan[rng.Intn(len(wan))]
+		if u != v && !p.HasLink(u, v) {
+			symmetricPair(p, u, v, wanBW, rng)
+		}
+	}
+
+	// Level 2: MAN nodes attached to their WAN gateway.
+	next := cfg.WANNodes
+	manNodes := make([]int, 0, cfg.WANNodes*cfg.MANNodesPerWAN)
+	for _, w := range wan {
+		local := make([]int, 0, cfg.MANNodesPerWAN)
+		for j := 0; j < cfg.MANNodesPerWAN; j++ {
+			id := next
+			next++
+			p.SetNode(id, platform.Node{Name: fmt.Sprintf("man%d-%d", w, j)})
+			// Attach to the WAN gateway or to a previously created MAN node
+			// of the same subnetwork (random tree shape).
+			attach := w
+			if len(local) > 0 && rng.Float64() < 0.5 {
+				attach = local[rng.Intn(len(local))]
+			}
+			symmetricPair(p, attach, id, manBW, rng)
+			local = append(local, id)
+		}
+		for k := 0; k < cfg.MANRedundancy && len(local) > 1; k++ {
+			u, v := local[rng.Intn(len(local))], local[rng.Intn(len(local))]
+			if u != v && !p.HasLink(u, v) {
+				symmetricPair(p, u, v, manBW, rng)
+			}
+		}
+		manNodes = append(manNodes, local...)
+	}
+
+	// Level 3: LAN hosts attached round-robin to MAN nodes (or WAN nodes if
+	// there is no MAN level).
+	attachPool := manNodes
+	if len(attachPool) == 0 {
+		attachPool = wan
+	}
+	hostIdx := 0
+	for next < cfg.TotalNodes {
+		id := next
+		next++
+		gw := attachPool[hostIdx%len(attachPool)]
+		hostIdx++
+		p.SetNode(id, platform.Node{Name: fmt.Sprintf("host%d", id)})
+		symmetricPair(p, gw, id, lanBW, rng)
+	}
+
+	// Cross-hierarchy redundancy links, as added by the Tiers generator.
+	for k, attempts := 0, 0; k < cfg.ExtraLinks && attempts < 50*cfg.ExtraLinks; attempts++ {
+		u, v := rng.Intn(cfg.TotalNodes), rng.Intn(cfg.TotalNodes)
+		if u == v || p.HasLink(u, v) {
+			continue
+		}
+		// Links within a MAN/LAN neighbourhood stay fast; links that cross
+		// the hierarchy behave like MAN links.
+		symmetricPair(p, u, v, manBW, rng)
+		k++
+	}
+
+	if cfg.MultiPortFraction > 0 {
+		p.DeriveMultiPortOverheads(cfg.MultiPortFraction)
+	}
+	return p, nil
+}

@@ -1,0 +1,139 @@
+// Package topology generates heterogeneous platforms: the random platforms
+// of Table 2 of the paper, Tiers-like hierarchical WAN/MAN/LAN platforms
+// (substituting for the Tiers generator used in Section 5.1), and a few
+// regular topologies (star, chain, ring, grid, hypercube, clustered) used by
+// examples and tests.
+//
+// All generators are deterministic given an explicit *rand.Rand.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/platform"
+)
+
+// BandwidthDist describes a truncated Gaussian distribution of link
+// bandwidths (data units per time unit). The paper's Table 2 uses mean
+// 100 MB/s and deviation 20 MB/s.
+type BandwidthDist struct {
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stdDev"`
+	// Min is the lower truncation bound; samples below Min are redrawn
+	// (and finally clamped) so that link costs stay finite and positive.
+	Min float64 `json:"min"`
+}
+
+// PaperBandwidth is the bandwidth distribution of Table 2 (mean 100,
+// deviation 20, truncated at 10).
+var PaperBandwidth = BandwidthDist{Mean: 100, StdDev: 20, Min: 10}
+
+// Sample draws one bandwidth value.
+func (d BandwidthDist) Sample(rng *rand.Rand) float64 {
+	if d.Mean <= 0 {
+		panic(fmt.Sprintf("topology: non-positive mean bandwidth %v", d.Mean))
+	}
+	min := d.Min
+	if min <= 0 {
+		min = d.Mean / 100
+	}
+	for i := 0; i < 32; i++ {
+		b := d.Mean + d.StdDev*rng.NormFloat64()
+		if b >= min {
+			return b
+		}
+	}
+	return min
+}
+
+// Cost returns a linear link cost drawn from the distribution: the time to
+// transfer one data unit is 1/bandwidth.
+func (d BandwidthDist) Cost(rng *rand.Rand) model.AffineCost {
+	return model.FromBandwidth(d.Sample(rng))
+}
+
+// symmetricPair adds a pair of opposite links between a and b, each with an
+// independently drawn cost (heterogeneous directions), and returns nothing.
+func symmetricPair(p *platform.Platform, a, b int, d BandwidthDist, rng *rand.Rand) {
+	p.MustAddLink(a, b, d.Cost(rng))
+	p.MustAddLink(b, a, d.Cost(rng))
+}
+
+// connectComponents adds bidirectional links between randomly chosen
+// representatives of distinct connected components (of the undirected
+// support) until the platform is connected. It is used by the random
+// generator to guarantee that a broadcast from any source can reach every
+// node.
+func connectComponents(p *platform.Platform, d BandwidthDist, rng *rand.Rand) {
+	n := p.NumNodes()
+	for {
+		comp := components(p)
+		if len(comp) <= 1 {
+			return
+		}
+		// Connect each component to a node of the first component.
+		base := comp[0][rng.Intn(len(comp[0]))]
+		for _, c := range comp[1:] {
+			u := c[rng.Intn(len(c))]
+			symmetricPair(p, base, u, d, rng)
+		}
+		if n <= 1 {
+			return
+		}
+	}
+}
+
+// components returns the connected components of the undirected support of
+// the platform, each as a list of node indices.
+func components(p *platform.Platform) [][]int {
+	n := p.NumNodes()
+	uf := newUF(n)
+	for _, l := range p.Links() {
+		uf.union(l.From, l.To)
+	}
+	groups := make(map[int][]int)
+	for u := 0; u < n; u++ {
+		r := uf.find(u)
+		groups[r] = append(groups[r], u)
+	}
+	out := make([][]int, 0, len(groups))
+	// Deterministic order: by smallest member.
+	used := make(map[int]bool)
+	for u := 0; u < n; u++ {
+		r := uf.find(u)
+		if !used[r] {
+			used[r] = true
+			out = append(out, groups[r])
+		}
+	}
+	return out
+}
+
+// minimal union-find to avoid importing graph here (keeps the dependency
+// graph acyclic: platform does not depend on topology).
+type uf struct{ parent []int }
+
+func newUF(n int) *uf {
+	u := &uf{parent: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *uf) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *uf) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[rb] = ra
+	}
+}

@@ -1,0 +1,408 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+)
+
+func TestBandwidthDistSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d := PaperBandwidth
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		b := d.Sample(rng)
+		if b < d.Min {
+			t.Fatalf("sample %v below truncation %v", b, d.Min)
+		}
+		sum += b
+	}
+	mean := sum / n
+	if mean < 95 || mean > 105 {
+		t.Fatalf("empirical mean %v too far from 100", mean)
+	}
+}
+
+func TestBandwidthDistSampleDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Extremely negative-skewed distribution: samples fall back to Min.
+	d := BandwidthDist{Mean: 1, StdDev: 1000, Min: 0.5}
+	for i := 0; i < 100; i++ {
+		if b := d.Sample(rng); b < 0.5 {
+			t.Fatalf("sample %v below minimum", b)
+		}
+	}
+	// Zero Min defaults to Mean/100.
+	d = BandwidthDist{Mean: 100, StdDev: 0}
+	if b := d.Sample(rng); b != 100 {
+		t.Fatalf("deterministic sample = %v", b)
+	}
+}
+
+func TestBandwidthDistSamplePanicsOnBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive mean")
+		}
+	}()
+	BandwidthDist{Mean: 0}.Sample(rand.New(rand.NewSource(1)))
+}
+
+func TestBandwidthDistCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := BandwidthDist{Mean: 100, StdDev: 0, Min: 1}.Cost(rng)
+	if math.Abs(c.Time(100)-1) > 1e-12 {
+		t.Fatalf("cost for 100 units at bandwidth 100 = %v, want 1", c.Time(100))
+	}
+}
+
+func TestRandomConfigValidate(t *testing.T) {
+	good := DefaultRandomConfig(10, 0.1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []RandomConfig{
+		{Nodes: 1, Density: 0.1, Bandwidth: PaperBandwidth},
+		{Nodes: 10, Density: -0.1, Bandwidth: PaperBandwidth},
+		{Nodes: 10, Density: 1.5, Bandwidth: PaperBandwidth},
+		{Nodes: 10, Density: 0.1, Bandwidth: BandwidthDist{Mean: 0}},
+		{Nodes: 10, Density: 0.1, Bandwidth: PaperBandwidth, SliceSize: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Random(bad[0], nil); err == nil {
+		t.Fatal("Random accepted invalid config")
+	}
+}
+
+func TestRandomPlatformIsBroadcastable(t *testing.T) {
+	for _, n := range []int{5, 10, 20, 40} {
+		for _, density := range []float64{0.04, 0.1, 0.2} {
+			rng := rand.New(rand.NewSource(int64(n*100) + int64(density*1000)))
+			p, err := Random(DefaultRandomConfig(n, density), rng)
+			if err != nil {
+				t.Fatalf("Random(%d, %v): %v", n, density, err)
+			}
+			if p.NumNodes() != n {
+				t.Fatalf("node count = %d, want %d", p.NumNodes(), n)
+			}
+			for src := 0; src < n; src += n / 2 {
+				if err := p.Validate(src); err != nil {
+					t.Fatalf("platform not broadcastable from %d: %v", src, err)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomPlatformDensityTracksTarget(t *testing.T) {
+	// For a dense enough configuration the realized density should be close
+	// to the requested one (connectivity enforcement only matters for very
+	// sparse configurations).
+	rng := rand.New(rand.NewSource(7))
+	const n, target = 40, 0.2
+	var densities []float64
+	for i := 0; i < 10; i++ {
+		p, err := Random(DefaultRandomConfig(n, target), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		densities = append(densities, p.Density())
+	}
+	var mean float64
+	for _, d := range densities {
+		mean += d
+	}
+	mean /= float64(len(densities))
+	if mean < 0.15 || mean > 0.3 {
+		t.Fatalf("mean realized density %v too far from target %v", mean, target)
+	}
+}
+
+func TestRandomPlatformMultiPortOverheads(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p, err := Random(DefaultRandomConfig(15, 0.2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < p.NumNodes(); u++ {
+		if len(p.OutLinkIDs(u)) == 0 {
+			continue
+		}
+		minOut := math.Inf(1)
+		for _, id := range p.OutLinkIDs(u) {
+			if tt := p.SliceTime(id); tt < minOut {
+				minOut = tt
+			}
+		}
+		send := p.SendTime(u)
+		if send <= 0 || send > minOut {
+			t.Fatalf("node %d send overhead %v outside (0, %v]", u, send, minOut)
+		}
+		if math.Abs(send-0.8*minOut) > 1e-9 {
+			t.Fatalf("node %d send overhead %v != 0.8*min %v", u, send, 0.8*minOut)
+		}
+	}
+}
+
+func TestRandomDeterministicForSameSeed(t *testing.T) {
+	cfg := DefaultRandomConfig(20, 0.1)
+	a, err := Random(cfg, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(cfg, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatalf("link counts differ: %d vs %d", a.NumLinks(), b.NumLinks())
+	}
+	for id := 0; id < a.NumLinks(); id++ {
+		if a.Link(id) != b.Link(id) {
+			t.Fatalf("link %d differs", id)
+		}
+	}
+}
+
+func TestRandomNilRNG(t *testing.T) {
+	if _, err := Random(DefaultRandomConfig(8, 0.2), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperSweeps(t *testing.T) {
+	if got := PaperNodeCounts(); len(got) != 5 || got[0] != 10 || got[4] != 50 {
+		t.Fatalf("PaperNodeCounts = %v", got)
+	}
+	if got := PaperDensities(); len(got) != 5 || got[0] != 0.04 || got[4] != 0.2 {
+		t.Fatalf("PaperDensities = %v", got)
+	}
+}
+
+func TestTiersPresets(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  TiersConfig
+	}{
+		{"tiers30", Tiers30()},
+		{"tiers65", Tiers65()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.cfg.Validate(); err != nil {
+				t.Fatalf("preset invalid: %v", err)
+			}
+			rng := rand.New(rand.NewSource(5))
+			p, err := Tiers(tc.cfg, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.NumNodes() != tc.cfg.TotalNodes {
+				t.Fatalf("nodes = %d, want %d", p.NumNodes(), tc.cfg.TotalNodes)
+			}
+			if err := p.Validate(0); err != nil {
+				t.Fatalf("tiers platform not broadcastable: %v", err)
+			}
+			d := p.Density()
+			if d < 0.02 || d > 0.25 {
+				t.Fatalf("density %v outside plausible Tiers range", d)
+			}
+		})
+	}
+}
+
+func TestTiersValidateErrors(t *testing.T) {
+	bad := []TiersConfig{
+		{TotalNodes: 10, WANNodes: 0, Bandwidth: PaperBandwidth},
+		{TotalNodes: 10, WANNodes: 2, MANNodesPerWAN: -1, Bandwidth: PaperBandwidth},
+		{TotalNodes: 3, WANNodes: 4, Bandwidth: PaperBandwidth},
+		{TotalNodes: 10, WANNodes: 2, MANNodesPerWAN: 1, Bandwidth: BandwidthDist{}},
+		{TotalNodes: 10, WANNodes: 2, MANNodesPerWAN: 1, Bandwidth: PaperBandwidth, WANScale: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad tiers config %d accepted", i)
+		}
+	}
+	if _, err := Tiers(bad[0], nil); err == nil {
+		t.Fatal("Tiers accepted invalid config")
+	}
+}
+
+func TestTiersScaledLevels(t *testing.T) {
+	cfg := Tiers30()
+	cfg.WANScale = 10 // WAN links ten times slower
+	rng := rand.New(rand.NewSource(11))
+	p, err := Tiers(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Links between WAN nodes (0..3) should be roughly 10x slower than LAN
+	// leaf links on average.
+	var wanTimes, lanTimes []float64
+	for id := 0; id < p.NumLinks(); id++ {
+		l := p.Link(id)
+		if l.From < cfg.WANNodes && l.To < cfg.WANNodes {
+			wanTimes = append(wanTimes, p.SliceTime(id))
+		}
+		if l.From >= cfg.WANNodes+cfg.WANNodes*cfg.MANNodesPerWAN || l.To >= cfg.WANNodes+cfg.WANNodes*cfg.MANNodesPerWAN {
+			lanTimes = append(lanTimes, p.SliceTime(id))
+		}
+	}
+	if len(wanTimes) == 0 || len(lanTimes) == 0 {
+		t.Fatal("missing WAN or LAN links")
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(wanTimes) < 4*mean(lanTimes) {
+		t.Fatalf("WAN links not slower: wan=%v lan=%v", mean(wanTimes), mean(lanTimes))
+	}
+}
+
+func TestTiersNilRNGAndDeterminism(t *testing.T) {
+	a, err := Tiers(Tiers30(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tiers(Tiers30(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatal("nil-RNG generation not deterministic")
+	}
+}
+
+func TestStarChainRingGridHypercube(t *testing.T) {
+	d := Uniform(1)
+	star, err := Star(5, d, nil)
+	if err != nil || star.NumLinks() != 8 {
+		t.Fatalf("star: %v links=%d", err, star.NumLinks())
+	}
+	chain, err := Chain(4, d, nil)
+	if err != nil || chain.NumLinks() != 6 {
+		t.Fatalf("chain: %v", err)
+	}
+	ring, err := Ring(4, d, nil)
+	if err != nil || ring.NumLinks() != 8 {
+		t.Fatalf("ring: %v links=%d", err, ring.NumLinks())
+	}
+	ring2, err := Ring(2, d, nil)
+	if err != nil || ring2.NumLinks() != 2 {
+		t.Fatalf("2-ring should be a single pair: %v", err)
+	}
+	grid, err := Grid2D(3, 3, d, nil)
+	if err != nil || grid.NumLinks() != 2*12 {
+		t.Fatalf("grid: %v links=%d", err, grid.NumLinks())
+	}
+	cube, err := Hypercube(3, d, nil)
+	if err != nil || cube.NumNodes() != 8 || cube.NumLinks() != 2*12 {
+		t.Fatalf("hypercube: %v", err)
+	}
+	for _, p := range []*platform.Platform{star, chain, ring, grid, cube} {
+		if err := p.Validate(0); err != nil {
+			t.Fatalf("regular topology not broadcastable: %v", err)
+		}
+	}
+	// Error cases.
+	if _, err := Star(1, d, nil); err == nil {
+		t.Fatal("Star(1) accepted")
+	}
+	if _, err := Chain(1, d, nil); err == nil {
+		t.Fatal("Chain(1) accepted")
+	}
+	if _, err := Grid2D(0, 3, d, nil); err == nil {
+		t.Fatal("Grid2D(0,3) accepted")
+	}
+	if _, err := Hypercube(0, d, nil); err == nil {
+		t.Fatal("Hypercube(0) accepted")
+	}
+}
+
+func TestClusters(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	p, err := Clusters(cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNodes() != cfg.Clusters*cfg.NodesPerCluster {
+		t.Fatalf("nodes = %d", p.NumNodes())
+	}
+	if err := p.Validate(0); err != nil {
+		t.Fatalf("cluster platform not broadcastable: %v", err)
+	}
+	// Backbone links should be slower than intra-cluster links on average.
+	intra := p.SliceTimeBetween(0, 1)
+	inter := p.SliceTimeBetween(0, cfg.NodesPerCluster)
+	if inter <= intra {
+		t.Fatalf("backbone (%v) should be slower than intra-cluster (%v)", inter, intra)
+	}
+
+	full := cfg
+	full.FullBackbone = true
+	pf, err := Clusters(full, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.NumLinks() <= p.NumLinks() {
+		t.Fatal("full backbone should add links")
+	}
+
+	if _, err := Clusters(ClusterConfig{Clusters: 0, NodesPerCluster: 2}, nil); err == nil {
+		t.Fatal("invalid cluster config accepted")
+	}
+	if _, err := Clusters(ClusterConfig{Clusters: 1, NodesPerCluster: 1}, nil); err == nil {
+		t.Fatal("single-node cluster platform accepted")
+	}
+}
+
+func TestUniformHelpers(t *testing.T) {
+	d := Uniform(2)
+	rng := rand.New(rand.NewSource(1))
+	if math.Abs(d.Cost(rng).Time(1)-2) > 1e-12 {
+		t.Fatal("Uniform(2) should give 2 time units per unit slice")
+	}
+	if UniformCost(3).Time(1) != 3 {
+		t.Fatal("UniformCost wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uniform(0) did not panic")
+		}
+	}()
+	Uniform(0)
+}
+
+func TestRandomPropertyAllBroadcastable(t *testing.T) {
+	f := func(seed int64, nRaw, dRaw uint8) bool {
+		n := 3 + int(nRaw%30)
+		density := 0.02 + float64(dRaw%20)/100
+		rng := rand.New(rand.NewSource(seed))
+		p, err := Random(DefaultRandomConfig(n, density), rng)
+		if err != nil {
+			return false
+		}
+		// Every node can act as the broadcast source.
+		for src := 0; src < n; src++ {
+			if err := p.Validate(src); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package viz renders platforms, broadcast trees and routed schedules in
+// Graphviz DOT format and as compact ASCII summaries, for inspection and for
+// the documentation of experiments. Rendering is deterministic (nodes and
+// links are emitted in index order) so the output is diff-friendly.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/throughput"
+)
+
+// nodeLabel returns the display label of a node: its name if set, otherwise
+// its index.
+func nodeLabel(p *platform.Platform, u int) string {
+	if name := p.Node(u).Name; name != "" {
+		return name
+	}
+	return fmt.Sprintf("P%d", u)
+}
+
+// PlatformDOT renders the platform as a Graphviz digraph. Every directed
+// link is an edge labeled with its slice transfer time. Pairs of opposite
+// links with (nearly) identical costs are rendered as a single undirected
+// edge (dir=none) to keep the drawing readable.
+func PlatformDOT(p *platform.Platform, name string) string {
+	if name == "" {
+		name = "platform"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=ellipse, fontsize=10];\n  edge [fontsize=9];\n")
+	for u := 0; u < p.NumNodes(); u++ {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", u, nodeLabel(p, u))
+	}
+	skip := make(map[int]bool)
+	for id := 0; id < p.NumLinks(); id++ {
+		if skip[id] {
+			continue
+		}
+		l := p.Link(id)
+		t := p.SliceTime(id)
+		// Look for the reverse link with the same cost.
+		rev := p.LinkBetween(l.To, l.From)
+		if rev > id && !skip[rev] && nearlyEqual(p.SliceTime(rev), t) {
+			skip[rev] = true
+			fmt.Fprintf(&b, "  n%d -> n%d [dir=none, label=\"%.3g\"];\n", l.From, l.To, t)
+			continue
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"%.3g\"];\n", l.From, l.To, t)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func nearlyEqual(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := a
+	if b > a {
+		scale = b
+	}
+	return diff <= 1e-9*scale
+}
+
+// TreeDOT renders a broadcast tree over its platform: tree links are drawn
+// solid and bold, the remaining platform links dashed and grey, and the
+// bottleneck node of the given report (if any) is highlighted.
+func TreeDOT(p *platform.Platform, t *platform.Tree, rep *throughput.Report, name string) string {
+	if name == "" {
+		name = "broadcast_tree"
+	}
+	inTree := make(map[int]bool, p.NumNodes())
+	for _, id := range t.LinkIDs() {
+		inTree[id] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=ellipse, fontsize=10];\n  edge [fontsize=9];\n")
+	for u := 0; u < p.NumNodes(); u++ {
+		attrs := []string{fmt.Sprintf("label=%q", nodeLabel(p, u))}
+		if u == t.Root {
+			attrs = append(attrs, "shape=doublecircle")
+		}
+		if rep != nil && rep.Bottleneck == u && u != t.Root {
+			attrs = append(attrs, "style=filled", "fillcolor=lightcoral")
+		} else if rep != nil && rep.Bottleneck == u {
+			attrs = append(attrs, "style=filled", "fillcolor=lightsalmon")
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", u, strings.Join(attrs, ", "))
+	}
+	for id := 0; id < p.NumLinks(); id++ {
+		l := p.Link(id)
+		if inTree[id] {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%.3g\", penwidth=2];\n", l.From, l.To, p.SliceTime(id))
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, color=grey70, arrowsize=0.5];\n", l.From, l.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// RoutingDOT renders a routed broadcast schedule: every logical transfer is
+// an edge from the logical parent to the node, labeled with the number of
+// physical hops of its routed path, and every physical link is annotated
+// with its multiplicity (how many transfers it carries).
+func RoutingDOT(p *platform.Platform, r *platform.Routing, name string) string {
+	if name == "" {
+		name = "routed_broadcast"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=ellipse, fontsize=10];\n  edge [fontsize=9];\n")
+	for u := 0; u < p.NumNodes(); u++ {
+		shape := ""
+		if u == r.Root {
+			shape = ", shape=doublecircle"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q%s];\n", u, nodeLabel(p, u), shape)
+	}
+	for v := 0; v < r.NumNodes(); v++ {
+		if v == r.Root || r.LogicalParent[v] < 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"%d hop(s)\", penwidth=2];\n",
+			r.LogicalParent[v], v, len(r.Paths[v]))
+	}
+	mult := r.LinkMultiplicity(p)
+	for id, k := range mult {
+		if k <= 1 {
+			continue
+		}
+		l := p.Link(id)
+		fmt.Fprintf(&b, "  n%d -> n%d [style=dotted, color=red, label=\"x%d\"];\n", l.From, l.To, k)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// TreeASCII renders a broadcast tree as an indented ASCII outline with the
+// per-node steady-state periods of the given report (children sorted by
+// node index).
+func TreeASCII(p *platform.Platform, t *platform.Tree, rep *throughput.Report) string {
+	var b strings.Builder
+	var walk func(u int, prefix string)
+	walk = func(u int, prefix string) {
+		label := nodeLabel(p, u)
+		if rep != nil {
+			fmt.Fprintf(&b, "%s%s (period %.3g)", prefix, label, rep.Nodes[u].Period)
+			if rep.Bottleneck == u {
+				b.WriteString("  <- bottleneck")
+			}
+		} else {
+			fmt.Fprintf(&b, "%s%s", prefix, label)
+		}
+		b.WriteByte('\n')
+		children := append([]int(nil), t.Children(u)...)
+		sort.Ints(children)
+		for _, c := range children {
+			walk(c, prefix+"  ")
+		}
+	}
+	walk(t.Root, "")
+	return b.String()
+}

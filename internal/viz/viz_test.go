@@ -1,0 +1,117 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/heuristics"
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/throughput"
+	"repro/internal/topology"
+)
+
+// smallPlatform builds a 4-node platform with a named source and a tree.
+func smallPlatform(t *testing.T) (*platform.Platform, *platform.Tree) {
+	t.Helper()
+	p := platform.New(4)
+	p.SetNode(0, platform.Node{Name: "source"})
+	for v := 1; v < 4; v++ {
+		p.MustAddLink(0, v, model.Linear(float64(v)))
+		p.MustAddLink(v, 0, model.Linear(float64(v)))
+	}
+	tr := platform.NewTree(4, 0)
+	for v := 1; v < 4; v++ {
+		tr.SetParent(v, 0, p.LinkBetween(0, v))
+	}
+	return p, tr
+}
+
+func TestPlatformDOT(t *testing.T) {
+	p, _ := smallPlatform(t)
+	dot := PlatformDOT(p, "")
+	if !strings.HasPrefix(dot, "digraph \"platform\" {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("malformed dot:\n%s", dot)
+	}
+	if !strings.Contains(dot, `label="source"`) {
+		t.Fatal("node name missing")
+	}
+	// Symmetric link pairs are collapsed into a single undirected edge.
+	if got := strings.Count(dot, "dir=none"); got != 3 {
+		t.Fatalf("expected 3 undirected edges, got %d:\n%s", got, dot)
+	}
+	// Asymmetric costs keep both directions.
+	q := platform.New(2)
+	q.MustAddLink(0, 1, model.Linear(1))
+	q.MustAddLink(1, 0, model.Linear(5))
+	dot = PlatformDOT(q, "asym")
+	if strings.Contains(dot, "dir=none") {
+		t.Fatal("asymmetric pair should not be collapsed")
+	}
+	if !strings.Contains(dot, "digraph \"asym\"") {
+		t.Fatal("custom name not used")
+	}
+}
+
+func TestTreeDOT(t *testing.T) {
+	p, tr := smallPlatform(t)
+	rep := throughput.Evaluate(p, tr, model.OnePortBidirectional)
+	dot := TreeDOT(p, tr, rep, "")
+	if !strings.Contains(dot, "doublecircle") {
+		t.Fatal("root not highlighted")
+	}
+	if !strings.Contains(dot, "penwidth=2") {
+		t.Fatal("tree edges not emphasized")
+	}
+	if !strings.Contains(dot, "style=dashed") {
+		t.Fatal("non-tree platform links should be dashed")
+	}
+	if !strings.Contains(dot, "fillcolor=lightsalmon") && !strings.Contains(dot, "fillcolor=lightcoral") {
+		t.Fatal("bottleneck not highlighted")
+	}
+	// Without a report the function still renders.
+	if out := TreeDOT(p, tr, nil, "named"); !strings.Contains(out, "digraph \"named\"") {
+		t.Fatal("custom name not used")
+	}
+}
+
+func TestRoutingDOT(t *testing.T) {
+	p, err := topology.Tiers(topology.Tiers30(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routing, err := heuristics.Binomial{}.BuildRouting(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := RoutingDOT(p, routing, "")
+	if !strings.Contains(dot, "hop(s)") {
+		t.Fatal("logical transfers missing")
+	}
+	// On a hierarchical platform the binomial schedule must share some links,
+	// which show up as multiplicity annotations.
+	if !strings.Contains(dot, "color=red") {
+		t.Fatal("expected at least one link with multiplicity > 1")
+	}
+}
+
+func TestTreeASCII(t *testing.T) {
+	p, tr := smallPlatform(t)
+	rep := throughput.Evaluate(p, tr, model.OnePortBidirectional)
+	out := TreeASCII(p, tr, rep)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "source") || !strings.Contains(lines[0], "bottleneck") {
+		t.Fatalf("root line wrong: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  P1") {
+		t.Fatalf("child indentation wrong: %q", lines[1])
+	}
+	// Without a report the outline omits the periods.
+	out = TreeASCII(p, tr, nil)
+	if strings.Contains(out, "period") {
+		t.Fatal("period printed without a report")
+	}
+}
