@@ -26,6 +26,7 @@ import (
 	"repro/internal/heuristics"
 	"repro/internal/model"
 	"repro/internal/platform"
+	"repro/internal/scenarios"
 	"repro/internal/sim"
 	"repro/internal/sta"
 	"repro/internal/steady"
@@ -111,6 +112,22 @@ type (
 	ResultTable = experiments.Table
 )
 
+// Scenario registry and sweep engine types.
+type (
+	// Scenario is a named platform family: a deterministic seeded generator
+	// of platforms at parameterised sizes.
+	Scenario = scenarios.Scenario
+	// SweepConfig parameterises a scenario x size x heuristic sweep.
+	SweepConfig = scenarios.SweepConfig
+	// SweepReport is the full outcome of a sweep, with runs and aggregates
+	// in deterministic order.
+	SweepReport = scenarios.SweepReport
+	// SweepRun is the outcome of one heuristic on one generated platform.
+	SweepRun = scenarios.RunResult
+	// SweepAggregate summarises one (scenario, size, heuristic) cell.
+	SweepAggregate = scenarios.Aggregate
+)
+
 // Topology generation types.
 type (
 	// RandomConfig describes the random platforms of the paper's Table 2.
@@ -173,6 +190,33 @@ func ClusterPlatform(cfg ClusterConfig, seed int64) (*Platform, error) {
 // DefaultClusterConfig returns a 4x8 cluster-of-clusters configuration with
 // a 10x gap between intra-cluster and backbone bandwidth.
 func DefaultClusterConfig() ClusterConfig { return topology.DefaultClusterConfig() }
+
+// ScenarioNames returns the names of all registered scenario families in
+// sorted order.
+func ScenarioNames() []string { return scenarios.Names() }
+
+// ScenarioByName returns the scenario family registered under the given
+// name.
+func ScenarioByName(name string) (Scenario, error) { return scenarios.Get(name) }
+
+// RegisterScenario adds a custom platform family to the scenario registry;
+// it then participates in sweeps like the built-in families.
+func RegisterScenario(s Scenario) error { return scenarios.Register(s) }
+
+// GenerateScenario generates a platform of the named scenario family with
+// the given node count and seed. Generation is deterministic: the same
+// (name, size, seed) triple yields an identical platform.
+func GenerateScenario(name string, size int, seed int64) (*Platform, error) {
+	s, err := scenarios.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.Generate(size, seed)
+}
+
+// RunSweep evaluates scenario x size x heuristic combinations across a
+// worker pool and returns the deterministic sweep report.
+func RunSweep(cfg SweepConfig) (*SweepReport, error) { return scenarios.Sweep(cfg) }
 
 // Heuristics returns the canonical names of all tree-construction
 // heuristics, in the presentation order of the paper.

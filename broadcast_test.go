@@ -185,3 +185,73 @@ func TestPublicAPICompareAndExperiments(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 }
+
+func TestPublicAPIScenariosAndSweep(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) < 6 {
+		t.Fatalf("only %d scenario families registered: %v", len(names), names)
+	}
+	p, err := GenerateScenario("cluster-of-clusters", 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNodes() != 12 {
+		t.Fatalf("scenario platform has %d nodes, want 12", p.NumNodes())
+	}
+	if _, err := GenerateScenario("no-such-family", 12, 3); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := ScenarioByName("star"); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := RunSweep(SweepConfig{
+		Scenarios:   []string{"star", "chain"},
+		Sizes:       []int{8},
+		Heuristics:  []string{GrowTree, PruneSimple},
+		Repetitions: 1,
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meta.TotalRuns != 4 || len(rep.Aggregates) != 4 {
+		t.Fatalf("sweep: %d runs, %d aggregates, want 4 each", rep.Meta.TotalRuns, len(rep.Aggregates))
+	}
+	for _, r := range rep.Runs {
+		if r.Error != "" {
+			t.Errorf("%s/%s: %s", r.Scenario, r.Heuristic, r.Error)
+		}
+		if math.IsNaN(r.Ratio) || r.Ratio <= 0 || r.Ratio > 1+1e-6 {
+			t.Errorf("%s/%s: ratio %v", r.Scenario, r.Heuristic, r.Ratio)
+		}
+	}
+
+	// The registry is process-global, so skip the registration when a
+	// previous run of this test (go test -count=2) already added the entry.
+	if _, err := ScenarioByName("facade-test-clique"); err == nil {
+		return
+	}
+	if err := RegisterScenario(Scenario{
+		Name:         "facade-test-clique",
+		Description:  "tiny clique registered through the facade",
+		MinSize:      2,
+		DefaultSizes: []int{4},
+		Generate: func(size int, seed int64) (*Platform, error) {
+			p := NewPlatform(size)
+			for u := 0; u < size; u++ {
+				for v := u + 1; v < size; v++ {
+					if _, _, err := p.AddBidirectionalLink(u, v, FromBandwidth(100)); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return p, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateScenario("facade-test-clique", 4, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,11 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/heuristics"
 	"repro/internal/model"
-	"repro/internal/platform"
+	"repro/internal/scenarios"
 	"repro/internal/topology"
 )
 
@@ -21,15 +20,11 @@ func Fig4a(cfg Config) (*Table, error) {
 	for ci, nodes := range cfg.NodeCounts {
 		for di, density := range cfg.Densities {
 			for rep := 0; rep < cfg.Configurations; rep++ {
-				nodes, density := nodes, density
 				jobs = append(jobs, job{
-					cell: ci,
-					seed: jobSeed(cfg.Seed, 1, ci, di, rep),
-					gen: func(rng *rand.Rand) (*platform.Platform, error) {
-						c := topology.DefaultRandomConfig(nodes, density)
-						c.MultiPortFraction = cfg.MultiPortFraction
-						return topology.Random(c, rng)
-					},
+					cell:     ci,
+					seed:     jobSeed(cfg.Seed, 1, ci, di, rep),
+					scenario: scenarios.RandomDensity(density, cfg.MultiPortFraction),
+					size:     nodes,
 				})
 			}
 		}
@@ -66,15 +61,11 @@ func Fig4b(cfg Config) (*Table, error) {
 	for di, density := range cfg.Densities {
 		for ci, nodes := range cfg.NodeCounts {
 			for rep := 0; rep < cfg.Configurations; rep++ {
-				nodes, density := nodes, density
 				jobs = append(jobs, job{
-					cell: di,
-					seed: jobSeed(cfg.Seed, 2, di, ci, rep),
-					gen: func(rng *rand.Rand) (*platform.Platform, error) {
-						c := topology.DefaultRandomConfig(nodes, density)
-						c.MultiPortFraction = cfg.MultiPortFraction
-						return topology.Random(c, rng)
-					},
+					cell:     di,
+					seed:     jobSeed(cfg.Seed, 2, di, ci, rep),
+					scenario: scenarios.RandomDensity(density, cfg.MultiPortFraction),
+					size:     nodes,
 				})
 			}
 		}
@@ -112,15 +103,11 @@ func Fig5(cfg Config) (*Table, error) {
 	for ci, nodes := range cfg.NodeCounts {
 		for di, density := range cfg.Densities {
 			for rep := 0; rep < cfg.Configurations; rep++ {
-				nodes, density := nodes, density
 				jobs = append(jobs, job{
-					cell: ci,
-					seed: jobSeed(cfg.Seed, 3, ci, di, rep),
-					gen: func(rng *rand.Rand) (*platform.Platform, error) {
-						c := topology.DefaultRandomConfig(nodes, density)
-						c.MultiPortFraction = cfg.MultiPortFraction
-						return topology.Random(c, rng)
-					},
+					cell:     ci,
+					seed:     jobSeed(cfg.Seed, 3, ci, di, rep),
+					scenario: scenarios.RandomDensity(density, cfg.MultiPortFraction),
+					size:     nodes,
 				})
 			}
 		}
@@ -163,15 +150,18 @@ func Table3(cfg Config) (*Table, error) {
 	}
 	var jobs []job
 	for ci, preset := range presets {
+		tiersCfg := preset.cfg
+		tiersCfg.MultiPortFraction = cfg.MultiPortFraction
+		scenario := scenarios.FromTiersConfig(
+			fmt.Sprintf("tiers-%d", preset.nodes),
+			fmt.Sprintf("Tiers-like platform preset of Table 3 (%s)", preset.label),
+			tiersCfg)
 		for rep := 0; rep < cfg.TiersConfigurations; rep++ {
-			tiersCfg := preset.cfg
-			tiersCfg.MultiPortFraction = cfg.MultiPortFraction
 			jobs = append(jobs, job{
-				cell: ci,
-				seed: jobSeed(cfg.Seed, 4, ci, rep),
-				gen: func(rng *rand.Rand) (*platform.Platform, error) {
-					return topology.Tiers(tiersCfg, rng)
-				},
+				cell:     ci,
+				seed:     jobSeed(cfg.Seed, 4, ci, rep),
+				scenario: scenario,
+				size:     preset.nodes,
 			})
 		}
 	}
@@ -213,15 +203,11 @@ func AblationSendFraction(cfg Config) (*Table, error) {
 	for fi, fraction := range fractions {
 		for di, density := range cfg.Densities {
 			for rep := 0; rep < cfg.Configurations; rep++ {
-				fraction, density := fraction, density
 				jobs = append(jobs, job{
-					cell: fi,
-					seed: jobSeed(cfg.Seed, 5, fi, di, rep),
-					gen: func(rng *rand.Rand) (*platform.Platform, error) {
-						c := topology.DefaultRandomConfig(nodes, density)
-						c.MultiPortFraction = fraction
-						return topology.Random(c, rng)
-					},
+					cell:     fi,
+					seed:     jobSeed(cfg.Seed, 5, fi, di, rep),
+					scenario: scenarios.RandomDensity(density, fraction),
+					size:     nodes,
 				})
 			}
 		}
@@ -260,15 +246,11 @@ func AblationPortDirection(cfg Config) (*Table, error) {
 	for ci, nodes := range cfg.NodeCounts {
 		for di, density := range cfg.Densities {
 			for rep := 0; rep < cfg.Configurations; rep++ {
-				nodes, density := nodes, density
 				jobs = append(jobs, job{
-					cell: ci,
-					seed: jobSeed(cfg.Seed, 6, ci, di, rep),
-					gen: func(rng *rand.Rand) (*platform.Platform, error) {
-						c := topology.DefaultRandomConfig(nodes, density)
-						c.MultiPortFraction = cfg.MultiPortFraction
-						return topology.Random(c, rng)
-					},
+					cell:     ci,
+					seed:     jobSeed(cfg.Seed, 6, ci, di, rep),
+					scenario: scenarios.RandomDensity(density, cfg.MultiPortFraction),
+					size:     nodes,
 				})
 			}
 		}

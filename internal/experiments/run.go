@@ -3,12 +3,12 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/heuristics"
 	"repro/internal/model"
 	"repro/internal/parallel"
 	"repro/internal/platform"
+	"repro/internal/scenarios"
 	"repro/internal/stats"
 	"repro/internal/steady"
 	"repro/internal/throughput"
@@ -45,7 +45,7 @@ func EvaluatePlatform(p *platform.Platform, source int, names []string, evalMode
 		Throughput: make(map[string]float64, len(names)),
 	}
 	for _, name := range names {
-		builder, err := builderWithRates(name, opt.EdgeRate)
+		builder, err := heuristics.ByNameWithRates(name, opt.EdgeRate)
 		if err != nil {
 			return nil, err
 		}
@@ -76,25 +76,13 @@ func EvaluatePlatform(p *platform.Platform, source int, names []string, evalMode
 	return ev, nil
 }
 
-// builderWithRates returns the named heuristic, injecting the precomputed
-// steady-state edge rates into the LP-based ones so the LP is not re-solved
-// per heuristic.
-func builderWithRates(name string, rates []float64) (heuristics.Builder, error) {
-	switch name {
-	case heuristics.NameLPPrune:
-		return heuristics.LPPrune{Rates: rates}, nil
-	case heuristics.NameLPGrowTree:
-		return heuristics.LPGrowTree{Rates: rates}, nil
-	default:
-		return heuristics.ByName(name)
-	}
-}
-
-// job is one platform instance to evaluate inside a cell of an experiment.
+// job is one platform instance to evaluate inside a cell of an experiment:
+// a scenario from the registry instantiated at a given size and seed.
 type job struct {
-	cell int // row index the result contributes to
-	gen  func(rng *rand.Rand) (*platform.Platform, error)
-	seed int64
+	cell     int // row index the result contributes to
+	scenario scenarios.Scenario
+	size     int
+	seed     int64
 }
 
 // runJobs evaluates all jobs concurrently and aggregates the per-cell mean
@@ -107,8 +95,7 @@ func runJobs(cfg Config, jobs []job, numCells int, names []string, evalModel mod
 	}
 	results := parallel.Map(len(jobs), cfg.Workers, func(i int) outcome {
 		j := jobs[i]
-		rng := rand.New(rand.NewSource(j.seed))
-		p, err := j.gen(rng)
+		p, err := j.scenario.Generate(j.size, j.seed)
 		if err != nil {
 			return outcome{cell: j.cell, err: err}
 		}

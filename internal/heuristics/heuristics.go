@@ -109,6 +109,21 @@ func ByName(name string) (Builder, error) {
 	}
 }
 
+// ByNameWithRates returns a builder for the given canonical name, injecting
+// precomputed steady-state edge rates into the LP-based heuristics so the
+// linear program is solved only once per platform. Nil rates make it
+// equivalent to ByName.
+func ByNameWithRates(name string, rates []float64) (Builder, error) {
+	switch name {
+	case NameLPPrune:
+		return LPPrune{Rates: rates}, nil
+	case NameLPGrowTree:
+		return LPGrowTree{Rates: rates}, nil
+	default:
+		return ByName(name)
+	}
+}
+
 // Names returns the canonical names of all heuristics in presentation order
 // (the order used by the paper's figures).
 func Names() []string {

@@ -80,6 +80,25 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 	return results
 }
 
+// MapStream runs fn(i) for every i in [0, n) like Map and additionally
+// invokes observe(i, result) as each index completes. observe calls are
+// serialized (never concurrent) but arrive in completion order, not index
+// order; the returned slice is still in index order. A nil observe makes
+// MapStream equivalent to Map.
+func MapStream[T any](n, workers int, fn func(i int) T, observe func(i int, v T)) []T {
+	if observe == nil {
+		return Map(n, workers, fn)
+	}
+	var mu sync.Mutex
+	return Map(n, workers, func(i int) T {
+		v := fn(i)
+		mu.Lock()
+		observe(i, v)
+		mu.Unlock()
+		return v
+	})
+}
+
 // MapErr runs fn(i) for every i in [0, n) concurrently and returns the
 // results in index order along with the first error encountered (by lowest
 // index). All calls run to completion even if some fail.

@@ -102,3 +102,32 @@ func TestMapErrReturnsLowestIndexError(t *testing.T) {
 		t.Fatalf("err = %v, want first (lowest index) error", err)
 	}
 }
+
+func TestMapStream(t *testing.T) {
+	var streamed []int
+	res := MapStream(20, 4, func(i int) int { return i * i }, func(i, v int) {
+		if v != i*i {
+			t.Errorf("observe(%d, %d), want %d", i, v, i*i)
+		}
+		streamed = append(streamed, i) // serialized: no extra locking needed
+	})
+	if len(res) != 20 || len(streamed) != 20 {
+		t.Fatalf("got %d results, %d observations, want 20 each", len(res), len(streamed))
+	}
+	for i, v := range res {
+		if v != i*i {
+			t.Fatalf("res[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	seen := make(map[int]bool)
+	for _, i := range streamed {
+		if seen[i] {
+			t.Fatalf("index %d observed twice", i)
+		}
+		seen[i] = true
+	}
+	res = MapStream(5, 2, func(i int) int { return i }, nil)
+	if len(res) != 5 {
+		t.Fatalf("nil observe: got %d results", len(res))
+	}
+}

@@ -1,0 +1,75 @@
+package scenarios
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/heuristics"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/throughput"
+)
+
+// TestAnalyticThroughputMatchesSimulation is the differential harness: the
+// analytic steady-state throughput (internal/throughput, derived from the
+// steady-state equations of internal/steady) must agree with the
+// slice-by-slice discrete-event simulation (internal/sim) within tolerance
+// across a seeded sample of scenario families, heuristics and port models.
+func TestAnalyticThroughputMatchesSimulation(t *testing.T) {
+	const (
+		source = 0
+		slices = 400
+		relTol = 0.05 // the simulated rate converges to the analytic one as slices grows
+	)
+	cases := []struct {
+		scenario  string
+		heuristic string
+		m         model.PortModel
+	}{
+		{NameStar, heuristics.NameGrowTree, model.OnePortBidirectional},
+		{NameChain, heuristics.NamePruneSimple, model.OnePortBidirectional},
+		{NameClusters, heuristics.NamePruneDegree, model.OnePortBidirectional},
+		{NameGrid, heuristics.NameGrowTree, model.OnePortBidirectional},
+		{NameRandomSparse, heuristics.NameLPGrowTree, model.OnePortBidirectional},
+		{NameLastMile, heuristics.NamePruneDegree, model.OnePortBidirectional},
+		{NameTiers, heuristics.NameGrowTree, model.OnePortBidirectional},
+		{NameClusters, heuristics.NameMultiportGrowTree, model.MultiPort},
+		{NameRandomDense, heuristics.NameMultiportPruneDegree, model.MultiPort},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.scenario+"/"+c.heuristic, func(t *testing.T) {
+			s, err := Get(c.scenario)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, seed := range []int64{3, 17} {
+				p, err := s.Generate(testSize(s), seed)
+				if err != nil {
+					t.Fatalf("generate: %v", err)
+				}
+				builder, err := heuristics.ByName(c.heuristic)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tree, err := builder.Build(p, source)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				analytic := throughput.TreeThroughput(p, tree, c.m)
+				if analytic <= 0 || math.IsInf(analytic, 0) {
+					t.Fatalf("analytic throughput %v", analytic)
+				}
+				measured, err := sim.MeasureThroughput(p, tree, c.m, slices)
+				if err != nil {
+					t.Fatalf("simulate: %v", err)
+				}
+				rel := math.Abs(measured-analytic) / analytic
+				if rel > relTol {
+					t.Errorf("seed %d: simulated %v vs analytic %v (rel diff %.3f > %.2f)",
+						seed, measured, analytic, rel, relTol)
+				}
+			}
+		})
+	}
+}

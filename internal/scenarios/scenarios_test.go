@@ -1,0 +1,183 @@
+package scenarios
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"testing"
+)
+
+// testSize returns a small size supported by the scenario, used to keep the
+// exhaustive scenario x heuristic tests fast.
+func testSize(s Scenario) int {
+	size := 12
+	if size < s.MinSize {
+		size = s.MinSize
+	}
+	return size
+}
+
+func TestNamesSortedAndRegistered(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	want := []string{
+		NameHomogeneous, NameClusters, NameTiers, NameStar, NameChain,
+		NameRing, NameGrid, NameRandomSparse, NameRandomDense, NameLastMile,
+	}
+	if len(names) < len(want) {
+		t.Fatalf("registry has %d scenarios, want at least %d", len(names), len(want))
+	}
+	for _, name := range want {
+		if _, err := Get(name); err != nil {
+			t.Errorf("built-in scenario %q missing: %v", name, err)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("no-such-family"); err == nil {
+		t.Fatal("Get(unknown) succeeded, want error")
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndInvalid(t *testing.T) {
+	s, err := Get(NameStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(s); err == nil {
+		t.Error("re-registering an existing name succeeded, want error")
+	}
+	if err := Register(Scenario{Name: "x"}); err == nil {
+		t.Error("registering a scenario without generator succeeded, want error")
+	}
+	if err := Register(Scenario{Name: "", Generate: s.Generate, MinSize: 2, DefaultSizes: []int{4}}); err == nil {
+		t.Error("registering an unnamed scenario succeeded, want error")
+	}
+}
+
+func TestGenerateExactSizeAndValid(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			for _, size := range []int{testSize(s), s.DefaultSizes[0]} {
+				p, err := s.Generate(size, 42)
+				if err != nil {
+					t.Fatalf("Generate(%d, 42): %v", size, err)
+				}
+				if p.NumNodes() != size {
+					t.Errorf("Generate(%d) produced %d nodes", size, p.NumNodes())
+				}
+				if err := p.Validate(0); err != nil {
+					t.Errorf("Generate(%d) platform invalid: %v", size, err)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateBelowMinSizeFails(t *testing.T) {
+	for _, s := range All() {
+		if s.MinSize <= 2 {
+			continue
+		}
+		if _, err := s.Generate(s.MinSize-1, 1); err == nil {
+			t.Errorf("%s: Generate(%d) below MinSize %d succeeded", s.Name, s.MinSize-1, s.MinSize)
+		}
+	}
+}
+
+// TestGenerateDeterministic checks the core registry contract: the same
+// (size, seed) pair yields a byte-identical platform.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			size := testSize(s)
+			a, err := s.Generate(size, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := s.Generate(size, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aj, err := json.Marshal(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bj, err := json.Marshal(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(aj, bj) {
+				t.Errorf("same seed produced different platforms:\n%s\n%s", aj, bj)
+			}
+		})
+	}
+}
+
+// TestGenerateSeedSensitivity checks that randomized families actually use
+// the seed.
+func TestGenerateSeedSensitivity(t *testing.T) {
+	for _, name := range []string{NameRandomSparse, NameLastMile, NameTiers, NameClusters} {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := testSize(s)
+		a, err := s.Generate(size, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Generate(size, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if bytes.Equal(aj, bj) {
+			t.Errorf("%s: seeds 1 and 2 produced identical platforms", name)
+		}
+	}
+}
+
+func TestGridDims(t *testing.T) {
+	cases := []struct{ size, rows, cols int }{
+		{4, 2, 2}, {9, 3, 3}, {12, 3, 4}, {16, 4, 4}, {13, 1, 13}, {36, 6, 6},
+	}
+	for _, c := range cases {
+		rows, cols := gridDims(c.size)
+		if rows != c.rows || cols != c.cols {
+			t.Errorf("gridDims(%d) = %dx%d, want %dx%d", c.size, rows, cols, c.rows, c.cols)
+		}
+	}
+}
+
+func TestUnitSeedStableAndDistinct(t *testing.T) {
+	a := UnitSeed(1, "star", 10, 0)
+	if a != UnitSeed(1, "star", 10, 0) {
+		t.Fatal("UnitSeed not deterministic")
+	}
+	seen := map[int64]string{}
+	for _, scenario := range []string{"star", "chain"} {
+		for _, size := range []int{10, 20} {
+			for rep := 0; rep < 3; rep++ {
+				s := UnitSeed(1, scenario, size, rep)
+				if s <= 0 {
+					t.Errorf("UnitSeed(%s,%d,%d) = %d, want positive", scenario, size, rep, s)
+				}
+				key := ""
+				if prev, ok := seen[s]; ok {
+					key = prev
+				}
+				if key != "" {
+					t.Errorf("seed collision between %s and (%s,%d,%d)", key, scenario, size, rep)
+				}
+				seen[s] = scenario
+			}
+		}
+	}
+}

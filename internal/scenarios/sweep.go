@@ -1,0 +1,431 @@
+package scenarios
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/heuristics"
+	"repro/internal/model"
+	"repro/internal/parallel"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/steady"
+	"repro/internal/throughput"
+)
+
+// SweepConfig parameterises a scenario x size x heuristic sweep.
+type SweepConfig struct {
+	// Scenarios are the registry names to sweep; empty means every
+	// registered scenario.
+	Scenarios []string
+	// Sizes are the node counts generated for every scenario; empty means
+	// each scenario's DefaultSizes.
+	Sizes []int
+	// Heuristics are the heuristic names evaluated on every platform; empty
+	// means every registered heuristic.
+	Heuristics []string
+	// Repetitions is the number of platforms generated per (scenario, size)
+	// cell (default 3). Each repetition derives its own seed.
+	Repetitions int
+	// Seed is the base seed; per-platform seeds are derived from it, the
+	// scenario name, the size and the repetition index, so results are
+	// reproducible bit-for-bit and independent of sweep-internal ordering.
+	Seed int64
+	// Source is the broadcast source processor (default 0).
+	Source int
+	// EvalModel is the port model under which trees are evaluated (default
+	// one-port bidirectional). The reference optimum is always the one-port
+	// MTP linear program, as in the paper.
+	EvalModel model.PortModel
+	// Workers bounds the number of platforms evaluated concurrently
+	// (default: number of CPUs).
+	Workers int
+	// RecordTimings enables per-run wall-clock measurements. It defaults to
+	// false so that sweep output is byte-for-byte deterministic.
+	RecordTimings bool
+	// OnResult, when non-nil, is invoked once per run as results complete
+	// (in completion order, not report order). Calls are serialized, never
+	// concurrent.
+	OnResult func(RunResult)
+}
+
+// RunResult is the outcome of evaluating one heuristic on one generated
+// platform instance.
+type RunResult struct {
+	Scenario  string  `json:"scenario"`
+	Size      int     `json:"size"`
+	Rep       int     `json:"rep"`
+	Seed      int64   `json:"seed"`
+	Heuristic string  `json:"heuristic"`
+	Nodes     int     `json:"nodes"`
+	Links     int     `json:"links"`
+	Density   float64 `json:"density"`
+	// Optimal is the one-port MTP optimal throughput of the platform.
+	Optimal float64 `json:"optimal"`
+	// Throughput is the heuristic's steady-state throughput under the
+	// sweep's evaluation model.
+	Throughput float64 `json:"throughput"`
+	// Ratio is Throughput / Optimal (the paper's relative performance).
+	Ratio float64 `json:"ratio"`
+	// WallNanos is the build+evaluate time (only with RecordTimings).
+	WallNanos int64 `json:"wallNanos,omitempty"`
+	// Error is non-empty when the generation, LP solve or heuristic failed.
+	Error string `json:"error,omitempty"`
+}
+
+// Aggregate summarises the repetitions of one (scenario, size, heuristic)
+// cell.
+type Aggregate struct {
+	Scenario  string `json:"scenario"`
+	Size      int    `json:"size"`
+	Heuristic string `json:"heuristic"`
+	// Samples is the number of successful runs aggregated.
+	Samples   int     `json:"samples"`
+	MeanRatio float64 `json:"meanRatio"`
+	DevRatio  float64 `json:"devRatio"`
+	MinRatio  float64 `json:"minRatio"`
+	MaxRatio  float64 `json:"maxRatio"`
+	// MeanWallNanos is the mean build+evaluate time (only with
+	// RecordTimings).
+	MeanWallNanos int64 `json:"meanWallNanos,omitempty"`
+	// Errors is the number of failed runs in the cell.
+	Errors int `json:"errors,omitempty"`
+}
+
+// SweepMeta echoes the effective sweep parameters into the report.
+type SweepMeta struct {
+	Scenarios      []string `json:"scenarios"`
+	Sizes          []int    `json:"sizes,omitempty"`
+	Heuristics     []string `json:"heuristics"`
+	Repetitions    int      `json:"repetitions"`
+	Seed           int64    `json:"seed"`
+	Source         int      `json:"source"`
+	EvalModel      string   `json:"evalModel"`
+	TotalRuns      int      `json:"totalRuns"`
+	TotalWallNanos int64    `json:"totalWallNanos,omitempty"`
+}
+
+// SweepReport is the full outcome of a sweep: every run in deterministic
+// order (scenario, then size, then repetition, then heuristic) plus one
+// aggregate per cell in the same order.
+type SweepReport struct {
+	Meta       SweepMeta   `json:"meta"`
+	Runs       []RunResult `json:"runs"`
+	Aggregates []Aggregate `json:"aggregates"`
+}
+
+// unit is one platform instance to generate and evaluate: the unit of
+// parallelism of the sweep.
+type unit struct {
+	scenario Scenario
+	size     int
+	rep      int
+	seed     int64
+}
+
+// UnitSeed derives the deterministic seed of one generated platform from the
+// base seed, the scenario name, the size and the repetition index. The
+// derivation hashes the identifying fields (rather than positional indices)
+// so a platform keeps its seed when scenarios are added to or removed from a
+// sweep.
+func UnitSeed(base int64, scenario string, size, rep int) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(base))
+	h.Write(buf[:])
+	h.Write([]byte(scenario))
+	binary.LittleEndian.PutUint64(buf[:], uint64(size))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(rep))
+	h.Write(buf[:])
+	seed := int64(h.Sum64() & math.MaxInt64)
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// resolve validates the configuration and expands it into the unit list.
+func (cfg SweepConfig) resolve() ([]Scenario, [][]int, []string, error) {
+	names := cfg.Scenarios
+	if len(names) == 0 {
+		names = Names()
+	}
+	scens := make([]Scenario, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		if seen[name] {
+			return nil, nil, nil, fmt.Errorf("scenarios: scenario %q listed twice", name)
+		}
+		seen[name] = true
+		s, err := Get(name)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		scens = append(scens, s)
+	}
+	sizes := make([][]int, len(scens))
+	for i, s := range scens {
+		sz := cfg.Sizes
+		if len(sz) == 0 {
+			sz = s.DefaultSizes
+		}
+		for _, n := range sz {
+			if n < s.MinSize {
+				return nil, nil, nil, fmt.Errorf("scenarios: size %d below scenario %q minimum %d", n, s.Name, s.MinSize)
+			}
+		}
+		sizes[i] = sz
+	}
+	heur := cfg.Heuristics
+	if len(heur) == 0 {
+		heur = heuristics.Names()
+	}
+	seenHeur := make(map[string]bool, len(heur))
+	for _, name := range heur {
+		if seenHeur[name] {
+			return nil, nil, nil, fmt.Errorf("scenarios: heuristic %q listed twice", name)
+		}
+		seenHeur[name] = true
+		if _, err := heuristics.ByName(name); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return scens, sizes, heur, nil
+}
+
+// Sweep generates and evaluates every scenario x size x repetition platform
+// of the configuration across a worker pool, evaluating every requested
+// heuristic on each platform (the steady-state LP is solved once per
+// platform and shared by the LP-based heuristics). The returned report lists
+// runs and aggregates in deterministic order regardless of worker count.
+func Sweep(cfg SweepConfig) (*SweepReport, error) {
+	scens, sizes, heur, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Repetitions <= 0 {
+		cfg.Repetitions = 3
+	}
+
+	var units []unit
+	for i, s := range scens {
+		for _, size := range sizes[i] {
+			for rep := 0; rep < cfg.Repetitions; rep++ {
+				units = append(units, unit{
+					scenario: s,
+					size:     size,
+					rep:      rep,
+					seed:     UnitSeed(cfg.Seed, s.Name, size, rep),
+				})
+			}
+		}
+	}
+
+	start := time.Now()
+	perUnit := parallel.MapStream(len(units), cfg.Workers, func(i int) []RunResult {
+		return evaluateUnit(cfg, units[i], heur)
+	}, func(_ int, runs []RunResult) {
+		if cfg.OnResult != nil {
+			for _, r := range runs {
+				cfg.OnResult(r)
+			}
+		}
+	})
+
+	report := &SweepReport{
+		Meta: SweepMeta{
+			Scenarios:   scenarioNames(scens),
+			Sizes:       cfg.Sizes,
+			Heuristics:  heur,
+			Repetitions: cfg.Repetitions,
+			Seed:        cfg.Seed,
+			Source:      cfg.Source,
+			EvalModel:   cfg.EvalModel.String(),
+		},
+	}
+	for _, runs := range perUnit {
+		report.Runs = append(report.Runs, runs...)
+	}
+	report.Meta.TotalRuns = len(report.Runs)
+	if cfg.RecordTimings {
+		report.Meta.TotalWallNanos = time.Since(start).Nanoseconds()
+	}
+	report.Aggregates = aggregate(report.Runs, scens, sizes, heur, cfg.RecordTimings)
+	return report, nil
+}
+
+// evaluateUnit generates one platform and evaluates every heuristic on it.
+// Failures are recorded per run instead of aborting the sweep.
+func evaluateUnit(cfg SweepConfig, u unit, heur []string) []RunResult {
+	base := RunResult{
+		Scenario: u.scenario.Name,
+		Size:     u.size,
+		Rep:      u.rep,
+		Seed:     u.seed,
+	}
+	fail := func(err error) []RunResult {
+		out := make([]RunResult, len(heur))
+		for i, name := range heur {
+			out[i] = base
+			out[i].Heuristic = name
+			out[i].Error = err.Error()
+		}
+		return out
+	}
+
+	p, err := u.scenario.Generate(u.size, u.seed)
+	if err != nil {
+		return fail(fmt.Errorf("generate: %w", err))
+	}
+	base.Nodes = p.NumNodes()
+	base.Links = p.NumLinks()
+	base.Density = p.Density()
+
+	opt, err := steady.Solve(p, cfg.Source, nil)
+	if err != nil {
+		return fail(fmt.Errorf("steady-state LP: %w", err))
+	}
+	base.Optimal = opt.Throughput
+
+	out := make([]RunResult, len(heur))
+	for i, name := range heur {
+		r := base
+		r.Heuristic = name
+		hStart := time.Now()
+		tp, err := evaluateHeuristic(p, cfg.Source, name, opt.EdgeRate, cfg.EvalModel)
+		if cfg.RecordTimings {
+			r.WallNanos = time.Since(hStart).Nanoseconds()
+		}
+		if err != nil {
+			r.Error = err.Error()
+		} else {
+			r.Throughput = tp
+			if opt.Throughput > 0 && !math.IsInf(opt.Throughput, 1) {
+				r.Ratio = tp / opt.Throughput
+			} else {
+				r.Ratio = math.NaN()
+			}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// evaluateHeuristic builds the named heuristic on the platform (sharing the
+// precomputed LP edge rates) and returns its steady-state throughput under
+// the evaluation model. Routing-producing heuristics (the binomial tree) are
+// evaluated with link and node contention, as in the paper.
+func evaluateHeuristic(p *platform.Platform, source int, name string, rates []float64, m model.PortModel) (float64, error) {
+	builder, err := heuristics.ByNameWithRates(name, rates)
+	if err != nil {
+		return 0, err
+	}
+	if rb, ok := builder.(heuristics.RoutingBuilder); ok {
+		routing, err := rb.BuildRouting(p, source)
+		if err != nil {
+			return 0, err
+		}
+		return throughput.RoutingThroughput(p, routing, m), nil
+	}
+	tree, err := builder.Build(p, source)
+	if err != nil {
+		return 0, err
+	}
+	return throughput.TreeThroughput(p, tree, m), nil
+}
+
+// aggregate reduces the runs to one summary per (scenario, size, heuristic)
+// cell, preserving the sweep order.
+func aggregate(runs []RunResult, scens []Scenario, sizes [][]int, heur []string, timings bool) []Aggregate {
+	type key struct {
+		scenario  string
+		size      int
+		heuristic string
+	}
+	byCell := make(map[key][]RunResult)
+	for _, r := range runs {
+		k := key{r.Scenario, r.Size, r.Heuristic}
+		byCell[k] = append(byCell[k], r)
+	}
+	var out []Aggregate
+	for i, s := range scens {
+		for _, size := range sizes[i] {
+			for _, h := range heur {
+				cell := byCell[key{s.Name, size, h}]
+				agg := Aggregate{Scenario: s.Name, Size: size, Heuristic: h}
+				ratios := make([]float64, 0, len(cell))
+				var wall int64
+				for _, r := range cell {
+					if r.Error != "" {
+						agg.Errors++
+						continue
+					}
+					if math.IsNaN(r.Ratio) {
+						// Degenerate optimum (0 or +Inf): the run is neither a
+						// usable sample nor a failure; keep it out of the wall
+						// mean so MeanWallNanos stays consistent with Samples.
+						continue
+					}
+					ratios = append(ratios, r.Ratio)
+					wall += r.WallNanos
+				}
+				sum := stats.Summarize(ratios)
+				agg.Samples = sum.Count
+				agg.MeanRatio = sum.Mean
+				agg.DevRatio = sum.StdDev
+				agg.MinRatio = sum.Min
+				agg.MaxRatio = sum.Max
+				if timings && sum.Count > 0 {
+					agg.MeanWallNanos = wall / int64(sum.Count)
+				}
+				out = append(out, agg)
+			}
+		}
+	}
+	return out
+}
+
+func scenarioNames(scens []Scenario) []string {
+	names := make([]string, len(scens))
+	for i, s := range scens {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Format renders the aggregates as an aligned text table: one block per
+// scenario, one row per (size, heuristic) cell.
+func (rep *SweepReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %d runs, %d scenarios, model %s, seed %d\n",
+		rep.Meta.TotalRuns, len(rep.Meta.Scenarios), rep.Meta.EvalModel, rep.Meta.Seed)
+	w := 0
+	for _, a := range rep.Aggregates {
+		if len(a.Heuristic) > w {
+			w = len(a.Heuristic)
+		}
+	}
+	last := ""
+	for _, a := range rep.Aggregates {
+		if a.Scenario != last {
+			fmt.Fprintf(&b, "\n%s\n", a.Scenario)
+			last = a.Scenario
+		}
+		fmt.Fprintf(&b, "  n=%-4d %-*s  ratio %.3f ±%.3f  [%.3f, %.3f]  (%d samples",
+			a.Size, w, a.Heuristic, a.MeanRatio, a.DevRatio, a.MinRatio, a.MaxRatio, a.Samples)
+		if a.Errors > 0 {
+			fmt.Fprintf(&b, ", %d errors", a.Errors)
+		}
+		b.WriteString(")")
+		if a.MeanWallNanos > 0 {
+			fmt.Fprintf(&b, "  %v", time.Duration(a.MeanWallNanos).Round(time.Microsecond))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

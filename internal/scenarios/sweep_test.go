@@ -1,0 +1,201 @@
+package scenarios
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/heuristics"
+	"repro/internal/model"
+)
+
+func smallSweepConfig() SweepConfig {
+	return SweepConfig{
+		Scenarios:   []string{NameStar, NameChain, NameClusters},
+		Sizes:       []int{8, 12},
+		Heuristics:  []string{heuristics.NamePruneSimple, heuristics.NameGrowTree, heuristics.NameLPPrune},
+		Repetitions: 2,
+		Seed:        9,
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts checks the central ordering
+// guarantee: the marshalled report is byte-identical regardless of the
+// number of workers racing over the units.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	var reports [][]byte
+	for _, workers := range []int{1, 4, 4} {
+		cfg := smallSweepConfig()
+		cfg.Workers = workers
+		rep, err := Sweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, data)
+	}
+	for i := 1; i < len(reports); i++ {
+		if !bytes.Equal(reports[0], reports[i]) {
+			t.Fatalf("sweep output differs between runs/worker counts:\n%s\n%s", reports[0], reports[i])
+		}
+	}
+}
+
+func TestSweepOrderingAndContents(t *testing.T) {
+	cfg := smallSweepConfig()
+	cfg.Workers = 4
+	rep, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRuns := len(cfg.Scenarios) * len(cfg.Sizes) * cfg.Repetitions * len(cfg.Heuristics)
+	if len(rep.Runs) != wantRuns || rep.Meta.TotalRuns != wantRuns {
+		t.Fatalf("got %d runs (meta %d), want %d", len(rep.Runs), rep.Meta.TotalRuns, wantRuns)
+	}
+	// Runs must appear in (scenario, size, rep, heuristic) order.
+	i := 0
+	for _, scen := range cfg.Scenarios {
+		for _, size := range cfg.Sizes {
+			for r := 0; r < cfg.Repetitions; r++ {
+				for _, h := range cfg.Heuristics {
+					run := rep.Runs[i]
+					if run.Scenario != scen || run.Size != size || run.Rep != r || run.Heuristic != h {
+						t.Fatalf("run %d = (%s,%d,%d,%s), want (%s,%d,%d,%s)",
+							i, run.Scenario, run.Size, run.Rep, run.Heuristic, scen, size, r, h)
+					}
+					if run.Error != "" {
+						t.Errorf("run %d failed: %s", i, run.Error)
+					}
+					if run.Nodes != size {
+						t.Errorf("run %d generated %d nodes, want %d", i, run.Nodes, size)
+					}
+					if math.IsNaN(run.Ratio) || run.Ratio <= 0 || run.Ratio > 1+1e-6 {
+						t.Errorf("run %d ratio %v outside (0, 1]", i, run.Ratio)
+					}
+					if run.WallNanos != 0 {
+						t.Errorf("run %d records wall time without RecordTimings", i)
+					}
+					i++
+				}
+			}
+		}
+	}
+	wantAggs := len(cfg.Scenarios) * len(cfg.Sizes) * len(cfg.Heuristics)
+	if len(rep.Aggregates) != wantAggs {
+		t.Fatalf("got %d aggregates, want %d", len(rep.Aggregates), wantAggs)
+	}
+	for _, a := range rep.Aggregates {
+		if a.Samples != cfg.Repetitions || a.Errors != 0 {
+			t.Errorf("aggregate %s/%d/%s: %d samples, %d errors", a.Scenario, a.Size, a.Heuristic, a.Samples, a.Errors)
+		}
+		if a.MinRatio > a.MeanRatio || a.MeanRatio > a.MaxRatio {
+			t.Errorf("aggregate %s/%d/%s: min %v mean %v max %v out of order",
+				a.Scenario, a.Size, a.Heuristic, a.MinRatio, a.MeanRatio, a.MaxRatio)
+		}
+	}
+	if rep.Format() == "" {
+		t.Error("empty formatted report")
+	}
+}
+
+// TestSweepStreamsEveryResult checks the OnResult streaming hook: every run
+// is delivered exactly once and the serialized callback may mutate shared
+// state without further locking (exercised under -race in CI).
+func TestSweepStreamsEveryResult(t *testing.T) {
+	cfg := smallSweepConfig()
+	cfg.Workers = 8
+	seen := make(map[string]int)
+	cfg.OnResult = func(r RunResult) {
+		seen[r.Scenario]++
+	}
+	rep, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range seen {
+		total += n
+	}
+	if total != rep.Meta.TotalRuns {
+		t.Fatalf("streamed %d results, want %d", total, rep.Meta.TotalRuns)
+	}
+	perScenario := len(cfg.Sizes) * cfg.Repetitions * len(cfg.Heuristics)
+	for _, scen := range cfg.Scenarios {
+		if seen[scen] != perScenario {
+			t.Errorf("scenario %s streamed %d results, want %d", scen, seen[scen], perScenario)
+		}
+	}
+}
+
+func TestSweepDefaultsCoverWholeRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry sweep in -short mode")
+	}
+	rep, err := Sweep(SweepConfig{
+		Sizes:       []int{8},
+		Heuristics:  []string{heuristics.NamePruneSimple},
+		Repetitions: 1,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Meta.Scenarios) != len(Names()) {
+		t.Fatalf("default sweep covered %v, want all of %v", rep.Meta.Scenarios, Names())
+	}
+	for _, r := range rep.Runs {
+		if r.Error != "" {
+			t.Errorf("%s: %s", r.Scenario, r.Error)
+		}
+	}
+}
+
+func TestSweepMultiPortEvaluation(t *testing.T) {
+	rep, err := Sweep(SweepConfig{
+		Scenarios:   []string{NameClusters},
+		Sizes:       []int{12},
+		Heuristics:  heuristics.MultiPortNames(),
+		Repetitions: 1,
+		Seed:        5,
+		EvalModel:   model.MultiPort,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Runs {
+		if r.Error != "" {
+			t.Errorf("%s/%s: %s", r.Scenario, r.Heuristic, r.Error)
+		}
+		// Multi-port trees are normalized by the one-port optimum, so ratios
+		// above 1 are legitimate (paper Figure 5) — but they stay finite.
+		if math.IsNaN(r.Ratio) || r.Ratio <= 0 {
+			t.Errorf("%s/%s: non-positive ratio %v", r.Scenario, r.Heuristic, r.Ratio)
+		}
+	}
+}
+
+func TestSweepConfigErrors(t *testing.T) {
+	if _, err := Sweep(SweepConfig{Scenarios: []string{"no-such-family"}}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := Sweep(SweepConfig{Scenarios: []string{NameTiers}, Sizes: []int{4}}); err == nil {
+		t.Error("size below scenario minimum accepted")
+	}
+	if _, err := Sweep(SweepConfig{Scenarios: []string{NameStar}, Sizes: []int{8}, Heuristics: []string{"bogus"}}); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+	if _, err := Sweep(SweepConfig{Scenarios: []string{NameStar, NameStar}}); err == nil {
+		t.Error("duplicated scenario accepted (would double-count aggregates)")
+	}
+	if _, err := Sweep(SweepConfig{
+		Scenarios:  []string{NameStar},
+		Sizes:      []int{8},
+		Heuristics: []string{heuristics.NameGrowTree, heuristics.NameGrowTree},
+	}); err == nil {
+		t.Error("duplicated heuristic accepted (would double-count aggregates)")
+	}
+}
