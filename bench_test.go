@@ -136,6 +136,51 @@ func benchPlatform(b *testing.B, nodes int, density float64) *Platform {
 	return p
 }
 
+// BenchmarkSteadySolve times the cutting-plane MTP reference solve on the
+// hierarchical registry families (where the master accumulates the most
+// cuts) at their largest default sizes, plus two flatter families for
+// contrast, in the default warm-started mode and with the cold-start path
+// forced. It reports simplex pivot and round counts per solve; the CI perf
+// job runs it with -benchtime=1x and archives the output to track the
+// solver's trajectory.
+func BenchmarkSteadySolve(b *testing.B) {
+	for _, c := range []struct {
+		scenario string
+		size     int
+	}{
+		{"cluster-of-clusters", 96},
+		{"tiers", 96},
+		{"random-sparse", 50},
+		{"last-mile", 48},
+	} {
+		p, err := GenerateScenario(c.scenario, c.size, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name string
+			opts *OptimalOptions
+		}{
+			{"warm", nil},
+			{"cold", &OptimalOptions{ColdStart: true}},
+		} {
+			b.Run(fmt.Sprintf("%s/n=%d/%s", c.scenario, c.size, mode.name), func(b *testing.B) {
+				var pivots, rounds int
+				for i := 0; i < b.N; i++ {
+					sol, err := OptimalThroughputWith(p, 0, mode.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					pivots += sol.LPIterations
+					rounds += sol.Rounds
+				}
+				b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+				b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+			})
+		}
+	}
+}
+
 // BenchmarkOptimalThroughputLP times the cutting-plane solver for the MTP
 // optimum (the reference bound of every figure).
 func BenchmarkOptimalThroughputLP(b *testing.B) {

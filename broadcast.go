@@ -88,8 +88,14 @@ type Builder = heuristics.Builder
 type RoutingBuilder = heuristics.RoutingBuilder
 
 // OptimalSolution is the optimal steady-state MTP solution: throughput and
-// per-link message rates.
+// per-link message rates, plus cutting-plane statistics (rounds, cuts,
+// warm/cold simplex pivots and the final master upper bound).
 type OptimalSolution = steady.Solution
+
+// OptimalOptions tunes the steady-state MTP solver: cutting-plane round and
+// pivot budgets, termination tolerances, and the warm-started vs cold-start
+// master LP mode.
+type OptimalOptions = steady.Options
 
 // Evaluation types.
 type (
@@ -308,6 +314,12 @@ func STAMakespan(p *Platform, t *Tree, totalSize float64) float64 {
 // against which the heuristics' "relative performance" is measured.
 func OptimalThroughput(p *Platform, source int) (*OptimalSolution, error) {
 	return steady.Solve(p, source, nil)
+}
+
+// OptimalThroughputWith is OptimalThroughput with explicit solver options
+// (nil options behave exactly like OptimalThroughput).
+func OptimalThroughputWith(p *Platform, source int, opts *OptimalOptions) (*OptimalSolution, error) {
+	return steady.Solve(p, source, opts)
 }
 
 // Simulate broadcasts the given number of slices along the tree and returns

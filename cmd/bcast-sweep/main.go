@@ -34,6 +34,7 @@ func main() {
 		source       = flag.Int("source", 0, "broadcast source processor")
 		modelName    = flag.String("model", "one-port", "evaluation port model: one-port | one-port-uni | multi-port")
 		workers      = flag.Int("workers", 0, "number of parallel workers (0 = all CPUs)")
+		coldLP       = flag.Bool("cold-lp", false, "re-solve the steady-state master LP from scratch every cutting-plane round (A/B oracle for the warm-started default)")
 		timings      = flag.Bool("timings", false, "record wall-clock timings (makes the JSON non-deterministic)")
 		out          = flag.String("o", "", "write the JSON report to this file instead of stdout")
 		pretty       = flag.Bool("pretty", false, "indent the JSON output")
@@ -54,18 +55,19 @@ func main() {
 		return
 	}
 
-	if err := run(*scenarioList, *sizeList, *heurList, *reps, *seed, *source, *modelName, *workers, *timings, *out, *pretty, *quiet); err != nil {
+	if err := run(*scenarioList, *sizeList, *heurList, *reps, *seed, *source, *modelName, *workers, *coldLP, *timings, *out, *pretty, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "bcast-sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenarioList, sizeList, heurList string, reps int, seed int64, source int, modelName string, workers int, timings bool, out string, pretty, quiet bool) error {
+func run(scenarioList, sizeList, heurList string, reps int, seed int64, source int, modelName string, workers int, coldLP, timings bool, out string, pretty, quiet bool) error {
 	cfg := broadcast.SweepConfig{
 		Repetitions:   reps,
 		Seed:          seed,
 		Source:        source,
 		Workers:       workers,
+		ColdStartLP:   coldLP,
 		RecordTimings: timings,
 	}
 

@@ -1,0 +1,195 @@
+package lp
+
+// Incremental is a resolvable solver handle for the cutting-plane pattern:
+// solve a problem once, then repeatedly append constraint rows and re-solve.
+// After an Optimal solve, rows added since the previous Solve are priced into
+// the solved tableau (appendRowLE) and re-optimized with dual simplex pivots
+// from the previous optimal basis: rows that do not cut off the old optimum
+// cost zero pivots, and rows that do — cutting planes such as the
+// TP − Σ n_e ≤ ε rows of package steady — are dual feasible at the old
+// basis, so the warm re-solve skips phase 1 and the full primal
+// re-optimization entirely.
+//
+// Constraints may be added through the handle (AddConstraint,
+// AddSparseConstraint) or directly on the underlying Problem — both are
+// picked up at the next Solve, and the Problem always holds the complete row
+// set, so a cold lp.Solve of the same Problem remains an exact differential
+// oracle for the warm path. GE and EQ rows are warm-started too (internally
+// as negated and paired LE rows). Changing the objective between solves
+// invalidates the priced basis; Solve detects it and degrades that re-solve
+// to a cold one.
+//
+// When a warm re-solve cannot be completed (iteration limit, numerical
+// trouble, or an apparent infeasibility that could be drift), Solve
+// transparently falls back to one cold solve from scratch; Stats reports how
+// many solves and pivots took each path.
+type Incremental struct {
+	p         *Problem
+	opts      *Options
+	t         *tableau
+	synced    int       // prefix of p.constraints reflected in the tableau
+	objective []float64 // objective snapshot the solved tableau was priced with
+	status    Status    // status of the last Solve (warm restarts require Optimal)
+	lastWarm  bool
+	failures  int  // consecutive warm attempts that fell back to cold
+	noWarm    bool // warm restarts permanently disabled after repeated failures
+	stats     IncrementalStats
+}
+
+// maxWarmFailures is the number of consecutive failed warm attempts after
+// which the handle stops trying to warm-start: some problem, the pivoting
+// keeps stalling on, should not pay a wasted warm budget on every Solve.
+const maxWarmFailures = 2
+
+// IncrementalStats counts the work done by an Incremental handle.
+type IncrementalStats struct {
+	// WarmSolves and WarmPivots count the Solve calls (and their simplex
+	// pivots) that re-optimized from the previous optimal basis.
+	WarmSolves, WarmPivots int
+	// ColdSolves and ColdPivots count the Solve calls that solved from the
+	// slack basis: the first solve and any fallback re-solve.
+	ColdSolves, ColdPivots int
+}
+
+// NewIncremental returns an incremental handle over the problem. The problem
+// may already contain constraints; nothing is solved until Solve is called.
+func NewIncremental(p *Problem, opts *Options) *Incremental {
+	return &Incremental{p: p, opts: opts}
+}
+
+// Problem returns the underlying problem (shared with the handle, not a
+// copy).
+func (inc *Incremental) Problem() *Problem { return inc.p }
+
+// Stats returns the cumulative warm/cold solve and pivot counters.
+func (inc *Incremental) Stats() IncrementalStats { return inc.stats }
+
+// LastWarm reports whether the most recent Solve reused the previous basis.
+func (inc *Incremental) LastWarm() bool { return inc.lastWarm }
+
+// AddConstraint appends a dense constraint row (see Problem.AddConstraint).
+func (inc *Incremental) AddConstraint(coeffs []float64, rel Relation, rhs float64) {
+	inc.p.AddConstraint(coeffs, rel, rhs)
+}
+
+// AddSparseConstraint appends a sparse constraint row (see
+// Problem.AddSparseConstraint).
+func (inc *Incremental) AddSparseConstraint(terms []Term, rel Relation, rhs float64) {
+	inc.p.AddSparseConstraint(terms, rel, rhs)
+}
+
+// Solve re-optimizes the problem over all constraints added so far. The
+// first call (and any call after a solve that did not end Optimal) solves
+// cold; later calls run warm from the previous optimal basis. A warm attempt
+// that does not reach optimality falls back to one cold solve: the returned
+// Solution then reflects the cold result and its Iterations include the
+// pivots of both attempts.
+func (inc *Incremental) Solve() (*Solution, error) {
+	if inc.p == nil || inc.p.numVars == 0 {
+		return nil, ErrBadProblem
+	}
+	var warmSpent int
+	if inc.t != nil && inc.status == Optimal && !inc.noWarm && inc.objectiveUnchanged() {
+		sol := inc.warmSolve()
+		inc.stats.WarmSolves++
+		inc.stats.WarmPivots += sol.Iterations
+		if sol.Status == Optimal {
+			inc.lastWarm = true
+			inc.failures = 0
+			return sol, nil
+		}
+		// The warm attempt stalled (or proved infeasibility, which could be
+		// accumulated drift): discard the tableau and re-solve from scratch.
+		warmSpent = sol.Iterations
+		inc.t = nil
+		inc.failures++
+		if inc.failures >= maxWarmFailures {
+			inc.noWarm = true
+		}
+	}
+	sol, t, err := solveWithTableau(inc.p, inc.opts)
+	if err != nil {
+		return nil, err
+	}
+	inc.t = t
+	inc.synced = inc.p.NumConstraints()
+	inc.objective = append(inc.objective[:0], inc.p.objective...)
+	inc.status = sol.Status
+	inc.lastWarm = false
+	inc.stats.ColdSolves++
+	inc.stats.ColdPivots += sol.Iterations
+	sol.Iterations += warmSpent
+	return sol, nil
+}
+
+// objectiveUnchanged reports whether the problem's objective still matches
+// the snapshot the solved tableau was priced with. A changed objective
+// invalidates the cost row, so Solve silently degrades to a cold re-solve
+// instead of returning a stale "optimal" basis.
+func (inc *Incremental) objectiveUnchanged() bool {
+	if len(inc.objective) != len(inc.p.objective) {
+		return false
+	}
+	for i, v := range inc.p.objective {
+		if inc.objective[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// warmSolve appends the not-yet-synced constraint rows to the solved tableau
+// and re-optimizes from the previous basis: dual simplex until primal
+// feasibility is restored, then primal simplex to polish any numerical drift
+// (usually zero pivots).
+func (inc *Incremental) warmSolve() *Solution {
+	t := inc.t
+	appended := 0
+	for _, c := range inc.p.constraints[inc.synced:] {
+		switch c.rel {
+		case LE:
+			t.appendRowLE(c.coeffs, c.rhs)
+			appended++
+		case GE:
+			t.appendRowLE(negated(c.coeffs), -c.rhs)
+			appended++
+		case EQ:
+			t.appendRowLE(c.coeffs, c.rhs)
+			t.appendRowLE(negated(c.coeffs), -c.rhs)
+			appended += 2
+		}
+	}
+	inc.synced = len(inc.p.constraints)
+
+	// A healthy warm re-solve needs a handful of pivots per appended row;
+	// cap the budget well below a cold solve's so that a re-solve stalling
+	// on degenerate pivots bails out to the cold fallback instead of
+	// burning the full iteration allowance first.
+	maxIter := maxIterations(inc.opts, t)
+	if budget := 2*t.rows + 32*appended + 128; budget < maxIter {
+		maxIter = budget
+	}
+	sol := &Solution{X: make([]float64, inc.p.numVars), Phase: 2}
+	status := t.dualIterate(maxIter, &sol.Iterations)
+	if status == Optimal {
+		status = t.iterate(maxIter, &sol.Iterations, true)
+	}
+	sol.Status = status
+	inc.status = status
+	// Only Optimal warm results reach callers (Solve discards anything else
+	// and falls back to a cold solve), so nothing is extracted otherwise.
+	if status == Optimal {
+		t.extract(sol.X)
+		sol.Objective = dot(inc.p.objective, sol.X)
+		sol.Feasible = true
+	}
+	return sol
+}
+
+func negated(c []float64) []float64 {
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = -v
+	}
+	return out
+}

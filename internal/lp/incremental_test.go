@@ -1,0 +1,295 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// coldOptimum solves a snapshot of the problem from scratch and returns the
+// optimal objective (the differential oracle of the warm path).
+func coldOptimum(t *testing.T, p *Problem) float64 {
+	t.Helper()
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatalf("cold Solve: %v", err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("cold Solve status = %v", sol.Status)
+	}
+	return sol.Objective
+}
+
+func TestIncrementalMatchesColdAfterEachBatch(t *testing.T) {
+	// Random bounded LPs: maximize a non-negative objective under random LE
+	// rows (feasible at the origin, bounded by per-variable box rows). After
+	// every appended batch the warm re-solve must match a cold solve of the
+	// very same problem.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		p := NewProblem(n)
+		obj := make([]float64, n)
+		for i := range obj {
+			obj[i] = rng.Float64()
+		}
+		p.SetObjective(obj)
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.AddConstraint(row, LE, 1+rng.Float64()*9)
+		}
+
+		inc := NewIncremental(p, nil)
+		for batch := 0; batch < 5; batch++ {
+			sol, err := inc.Solve()
+			if err != nil {
+				t.Fatalf("trial %d batch %d: %v", trial, batch, err)
+			}
+			if sol.Status != Optimal {
+				t.Fatalf("trial %d batch %d: status %v", trial, batch, sol.Status)
+			}
+			want := coldOptimum(t, p)
+			if math.Abs(sol.Objective-want) > 1e-6*math.Max(1, math.Abs(want)) {
+				t.Fatalf("trial %d batch %d: warm objective %v, cold %v", trial, batch, sol.Objective, want)
+			}
+			// Append 1-2 random cutting rows, some violated at the current
+			// optimum, some slack.
+			for k := 0; k < 1+rng.Intn(2); k++ {
+				row := make([]float64, n)
+				var lhs float64
+				for j := range row {
+					row[j] = rng.Float64()
+					lhs += row[j] * sol.X[j]
+				}
+				rhs := lhs * (0.5 + rng.Float64()) // cuts off the optimum half the time
+				inc.AddConstraint(row, LE, rhs)
+			}
+		}
+		st := inc.Stats()
+		if st.ColdSolves < 1 || st.ColdSolves+st.WarmSolves < 5 {
+			t.Fatalf("trial %d: stats %+v inconsistent with 5 Solve calls", trial, st)
+		}
+	}
+}
+
+func TestIncrementalWarmStartsAfterFirstSolve(t *testing.T) {
+	// A cutting-plane-shaped problem: maximize tp under tp <= x0 + x1 style
+	// rows. The second solve must be warm and cheap.
+	p := NewProblem(3) // x0, x1, tp
+	p.SetObjectiveCoeff(2, 1)
+	p.AddConstraint([]float64{1, 0, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 1, 0}, LE, 2)
+	p.AddConstraint([]float64{-1, -1, 1}, LE, 0) // tp <= x0 + x1
+
+	inc := NewIncremental(p, nil)
+	sol, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-6) > 1e-9 {
+		t.Fatalf("first solve: %+v", sol)
+	}
+	if inc.LastWarm() {
+		t.Fatal("first solve claims to be warm")
+	}
+
+	// A cut that does not bind: zero pivots, still optimal.
+	inc.AddConstraint([]float64{0, 0, 1}, LE, 100)
+	sol, err = inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.LastWarm() || sol.Status != Optimal || sol.Iterations != 0 {
+		t.Fatalf("non-binding cut: warm=%v status=%v iterations=%d", inc.LastWarm(), sol.Status, sol.Iterations)
+	}
+	if math.Abs(sol.Objective-6) > 1e-9 {
+		t.Fatalf("objective moved to %v", sol.Objective)
+	}
+
+	// A violated cut: dual pivots re-optimize from the old basis.
+	inc.AddConstraint([]float64{0, 0, 1}, LE, 5)
+	sol, err = inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.LastWarm() || sol.Status != Optimal {
+		t.Fatalf("violated cut: warm=%v status=%v", inc.LastWarm(), sol.Status)
+	}
+	if math.Abs(sol.Objective-5) > 1e-9 {
+		t.Fatalf("objective = %v, want 5", sol.Objective)
+	}
+	st := inc.Stats()
+	if st.ColdSolves != 1 || st.WarmSolves != 2 {
+		t.Fatalf("stats = %+v, want 1 cold / 2 warm", st)
+	}
+}
+
+func TestIncrementalGEAndEQRowsWarm(t *testing.T) {
+	// maximize x+y, x<=3, y<=4 -> 7; then x >= ... and x == ... rows appended
+	// warm must match cold solves of the same growing problem.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 1})
+	p.AddConstraint([]float64{1, 0}, LE, 3)
+	p.AddConstraint([]float64{0, 1}, LE, 4)
+	inc := NewIncremental(p, nil)
+	if _, err := inc.Solve(); err != nil {
+		t.Fatal(err)
+	}
+
+	inc.AddConstraint([]float64{1, 1}, GE, 2) // slack at the optimum
+	sol, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-7) > 1e-9 {
+		t.Fatalf("after GE: %+v", sol)
+	}
+
+	inc.AddSparseConstraint([]Term{{Var: 0, Coeff: 1}}, EQ, 1) // binds x to 1
+	sol, err = inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-5) > 1e-9 {
+		t.Fatalf("after EQ: %+v", sol)
+	}
+	if math.Abs(sol.X[0]-1) > 1e-9 {
+		t.Fatalf("x = %v, want 1", sol.X[0])
+	}
+	if want := coldOptimum(t, p); math.Abs(sol.Objective-want) > 1e-9 {
+		t.Fatalf("warm %v vs cold %v", sol.Objective, want)
+	}
+}
+
+func TestIncrementalDetectsInfeasibleCut(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 1})
+	p.AddConstraint([]float64{1, 0}, LE, 3)
+	p.AddConstraint([]float64{0, 1}, LE, 4)
+	inc := NewIncremental(p, nil)
+	if _, err := inc.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	// x + y <= -1 is unsatisfiable for x, y >= 0.
+	inc.AddConstraint([]float64{1, 1}, LE, -1)
+	sol, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+	if sol.Feasible {
+		t.Fatal("infeasible solution marked feasible")
+	}
+}
+
+func TestIncrementalPicksUpDirectProblemGrowth(t *testing.T) {
+	// Rows added directly on the underlying Problem (not via the handle)
+	// must be picked up by the next Solve.
+	p := NewProblem(1)
+	p.SetObjective([]float64{1})
+	p.AddConstraint([]float64{1}, LE, 10)
+	inc := NewIncremental(p, nil)
+	if _, err := inc.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	p.AddConstraint([]float64{1}, LE, 4)
+	sol, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-4) > 1e-9 {
+		t.Fatalf("direct growth ignored: %+v", sol)
+	}
+}
+
+func TestIncrementalObjectiveChangeForcesColdResolve(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 0})
+	p.AddConstraint([]float64{1, 0}, LE, 3)
+	p.AddConstraint([]float64{0, 1}, LE, 4)
+	inc := NewIncremental(p, nil)
+	if _, err := inc.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the objective behind the handle's back must not return a
+	// stale basis priced with the old costs.
+	p.SetObjective([]float64{0, 1})
+	sol, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.LastWarm() {
+		t.Fatal("solve after an objective change claims to be warm")
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-4) > 1e-9 {
+		t.Fatalf("objective change ignored: %+v", sol)
+	}
+	// And warm solving resumes afterwards.
+	inc.AddConstraint([]float64{0, 1}, LE, 2)
+	sol, err = inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.LastWarm() || math.Abs(sol.Objective-2) > 1e-9 {
+		t.Fatalf("warm restart did not resume: warm=%v %+v", inc.LastWarm(), sol)
+	}
+}
+
+func TestIncrementalNilProblem(t *testing.T) {
+	inc := NewIncremental(nil, nil)
+	if _, err := inc.Solve(); err == nil {
+		t.Fatal("nil problem accepted")
+	}
+}
+
+func TestIncrementalFallsBackAndDisablesWarmAfterFailures(t *testing.T) {
+	// With a 1-pivot budget the warm attempts can never complete; the handle
+	// must fall back to cold and, after maxWarmFailures consecutive
+	// failures, stop attempting warm re-solves altogether.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 1})
+	p.AddConstraint([]float64{1, 0}, LE, 3)
+	p.AddConstraint([]float64{0, 1}, LE, 4)
+	inc := NewIncremental(p, nil)
+	if _, err := inc.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the options with a crippling budget and pre-load the failure
+	// counter so the next failed warm attempt trips the latch. Two violated
+	// cuts need at least two dual pivots, so a 1-pivot budget cannot
+	// complete the warm re-solve.
+	inc.opts = &Options{MaxIterations: 1}
+	inc.failures = maxWarmFailures - 1
+	inc.AddConstraint([]float64{1, 0}, LE, 1) // violated at (3, 4)
+	inc.AddConstraint([]float64{0, 1}, LE, 2) // violated on an independent variable
+	if _, err := inc.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	st := inc.Stats()
+	if st.WarmSolves != 1 || st.ColdSolves != 2 {
+		t.Fatalf("stats %+v, want 1 warm attempt and 2 cold solves (initial + fallback)", st)
+	}
+	if !inc.noWarm {
+		t.Fatal("warm restarts still enabled after maxWarmFailures consecutive failures")
+	}
+	// Subsequent solves must not attempt warm restarts any more.
+	inc.opts = nil
+	inc.AddConstraint([]float64{1, 1}, LE, 5)
+	if _, err := inc.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if st := inc.Stats(); st.WarmSolves != 1 || inc.lastWarm {
+		t.Fatalf("warm attempted after being disabled: %+v", st)
+	}
+}
+
+// TestIncrementalProblemAccessor covers the trivial accessor.
+func TestIncrementalProblemAccessor(t *testing.T) {
+	p := NewProblem(1)
+	if NewIncremental(p, nil).Problem() != p {
+		t.Fatal("Problem() does not return the underlying problem")
+	}
+}

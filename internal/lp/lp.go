@@ -11,6 +11,13 @@
 // anti-cycling fallback) but robust enough for the master problems produced
 // by the cutting-plane decomposition in package steady (a few hundred
 // variables, a few thousand constraints).
+//
+// Two entry points are provided. Solve performs a one-shot cold solve from
+// the slack basis. Incremental is a resolvable handle for the cutting-plane
+// pattern: after an Optimal solve, newly appended constraint rows are priced
+// into the solved tableau and re-optimized with dual simplex pivots from the
+// previous optimal basis, skipping phase 1 and the full primal
+// re-optimization entirely (see NewIncremental).
 package lp
 
 import (
@@ -157,6 +164,18 @@ type Solution struct {
 	Objective  float64   // objective value of X (valid when Status == Optimal)
 	X          []float64 // values of the decision variables
 	Iterations int       // total simplex pivots (both phases)
+	// Phase is the simplex phase the solver stopped in: 1 while searching
+	// for an initial feasible basis, 2 while optimizing the objective.
+	// Problems whose slack basis is immediately feasible (no artificial
+	// variables needed) skip phase 1 and always report phase 2.
+	Phase int
+	// Feasible reports whether X is a primal feasible point. It is true for
+	// Optimal solves and for phase-2 iteration limits (primal pivots preserve
+	// feasibility); it is false for Infeasible, Unbounded and phase-1
+	// iteration limits. In particular a phase-1 IterationLimit leaves X as
+	// the all-zero vector, which in general violates the constraints and must
+	// not be consumed as a solution.
+	Feasible bool
 }
 
 // Options tunes the solver.
@@ -174,8 +193,24 @@ var ErrBadProblem = errors.New("lp: invalid problem")
 
 // Solve solves the problem with the two-phase primal simplex method.
 func Solve(p *Problem, opts *Options) (*Solution, error) {
+	sol, _, err := solveWithTableau(p, opts)
+	return sol, err
+}
+
+// maxIterations resolves the pivot budget for a tableau of the given size.
+func maxIterations(opts *Options, t *tableau) int {
+	if opts != nil && opts.MaxIterations > 0 {
+		return opts.MaxIterations
+	}
+	return 50 * (t.rows + t.cols)
+}
+
+// solveWithTableau is Solve, additionally returning the final tableau so the
+// incremental solver can keep pivoting on it. The tableau is nil when the
+// problem was decided without building one (no constraints).
+func solveWithTableau(p *Problem, opts *Options) (*Solution, *tableau, error) {
 	if p == nil || p.numVars == 0 {
-		return nil, ErrBadProblem
+		return nil, nil, ErrBadProblem
 	}
 	tol := 1e-9
 	if opts != nil && opts.Tolerance > 0 {
@@ -188,22 +223,20 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 		// non-positive, unbounded otherwise.
 		for _, c := range p.objective {
 			if c > tol {
-				return &Solution{Status: Unbounded, X: make([]float64, p.numVars)}, nil
+				return &Solution{Status: Unbounded, X: make([]float64, p.numVars), Phase: 2}, nil, nil
 			}
 		}
-		return &Solution{Status: Optimal, Objective: 0, X: make([]float64, p.numVars)}, nil
+		return &Solution{Status: Optimal, Objective: 0, X: make([]float64, p.numVars), Phase: 2, Feasible: true}, nil, nil
 	}
 
 	t := newTableau(p, tol)
-	maxIter := 50 * (t.rows + t.cols)
-	if opts != nil && opts.MaxIterations > 0 {
-		maxIter = opts.MaxIterations
-	}
+	maxIter := maxIterations(opts, t)
 
 	sol := &Solution{X: make([]float64, p.numVars)}
 
 	// Phase 1: drive artificial variables to zero, if any are needed.
 	if t.numArtificial > 0 {
+		sol.Phase = 1
 		phase1 := make([]float64, t.cols)
 		for _, j := range t.artificialCols {
 			phase1[j] = -1
@@ -211,30 +244,37 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 		t.setCostRow(phase1)
 		status := t.iterate(maxIter, &sol.Iterations, false)
 		if status == IterationLimit {
+			// No feasible basis was reached: X stays all-zero and is NOT a
+			// feasible point. Callers must check Phase (or Feasible) before
+			// consuming X.
 			sol.Status = IterationLimit
-			return sol, nil
+			return sol, t, nil
 		}
 		// The phase-1 optimum is -(sum of artificials); a strictly negative
 		// value means some artificial variable cannot be driven to zero.
 		if t.objectiveValue() < -1e-7 {
 			sol.Status = Infeasible
-			return sol, nil
+			return sol, t, nil
 		}
 		t.forbidArtificials()
 	}
 
 	// Phase 2: optimize the real objective.
+	sol.Phase = 2
 	phase2 := make([]float64, t.cols)
 	copy(phase2, p.objective)
 	t.setCostRow(phase2)
 	status := t.iterate(maxIter, &sol.Iterations, true)
 	sol.Status = status
 	if status == Unbounded {
-		return sol, nil
+		return sol, t, nil
 	}
+	// Optimal or phase-2 iteration limit: the basis is primal feasible
+	// either way, so X is a usable point.
 	t.extract(sol.X)
 	sol.Objective = dot(p.objective, sol.X)
-	return sol, nil
+	sol.Feasible = true
+	return sol, t, nil
 }
 
 // Minimize converts a minimization objective into the maximization form

@@ -210,6 +210,73 @@ func TestIterationLimit(t *testing.T) {
 	}
 }
 
+// TestPhase1IterationLimitIsMarkedInfeasible is the regression test for the
+// silent zero-throughput bug: when phase 1 exhausts the pivot budget, the
+// returned all-zero X is NOT a feasible point and the solution must say so
+// (Phase 1, Feasible false) so callers cannot mistake it for a solution.
+func TestPhase1IterationLimitIsMarkedInfeasible(t *testing.T) {
+	// The equality row needs an artificial variable, so phase 1 must run and
+	// cannot finish within a single pivot.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 1})
+	p.AddConstraint([]float64{1, 1}, EQ, 5)
+	p.AddConstraint([]float64{1, 0}, LE, 3)
+	p.AddConstraint([]float64{0, 1}, LE, 3)
+	sol, err := Solve(p, &Options{MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterationLimit {
+		t.Fatalf("status = %v, want iteration-limit", sol.Status)
+	}
+	if sol.Phase != 1 {
+		t.Fatalf("phase = %d, want 1", sol.Phase)
+	}
+	if sol.Feasible {
+		t.Fatal("phase-1 limited solution marked feasible (X is all-zero and violates the equality)")
+	}
+}
+
+// TestPhase2IterationLimitStaysFeasible checks the complementary contract: a
+// limit hit during phase 2 still leaves a primal feasible point, which
+// callers may use (the cutting-plane loop separates cuts against it).
+func TestPhase2IterationLimitStaysFeasible(t *testing.T) {
+	p := NewProblem(3)
+	p.SetObjective([]float64{1, 2, 3})
+	p.AddConstraint([]float64{1, 1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 1, 1}, LE, 4)
+	p.AddConstraint([]float64{1, 0, 1}, LE, 4)
+	sol, err := Solve(p, &Options{MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterationLimit {
+		t.Fatalf("status = %v, want iteration-limit", sol.Status)
+	}
+	if sol.Phase != 2 {
+		t.Fatalf("phase = %d, want 2 (pure LE problems skip phase 1)", sol.Phase)
+	}
+	if !sol.Feasible {
+		t.Fatal("phase-2 limited solution not marked feasible")
+	}
+	// The point must actually satisfy the constraints.
+	if sol.X[0]+sol.X[1] > 4+1e-9 || sol.X[1]+sol.X[2] > 4+1e-9 || sol.X[0]+sol.X[2] > 4+1e-9 {
+		t.Fatalf("extracted X %v violates the constraints", sol.X)
+	}
+}
+
+// TestOptimalSolutionsAreMarkedFeasible pins the Feasible/Phase metadata on
+// the happy path.
+func TestOptimalSolutionsAreMarkedFeasible(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective([]float64{3, 2})
+	p.AddConstraint([]float64{1, 1}, LE, 4)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || !sol.Feasible || sol.Phase != 2 {
+		t.Fatalf("sol = %+v, want optimal/feasible/phase-2", sol)
+	}
+}
+
 func TestPanics(t *testing.T) {
 	mustPanic := func(name string, fn func()) {
 		t.Helper()

@@ -5,10 +5,87 @@ import (
 	"testing"
 
 	"repro/internal/heuristics"
+	"repro/internal/maxflow"
 	"repro/internal/model"
+	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/steady"
 	"repro/internal/throughput"
 )
+
+// assertAchievable verifies that a steady solution's edge rates actually
+// support its reported throughput: one max-flow per destination.
+func assertAchievable(t *testing.T, p *platform.Platform, source int, sol *steady.Solution, label string) {
+	t.Helper()
+	nw := maxflow.New(p.NumNodes())
+	for id := 0; id < p.NumLinks(); id++ {
+		l := p.Link(id)
+		nw.AddEdge(l.From, l.To, sol.EdgeRate[id])
+	}
+	for w := 0; w < p.NumNodes(); w++ {
+		if w == source {
+			continue
+		}
+		nw.Reset()
+		if flow := nw.MaxFlow(source, w); flow < sol.Throughput-1e-4*math.Max(1, sol.Throughput) {
+			t.Errorf("%s: destination %d receives %v < reported throughput %v", label, w, flow, sol.Throughput)
+		}
+	}
+}
+
+// TestSteadyWarmColdDirectAcrossRegistry is the differential harness of the
+// warm-started master LP: on every registered scenario family, the
+// warm-started cutting-plane solver, the cold-start oracle and the direct
+// LP (2) encoding must agree on the optimal throughput, and both
+// cutting-plane solutions must be achievable (their edge rates support the
+// reported throughput to every destination).
+func TestSteadyWarmColdDirectAcrossRegistry(t *testing.T) {
+	const (
+		source = 0
+		seed   = 29
+		relTol = 1e-6
+	)
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			size := 8
+			if size < s.MinSize {
+				size = s.MinSize
+			}
+			p, err := s.Generate(size, seed)
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			// A tight gap tolerance makes the cutting-plane loop run to full
+			// separation convergence, so all three solvers agree to 1e-6
+			// instead of only to the default 1e-5 early-exit gap.
+			warm, err := steady.Solve(p, source, &steady.Options{GapTolerance: 1e-9})
+			if err != nil {
+				t.Fatalf("warm: %v", err)
+			}
+			cold, err := steady.Solve(p, source, &steady.Options{GapTolerance: 1e-9, ColdStart: true})
+			if err != nil {
+				t.Fatalf("cold: %v", err)
+			}
+			direct, err := steady.SolveDirect(p, source, nil)
+			if err != nil {
+				t.Fatalf("direct: %v", err)
+			}
+			ref := math.Max(direct.Throughput, 1e-12)
+			if math.Abs(warm.Throughput-cold.Throughput)/math.Max(cold.Throughput, 1e-12) > relTol {
+				t.Errorf("warm %v vs cold %v", warm.Throughput, cold.Throughput)
+			}
+			if math.Abs(warm.Throughput-direct.Throughput)/ref > relTol {
+				t.Errorf("warm %v vs direct %v", warm.Throughput, direct.Throughput)
+			}
+			if math.Abs(cold.Throughput-direct.Throughput)/ref > relTol {
+				t.Errorf("cold %v vs direct %v", cold.Throughput, direct.Throughput)
+			}
+			assertAchievable(t, p, source, warm, "warm")
+			assertAchievable(t, p, source, cold, "cold")
+		})
+	}
+}
 
 // TestAnalyticThroughputMatchesSimulation is the differential harness: the
 // analytic steady-state throughput (internal/throughput, derived from the

@@ -74,6 +74,35 @@ func TestTreePropertiesAcrossRegistry(t *testing.T) {
 	}
 }
 
+// TestThroughputNeverExceedsMasterUpperBound is the invariant that protects
+// the cutting-plane termination: whatever exit the loop takes (no violated
+// cuts, or the gap-based early exit reporting the achievable lower bound),
+// the reported throughput may never exceed the final master LP value.
+func TestThroughputNeverExceedsMasterUpperBound(t *testing.T) {
+	const source = 0
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			for _, seed := range []int64{1, 19} {
+				p, err := s.Generate(testSize(s), seed)
+				if err != nil {
+					t.Fatalf("generate: %v", err)
+				}
+				opt, err := steady.Solve(p, source, nil)
+				if err != nil {
+					t.Fatalf("steady-state LP: %v", err)
+				}
+				if opt.UpperBound <= 0 {
+					t.Fatalf("seed %d: non-positive master upper bound %v", seed, opt.UpperBound)
+				}
+				if opt.Throughput > opt.UpperBound*(1+1e-9)+1e-12 {
+					t.Errorf("seed %d: throughput %v exceeds master upper bound %v", seed, opt.Throughput, opt.UpperBound)
+				}
+			}
+		})
+	}
+}
+
 // TestRoutingThroughputBoundedByOptimum extends the LP-bound property to the
 // routed schedule of the binomial heuristic, whose logical transfers follow
 // multi-hop paths and contend for links and ports.

@@ -367,17 +367,21 @@ func init() {
 			Generate:     homogeneousCluster,
 		},
 		{
-			Name:         NameClusters,
-			Description:  "fast clusters joined by a slow backbone chain",
-			MinSize:      4,
-			DefaultSizes: []int{16, 32, 64},
+			Name:        NameClusters,
+			Description: "fast clusters joined by a slow backbone chain",
+			MinSize:     4,
+			// The 96-node point became affordable when the steady-state
+			// master LP gained warm starts; these hierarchical families are
+			// exactly where the cutting-plane master accumulates the most
+			// cuts and warm starts pay off most.
+			DefaultSizes: []int{16, 32, 64, 96},
 			Generate:     clusterOfClusters,
 		},
 		{
 			Name:         NameTiers,
 			Description:  "Tiers-like WAN/MAN/LAN internet hierarchy, core scaled with size",
 			MinSize:      8,
-			DefaultSizes: []int{16, 32, 64},
+			DefaultSizes: []int{16, 32, 64, 96},
 			Generate:     scaledTiers,
 		},
 		{

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/heuristics"
+	"repro/internal/lp"
 	"repro/internal/model"
 	"repro/internal/parallel"
 	"repro/internal/platform"
@@ -47,6 +48,15 @@ type SweepConfig struct {
 	// RecordTimings enables per-run wall-clock measurements. It defaults to
 	// false so that sweep output is byte-for-byte deterministic.
 	RecordTimings bool
+	// ColdStartLP forces the steady-state reference solver to re-solve its
+	// master LP from scratch every cutting-plane round instead of
+	// warm-starting from the previous round's basis. Slower; kept for A/B
+	// comparisons against the warm-started default.
+	ColdStartLP bool
+	// LPMaxIterations bounds the simplex pivots of each master LP solve of
+	// the reference optimum (0 = solver default). A limit low enough to bite
+	// surfaces as a per-run error, never as a silent zero-throughput sample.
+	LPMaxIterations int
 	// OnResult, when non-nil, is invoked once per run as results complete
 	// (in completion order, not report order). Calls are serialized, never
 	// concurrent.
@@ -66,6 +76,15 @@ type RunResult struct {
 	Density   float64 `json:"density"`
 	// Optimal is the one-port MTP optimal throughput of the platform.
 	Optimal float64 `json:"optimal"`
+	// LPRounds, LPCuts and LPPivots describe the cutting-plane solve that
+	// produced Optimal (shared by every heuristic run of the same platform):
+	// rounds, generated cut constraints, and total simplex pivots, the
+	// latter split into warm-started and cold pivots.
+	LPRounds     int `json:"lpRounds,omitempty"`
+	LPCuts       int `json:"lpCuts,omitempty"`
+	LPPivots     int `json:"lpPivots,omitempty"`
+	LPWarmPivots int `json:"lpWarmPivots,omitempty"`
+	LPColdPivots int `json:"lpColdPivots,omitempty"`
 	// Throughput is the heuristic's steady-state throughput under the
 	// sweep's evaluation model.
 	Throughput float64 `json:"throughput"`
@@ -98,15 +117,27 @@ type Aggregate struct {
 
 // SweepMeta echoes the effective sweep parameters into the report.
 type SweepMeta struct {
-	Scenarios      []string `json:"scenarios"`
-	Sizes          []int    `json:"sizes,omitempty"`
-	Heuristics     []string `json:"heuristics"`
-	Repetitions    int      `json:"repetitions"`
-	Seed           int64    `json:"seed"`
-	Source         int      `json:"source"`
-	EvalModel      string   `json:"evalModel"`
-	TotalRuns      int      `json:"totalRuns"`
-	TotalWallNanos int64    `json:"totalWallNanos,omitempty"`
+	Scenarios []string `json:"scenarios"`
+	// Sizes records the node counts actually swept, resolved per scenario:
+	// the explicitly requested sizes, or the scenario's DefaultSizes when
+	// none were requested. (Defaults differ per scenario, so a single list
+	// could not describe a default sweep — the report must be
+	// self-describing.)
+	Sizes          map[string][]int `json:"sizes"`
+	Heuristics     []string         `json:"heuristics"`
+	Repetitions    int              `json:"repetitions"`
+	Seed           int64            `json:"seed"`
+	Source         int              `json:"source"`
+	EvalModel      string           `json:"evalModel"`
+	ColdStartLP    bool             `json:"coldStartLP,omitempty"`
+	TotalRuns      int              `json:"totalRuns"`
+	TotalWallNanos int64            `json:"totalWallNanos,omitempty"`
+	// TotalLPPivots aggregates the master-LP simplex pivots across the
+	// generated platforms (each platform counted once, not once per
+	// heuristic), split into warm-started and cold pivots.
+	TotalLPPivots     int `json:"totalLPPivots"`
+	TotalLPWarmPivots int `json:"totalLPWarmPivots"`
+	TotalLPColdPivots int `json:"totalLPColdPivots"`
 }
 
 // SweepReport is the full outcome of a sweep: every run in deterministic
@@ -237,19 +268,31 @@ func Sweep(cfg SweepConfig) (*SweepReport, error) {
 		}
 	})
 
+	effectiveSizes := make(map[string][]int, len(scens))
+	for i, s := range scens {
+		effectiveSizes[s.Name] = append([]int(nil), sizes[i]...)
+	}
 	report := &SweepReport{
 		Meta: SweepMeta{
 			Scenarios:   scenarioNames(scens),
-			Sizes:       cfg.Sizes,
+			Sizes:       effectiveSizes,
 			Heuristics:  heur,
 			Repetitions: cfg.Repetitions,
 			Seed:        cfg.Seed,
 			Source:      cfg.Source,
 			EvalModel:   cfg.EvalModel.String(),
+			ColdStartLP: cfg.ColdStartLP,
 		},
 	}
 	for _, runs := range perUnit {
 		report.Runs = append(report.Runs, runs...)
+		if len(runs) > 0 {
+			// The LP stats are per platform and repeated on every heuristic
+			// run of the unit; count each platform once.
+			report.Meta.TotalLPPivots += runs[0].LPPivots
+			report.Meta.TotalLPWarmPivots += runs[0].LPWarmPivots
+			report.Meta.TotalLPColdPivots += runs[0].LPColdPivots
+		}
 	}
 	report.Meta.TotalRuns = len(report.Runs)
 	if cfg.RecordTimings {
@@ -286,11 +329,23 @@ func evaluateUnit(cfg SweepConfig, u unit, heur []string) []RunResult {
 	base.Links = p.NumLinks()
 	base.Density = p.Density()
 
-	opt, err := steady.Solve(p, cfg.Source, nil)
+	var steadyOpts *steady.Options
+	if cfg.ColdStartLP || cfg.LPMaxIterations > 0 {
+		steadyOpts = &steady.Options{ColdStart: cfg.ColdStartLP}
+		if cfg.LPMaxIterations > 0 {
+			steadyOpts.LP = &lp.Options{MaxIterations: cfg.LPMaxIterations}
+		}
+	}
+	opt, err := steady.Solve(p, cfg.Source, steadyOpts)
 	if err != nil {
 		return fail(fmt.Errorf("steady-state LP: %w", err))
 	}
 	base.Optimal = opt.Throughput
+	base.LPRounds = opt.Rounds
+	base.LPCuts = opt.Cuts
+	base.LPPivots = opt.LPIterations
+	base.LPWarmPivots = opt.WarmPivots
+	base.LPColdPivots = opt.ColdPivots
 
 	out := make([]RunResult, len(heur))
 	for i, name := range heur {
@@ -404,6 +459,10 @@ func (rep *SweepReport) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sweep: %d runs, %d scenarios, model %s, seed %d\n",
 		rep.Meta.TotalRuns, len(rep.Meta.Scenarios), rep.Meta.EvalModel, rep.Meta.Seed)
+	if rep.Meta.TotalLPPivots > 0 {
+		fmt.Fprintf(&b, "master LP: %d simplex pivots (%d warm, %d cold)\n",
+			rep.Meta.TotalLPPivots, rep.Meta.TotalLPWarmPivots, rep.Meta.TotalLPColdPivots)
+	}
 	w := 0
 	for _, a := range rep.Aggregates {
 		if len(a.Heuristic) > w {

@@ -178,6 +178,158 @@ func TestSweepMultiPortEvaluation(t *testing.T) {
 	}
 }
 
+// TestSweepMetaRecordsEffectiveSizes is the regression test for the
+// non-self-describing report: the meta block must record the sizes actually
+// swept per scenario, both when they were requested explicitly and when each
+// scenario fell back to its own defaults.
+func TestSweepMetaRecordsEffectiveSizes(t *testing.T) {
+	// Explicit sizes: every scenario records exactly the requested list.
+	cfg := smallSweepConfig()
+	rep, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Meta.Sizes) != len(cfg.Scenarios) {
+		t.Fatalf("meta sizes cover %d scenarios, want %d", len(rep.Meta.Sizes), len(cfg.Scenarios))
+	}
+	for _, scen := range cfg.Scenarios {
+		got := rep.Meta.Sizes[scen]
+		if len(got) != len(cfg.Sizes) {
+			t.Fatalf("meta sizes for %s = %v, want %v", scen, got, cfg.Sizes)
+		}
+		for i, n := range cfg.Sizes {
+			if got[i] != n {
+				t.Fatalf("meta sizes for %s = %v, want %v", scen, got, cfg.Sizes)
+			}
+		}
+	}
+
+	// Default sizes: each scenario records its own DefaultSizes (they differ
+	// across scenarios, so the old flat []int could not describe this sweep).
+	rep, err = Sweep(SweepConfig{
+		Scenarios:   []string{NameStar, NameLastMile},
+		Heuristics:  []string{heuristics.NamePruneSimple},
+		Repetitions: 1,
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{NameStar, NameLastMile} {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := rep.Meta.Sizes[name]
+		if len(got) != len(s.DefaultSizes) {
+			t.Fatalf("meta sizes for default sweep of %s = %v, want %v", name, got, s.DefaultSizes)
+		}
+		for i, n := range s.DefaultSizes {
+			if got[i] != n {
+				t.Fatalf("meta sizes for default sweep of %s = %v, want %v", name, got, s.DefaultSizes)
+			}
+		}
+	}
+}
+
+// TestSweepRecordsLPStats: every run carries the master-LP statistics of its
+// platform, and the meta totals count each platform exactly once.
+func TestSweepRecordsLPStats(t *testing.T) {
+	cfg := smallSweepConfig()
+	rep, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := 0
+	seen := make(map[int64]bool) // platform seeds are unique per unit
+	for _, r := range rep.Runs {
+		if r.LPRounds <= 0 || r.LPPivots <= 0 {
+			t.Fatalf("run %s/%d/%d missing LP stats: %+v", r.Scenario, r.Size, r.Rep, r)
+		}
+		if r.LPWarmPivots+r.LPColdPivots != r.LPPivots {
+			t.Fatalf("run %s/%d/%d: warm %d + cold %d != total %d",
+				r.Scenario, r.Size, r.Rep, r.LPWarmPivots, r.LPColdPivots, r.LPPivots)
+		}
+		if !seen[r.Seed] {
+			seen[r.Seed] = true
+			wantTotal += r.LPPivots
+		}
+	}
+	if rep.Meta.TotalLPPivots != wantTotal {
+		t.Fatalf("meta total LP pivots %d, want %d (each platform once)", rep.Meta.TotalLPPivots, wantTotal)
+	}
+	if rep.Meta.TotalLPWarmPivots+rep.Meta.TotalLPColdPivots != rep.Meta.TotalLPPivots {
+		t.Fatalf("meta pivot split %d + %d != %d",
+			rep.Meta.TotalLPWarmPivots, rep.Meta.TotalLPColdPivots, rep.Meta.TotalLPPivots)
+	}
+}
+
+// TestSweepColdStartLPMatchesWarm: the cold-start oracle sweep reports the
+// same optima as the warm-started default, with zero warm pivots.
+func TestSweepColdStartLPMatchesWarm(t *testing.T) {
+	cfg := SweepConfig{
+		Scenarios:   []string{NameClusters},
+		Sizes:       []int{12},
+		Heuristics:  []string{heuristics.NamePruneSimple},
+		Repetitions: 2,
+		Seed:        13,
+	}
+	warm, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ColdStartLP = true
+	cold, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Meta.ColdStartLP || warm.Meta.ColdStartLP {
+		t.Fatal("meta does not record the cold-start flag")
+	}
+	if cold.Meta.TotalLPWarmPivots != 0 {
+		t.Fatalf("cold-start sweep performed %d warm pivots", cold.Meta.TotalLPWarmPivots)
+	}
+	for i := range warm.Runs {
+		w, c := warm.Runs[i], cold.Runs[i]
+		if math.Abs(w.Optimal-c.Optimal) > 1e-6*math.Max(1, c.Optimal) {
+			t.Errorf("run %d: warm optimum %v vs cold %v", i, w.Optimal, c.Optimal)
+		}
+	}
+}
+
+// TestSweepIterationLimitedLPSurfacesAsError is the sweep-level regression
+// test for the silent zero-throughput poisoning: with a 1-pivot LP budget
+// every run must carry an error — never a nil-error sample with throughput 0
+// or a NaN ratio that would silently skew the aggregates.
+func TestSweepIterationLimitedLPSurfacesAsError(t *testing.T) {
+	rep, err := Sweep(SweepConfig{
+		Scenarios:       []string{NameStar, NameClusters},
+		Sizes:           []int{8},
+		Heuristics:      []string{heuristics.NamePruneSimple},
+		Repetitions:     1,
+		Seed:            7,
+		LPMaxIterations: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Runs {
+		if r.Error == "" {
+			t.Errorf("%s: iteration-limited LP produced a silent sample (optimal %v, ratio %v)",
+				r.Scenario, r.Optimal, r.Ratio)
+		}
+		if math.IsNaN(r.Ratio) {
+			t.Errorf("%s: NaN ratio leaked into the report", r.Scenario)
+		}
+	}
+	for _, a := range rep.Aggregates {
+		if a.Errors == 0 || a.Samples != 0 {
+			t.Errorf("aggregate %s/%d: %d samples, %d errors — errors must not count as samples",
+				a.Scenario, a.Size, a.Samples, a.Errors)
+		}
+	}
+}
+
 func TestSweepConfigErrors(t *testing.T) {
 	if _, err := Sweep(SweepConfig{Scenarios: []string{"no-such-family"}}); err == nil {
 		t.Error("unknown scenario accepted")

@@ -12,7 +12,15 @@
 //     is exactly {per-node one-port occupation constraints} together with
 //     {for every destination w and every source→w cut C: Σ_{e∈C} n_e ≥ TP}.
 //     A small master LP over (n, TP) is solved repeatedly, violated cuts
-//     being separated with a max-flow computation per destination.
+//     being separated with a max-flow computation per destination. The
+//     master is held in one warm-started incremental solver (lp.Incremental)
+//     across rounds: after round one, each re-solve prices the newly
+//     separated cut rows into the previous optimal basis and re-optimizes
+//     with a few dual simplex pivots instead of rebuilding the tableau and
+//     re-pivoting from the slack basis. Options.ColdStart restores the
+//     historical re-solve-from-scratch behavior (it also serves as the
+//     differential-testing oracle), and the loop falls back to a cold solve
+//     on its own whenever a warm re-solve cannot be completed.
 //
 //   - SolveDirect encodes LP (2) directly (per-destination flow variables);
 //     its size grows as |E|·|V| so it is only practical for small platforms,
@@ -46,6 +54,20 @@ type Solution struct {
 	Cuts int
 	// LPIterations is the total number of simplex pivots performed.
 	LPIterations int
+	// UpperBound is the objective value of the final master LP: an upper
+	// bound on the optimal throughput. It equals Throughput when the loop
+	// terminates with no violated cuts, and sits slightly above it when the
+	// gap-based termination reports the achievable lower bound instead.
+	UpperBound float64
+	// WarmPivots and ColdPivots split LPIterations between warm-started
+	// dual-simplex re-solves (reusing the previous round's optimal basis)
+	// and cold solves from the slack basis.
+	WarmPivots int
+	ColdPivots int
+	// ColdSolves is the number of master solves that ran from a cold
+	// tableau: 1 for a fully warm-started run (plus any fallback), one per
+	// round for the cold-start path, and 1 for SolveDirect.
+	ColdSolves int
 }
 
 // Options tunes the solvers.
@@ -64,6 +86,13 @@ type Options struct {
 	GapTolerance float64
 	// LP are the options passed to the simplex solver.
 	LP *lp.Options
+	// ColdStart disables the warm-started incremental master: every
+	// cutting-plane round then re-solves the master LP from a fresh tableau,
+	// as the solver did before warm starts existed. The cold path is kept as
+	// a fallback and as a differential-testing oracle; the warm-started
+	// default produces the same throughput (up to LP degeneracy) with far
+	// fewer simplex pivots once the master accumulates cuts.
+	ColdStart bool
 }
 
 func (o *Options) maxRounds() int {
@@ -93,10 +122,14 @@ func (o *Options) lpOptions() *lp.Options {
 	}
 	// Bound the worst-case cost of one master solve: on rare, highly
 	// degenerate masters the simplex can otherwise spend minutes proving
-	// optimality. A solve that hits this limit still returns a primal
-	// feasible point, which the cutting-plane loop tolerates (see Solve).
+	// optimality. A phase-2 solve that hits this limit still returns a
+	// primal feasible point, which the cutting-plane loop can keep
+	// separating against (see Solve); a limit that leaves no feasible point
+	// surfaces as ErrLPFailed.
 	return &lp.Options{MaxIterations: 30000}
 }
+
+func (o *Options) coldStart() bool { return o != nil && o.ColdStart }
 
 // Errors returned by the solvers.
 var (
@@ -114,7 +147,7 @@ func Solve(p *platform.Platform, source int, opts *Options) (*Solution, error) {
 	n := p.NumNodes()
 	e := p.NumLinks()
 	if n == 1 {
-		return &Solution{Throughput: math.Inf(1), EdgeRate: make([]float64, e), Rounds: 0}, nil
+		return &Solution{Throughput: math.Inf(1), UpperBound: math.Inf(1), EdgeRate: make([]float64, e), Rounds: 0}, nil
 	}
 
 	// Link slice times.
@@ -191,20 +224,55 @@ func Solve(p *platform.Platform, source int, opts *Options) (*Solution, error) {
 
 	sol := &Solution{EdgeRate: make([]float64, e)}
 	tol := opts.tolerance()
+	lpOpts := opts.lpOptions()
+	// The master LP lives in one warm-started incremental solver across
+	// rounds; the cut rows appended by addCut are priced into the previous
+	// optimal basis and re-optimized with dual simplex pivots. The cold path
+	// (Options.ColdStart) re-solves the full problem every round instead.
+	var inc *lp.Incremental
+	if !opts.coldStart() {
+		inc = lp.NewIncremental(problem, lpOpts)
+	}
+	solveMaster := func() (*lp.Solution, error) {
+		if inc != nil {
+			return inc.Solve()
+		}
+		return lp.Solve(problem, lpOpts)
+	}
+	finalize := func() {
+		if inc != nil {
+			st := inc.Stats()
+			sol.WarmPivots = st.WarmPivots
+			sol.ColdPivots = st.ColdPivots
+			sol.ColdSolves = st.ColdSolves
+		} else {
+			sol.ColdPivots = sol.LPIterations
+			sol.ColdSolves = sol.Rounds
+		}
+	}
 	for round := 1; round <= opts.maxRounds(); round++ {
 		sol.Rounds = round
-		lpSol, err := lp.Solve(problem, opts.lpOptions())
+		lpSol, err := solveMaster()
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrLPFailed, err)
 		}
-		switch lpSol.Status {
-		case lp.Optimal:
+		switch {
+		case lpSol.Status == lp.Optimal:
 			// Normal case.
-		case lp.IterationLimit:
-			// The simplex ran out of pivots on a degenerate master. Its
-			// solution is still primal feasible, so the edge rates are
-			// usable; keep going — the gap-based termination below decides
-			// whether the achievable throughput is already close enough.
+		case lpSol.Status == lp.IterationLimit && lpSol.Feasible:
+			// The simplex ran out of pivots on a degenerate master but still
+			// holds a primal feasible point, so the edge rates are usable for
+			// cut separation. Keep going — but its objective value is NOT an
+			// upper bound on the optimum, so both exits below refuse to
+			// terminate on such a round (the next one re-solves with a fresh
+			// budget; a master that never reaches optimality ends in
+			// ErrNoConvergence, not a silently under-reported throughput).
+		case lpSol.Status == lp.IterationLimit:
+			// The limit hit before any feasible basis existed (a phase-1
+			// limit, or an aborted warm re-solve). X is the all-zero vector:
+			// treating it as a solution would make every max-flow zero and
+			// silently report "throughput 0, converged".
+			return nil, fmt.Errorf("%w: simplex iteration limit in phase %d left no feasible master solution", ErrLPFailed, lpSol.Phase)
 		default:
 			return nil, fmt.Errorf("%w: status %v", ErrLPFailed, lpSol.Status)
 		}
@@ -212,6 +280,7 @@ func Solve(p *platform.Platform, source int, opts *Options) (*Solution, error) {
 		tp := lpSol.X[tpVar]
 		copy(sol.EdgeRate, lpSol.X[:e])
 		sol.Throughput = tp
+		sol.UpperBound = tp
 
 		// Separate violated cuts with one max-flow per destination. The
 		// smallest destination max-flow is the throughput the current edge
@@ -249,15 +318,28 @@ func Solve(p *platform.Platform, source int, opts *Options) (*Solution, error) {
 		}
 		sol.Cuts = len(seen)
 		if violated == 0 {
+			if lpSol.Status != lp.Optimal {
+				// No cut separates the current point, but the master stopped
+				// at its iteration limit, so tp is just some feasible value —
+				// possibly far below the optimum (in the degenerate case, 0).
+				// Refuse to report it as the converged throughput.
+				return nil, fmt.Errorf("%w: master LP hit its iteration limit before optimality; throughput %v cannot be certified", ErrLPFailed, tp)
+			}
+			finalize()
 			return sol, nil
 		}
-		if tp-supported <= opts.gapTolerance()*math.Max(1, tp) {
+		if lpSol.Status == lp.Optimal && tp-supported <= opts.gapTolerance()*math.Max(1, tp) {
 			// The current rates already support a throughput within the gap
-			// tolerance of the upper bound; report the achievable value.
+			// tolerance of the upper bound; report the achievable value. The
+			// exit requires an Optimal master: on an iteration-limited round
+			// tp is just some feasible value, so a small (or negative) gap
+			// would certify nothing.
 			sol.Throughput = supported
+			finalize()
 			return sol, nil
 		}
 	}
+	finalize()
 	return sol, fmt.Errorf("%w after %d rounds", ErrNoConvergence, sol.Rounds)
 }
 
@@ -286,7 +368,7 @@ func SolveDirect(p *platform.Platform, source int, opts *Options) (*Solution, er
 	n := p.NumNodes()
 	e := p.NumLinks()
 	if n == 1 {
-		return &Solution{Throughput: math.Inf(1), EdgeRate: make([]float64, e), Rounds: 1}, nil
+		return &Solution{Throughput: math.Inf(1), UpperBound: math.Inf(1), EdgeRate: make([]float64, e), Rounds: 1}, nil
 	}
 
 	// Destinations in increasing node order.
@@ -368,9 +450,12 @@ func SolveDirect(p *platform.Platform, source int, opts *Options) (*Solution, er
 	}
 	sol := &Solution{
 		Throughput:   lpSol.X[tpVar],
+		UpperBound:   lpSol.X[tpVar],
 		EdgeRate:     make([]float64, e),
 		Rounds:       1,
 		LPIterations: lpSol.Iterations,
+		ColdPivots:   lpSol.Iterations,
+		ColdSolves:   1,
 	}
 	for id := 0; id < e; id++ {
 		sol.EdgeRate[id] = lpSol.X[nVar(id)]

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/lp"
 	"repro/internal/maxflow"
 	"repro/internal/model"
 	"repro/internal/platform"
@@ -209,6 +210,136 @@ func TestCuttingPlaneMatchesDirectOnRandomPlatforms(t *testing.T) {
 		rel := math.Abs(got.Throughput-want.Throughput) / math.Max(want.Throughput, 1e-12)
 		if rel > 1e-4 {
 			t.Fatalf("trial %d (n=%d): cutting plane %v vs direct %v", trial, n, got.Throughput, want.Throughput)
+		}
+	}
+}
+
+// TestWarmStartMatchesColdStart is the core differential test of the
+// incremental master: on random and hierarchical platforms, the warm-started
+// default and the cold-start oracle must agree on the throughput, and both
+// must report consistent pivot accounting.
+func TestWarmStartMatchesColdStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	platforms := make([]*platform.Platform, 0, 8)
+	for trial := 0; trial < 6; trial++ {
+		p, err := topology.Random(topology.DefaultRandomConfig(8+trial*3, 0.25), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		platforms = append(platforms, p)
+	}
+	tiers, err := topology.Tiers(topology.Tiers30(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platforms = append(platforms, tiers)
+
+	for i, p := range platforms {
+		warm, err := Solve(p, 0, nil)
+		if err != nil {
+			t.Fatalf("platform %d: warm: %v", i, err)
+		}
+		cold, err := Solve(p, 0, &Options{ColdStart: true})
+		if err != nil {
+			t.Fatalf("platform %d: cold: %v", i, err)
+		}
+		rel := math.Abs(warm.Throughput-cold.Throughput) / math.Max(cold.Throughput, 1e-12)
+		if rel > 1e-6 {
+			t.Errorf("platform %d: warm throughput %v vs cold %v (rel %v)", i, warm.Throughput, cold.Throughput, rel)
+		}
+		// Both paths must return achievable (feasible) rate vectors.
+		checkSolutionFeasible(t, p, 0, warm)
+		checkSolutionFeasible(t, p, 0, cold)
+		// Pivot accounting: the split must add up, and the cold oracle must
+		// not report warm pivots.
+		if warm.WarmPivots+warm.ColdPivots != warm.LPIterations {
+			t.Errorf("platform %d: warm pivots %d + cold pivots %d != total %d",
+				i, warm.WarmPivots, warm.ColdPivots, warm.LPIterations)
+		}
+		if cold.WarmPivots != 0 || cold.ColdPivots != cold.LPIterations || cold.ColdSolves != cold.Rounds {
+			t.Errorf("platform %d: cold-start accounting %+v inconsistent", i, cold)
+		}
+		if warm.ColdSolves < 1 {
+			t.Errorf("platform %d: warm path reports %d cold solves, want >= 1 (the first round)", i, warm.ColdSolves)
+		}
+	}
+}
+
+// TestWarmStartReducesPivots checks the point of the exercise: on a
+// hierarchical platform accumulating dozens of cuts, the warm-started master
+// needs at most half the simplex pivots of the cold-start path.
+func TestWarmStartReducesPivots(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p, err := topology.Tiers(topology.Tiers65(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Solve(p, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Solve(p, 0, &Options{ColdStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Rounds > 1 && warm.LPIterations*2 > cold.LPIterations {
+		t.Errorf("warm start did not halve the pivots: warm %d (rounds %d) vs cold %d (rounds %d)",
+			warm.LPIterations, warm.Rounds, cold.LPIterations, cold.Rounds)
+	}
+}
+
+// TestIterationLimitedMasterSurfacesAsError is the regression test for the
+// silent zero-throughput bug: a master LP that hits its iteration limit
+// before producing a certified solution must surface as ErrLPFailed, never
+// as a nil-error Solution with throughput 0.
+func TestIterationLimitedMasterSurfacesAsError(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p, err := topology.Random(topology.DefaultRandomConfig(10, 0.3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cold := range []bool{false, true} {
+		sol, err := Solve(p, 0, &Options{ColdStart: cold, LP: &lp.Options{MaxIterations: 1}})
+		if err == nil {
+			t.Fatalf("cold=%v: 1-pivot budget returned nil error (throughput %v)", cold, sol.Throughput)
+		}
+		if !errors.Is(err, ErrLPFailed) {
+			t.Fatalf("cold=%v: error %v, want ErrLPFailed", cold, err)
+		}
+	}
+	// Budgets large enough for a feasible phase-2 point but too small to
+	// prove optimality must also never terminate silently — neither through
+	// the no-violated-cuts exit nor through the gap-based exit (an
+	// iteration-limited master value is not an upper bound, so the gap
+	// certifies nothing).
+	// (The first master of this platform needs ~13 pivots, so these budgets
+	// always bite; larger budgets may legitimately certify the optimum.)
+	for _, budget := range []int{5, 10} {
+		sol, err := Solve(p, 0, &Options{LP: &lp.Options{MaxIterations: budget}})
+		if err == nil {
+			t.Fatalf("budget %d: uncertified master terminated with nil error (throughput %v)", budget, sol.Throughput)
+		}
+		if !errors.Is(err, ErrLPFailed) && !errors.Is(err, ErrNoConvergence) {
+			t.Fatalf("budget %d: error %v, want ErrLPFailed or ErrNoConvergence", budget, err)
+		}
+	}
+}
+
+// TestUpperBoundDominatesThroughput: the final master value is an upper
+// bound on the reported (achievable) throughput.
+func TestUpperBoundDominatesThroughput(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 4; trial++ {
+		p, err := topology.Random(topology.DefaultRandomConfig(10+trial*4, 0.2), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := Solve(p, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Throughput > sol.UpperBound+1e-9*math.Max(1, sol.UpperBound) {
+			t.Errorf("trial %d: throughput %v exceeds master upper bound %v", trial, sol.Throughput, sol.UpperBound)
 		}
 	}
 }
