@@ -181,6 +181,53 @@ func BenchmarkSteadySolve(b *testing.B) {
 	}
 }
 
+// BenchmarkChurnResolve compares the steady-state re-solve cost across a
+// churn trace in the two modes of the dynamic engine: the warm session
+// (one master LP and cut pool carried across mutations; tightening events
+// append rows into the previous optimal basis, loosening events rebuild
+// from the pool) against per-event cold solves from scratch. It reports
+// total simplex pivots per trace — the acceptance metric of the dynamic
+// subsystem — plus the warm/rebuild split; the CI perf job archives the
+// output as BENCH_churn.txt.
+func BenchmarkChurnResolve(b *testing.B) {
+	for _, c := range []struct {
+		scenario string
+		size     int
+	}{
+		{"cluster-of-clusters", 32},
+		{"tiers", 32},
+		{"random-sparse", 20},
+	} {
+		p, trace, err := ScenarioChurnTrace(c.scenario, c.size, 0, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name string
+			cold bool
+		}{
+			{"warm-session", false},
+			{"cold-per-event", true},
+		} {
+			b.Run(fmt.Sprintf("%s/n=%d/%s", c.scenario, c.size, mode.name), func(b *testing.B) {
+				var pivots, warm, rebuilds int
+				for i := 0; i < b.N; i++ {
+					rep, err := RunChurn(p, 0, trace, ChurnConfig{ColdResolve: mode.cold})
+					if err != nil {
+						b.Fatal(err)
+					}
+					pivots += rep.ResolvePivots
+					warm += rep.LP.WarmResolves
+					rebuilds += rep.LP.Rebuilds
+				}
+				b.ReportMetric(float64(pivots)/float64(b.N), "pivots/trace")
+				b.ReportMetric(float64(warm)/float64(b.N), "warm-resolves/trace")
+				b.ReportMetric(float64(rebuilds)/float64(b.N), "rebuilds/trace")
+			})
+		}
+	}
+}
+
 // BenchmarkOptimalThroughputLP times the cutting-plane solver for the MTP
 // optimum (the reference bound of every figure).
 func BenchmarkOptimalThroughputLP(b *testing.B) {

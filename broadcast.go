@@ -20,8 +20,7 @@
 package broadcast
 
 import (
-	"math/rand"
-
+	"repro/internal/dynamic"
 	"repro/internal/experiments"
 	"repro/internal/heuristics"
 	"repro/internal/model"
@@ -134,6 +133,97 @@ type (
 	SweepAggregate = scenarios.Aggregate
 )
 
+// Dynamic-platform types: mutations, churn traces and the churn engine.
+type (
+	// Delta is one atomic platform mutation (link drift, link down/up,
+	// node crash/rejoin), applied with (*Platform).ApplyDelta.
+	Delta = platform.Delta
+	// ChurnTrace is a deterministic seeded timeline of platform mutations.
+	ChurnTrace = dynamic.Trace
+	// ChurnEvent is one timestamped mutation of a churn trace.
+	ChurnEvent = dynamic.Event
+	// ChurnProfile parameterizes a churn-trace generator.
+	ChurnProfile = dynamic.Profile
+	// ChurnConfig parameterizes a churn run (heuristic, eval model, warm vs
+	// cold re-solve).
+	ChurnConfig = dynamic.Config
+	// ChurnReport is the per-event and per-policy outcome of a churn run.
+	ChurnReport = dynamic.Report
+	// SteadySession carries the warm-started steady-state master LP and the
+	// accumulated cut pool of one platform across mutations.
+	SteadySession = steady.Session
+	// ChurnSweepResult is the condensed churn outcome attached to sweep
+	// runs; ChurnSweepAggregate summarizes one (scenario, size) cell.
+	ChurnSweepResult    = scenarios.ChurnResult
+	ChurnSweepAggregate = scenarios.ChurnAggregate
+)
+
+// Platform mutation kinds (Delta.Kind).
+const (
+	DeltaScaleLink = platform.DeltaScaleLink
+	DeltaLinkDown  = platform.DeltaLinkDown
+	DeltaLinkUp    = platform.DeltaLinkUp
+	DeltaNodeDown  = platform.DeltaNodeDown
+	DeltaNodeUp    = platform.DeltaNodeUp
+)
+
+// ChurnPolicies returns the adaptation policy names compared by the churn
+// engine, in report order (keep, repair, rebuild).
+func ChurnPolicies() []string { return dynamic.PolicyNames() }
+
+// ChurnProfiles returns the built-in churn profile names in sorted order.
+func ChurnProfiles() []string { return dynamic.ProfileNames() }
+
+// ChurnProfileByName returns the named churn profile (empty name = default);
+// unknown names are rejected with the list of known ones.
+func ChurnProfileByName(name string) (ChurnProfile, error) { return dynamic.ProfileByName(name) }
+
+// ChurnTraceSeed derives the trace seed of a platform seed, so that a
+// platform and its churn timeline form one reproducible unit.
+func ChurnTraceSeed(platformSeed int64) int64 { return scenarios.ChurnTraceSeed(platformSeed) }
+
+// GenerateChurnTrace builds a deterministic churn trace against the
+// platform: mutations keep the platform broadcastable from the source and
+// the source never crashes.
+func GenerateChurnTrace(p *Platform, source int, prof ChurnProfile, events int, seed int64) (*ChurnTrace, error) {
+	return dynamic.GenerateTrace(p, source, prof, events, seed)
+}
+
+// ScenarioChurnTrace generates the named scenario family's platform at the
+// given size together with its deterministic churn timeline (the trace seed
+// is derived from the platform seed; same (size, seed) -> byte-identical
+// platform and trace).
+func ScenarioChurnTrace(name string, size, source int, seed int64) (*Platform, *ChurnTrace, error) {
+	s, err := scenarios.Get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return scenarios.ChurnTrace(s, size, source, seed)
+}
+
+// RunChurn plays a churn trace against a private clone of the platform,
+// comparing the keep/repair/rebuild policies against the incrementally
+// re-solved steady-state optimum at every event.
+func RunChurn(p *Platform, source int, trace *ChurnTrace, cfg ChurnConfig) (*ChurnReport, error) {
+	return dynamic.Run(p, source, trace, cfg)
+}
+
+// RepairTree locally repairs a broadcast tree after platform mutations:
+// orphaned subtrees are re-grafted through best residual-bandwidth live
+// links, stranded nodes rewired individually. It returns the repaired tree
+// and the number of reattached nodes.
+func RepairTree(p *Platform, source int, t *Tree) (*Tree, int, error) {
+	repaired, st, err := heuristics.RepairTree(p, source, t)
+	return repaired, st.Reattached, err
+}
+
+// NewSteadySession returns a steady-state solver session over the platform:
+// Resolve re-solves the optimum after mutations, reusing the warm master LP
+// and accumulated cut pool whenever the mutations allow.
+func NewSteadySession(p *Platform, source int, opts *OptimalOptions) *SteadySession {
+	return steady.NewSession(p, source, opts)
+}
+
 // Topology generation types.
 type (
 	// RandomConfig describes the random platforms of the paper's Table 2.
@@ -164,20 +254,20 @@ func FromBandwidth(bandwidth float64) AffineCost { return model.FromBandwidth(ba
 // paper's Table 2 parameters (Gaussian bandwidths, connectivity guaranteed,
 // multi-port overheads at 80% of the fastest outgoing link).
 func RandomPlatform(nodes int, density float64, seed int64) (*Platform, error) {
-	return topology.Random(topology.DefaultRandomConfig(nodes, density), rand.New(rand.NewSource(seed)))
+	return topology.Random(topology.DefaultRandomConfig(nodes, density), topology.NewRNG(seed))
 }
 
 // GeneratePlatform generates a random platform from an explicit
 // configuration.
 func GeneratePlatform(cfg RandomConfig, seed int64) (*Platform, error) {
-	return topology.Random(cfg, rand.New(rand.NewSource(seed)))
+	return topology.Random(cfg, topology.NewRNG(seed))
 }
 
 // TiersPlatform generates a Tiers-like hierarchical platform from an
 // explicit configuration. Tiers30Config and Tiers65Config return the presets
 // used by the paper's Table 3.
 func TiersPlatform(cfg TiersConfig, seed int64) (*Platform, error) {
-	return topology.Tiers(cfg, rand.New(rand.NewSource(seed)))
+	return topology.Tiers(cfg, topology.NewRNG(seed))
 }
 
 // Tiers30Config returns the 30-node Tiers-like preset of Table 3.
@@ -190,7 +280,7 @@ func Tiers65Config() TiersConfig { return topology.Tiers65() }
 // linked by a slow backbone), the scenario motivating topology-aware
 // broadcast trees.
 func ClusterPlatform(cfg ClusterConfig, seed int64) (*Platform, error) {
-	return topology.Clusters(cfg, rand.New(rand.NewSource(seed)))
+	return topology.Clusters(cfg, topology.NewRNG(seed))
 }
 
 // DefaultClusterConfig returns a 4x8 cluster-of-clusters configuration with

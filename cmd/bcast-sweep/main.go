@@ -35,6 +35,10 @@ func main() {
 		modelName    = flag.String("model", "one-port", "evaluation port model: one-port | one-port-uni | multi-port")
 		workers      = flag.Int("workers", 0, "number of parallel workers (0 = all CPUs)")
 		coldLP       = flag.Bool("cold-lp", false, "re-solve the steady-state master LP from scratch every cutting-plane round (A/B oracle for the warm-started default)")
+		churn        = flag.Bool("churn", false, "also play every platform through its family's churn trace (keep/repair/rebuild vs re-solved optimum)")
+		churnEvents  = flag.Int("churn-events", 0, "churn-trace length (0 = per-family defaults; see -list)")
+		churnProfile = flag.String("churn-profile", "", "churn profile override (empty = per-family defaults; see -list)")
+		churnHeur    = flag.String("churn-heuristic", "", "tree heuristic driven through the churn traces (default lp-grow-tree)")
 		timings      = flag.Bool("timings", false, "record wall-clock timings (makes the JSON non-deterministic)")
 		out          = flag.String("o", "", "write the JSON report to this file instead of stdout")
 		pretty       = flag.Bool("pretty", false, "indent the JSON output")
@@ -50,25 +54,41 @@ func main() {
 				fmt.Fprintln(os.Stderr, "bcast-sweep:", err)
 				os.Exit(1)
 			}
-			fmt.Printf("%-20s %s (min size %d, default sizes %v)\n", s.Name, s.Description, s.MinSize, s.DefaultSizes)
+			fmt.Printf("%-20s %s (min size %d, default sizes %v; churn %s, %d events)\n",
+				s.Name, s.Description, s.MinSize, s.DefaultSizes, s.EffectiveChurnProfile(), s.EffectiveTraceEvents())
+		}
+		fmt.Println("\nchurn profiles (for -churn-profile):")
+		for _, name := range broadcast.ChurnProfiles() {
+			prof, err := broadcast.ChurnProfileByName(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bcast-sweep:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %-14s %s\n", prof.Name, prof.Description)
 		}
 		return
 	}
 
-	if err := run(*scenarioList, *sizeList, *heurList, *reps, *seed, *source, *modelName, *workers, *coldLP, *timings, *out, *pretty, *quiet); err != nil {
+	if err := run(*scenarioList, *sizeList, *heurList, *reps, *seed, *source, *modelName, *workers, *coldLP,
+		*churn, *churnEvents, *churnProfile, *churnHeur, *timings, *out, *pretty, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "bcast-sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenarioList, sizeList, heurList string, reps int, seed int64, source int, modelName string, workers int, coldLP, timings bool, out string, pretty, quiet bool) error {
+func run(scenarioList, sizeList, heurList string, reps int, seed int64, source int, modelName string, workers int, coldLP bool,
+	churn bool, churnEvents int, churnProfile, churnHeur string, timings bool, out string, pretty, quiet bool) error {
 	cfg := broadcast.SweepConfig{
-		Repetitions:   reps,
-		Seed:          seed,
-		Source:        source,
-		Workers:       workers,
-		ColdStartLP:   coldLP,
-		RecordTimings: timings,
+		Repetitions:    reps,
+		Seed:           seed,
+		Source:         source,
+		Workers:        workers,
+		ColdStartLP:    coldLP,
+		Churn:          churn,
+		ChurnEvents:    churnEvents,
+		ChurnProfile:   churnProfile,
+		ChurnHeuristic: churnHeur,
+		RecordTimings:  timings,
 	}
 
 	if scenarioList != "all" {

@@ -1,0 +1,309 @@
+package dynamic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/platform"
+	"repro/internal/topology"
+)
+
+// Event is one timestamped platform mutation of a churn trace.
+type Event struct {
+	// Time is the simulated instant of the mutation (time units of the
+	// platform's cost model).
+	Time float64 `json:"time"`
+	// Delta is the mutation applied to the platform at that instant.
+	Delta platform.Delta `json:"delta"`
+}
+
+// Trace is a deterministic timeline of platform mutations. Traces generated
+// with the same (platform, source, profile, events, seed) inputs are
+// byte-identical; the scenario registry derives the seed from the family
+// seed so a trace is part of the registry contract.
+type Trace struct {
+	// Profile is the name of the churn profile that generated the trace.
+	Profile string `json:"profile"`
+	// Seed is the trace-generation seed.
+	Seed int64 `json:"seed"`
+	// Horizon is the end of the timeline; the interval after the last event
+	// is accounted against it.
+	Horizon float64 `json:"horizon"`
+	// Events is the timeline in increasing time order.
+	Events []Event `json:"events"`
+}
+
+// Profile parameterizes a churn-trace generator: the mix of event
+// categories, the recovery bias, the drift magnitude and the event rate.
+type Profile struct {
+	// Name is the registry key of the profile.
+	Name string `json:"name"`
+	// Description is a one-line human-readable summary.
+	Description string `json:"description"`
+	// Drift, LinkFlap and NodeChurn are the relative weights of the three
+	// event categories (bandwidth drift, link down/up, node crash/rejoin).
+	Drift     float64 `json:"drift"`
+	LinkFlap  float64 `json:"linkFlap"`
+	NodeChurn float64 `json:"nodeChurn"`
+	// RecoverProb is the probability that a flap/churn event revives a
+	// currently-down element instead of taking a new one down (when any
+	// element is down).
+	RecoverProb float64 `json:"recoverProb"`
+	// DriftMin and DriftMax bound the log-uniform link cost scale factor of
+	// drift events (factors above 1 slow the link down).
+	DriftMin float64 `json:"driftMin"`
+	DriftMax float64 `json:"driftMax"`
+	// MeanGap is the mean exponential inter-event time.
+	MeanGap float64 `json:"meanGap"`
+}
+
+// Built-in churn profile names.
+const (
+	ProfileDrift      = "drift"
+	ProfileFlakyLinks = "flaky-links"
+	ProfileFailures   = "failures"
+	ProfileMixed      = "mixed"
+)
+
+// DefaultProfile is the profile used when a scenario family does not name
+// one.
+const DefaultProfile = ProfileMixed
+
+var profiles = map[string]Profile{
+	ProfileDrift: {
+		Name:        ProfileDrift,
+		Description: "pure bandwidth drift (no failures); safe for fragile topologies like chains and stars",
+		Drift:       1,
+		DriftMin:    0.5, DriftMax: 2.0,
+		MeanGap: 1,
+	},
+	ProfileFlakyLinks: {
+		Name:        ProfileFlakyLinks,
+		Description: "link down/up churn over mild bandwidth drift",
+		Drift:       0.4, LinkFlap: 0.6,
+		RecoverProb: 0.45,
+		DriftMin:    0.67, DriftMax: 1.5,
+		MeanGap: 1,
+	},
+	ProfileFailures: {
+		Name:        ProfileFailures,
+		Description: "node crash/rejoin and link churn (hierarchical-platform failure model)",
+		Drift:       0.3, LinkFlap: 0.35, NodeChurn: 0.35,
+		RecoverProb: 0.5,
+		DriftMin:    0.67, DriftMax: 1.5,
+		MeanGap: 1,
+	},
+	ProfileMixed: {
+		Name:        ProfileMixed,
+		Description: "balanced mix of drift, link flaps and node churn",
+		Drift:       0.5, LinkFlap: 0.3, NodeChurn: 0.2,
+		RecoverProb: 0.5,
+		DriftMin:    0.5, DriftMax: 2.0,
+		MeanGap: 1,
+	},
+}
+
+// ProfileNames returns the built-in churn profile names in sorted order.
+func ProfileNames() []string {
+	names := make([]string, 0, len(profiles))
+	for name := range profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ProfileByName returns the named churn profile. An empty name selects
+// DefaultProfile; unknown names are rejected with the list of known ones.
+func ProfileByName(name string) (Profile, error) {
+	if name == "" {
+		name = DefaultProfile
+	}
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("dynamic: unknown churn profile %q (known profiles: %v)", name, ProfileNames())
+	}
+	return p, nil
+}
+
+// candidateAttempts bounds the rejection sampling of down events: a
+// candidate that would disconnect the live platform is undone and redrawn;
+// after this many rejections the event degrades to a drift event so fragile
+// topologies still produce full-length traces.
+const candidateAttempts = 20
+
+// GenerateTrace builds a deterministic churn trace against the platform:
+// the generator maintains a shadow copy, applies every candidate mutation
+// to it and only emits events that keep the live platform broadcastable
+// from the source (the source itself never crashes). The input platform is
+// not modified.
+func GenerateTrace(p *platform.Platform, source int, prof Profile, events int, seed int64) (*Trace, error) {
+	if events < 0 {
+		return nil, fmt.Errorf("dynamic: negative event count %d", events)
+	}
+	total := prof.Drift + prof.LinkFlap + prof.NodeChurn
+	if total <= 0 || prof.MeanGap <= 0 || prof.DriftMin <= 0 || prof.DriftMax < prof.DriftMin {
+		return nil, fmt.Errorf("dynamic: invalid churn profile %+v", prof)
+	}
+	shadow := p.Clone()
+	if err := shadow.ValidateLive(source); err != nil {
+		return nil, err
+	}
+	rng := topology.NewRNG(seed)
+	tr := &Trace{Profile: prof.Name, Seed: seed, Events: make([]Event, 0, events)}
+	now := 0.0
+	for i := 0; i < events; i++ {
+		now += rng.ExpFloat64() * prof.MeanGap
+		d, ok := nextDelta(shadow, source, prof, rng)
+		if !ok {
+			// Unreachable while the generator maintains its invariants
+			// (>= 2 alive nodes implies a live link to drift); a short trace
+			// must never masquerade as a full-length one.
+			return nil, fmt.Errorf("dynamic: no candidate mutation for event %d of %d", i, events)
+		}
+		if _, err := shadow.ApplyDelta(d); err != nil {
+			return nil, fmt.Errorf("dynamic: generated delta %v does not apply: %w", d, err)
+		}
+		tr.Events = append(tr.Events, Event{Time: now, Delta: d})
+	}
+	tr.Horizon = now + prof.MeanGap
+	return tr, nil
+}
+
+// nextDelta draws one mutation that keeps the shadow platform live-valid.
+// The shadow is left unchanged (candidates are undone).
+func nextDelta(shadow *platform.Platform, source int, prof Profile, rng *rand.Rand) (platform.Delta, bool) {
+	total := prof.Drift + prof.LinkFlap + prof.NodeChurn
+	pick := rng.Float64() * total
+	switch {
+	case pick < prof.Drift:
+		// fall through to drift below
+	case pick < prof.Drift+prof.LinkFlap:
+		if d, ok := linkFlap(shadow, source, prof, rng); ok {
+			return d, true
+		}
+	default:
+		if d, ok := nodeChurn(shadow, source, prof, rng); ok {
+			return d, true
+		}
+	}
+	return driftDelta(shadow, prof, rng)
+}
+
+// driftDelta scales a random live link by a log-uniform factor.
+func driftDelta(shadow *platform.Platform, prof Profile, rng *rand.Rand) (platform.Delta, bool) {
+	live := liveLinkIDs(shadow)
+	if len(live) == 0 {
+		return platform.Delta{}, false
+	}
+	id := live[rng.Intn(len(live))]
+	u := rng.Float64()
+	factor := prof.DriftMin * math.Pow(prof.DriftMax/prof.DriftMin, u)
+	return platform.Delta{Kind: platform.DeltaScaleLink, Link: id, Factor: factor}, true
+}
+
+// linkFlap revives a down link (with probability RecoverProb when one
+// exists) or takes a live link down, keeping the platform broadcastable.
+func linkFlap(shadow *platform.Platform, source int, prof Profile, rng *rand.Rand) (platform.Delta, bool) {
+	down := downLinkIDs(shadow)
+	if len(down) > 0 && rng.Float64() < prof.RecoverProb {
+		return platform.Delta{Kind: platform.DeltaLinkUp, Link: down[rng.Intn(len(down))]}, true
+	}
+	live := liveLinkIDs(shadow)
+	for attempt := 0; attempt < candidateAttempts && len(live) > 0; attempt++ {
+		id := live[rng.Intn(len(live))]
+		d := platform.Delta{Kind: platform.DeltaLinkDown, Link: id}
+		undo, err := shadow.ApplyDelta(d)
+		if err != nil {
+			continue
+		}
+		ok := shadow.ValidateLive(source) == nil
+		if _, err := shadow.ApplyDelta(undo); err != nil {
+			panic(fmt.Sprintf("dynamic: undo %v failed: %v", undo, err))
+		}
+		if ok {
+			return d, true
+		}
+	}
+	return platform.Delta{}, false
+}
+
+// nodeChurn revives a crashed node (with probability RecoverProb when one
+// exists) or crashes an alive non-source node, keeping the platform
+// broadcastable.
+func nodeChurn(shadow *platform.Platform, source int, prof Profile, rng *rand.Rand) (platform.Delta, bool) {
+	var downNodes []int
+	for u := 0; u < shadow.NumNodes(); u++ {
+		if !shadow.NodeAlive(u) {
+			downNodes = append(downNodes, u)
+		}
+	}
+	if len(downNodes) > 0 && rng.Float64() < prof.RecoverProb {
+		// A rejoining node must itself be reachable: its live links may have
+		// been flapped down before (or during) the crash, so revivals are
+		// rejection-sampled like downs.
+		for attempt := 0; attempt < candidateAttempts; attempt++ {
+			d := platform.Delta{Kind: platform.DeltaNodeUp, Node: downNodes[rng.Intn(len(downNodes))]}
+			undo, err := shadow.ApplyDelta(d)
+			if err != nil {
+				continue
+			}
+			ok := shadow.ValidateLive(source) == nil
+			if _, err := shadow.ApplyDelta(undo); err != nil {
+				panic(fmt.Sprintf("dynamic: undo %v failed: %v", undo, err))
+			}
+			if ok {
+				return d, true
+			}
+		}
+	}
+	var alive []int
+	for u := 0; u < shadow.NumNodes(); u++ {
+		if u != source && shadow.NodeAlive(u) {
+			alive = append(alive, u)
+		}
+	}
+	for attempt := 0; attempt < candidateAttempts && len(alive) > 0; attempt++ {
+		v := alive[rng.Intn(len(alive))]
+		d := platform.Delta{Kind: platform.DeltaNodeDown, Node: v}
+		undo, err := shadow.ApplyDelta(d)
+		if err != nil {
+			continue
+		}
+		// Keep at least one alive destination: a lone source passes
+		// ValidateLive vacuously but has no live link left for later drift
+		// events (and a degenerate infinite optimum).
+		ok := shadow.NumAliveNodes() >= 2 && shadow.ValidateLive(source) == nil
+		if _, err := shadow.ApplyDelta(undo); err != nil {
+			panic(fmt.Sprintf("dynamic: undo %v failed: %v", undo, err))
+		}
+		if ok {
+			return d, true
+		}
+	}
+	return platform.Delta{}, false
+}
+
+// liveLinkIDs returns the usable link IDs in increasing order.
+func liveLinkIDs(p *platform.Platform) []int {
+	var ids []int
+	for id := 0; id < p.NumLinks(); id++ {
+		if p.LinkLive(id) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// downLinkIDs returns the explicitly failed link IDs in increasing order.
+func downLinkIDs(p *platform.Platform) []int {
+	var ids []int
+	for id := 0; id < p.NumLinks(); id++ {
+		if !p.LinkAlive(id) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}

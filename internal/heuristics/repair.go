@@ -1,0 +1,225 @@
+package heuristics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+)
+
+// This file implements local broadcast-tree repair for dynamic platforms:
+// after links degrade or fail and nodes crash or rejoin, the current tree is
+// patched instead of rebuilt. Two moves are combined:
+//
+//   - re-graft: a subtree whose root lost its parent edge (dead link, dead
+//     parent, or a parent that is itself detached) is reattached in one
+//     piece, through the best live link into its root;
+//
+//   - rewire: when no live link reaches a fragment's root from the attached
+//     part of the tree, the fragment is dissolved and its nodes are
+//     reattached individually.
+//
+// "Best" is a residual-bandwidth score: among the candidate live links into
+// an orphan, prefer fast links whose sender has few children already —
+// under the one-port model a parent's period is the sum of its child link
+// times, so loading an already-busy parent with another child directly
+// lowers the tree's throughput.
+
+// ErrNotRepairable is returned when some alive node cannot be reattached:
+// no live link reaches it from the part of the tree that is still connected
+// to the root (the live platform is not broadcastable from the source).
+var ErrNotRepairable = errors.New("heuristics: tree cannot be repaired on the live platform")
+
+// RepairStats describes the work done by one RepairTree call.
+type RepairStats struct {
+	// Orphans is the number of alive nodes that were detached from the root
+	// when the repair started.
+	Orphans int
+	// Regrafted is the number of subtree fragments reattached in one piece;
+	// Rewired is the number of nodes reattached individually after their
+	// fragment was dissolved.
+	Regrafted int
+	Rewired   int
+	// Reattached is the number of nodes whose parent edge changed (the
+	// deterministic "repair latency" proxy reported by the churn engine).
+	Reattached int
+}
+
+// RepairTree repairs a broadcast tree in place of a full rebuild: dead nodes
+// are detached, orphaned subtrees are re-grafted through best
+// residual-bandwidth live links, and stranded nodes are rewired one by one.
+// The input tree is not modified; the repaired tree is returned with stats.
+// If the tree is already live-valid it is returned unchanged (zero stats).
+func RepairTree(p *platform.Platform, source int, t *platform.Tree) (*platform.Tree, RepairStats, error) {
+	var st RepairStats
+	n := p.NumNodes()
+	if t.Root != source {
+		return nil, st, fmt.Errorf("%w: tree root %d does not match source %d", ErrInternal, t.Root, source)
+	}
+	if !p.NodeAlive(source) {
+		return nil, st, fmt.Errorf("%w: source %d is down", ErrNotRepairable, source)
+	}
+	live, err := t.LiveSpan(p)
+	if err != nil {
+		return nil, st, err
+	}
+	orphans := make([]int, 0)
+	for v := 0; v < n; v++ {
+		if p.NodeAlive(v) && !live[v] {
+			orphans = append(orphans, v)
+		}
+	}
+	dirty := false
+	for v := 0; v < n; v++ {
+		if !p.NodeAlive(v) && t.Parent[v] >= 0 {
+			dirty = true // dead node still attached: detach below
+		}
+	}
+	if len(orphans) == 0 && !dirty {
+		return t, st, nil
+	}
+	st.Orphans = len(orphans)
+
+	// Working copy: keep the live span, detach everything else.
+	out := platform.NewTree(n, source)
+	attached := make([]bool, n)
+	outDeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		if live[v] && v != source {
+			out.SetParent(v, t.Parent[v], t.ParentLink[v])
+			outDeg[t.Parent[v]]++
+		}
+		attached[v] = live[v]
+	}
+
+	// Fragment structure over the orphans. An orphan's parent edge is intact
+	// (usable inside a fragment) iff its parent link is live — LinkLive
+	// already requires both endpoints alive, and a live parent would have
+	// made the orphan live, so an intact parent is itself an orphan. The
+	// orphans therefore form a forest whose roots are the orphans with a
+	// broken parent edge; re-grafting a root carries its whole fragment.
+	inFragmentOf := make([]int, n) // orphan -> fragment root (or -1)
+	for v := range inFragmentOf {
+		inFragmentOf[v] = -1
+	}
+	fragRoots := make([]int, 0)
+	for _, v := range orphans {
+		if par := t.Parent[v]; par < 0 || !p.LinkLive(t.ParentLink[v]) {
+			fragRoots = append(fragRoots, v)
+		}
+	}
+	// Assign membership by walking intact tree edges down from each root
+	// (deterministic: roots in node order, BFS), keeping the intact edges in
+	// the output tree.
+	for _, r := range fragRoots {
+		queue := []int{r}
+		inFragmentOf[r] = r
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, c := range t.Children(u) {
+				if isOrphan(p, live, c) && inFragmentOf[c] < 0 && p.LinkLive(t.ParentLink[c]) {
+					inFragmentOf[c] = r
+					out.SetParent(c, u, t.ParentLink[c])
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+
+	// Fragment members (intact internal edges count toward the
+	// residual-bandwidth score once the fragment is attached).
+	fragSize := make(map[int][]int, len(fragRoots)) // root -> members
+	for _, v := range orphans {
+		r := inFragmentOf[v]
+		fragSize[r] = append(fragSize[r], v)
+		if v != r {
+			outDeg[out.Parent[v]]++
+		}
+	}
+
+	// Greedy attachment: repeatedly pick the globally best (live link from
+	// an attached node into a fragment root) and re-graft the fragment. When
+	// no fragment root is reachable, dissolve every remaining fragment into
+	// singletons and keep going; if still stuck, the live platform is not
+	// broadcastable.
+	remaining := append([]int(nil), fragRoots...)
+	dissolved := false
+	for len(remaining) > 0 {
+		bestLink, bestFrag, bestIdx := -1, -1, -1
+		bestScore := math.Inf(1)
+		for idx, r := range remaining {
+			for _, id := range p.InLinkIDs(r) {
+				if !p.LinkLive(id) {
+					continue
+				}
+				u := p.Link(id).From
+				if !attached[u] {
+					continue
+				}
+				score := p.SliceTime(id) * float64(outDeg[u]+1)
+				if score < bestScore || score == bestScore && (id < bestLink || bestLink < 0) {
+					bestScore, bestLink, bestFrag, bestIdx = score, id, r, idx
+				}
+			}
+		}
+		if bestLink < 0 {
+			if dissolved {
+				return nil, st, fmt.Errorf("%w: %d nodes unreachable", ErrNotRepairable, countMembers(fragSize, remaining))
+			}
+			// Dissolve: every remaining orphan becomes its own fragment, so
+			// attachment may now enter a fragment anywhere, re-rooting it.
+			dissolved = true
+			var next []int
+			for _, r := range remaining {
+				for _, v := range fragSize[r] {
+					if !attached[v] {
+						if out.Parent[v] >= 0 {
+							outDeg[out.Parent[v]]--
+							out.SetParent(v, -1, -1)
+						}
+						next = append(next, v)
+						fragSize[v] = []int{v}
+					}
+				}
+			}
+			remaining = next
+			continue
+		}
+		u := p.Link(bestLink).From
+		out.SetParent(bestFrag, u, bestLink)
+		outDeg[u]++
+		st.Reattached++
+		if len(fragSize[bestFrag]) > 1 {
+			st.Regrafted++
+		} else if dissolved {
+			st.Rewired++
+		} else {
+			st.Regrafted++
+		}
+		for _, v := range fragSize[bestFrag] {
+			attached[v] = true
+		}
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+
+	if err := out.ValidateLive(p); err != nil {
+		return nil, st, fmt.Errorf("%w: repaired tree invalid: %v", ErrInternal, err)
+	}
+	return out, st, nil
+}
+
+// isOrphan reports whether v is an alive node outside the live span.
+func isOrphan(p *platform.Platform, live []bool, v int) bool {
+	return p.NodeAlive(v) && !live[v]
+}
+
+// countMembers sums the member counts of the given fragment roots.
+func countMembers(frag map[int][]int, roots []int) int {
+	total := 0
+	for _, r := range roots {
+		total += len(frag[r])
+	}
+	return total
+}

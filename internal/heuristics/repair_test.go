@@ -1,0 +1,138 @@
+package heuristics
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/throughput"
+	"repro/internal/topology"
+)
+
+// repairPlatform builds a well-connected random platform for repair tests.
+func repairPlatform(t *testing.T, nodes int, seed int64) *platform.Platform {
+	t.Helper()
+	p, err := topology.Random(topology.DefaultRandomConfig(nodes, 0.3), topology.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustApply(t *testing.T, p *platform.Platform, d platform.Delta) {
+	t.Helper()
+	if _, err := p.ApplyDelta(d); err != nil {
+		t.Fatalf("apply %v: %v", d, err)
+	}
+}
+
+func TestRepairTreeNoopOnLiveTree(t *testing.T) {
+	p := repairPlatform(t, 12, 1)
+	tree, err := GrowTree{}.Build(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, st, err := RepairTree(p, 0, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired != tree || st.Reattached != 0 {
+		t.Errorf("repair of a live tree did work: %+v", st)
+	}
+}
+
+func TestRepairTreeAfterLinkFailure(t *testing.T) {
+	p := repairPlatform(t, 16, 2)
+	tree, err := GrowTree{}.Build(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail the tree link of a node with a subtree, if possible the busiest.
+	victim := -1
+	for v := 1; v < p.NumNodes(); v++ {
+		if tree.OutDegree(v) > 0 {
+			victim = v
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 1
+	}
+	mustApply(t, p, platform.Delta{Kind: platform.DeltaLinkDown, Link: tree.ParentLink[victim]})
+	if err := tree.ValidateLive(p); err == nil {
+		t.Fatal("broken tree still validates live")
+	}
+	repaired, st, err := RepairTree(p, 0, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repaired.ValidateLive(p); err != nil {
+		t.Fatalf("repaired tree invalid: %v", err)
+	}
+	if st.Orphans == 0 || st.Reattached == 0 {
+		t.Errorf("stats report no work: %+v", st)
+	}
+	// The whole subtree should ride along on one re-graft when a live link
+	// into the victim exists; in any case the repair must reattach fewer
+	// nodes than a full rebuild touches.
+	if st.Reattached > st.Orphans {
+		t.Errorf("reattached %d > orphans %d", st.Reattached, st.Orphans)
+	}
+	if tp := throughput.TreeThroughput(p, repaired, model.OnePortBidirectional); tp <= 0 {
+		t.Errorf("repaired tree throughput %v", tp)
+	}
+}
+
+func TestRepairTreeAfterNodeCrash(t *testing.T) {
+	p := repairPlatform(t, 16, 3)
+	tree, err := GrowTree{}.Build(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash an interior node (orphaning its children) while keeping the
+	// platform broadcastable.
+	victim := -1
+	for v := 1; v < p.NumNodes(); v++ {
+		if tree.OutDegree(v) == 0 {
+			continue
+		}
+		mustApply(t, p, platform.Delta{Kind: platform.DeltaNodeDown, Node: v})
+		if p.ValidateLive(0) == nil {
+			victim = v
+			break
+		}
+		mustApply(t, p, platform.Delta{Kind: platform.DeltaNodeUp, Node: v})
+	}
+	if victim < 0 {
+		t.Skip("no interior node can crash without disconnecting the platform")
+	}
+	repaired, st, err := RepairTree(p, 0, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repaired.ValidateLive(p); err != nil {
+		t.Fatalf("repaired tree invalid: %v", err)
+	}
+	if repaired.Parent[victim] != -1 {
+		t.Error("dead node still attached")
+	}
+	if st.Orphans != len(tree.Children(victim)) && st.Orphans < len(tree.Children(victim)) {
+		t.Errorf("orphans %d, want at least the %d children of the victim", st.Orphans, len(tree.Children(victim)))
+	}
+}
+
+func TestRepairTreeUnrepairable(t *testing.T) {
+	// Star around node 0 with source 1: killing node 0 strands everyone.
+	p, err := topology.Star(5, topology.Uniform(1), topology.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := GrowTree{}.Build(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustApply(t, p, platform.Delta{Kind: platform.DeltaNodeDown, Node: 0})
+	if _, _, err := RepairTree(p, 1, tree); err == nil {
+		t.Fatal("repair succeeded on a disconnected live platform")
+	}
+}

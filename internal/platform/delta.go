@@ -1,0 +1,276 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DeltaKind identifies one kind of platform mutation. Mutations model the
+// dynamic behaviour of a real platform: link performance drifting over time,
+// links flapping down and up, and processors crashing and rejoining.
+type DeltaKind int
+
+const (
+	// DeltaScaleLink multiplies the cost of one link by Factor (> 1 means
+	// the link became slower).
+	DeltaScaleLink DeltaKind = iota
+	// DeltaLinkDown marks one link as failed.
+	DeltaLinkDown
+	// DeltaLinkUp revives one previously failed link.
+	DeltaLinkUp
+	// DeltaNodeDown marks one processor as crashed. Its links remain in the
+	// topology but are unusable until the node rejoins.
+	DeltaNodeDown
+	// DeltaNodeUp revives one previously crashed processor.
+	DeltaNodeUp
+)
+
+// String returns a short name for the delta kind.
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaScaleLink:
+		return "scale-link"
+	case DeltaLinkDown:
+		return "link-down"
+	case DeltaLinkUp:
+		return "link-up"
+	case DeltaNodeDown:
+		return "node-down"
+	case DeltaNodeUp:
+		return "node-up"
+	default:
+		return fmt.Sprintf("DeltaKind(%d)", int(k))
+	}
+}
+
+// Delta is one atomic platform mutation. Platforms are immutable-by-default
+// everywhere else in the repository; only code that owns a platform (and
+// typically a private Clone of it, as the churn engine does) applies deltas.
+type Delta struct {
+	Kind DeltaKind `json:"kind"`
+	// Link is the target link ID of the link mutations.
+	Link int `json:"link,omitempty"`
+	// Node is the target processor of the node mutations.
+	Node int `json:"node,omitempty"`
+	// Factor is the cost multiplier of DeltaScaleLink.
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// String returns a compact human-readable description of the delta.
+func (d Delta) String() string {
+	switch d.Kind {
+	case DeltaScaleLink:
+		return fmt.Sprintf("scale-link(%d, %.3f)", d.Link, d.Factor)
+	case DeltaLinkDown, DeltaLinkUp:
+		return fmt.Sprintf("%s(%d)", d.Kind, d.Link)
+	default:
+		return fmt.Sprintf("%s(%d)", d.Kind, d.Node)
+	}
+}
+
+// Errors returned by ApplyDelta.
+var (
+	ErrBadDelta   = errors.New("platform: invalid delta")
+	ErrDeltaState = errors.New("platform: delta does not match platform state")
+)
+
+// ensureMasks allocates the down masks on first use so that never-mutated
+// platforms pay nothing.
+func (p *Platform) ensureMasks() {
+	if p.linkDown == nil {
+		p.linkDown = make([]bool, len(p.links))
+	}
+	if p.nodeDown == nil {
+		p.nodeDown = make([]bool, len(p.nodes))
+	}
+}
+
+// NodeAlive reports whether processor u has not been taken down by a delta.
+func (p *Platform) NodeAlive(u int) bool {
+	return p.nodeDown == nil || !p.nodeDown[u]
+}
+
+// LinkAlive reports whether link id itself has not been taken down (its
+// endpoints may still be dead; see LinkLive).
+func (p *Platform) LinkAlive(id int) bool {
+	return p.linkDown == nil || !p.linkDown[id]
+}
+
+// LinkLive reports whether link id is usable: the link is alive and both of
+// its endpoints are alive.
+func (p *Platform) LinkLive(id int) bool {
+	if !p.LinkAlive(id) {
+		return false
+	}
+	l := p.links[id]
+	return p.NodeAlive(l.From) && p.NodeAlive(l.To)
+}
+
+// NumAliveNodes returns the number of processors currently alive.
+func (p *Platform) NumAliveNodes() int {
+	if p.nodeDown == nil {
+		return len(p.nodes)
+	}
+	n := 0
+	for _, down := range p.nodeDown {
+		if !down {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveMask returns a fresh boolean mask over link IDs marking the usable
+// links (alive links between alive endpoints), in the form expected by the
+// enabled-set graph traversals.
+func (p *Platform) LiveMask() []bool {
+	mask := make([]bool, len(p.links))
+	for id := range p.links {
+		mask[id] = p.LinkLive(id)
+	}
+	return mask
+}
+
+// Mutated reports whether any delta has ever been applied to the platform.
+func (p *Platform) Mutated() bool { return len(p.journal) > 0 }
+
+// Journal returns a copy of the mutation journal: every delta applied to the
+// platform, in application order. Sessions (package steady) diff journal
+// suffixes to decide how much of a previous solve can be reused.
+func (p *Platform) Journal() []Delta {
+	return append([]Delta(nil), p.journal...)
+}
+
+// JournalLen returns the number of deltas applied so far (cheaper than
+// Journal when only the length is needed).
+func (p *Platform) JournalLen() int { return len(p.journal) }
+
+// JournalSince returns a copy of the journal entries applied after the first
+// n deltas.
+func (p *Platform) JournalSince(n int) []Delta {
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(p.journal) {
+		return nil
+	}
+	return append([]Delta(nil), p.journal[n:]...)
+}
+
+// ApplyDelta applies one mutation to the platform, appends it to the
+// mutation journal and returns the inverse delta (applying the inverse
+// restores the previous state — and is itself journaled, since the journal
+// is a history, not a diff). Deltas that do not match the platform state
+// (downing a dead link, reviving an alive node, ...) fail with ErrDeltaState
+// so that trace generators cannot silently produce no-op events.
+func (p *Platform) ApplyDelta(d Delta) (Delta, error) {
+	switch d.Kind {
+	case DeltaScaleLink:
+		if d.Link < 0 || d.Link >= len(p.links) {
+			return Delta{}, fmt.Errorf("%w: link %d out of range [0, %d)", ErrBadDelta, d.Link, len(p.links))
+		}
+		if d.Factor <= 0 || math.IsNaN(d.Factor) || math.IsInf(d.Factor, 0) {
+			return Delta{}, fmt.Errorf("%w: scale factor %v", ErrBadDelta, d.Factor)
+		}
+		p.ScaleLinkCost(d.Link, d.Factor)
+	case DeltaLinkDown:
+		if d.Link < 0 || d.Link >= len(p.links) {
+			return Delta{}, fmt.Errorf("%w: link %d out of range [0, %d)", ErrBadDelta, d.Link, len(p.links))
+		}
+		if !p.LinkAlive(d.Link) {
+			return Delta{}, fmt.Errorf("%w: link %d is already down", ErrDeltaState, d.Link)
+		}
+		p.ensureMasks()
+		p.linkDown[d.Link] = true
+	case DeltaLinkUp:
+		if d.Link < 0 || d.Link >= len(p.links) {
+			return Delta{}, fmt.Errorf("%w: link %d out of range [0, %d)", ErrBadDelta, d.Link, len(p.links))
+		}
+		if p.LinkAlive(d.Link) {
+			return Delta{}, fmt.Errorf("%w: link %d is already up", ErrDeltaState, d.Link)
+		}
+		p.linkDown[d.Link] = false
+	case DeltaNodeDown:
+		if d.Node < 0 || d.Node >= len(p.nodes) {
+			return Delta{}, fmt.Errorf("%w: node %d out of range [0, %d)", ErrBadDelta, d.Node, len(p.nodes))
+		}
+		if !p.NodeAlive(d.Node) {
+			return Delta{}, fmt.Errorf("%w: node %d is already down", ErrDeltaState, d.Node)
+		}
+		p.ensureMasks()
+		p.nodeDown[d.Node] = true
+	case DeltaNodeUp:
+		if d.Node < 0 || d.Node >= len(p.nodes) {
+			return Delta{}, fmt.Errorf("%w: node %d out of range [0, %d)", ErrBadDelta, d.Node, len(p.nodes))
+		}
+		if p.NodeAlive(d.Node) {
+			return Delta{}, fmt.Errorf("%w: node %d is already up", ErrDeltaState, d.Node)
+		}
+		p.nodeDown[d.Node] = false
+	default:
+		return Delta{}, fmt.Errorf("%w: unknown kind %v", ErrBadDelta, d.Kind)
+	}
+	p.journal = append(p.journal, d)
+	return d.Inverse(), nil
+}
+
+// Inverse returns the delta that undoes d.
+func (d Delta) Inverse() Delta {
+	switch d.Kind {
+	case DeltaScaleLink:
+		return Delta{Kind: DeltaScaleLink, Link: d.Link, Factor: 1 / d.Factor}
+	case DeltaLinkDown:
+		return Delta{Kind: DeltaLinkUp, Link: d.Link}
+	case DeltaLinkUp:
+		return Delta{Kind: DeltaLinkDown, Link: d.Link}
+	case DeltaNodeDown:
+		return Delta{Kind: DeltaNodeUp, Node: d.Node}
+	case DeltaNodeUp:
+		return Delta{Kind: DeltaNodeDown, Node: d.Node}
+	default:
+		return d
+	}
+}
+
+// Tightening reports whether the delta can only shrink the feasible region
+// of the steady-state broadcast LP: degrading a link or taking an element
+// down. Loosening deltas (speed-ups, revivals) force the steady session to
+// rebuild its master LP instead of appending rows (see steady.Session).
+func (d Delta) Tightening() bool {
+	switch d.Kind {
+	case DeltaScaleLink:
+		return d.Factor >= 1
+	case DeltaLinkDown:
+		return true
+	default:
+		// Node crashes shrink the feasible rates, but they also remove
+		// destinations: cut rows that only separated now-dead destinations
+		// become invalid, so NodeDown cannot take the append-only path.
+		return false
+	}
+}
+
+// ValidateLive checks the structural invariants of Validate and, instead of
+// full reachability, that the source is alive and that every alive node is
+// reachable from it through live links. On a platform with no applied downs
+// it is equivalent to Validate.
+func (p *Platform) ValidateLive(source int) error {
+	if err := p.validateStructure(); err != nil {
+		return err
+	}
+	if source < 0 || source >= len(p.nodes) {
+		return fmt.Errorf("%w: source=%d", ErrNodeRange, source)
+	}
+	if !p.NodeAlive(source) {
+		return fmt.Errorf("%w: source %d is down", ErrNotReachable, source)
+	}
+	g := p.Graph()
+	reach := g.ReachableFrom(source, p.LiveMask())
+	for u, ok := range reach {
+		if !ok && p.NodeAlive(u) {
+			return fmt.Errorf("%w: alive node %d (source %d)", ErrNotReachable, u, source)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package platform
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// deltaTestPlatform builds a 4-node diamond: 0 -> {1, 2} -> 3 plus the
+// reverse directions, so every single link can fail without disconnecting
+// the platform.
+func deltaTestPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p := New(4)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if _, _, err := p.AddBidirectionalLink(e[0], e[1], model.Linear(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func TestApplyDeltaJournalAndUndo(t *testing.T) {
+	p := deltaTestPlatform(t)
+	orig := p.Clone()
+
+	deltas := []Delta{
+		{Kind: DeltaScaleLink, Link: 0, Factor: 2},
+		{Kind: DeltaLinkDown, Link: 2},
+		{Kind: DeltaNodeDown, Node: 3},
+	}
+	var undos []Delta
+	for _, d := range deltas {
+		undo, err := p.ApplyDelta(d)
+		if err != nil {
+			t.Fatalf("ApplyDelta(%v): %v", d, err)
+		}
+		undos = append(undos, undo)
+	}
+	if got := p.Journal(); !reflect.DeepEqual(got, deltas) {
+		t.Fatalf("journal = %v, want %v", got, deltas)
+	}
+	into3 := p.LinkBetween(1, 3)
+	if p.LinkAlive(2) || p.NodeAlive(3) || p.LinkLive(into3) {
+		t.Fatalf("down state not applied: linkAlive(2)=%v nodeAlive(3)=%v linkLive(%d)=%v",
+			p.LinkAlive(2), p.NodeAlive(3), into3, p.LinkLive(into3))
+	}
+	if got := p.NumAliveNodes(); got != 3 {
+		t.Fatalf("NumAliveNodes = %d, want 3", got)
+	}
+
+	// Undo in reverse order restores costs and masks exactly.
+	for i := len(undos) - 1; i >= 0; i-- {
+		if _, err := p.ApplyDelta(undos[i]); err != nil {
+			t.Fatalf("undo %v: %v", undos[i], err)
+		}
+	}
+	if p.JournalLen() != 6 {
+		t.Fatalf("JournalLen = %d, want 6 (journal is a history)", p.JournalLen())
+	}
+	for id := 0; id < p.NumLinks(); id++ {
+		if p.Link(id).Cost != orig.Link(id).Cost {
+			t.Fatalf("link %d cost %v, want %v after undo", id, p.Link(id).Cost, orig.Link(id).Cost)
+		}
+		if !p.LinkLive(id) {
+			t.Fatalf("link %d not live after undo", id)
+		}
+	}
+	if p.NumAliveNodes() != p.NumNodes() {
+		t.Fatalf("NumAliveNodes = %d, want %d after undo", p.NumAliveNodes(), p.NumNodes())
+	}
+}
+
+func TestApplyDeltaStateErrors(t *testing.T) {
+	p := deltaTestPlatform(t)
+	mustApply := func(d Delta) {
+		t.Helper()
+		if _, err := p.ApplyDelta(d); err != nil {
+			t.Fatalf("ApplyDelta(%v): %v", d, err)
+		}
+	}
+	mustApply(Delta{Kind: DeltaLinkDown, Link: 0})
+	if _, err := p.ApplyDelta(Delta{Kind: DeltaLinkDown, Link: 0}); err == nil {
+		t.Fatal("downing a dead link succeeded")
+	}
+	if _, err := p.ApplyDelta(Delta{Kind: DeltaLinkUp, Link: 1}); err == nil {
+		t.Fatal("reviving an alive link succeeded")
+	}
+	if _, err := p.ApplyDelta(Delta{Kind: DeltaScaleLink, Link: 0, Factor: 0}); err == nil {
+		t.Fatal("zero scale factor succeeded")
+	}
+	if _, err := p.ApplyDelta(Delta{Kind: DeltaNodeUp, Node: 2}); err == nil {
+		t.Fatal("reviving an alive node succeeded")
+	}
+	if _, err := p.ApplyDelta(Delta{Kind: DeltaLinkDown, Link: 99}); err == nil {
+		t.Fatal("out-of-range link succeeded")
+	}
+	// Failed deltas must not be journaled.
+	if got := p.JournalLen(); got != 1 {
+		t.Fatalf("JournalLen = %d, want 1", got)
+	}
+}
+
+func TestDeltaTightening(t *testing.T) {
+	cases := []struct {
+		d    Delta
+		want bool
+	}{
+		{Delta{Kind: DeltaScaleLink, Factor: 1.5}, true},
+		{Delta{Kind: DeltaScaleLink, Factor: 0.5}, false},
+		{Delta{Kind: DeltaLinkDown}, true},
+		{Delta{Kind: DeltaLinkUp}, false},
+		{Delta{Kind: DeltaNodeDown}, false},
+		{Delta{Kind: DeltaNodeUp}, false},
+	}
+	for _, c := range cases {
+		if got := c.d.Tightening(); got != c.want {
+			t.Errorf("%v.Tightening() = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestValidateLive(t *testing.T) {
+	p := deltaTestPlatform(t)
+	if err := p.ValidateLive(0); err != nil {
+		t.Fatalf("pristine platform: %v", err)
+	}
+	// Kill node 1: 3 is still reachable via 2.
+	if _, err := p.ApplyDelta(Delta{Kind: DeltaNodeDown, Node: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidateLive(0); err != nil {
+		t.Fatalf("after node-down(1): %v", err)
+	}
+	// Kill link 0->2 as well (link ID 2 is the pair (0,2) forward link):
+	// now 2 and 3 are unreachable.
+	id := p.LinkBetween(0, 2)
+	if _, err := p.ApplyDelta(Delta{Kind: DeltaLinkDown, Link: id}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidateLive(0); err == nil {
+		t.Fatal("disconnected live platform validated")
+	}
+	// A dead source is invalid.
+	q := deltaTestPlatform(t)
+	if _, err := q.ApplyDelta(Delta{Kind: DeltaNodeDown, Node: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.ValidateLive(0); err == nil {
+		t.Fatal("dead source validated")
+	}
+}
+
+func TestCloneCopiesDynamicState(t *testing.T) {
+	p := deltaTestPlatform(t)
+	if _, err := p.ApplyDelta(Delta{Kind: DeltaLinkDown, Link: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	if c.LinkAlive(1) || c.JournalLen() != 1 {
+		t.Fatalf("clone lost dynamic state: alive=%v journal=%d", c.LinkAlive(1), c.JournalLen())
+	}
+	// Mutating the clone must not touch the original.
+	if _, err := c.ApplyDelta(Delta{Kind: DeltaNodeDown, Node: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !p.NodeAlive(2) || p.JournalLen() != 1 {
+		t.Fatal("clone mutation leaked into the original")
+	}
+}
+
+func TestTreeValidateLiveAndPrune(t *testing.T) {
+	p := deltaTestPlatform(t)
+	// Tree 0 -> 1 -> 3, 0 -> 2.
+	tr := NewTree(4, 0)
+	tr.SetParent(1, 0, p.LinkBetween(0, 1))
+	tr.SetParent(2, 0, p.LinkBetween(0, 2))
+	tr.SetParent(3, 1, p.LinkBetween(1, 3))
+	if err := tr.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.ValidateLive(p); err != nil {
+		t.Fatalf("pristine: %v", err)
+	}
+	// Node 3 dies: the tree minus the dead leaf still spans the alive nodes.
+	if _, err := p.ApplyDelta(Delta{Kind: DeltaNodeDown, Node: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.ValidateLive(p); err != nil {
+		t.Fatalf("dead leaf: %v", err)
+	}
+	pruned, complete, err := tr.LivePrune(p)
+	if err != nil || !complete {
+		t.Fatalf("LivePrune: complete=%v err=%v", complete, err)
+	}
+	if pruned.Parent[3] != -1 {
+		t.Fatal("dead leaf still attached after prune")
+	}
+	// Revive 3, kill interior node 1: alive node 3 is stranded.
+	if _, err := p.ApplyDelta(Delta{Kind: DeltaNodeUp, Node: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ApplyDelta(Delta{Kind: DeltaNodeDown, Node: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.ValidateLive(p); err == nil {
+		t.Fatal("stranded alive node validated")
+	}
+	if _, complete, _ := tr.LivePrune(p); complete {
+		t.Fatal("LivePrune reported complete with a stranded node")
+	}
+}

@@ -49,6 +49,12 @@ type Platform struct {
 	out       [][]int // node -> link IDs leaving the node
 	in        [][]int // node -> link IDs entering the node
 	sliceSize float64
+
+	// Dynamic-platform state (see delta.go). All nil/empty on platforms
+	// that have never been mutated.
+	linkDown []bool
+	nodeDown []bool
+	journal  []Delta
 }
 
 // New returns a platform with n processors, no links, and the default slice
@@ -127,6 +133,9 @@ func (p *Platform) AddLink(from, to int, cost model.AffineCost) (int, error) {
 	p.links = append(p.links, Link{From: from, To: to, Cost: cost})
 	p.out[from] = append(p.out[from], id)
 	p.in[to] = append(p.in[to], id)
+	if p.linkDown != nil {
+		p.linkDown = append(p.linkDown, false)
+	}
 	return id, nil
 }
 
@@ -254,10 +263,9 @@ func (p *Platform) DeriveMultiPortOverheads(fraction float64) {
 	}
 }
 
-// Validate checks structural invariants: at least one node, valid link
-// endpoints and costs, and (if source >= 0) that every node is reachable
-// from the source.
-func (p *Platform) Validate(source int) error {
+// validateStructure checks the structural invariants shared by Validate and
+// ValidateLive: at least one node, valid link endpoints and costs.
+func (p *Platform) validateStructure() error {
 	if len(p.nodes) == 0 {
 		return ErrNoNodes
 	}
@@ -271,6 +279,16 @@ func (p *Platform) Validate(source int) error {
 		if !l.Cost.Valid() {
 			return fmt.Errorf("%w: link %d", ErrInvalidCost, id)
 		}
+	}
+	return nil
+}
+
+// Validate checks structural invariants: at least one node, valid link
+// endpoints and costs, and (if source >= 0) that every node is reachable
+// from the source.
+func (p *Platform) Validate(source int) error {
+	if err := p.validateStructure(); err != nil {
+		return err
 	}
 	if source >= 0 {
 		if source >= len(p.nodes) {
@@ -297,6 +315,15 @@ func (p *Platform) Clone() *Platform {
 	for u := range p.out {
 		c.out[u] = append([]int(nil), p.out[u]...)
 		c.in[u] = append([]int(nil), p.in[u]...)
+	}
+	if p.linkDown != nil {
+		c.linkDown = append([]bool(nil), p.linkDown...)
+	}
+	if p.nodeDown != nil {
+		c.nodeDown = append([]bool(nil), p.nodeDown...)
+	}
+	if p.journal != nil {
+		c.journal = append([]Delta(nil), p.journal...)
 	}
 	return c
 }

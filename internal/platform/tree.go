@@ -186,6 +186,104 @@ func (t *Tree) Validate(p *Platform) error {
 	return nil
 }
 
+// ErrTreeNotLive is returned by ValidateLive when some alive node is not
+// reachable from the root through live tree edges.
+var ErrTreeNotLive = errors.New("platform: tree does not span the alive nodes over live links")
+
+// ValidateLive checks that the tree, restricted to the platform's live
+// elements, still broadcasts to every alive node: the root is alive and
+// every alive node is reachable from it through tree edges whose link is
+// live (both endpoints alive, link not down) and structurally consistent
+// (matching endpoints, valid IDs). Dead nodes and the subtrees hanging off
+// them are ignored, so a tree built before a crash validates as long as no
+// alive node is stranded. On a platform with no applied downs this is
+// equivalent to Validate.
+func (t *Tree) ValidateLive(p *Platform) error {
+	n := p.NumNodes()
+	if len(t.Parent) != n || len(t.ParentLink) != n {
+		return fmt.Errorf("%w: tree has %d nodes, platform has %d", ErrTreeSizeMismatch, len(t.Parent), n)
+	}
+	if t.Root < 0 || t.Root >= n {
+		return fmt.Errorf("%w: root=%d", ErrTreeRootRange, t.Root)
+	}
+	if !p.NodeAlive(t.Root) {
+		return fmt.Errorf("%w: root %d is down", ErrTreeNotLive, t.Root)
+	}
+	if t.Parent[t.Root] != -1 || t.ParentLink[t.Root] != -1 {
+		return ErrTreeRootHasParent
+	}
+	live, err := t.LiveSpan(p)
+	if err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		if p.NodeAlive(v) && !live[v] {
+			return fmt.Errorf("%w: alive node %d is stranded", ErrTreeNotLive, v)
+		}
+	}
+	return nil
+}
+
+// LiveSpan returns the set of nodes reachable from the root through live
+// tree edges (both endpoints alive, link up, endpoints matching the link).
+// Structurally inconsistent edges (bad IDs, endpoint mismatch) are reported
+// as errors; edges that are merely dead are skipped.
+func (t *Tree) LiveSpan(p *Platform) ([]bool, error) {
+	n := p.NumNodes()
+	live := make([]bool, n)
+	if t.Root < 0 || t.Root >= n || !p.NodeAlive(t.Root) {
+		return live, nil
+	}
+	live[t.Root] = true
+	queue := []int{t.Root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, c := range t.Children(u) {
+			linkID := t.ParentLink[c]
+			if linkID < 0 || linkID >= p.NumLinks() {
+				return nil, fmt.Errorf("%w: node %d link=%d", ErrTreeBadLink, c, linkID)
+			}
+			l := p.Link(linkID)
+			if l.From != u || l.To != c {
+				return nil, fmt.Errorf("%w: node %d uses link %d (%d -> %d) but parent is %d",
+					ErrTreeParentMismatch, c, linkID, l.From, l.To, u)
+			}
+			if !p.NodeAlive(c) || !p.LinkLive(linkID) {
+				continue
+			}
+			if !live[c] {
+				live[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+	return live, nil
+}
+
+// LivePrune returns a copy of the tree with every node outside the live span
+// detached (parent -1), together with a flag reporting whether the pruned
+// tree still reaches every alive node. The churn engine evaluates the "keep"
+// policy on the pruned copy: transfers into dead subtrees simply do not
+// happen, and a false flag means some alive node receives nothing.
+func (t *Tree) LivePrune(p *Platform) (*Tree, bool, error) {
+	live, err := t.LiveSpan(p)
+	if err != nil {
+		return nil, false, err
+	}
+	pruned := NewTree(len(t.Parent), t.Root)
+	complete := true
+	for v := range t.Parent {
+		if live[v] {
+			pruned.Parent[v] = t.Parent[v]
+			pruned.ParentLink[v] = t.ParentLink[v]
+		} else if p.NodeAlive(v) {
+			complete = false
+		}
+	}
+	return pruned, complete, nil
+}
+
 // TreeFromParentLinks builds a Tree from a per-node parent-link assignment
 // (link ID used to reach each node, -1 for the root), as produced by
 // graph.BFSArborescence when edge IDs coincide with platform link IDs.

@@ -5,19 +5,28 @@
 // [1-δ, 1+δ] and measures the throughput of (i) the original tree kept
 // unchanged and (ii) the tree rebuilt by the heuristic on the perturbed
 // platform, both relative to the perturbed platform's MTP optimum.
+//
+// Trials are independent (each perturbs and cold-solves its own platform),
+// so they run across a worker pool; every trial derives its own seed from
+// the base seed the same way the scenario sweep derives per-platform seeds,
+// which keeps the report bit-identical regardless of worker count. For the
+// complementary time-evolving analysis (one platform drifting through a
+// correlated event timeline instead of independent redraws) see
+// internal/dynamic.
 package robustness
 
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/heuristics"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/platform"
 	"repro/internal/stats"
 	"repro/internal/steady"
 	"repro/internal/throughput"
+	"repro/internal/topology"
 )
 
 // Config parameterizes a robustness analysis.
@@ -28,8 +37,21 @@ type Config struct {
 	Trials int
 	// Model is the port model used to evaluate trees (default one-port).
 	Model model.PortModel
-	// Seed drives the perturbation RNG.
+	// Seed drives the perturbation RNG; each trial derives its own stream
+	// from it (see TrialSeed).
 	Seed int64
+	// Workers bounds the number of trials evaluated concurrently (0 = all
+	// CPUs). The report does not depend on the worker count.
+	Workers int
+	// OnTrial, when non-nil, is invoked once per trial as results complete
+	// (in completion order, not trial order) with the trial index and the
+	// fixed-tree and rebuilt-tree ratios. Calls are serialized.
+	OnTrial func(trial int, fixedRatio, rebuiltRatio float64)
+}
+
+// TrialSeed derives the deterministic RNG seed of one perturbation trial.
+func TrialSeed(base int64, trial int) int64 {
+	return topology.DeriveSeed(base, "robustness-trial", trial)
 }
 
 // Report aggregates the outcome of a robustness analysis.
@@ -76,11 +98,16 @@ func Analyze(p *platform.Platform, source int, builder heuristics.Builder, cfg C
 		BaselineRatio: throughput.TreeThroughput(p, baseTree, cfg.Model) / baseOpt.Throughput,
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	fixed := make([]float64, 0, cfg.Trials)
-	rebuilt := make([]float64, 0, cfg.Trials)
-	retained := make([]float64, 0, cfg.Trials)
-	for trial := 0; trial < cfg.Trials; trial++ {
+	// Each trial perturbs and cold-solves an independent platform: fan the
+	// trials across the worker pool with per-trial derived seeds, collecting
+	// results in trial order so the summaries are identical for every worker
+	// count.
+	type trialResult struct {
+		fixed, rebuilt float64
+		err            error
+	}
+	results := parallel.MapStream(cfg.Trials, cfg.Workers, func(trial int) trialResult {
+		rng := topology.NewRNG(TrialSeed(cfg.Seed, trial))
 		perturbed := p.Clone()
 		for id := 0; id < perturbed.NumLinks(); id++ {
 			factor := 1 + cfg.Perturbation*(2*rng.Float64()-1)
@@ -88,18 +115,31 @@ func Analyze(p *platform.Platform, source int, builder heuristics.Builder, cfg C
 		}
 		opt, err := steady.Solve(perturbed, source, nil)
 		if err != nil {
-			return nil, err
+			return trialResult{err: err}
 		}
 		fixedTP := throughput.TreeThroughput(perturbed, baseTree, cfg.Model)
 		newTree, err := builder.Build(perturbed, source)
 		if err != nil {
-			return nil, err
+			return trialResult{err: err}
 		}
 		rebuiltTP := throughput.TreeThroughput(perturbed, newTree, cfg.Model)
-		fixed = append(fixed, fixedTP/opt.Throughput)
-		rebuilt = append(rebuilt, rebuiltTP/opt.Throughput)
-		if rebuiltTP > 0 {
-			retained = append(retained, fixedTP/rebuiltTP)
+		return trialResult{fixed: fixedTP / opt.Throughput, rebuilt: rebuiltTP / opt.Throughput}
+	}, func(trial int, r trialResult) {
+		if cfg.OnTrial != nil && r.err == nil {
+			cfg.OnTrial(trial, r.fixed, r.rebuilt)
+		}
+	})
+	fixed := make([]float64, 0, cfg.Trials)
+	rebuilt := make([]float64, 0, cfg.Trials)
+	retained := make([]float64, 0, cfg.Trials)
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		fixed = append(fixed, r.fixed)
+		rebuilt = append(rebuilt, r.rebuilt)
+		if r.rebuilt > 0 {
+			retained = append(retained, r.fixed/r.rebuilt)
 		}
 	}
 	rep.FixedTree = stats.Summarize(fixed)

@@ -83,6 +83,34 @@ func TestAnalyzeSmallPerturbation(t *testing.T) {
 	}
 }
 
+func TestAnalyzeDeterministicAcrossWorkers(t *testing.T) {
+	p, err := topology.Random(topology.DefaultRandomConfig(10, 0.3), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := heuristics.ByName(heuristics.NameGrowTree)
+	var reports []*Report
+	for _, workers := range []int{1, 4} {
+		trials := 0
+		rep, err := Analyze(p, 0, b, Config{
+			Perturbation: 0.2, Trials: 6, Seed: 13, Workers: workers,
+			OnTrial: func(int, float64, float64) { trials++ },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trials != 6 {
+			t.Fatalf("OnTrial fired %d times, want 6", trials)
+		}
+		reports = append(reports, rep)
+	}
+	a, b2 := reports[0], reports[1]
+	if a.FixedTree != b2.FixedTree || a.RebuiltTree != b2.RebuiltTree ||
+		math.Abs(a.RetainedFraction-b2.RetainedFraction) > 1e-15 {
+		t.Fatalf("report depends on worker count:\n%+v\n%+v", a, b2)
+	}
+}
+
 func TestAnalyzeDeterministicForSeed(t *testing.T) {
 	p, err := topology.Random(topology.DefaultRandomConfig(9, 0.3), rand.New(rand.NewSource(5)))
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/dynamic"
 	"repro/internal/model"
 	"repro/internal/platform"
 	"repro/internal/topology"
@@ -50,6 +51,64 @@ type Scenario struct {
 	DefaultSizes []int
 	// Generate builds a platform of the given size from the seed.
 	Generate Generator
+	// ChurnProfile names the dynamic churn profile of the family (see
+	// dynamic.ProfileNames); empty means dynamic.DefaultProfile. Fragile
+	// topologies (chains, stars) use the pure-drift profile, hierarchical
+	// ones the failure-heavy profile. The churn trace is part of the
+	// registry contract: the same (size, seed) pair always yields a
+	// byte-identical timeline (see ChurnTrace).
+	ChurnProfile string
+	// DefaultTraceEvents is the default churn-trace length of the family
+	// (0 means DefaultChurnEvents).
+	DefaultTraceEvents int
+}
+
+// DefaultChurnEvents is the trace length used when neither the sweep nor
+// the scenario specifies one.
+const DefaultChurnEvents = 40
+
+// EffectiveChurnProfile returns the family's churn profile name,
+// substituting the default for an empty one.
+func (s Scenario) EffectiveChurnProfile() string {
+	if s.ChurnProfile == "" {
+		return dynamic.DefaultProfile
+	}
+	return s.ChurnProfile
+}
+
+// EffectiveTraceEvents returns the family's default churn-trace length,
+// substituting DefaultChurnEvents for zero.
+func (s Scenario) EffectiveTraceEvents() int {
+	if s.DefaultTraceEvents <= 0 {
+		return DefaultChurnEvents
+	}
+	return s.DefaultTraceEvents
+}
+
+// ChurnTraceSeed derives the trace seed of a platform seed, so that a
+// platform and its churn timeline form one reproducible unit.
+func ChurnTraceSeed(platformSeed int64) int64 {
+	return topology.DeriveSeed(platformSeed, "churn")
+}
+
+// ChurnTrace generates the scenario's platform at the given size together
+// with its deterministic churn timeline: the same (size, seed) pair yields
+// a byte-identical platform and trace. The source is the broadcast source
+// the trace maintains reachability for.
+func ChurnTrace(s Scenario, size, source int, seed int64) (*platform.Platform, *dynamic.Trace, error) {
+	p, err := s.Generate(size, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof, err := dynamic.ProfileByName(s.EffectiveChurnProfile())
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := dynamic.GenerateTrace(p, source, prof, s.EffectiveTraceEvents(), ChurnTraceSeed(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, tr, nil
 }
 
 // validate checks that the scenario can be registered.
@@ -70,6 +129,14 @@ func (s Scenario) validate() error {
 		if sz < s.MinSize {
 			return fmt.Errorf("scenarios: scenario %q default size %d below minimum %d", s.Name, sz, s.MinSize)
 		}
+	}
+	if s.ChurnProfile != "" {
+		if _, err := dynamic.ProfileByName(s.ChurnProfile); err != nil {
+			return fmt.Errorf("scenarios: scenario %q: %w", s.Name, err)
+		}
+	}
+	if s.DefaultTraceEvents < 0 {
+		return fmt.Errorf("scenarios: scenario %q has negative default trace length %d", s.Name, s.DefaultTraceEvents)
 	}
 	return nil
 }
@@ -136,7 +203,7 @@ func All() []Scenario {
 }
 
 // rng returns the deterministic random stream of a generation.
-func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+func rng(seed int64) *rand.Rand { return topology.NewRNG(seed) }
 
 // pair adds a bidirectional pair of links between a and b, each direction
 // drawing an independent cost from the distribution (the convention used by
@@ -155,6 +222,7 @@ func RandomDensity(density, mpFraction float64) Scenario {
 		Description:  fmt.Sprintf("random heterogeneous platform, density %.2f (paper Table 2)", density),
 		MinSize:      2,
 		DefaultSizes: []int{10, 20, 30, 40, 50},
+		ChurnProfile: dynamic.ProfileDrift,
 		Generate: func(size int, seed int64) (*platform.Platform, error) {
 			cfg := topology.DefaultRandomConfig(size, density)
 			cfg.MultiPortFraction = mpFraction
@@ -175,6 +243,7 @@ func FromTiersConfig(name, description string, cfg topology.TiersConfig) Scenari
 		Description:  description,
 		MinSize:      core,
 		DefaultSizes: []int{30, 65},
+		ChurnProfile: dynamic.ProfileFailures,
 		Generate: func(size int, seed int64) (*platform.Platform, error) {
 			c := cfg
 			c.TotalNodes = size
@@ -364,6 +433,7 @@ func init() {
 			Description:  "complete graph with identical link bandwidths",
 			MinSize:      2,
 			DefaultSizes: []int{8, 16, 32},
+			ChurnProfile: dynamic.ProfileFlakyLinks,
 			Generate:     homogeneousCluster,
 		},
 		{
@@ -375,6 +445,7 @@ func init() {
 			// exactly where the cutting-plane master accumulates the most
 			// cuts and warm starts pay off most.
 			DefaultSizes: []int{16, 32, 64, 96},
+			ChurnProfile: dynamic.ProfileFailures,
 			Generate:     clusterOfClusters,
 		},
 		{
@@ -382,6 +453,7 @@ func init() {
 			Description:  "Tiers-like WAN/MAN/LAN internet hierarchy, core scaled with size",
 			MinSize:      8,
 			DefaultSizes: []int{16, 32, 64, 96},
+			ChurnProfile: dynamic.ProfileFailures,
 			Generate:     scaledTiers,
 		},
 		{
@@ -389,6 +461,8 @@ func init() {
 			Description:  "node 0 connected to every other node (one-port worst case)",
 			MinSize:      2,
 			DefaultSizes: []int{8, 16, 32},
+			// Every link is a bridge: failures would always disconnect.
+			ChurnProfile: dynamic.ProfileDrift,
 			Generate: withOverheads(func(size int, r *rand.Rand) (*platform.Platform, error) {
 				return topology.Star(size, topology.PaperBandwidth, r)
 			}),
@@ -398,6 +472,7 @@ func init() {
 			Description:  "bidirectional line 0 - 1 - ... - n-1",
 			MinSize:      2,
 			DefaultSizes: []int{8, 16, 32},
+			ChurnProfile: dynamic.ProfileDrift,
 			Generate: withOverheads(func(size int, r *rand.Rand) (*platform.Platform, error) {
 				return topology.Chain(size, topology.PaperBandwidth, r)
 			}),
@@ -407,6 +482,7 @@ func init() {
 			Description:  "bidirectional ring",
 			MinSize:      2,
 			DefaultSizes: []int{8, 16, 32},
+			ChurnProfile: dynamic.ProfileFlakyLinks,
 			Generate: withOverheads(func(size int, r *rand.Rand) (*platform.Platform, error) {
 				return topology.Ring(size, topology.PaperBandwidth, r)
 			}),
@@ -416,6 +492,7 @@ func init() {
 			Description:  "2-D mesh, most square rows x cols factorisation of the size",
 			MinSize:      2,
 			DefaultSizes: []int{9, 16, 36},
+			ChurnProfile: dynamic.ProfileFlakyLinks,
 			Generate: withOverheads(func(size int, r *rand.Rand) (*platform.Platform, error) {
 				rows, cols := gridDims(size)
 				return topology.Grid2D(rows, cols, topology.PaperBandwidth, r)
@@ -428,6 +505,7 @@ func init() {
 			Description:  "fast full-mesh core with slow asymmetric access links",
 			MinSize:      4,
 			DefaultSizes: []int{12, 24, 48},
+			ChurnProfile: dynamic.ProfileFailures,
 			Generate:     lastMile,
 		},
 	} {

@@ -1,9 +1,7 @@
 package scenarios
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strings"
 	"time"
@@ -16,6 +14,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/steady"
 	"repro/internal/throughput"
+	"repro/internal/topology"
 )
 
 // SweepConfig parameterises a scenario x size x heuristic sweep.
@@ -57,6 +56,22 @@ type SweepConfig struct {
 	// the reference optimum (0 = solver default). A limit low enough to bite
 	// surfaces as a per-run error, never as a silent zero-throughput sample.
 	LPMaxIterations int
+	// Churn enables the churn dimension: every generated platform is
+	// additionally played through its family's deterministic churn trace
+	// (see Scenario.ChurnProfile and ChurnTrace) and the keep/repair/rebuild
+	// policies are compared against the incrementally re-solved optimum. The
+	// condensed outcome rides on every run row of the platform and is
+	// aggregated per (scenario, size) cell in SweepReport.ChurnAggregates.
+	Churn bool
+	// ChurnEvents overrides the per-family default trace length (0 keeps
+	// the defaults).
+	ChurnEvents int
+	// ChurnProfile overrides the per-family churn profile ("" keeps the
+	// defaults; unknown names are rejected with the list of known ones).
+	ChurnProfile string
+	// ChurnHeuristic is the tree heuristic driven through the traces
+	// (default lp-grow-tree).
+	ChurnHeuristic string
 	// OnResult, when non-nil, is invoked once per run as results complete
 	// (in completion order, not report order). Calls are serialized, never
 	// concurrent.
@@ -94,6 +109,10 @@ type RunResult struct {
 	WallNanos int64 `json:"wallNanos,omitempty"`
 	// Error is non-empty when the generation, LP solve or heuristic failed.
 	Error string `json:"error,omitempty"`
+	// Churn is the condensed churn outcome of the platform (only with
+	// SweepConfig.Churn; identical on every heuristic row of the platform,
+	// like the LP statistics).
+	Churn *ChurnResult `json:"churn,omitempty"`
 }
 
 // Aggregate summarises the repetitions of one (scenario, size, heuristic)
@@ -138,6 +157,23 @@ type SweepMeta struct {
 	TotalLPPivots     int `json:"totalLPPivots"`
 	TotalLPWarmPivots int `json:"totalLPWarmPivots"`
 	TotalLPColdPivots int `json:"totalLPColdPivots"`
+	// Churn echoes the churn dimension parameters. ChurnTraces records the
+	// RESOLVED profile and trace length per scenario (explicit overrides or
+	// the family defaults), so the report is self-describing like Sizes;
+	// the totals aggregate the steady-session work of the churn traces
+	// (each platform counted once).
+	Churn                   bool                      `json:"churn,omitempty"`
+	ChurnHeuristic          string                    `json:"churnHeuristic,omitempty"`
+	ChurnTraces             map[string]ChurnTraceMeta `json:"churnTraces,omitempty"`
+	TotalChurnWarmResolves  int                       `json:"totalChurnWarmResolves,omitempty"`
+	TotalChurnRebuilds      int                       `json:"totalChurnRebuilds,omitempty"`
+	TotalChurnResolvePivots int                       `json:"totalChurnResolvePivots,omitempty"`
+}
+
+// ChurnTraceMeta is the resolved churn-trace shape of one swept scenario.
+type ChurnTraceMeta struct {
+	Profile string `json:"profile"`
+	Events  int    `json:"events"`
 }
 
 // SweepReport is the full outcome of a sweep: every run in deterministic
@@ -147,6 +183,9 @@ type SweepReport struct {
 	Meta       SweepMeta   `json:"meta"`
 	Runs       []RunResult `json:"runs"`
 	Aggregates []Aggregate `json:"aggregates"`
+	// ChurnAggregates holds one churn summary per (scenario, size) cell
+	// (only with SweepConfig.Churn), in sweep order.
+	ChurnAggregates []ChurnAggregate `json:"churnAggregates,omitempty"`
 }
 
 // unit is one platform instance to generate and evaluate: the unit of
@@ -160,24 +199,11 @@ type unit struct {
 
 // UnitSeed derives the deterministic seed of one generated platform from the
 // base seed, the scenario name, the size and the repetition index. The
-// derivation hashes the identifying fields (rather than positional indices)
-// so a platform keeps its seed when scenarios are added to or removed from a
-// sweep.
+// derivation (topology.DeriveSeed) hashes the identifying fields (rather
+// than positional indices) so a platform keeps its seed when scenarios are
+// added to or removed from a sweep.
 func UnitSeed(base int64, scenario string, size, rep int) int64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(base))
-	h.Write(buf[:])
-	h.Write([]byte(scenario))
-	binary.LittleEndian.PutUint64(buf[:], uint64(size))
-	h.Write(buf[:])
-	binary.LittleEndian.PutUint64(buf[:], uint64(rep))
-	h.Write(buf[:])
-	seed := int64(h.Sum64() & math.MaxInt64)
-	if seed == 0 {
-		seed = 1
-	}
-	return seed
+	return topology.DeriveSeed(base, scenario, size, rep)
 }
 
 // resolve validates the configuration and expands it into the unit list.
@@ -239,6 +265,10 @@ func Sweep(cfg SweepConfig) (*SweepReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	churn, err := cfg.resolveChurn()
+	if err != nil {
+		return nil, err
+	}
 	if cfg.Repetitions <= 0 {
 		cfg.Repetitions = 3
 	}
@@ -259,7 +289,7 @@ func Sweep(cfg SweepConfig) (*SweepReport, error) {
 
 	start := time.Now()
 	perUnit := parallel.MapStream(len(units), cfg.Workers, func(i int) []RunResult {
-		return evaluateUnit(cfg, units[i], heur)
+		return evaluateUnit(cfg, churn, units[i], heur)
 	}, func(_ int, runs []RunResult) {
 		if cfg.OnResult != nil {
 			for _, r := range runs {
@@ -284,6 +314,15 @@ func Sweep(cfg SweepConfig) (*SweepReport, error) {
 			ColdStartLP: cfg.ColdStartLP,
 		},
 	}
+	if cfg.Churn {
+		report.Meta.Churn = true
+		report.Meta.ChurnHeuristic = churn.heuristic
+		report.Meta.ChurnTraces = make(map[string]ChurnTraceMeta, len(scens))
+		for _, s := range scens {
+			profile, events := churn.unitParams(s)
+			report.Meta.ChurnTraces[s.Name] = ChurnTraceMeta{Profile: profile, Events: events}
+		}
+	}
 	for _, runs := range perUnit {
 		report.Runs = append(report.Runs, runs...)
 		if len(runs) > 0 {
@@ -292,6 +331,11 @@ func Sweep(cfg SweepConfig) (*SweepReport, error) {
 			report.Meta.TotalLPPivots += runs[0].LPPivots
 			report.Meta.TotalLPWarmPivots += runs[0].LPWarmPivots
 			report.Meta.TotalLPColdPivots += runs[0].LPColdPivots
+			if cr := runs[0].Churn; cr != nil {
+				report.Meta.TotalChurnWarmResolves += cr.WarmResolves
+				report.Meta.TotalChurnRebuilds += cr.Rebuilds
+				report.Meta.TotalChurnResolvePivots += cr.ResolvePivots
+			}
 		}
 	}
 	report.Meta.TotalRuns = len(report.Runs)
@@ -299,12 +343,15 @@ func Sweep(cfg SweepConfig) (*SweepReport, error) {
 		report.Meta.TotalWallNanos = time.Since(start).Nanoseconds()
 	}
 	report.Aggregates = aggregate(report.Runs, scens, sizes, heur, cfg.RecordTimings)
+	if cfg.Churn {
+		report.ChurnAggregates = aggregateChurn(perUnit, scens, sizes)
+	}
 	return report, nil
 }
 
 // evaluateUnit generates one platform and evaluates every heuristic on it.
 // Failures are recorded per run instead of aborting the sweep.
-func evaluateUnit(cfg SweepConfig, u unit, heur []string) []RunResult {
+func evaluateUnit(cfg SweepConfig, churn churnSettings, u unit, heur []string) []RunResult {
 	base := RunResult{
 		Scenario: u.scenario.Name,
 		Size:     u.size,
@@ -346,6 +393,12 @@ func evaluateUnit(cfg SweepConfig, u unit, heur []string) []RunResult {
 	base.LPPivots = opt.LPIterations
 	base.LPWarmPivots = opt.WarmPivots
 	base.LPColdPivots = opt.ColdPivots
+
+	if cfg.Churn {
+		// The churn run owns a private clone of the platform; its condensed
+		// outcome rides on every heuristic row of the unit.
+		base.Churn = evaluateUnitChurn(cfg, churn, u, p)
+	}
 
 	out := make([]RunResult, len(heur))
 	for i, name := range heur {
@@ -485,6 +538,24 @@ func (rep *SweepReport) Format() string {
 			fmt.Fprintf(&b, "  %v", time.Duration(a.MeanWallNanos).Round(time.Microsecond))
 		}
 		b.WriteByte('\n')
+	}
+	if len(rep.ChurnAggregates) > 0 {
+		fmt.Fprintf(&b, "\nchurn (%s, policies keep/repair/rebuild, lost = slices lost vs optimum):\n", rep.Meta.ChurnHeuristic)
+		if rep.Meta.TotalChurnResolvePivots > 0 {
+			fmt.Fprintf(&b, "  steady re-solves: %d warm, %d rebuilds, %d simplex pivots\n",
+				rep.Meta.TotalChurnWarmResolves, rep.Meta.TotalChurnRebuilds, rep.Meta.TotalChurnResolvePivots)
+		}
+		for _, ca := range rep.ChurnAggregates {
+			fmt.Fprintf(&b, "  %-20s n=%-4d %-12s %3d events  keep %.3f (lost %.1f)  repair %.3f (lost %.1f, %d reattached)  rebuild %.3f (lost %.1f)",
+				ca.Scenario, ca.Size, ca.Profile, ca.Events,
+				ca.Keep.MeanRatio, ca.Keep.LostSlices,
+				ca.Repair.MeanRatio, ca.Repair.LostSlices, ca.Repair.Reattached,
+				ca.Rebuild.MeanRatio, ca.Rebuild.LostSlices)
+			if ca.Errors > 0 {
+				fmt.Fprintf(&b, "  (%d errors)", ca.Errors)
+			}
+			b.WriteByte('\n')
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,482 @@
+package steady
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/lp"
+	"repro/internal/maxflow"
+	"repro/internal/platform"
+)
+
+// Session carries the cutting-plane state of one (platform, source) pair
+// across platform mutations: the warm-started incremental master LP
+// (lp.Incremental) and an accumulated pool of separated cuts, stored as
+// node-partition sides so they can be re-materialized after the link set
+// changes. The platform is shared with the caller, who mutates it through
+// platform.ApplyDelta between Resolve calls; the session diffs the mutation
+// journal to decide how much of the previous master survives:
+//
+//   - Tightening deltas (link degradations, link failures) only shrink the
+//     LP's feasible region, so the master is reused: refreshed one-port
+//     occupation rows and forced-zero rows for failed links are appended and
+//     priced into the previous optimal basis with dual simplex pivots, and
+//     every existing cut row remains valid.
+//
+//   - Loosening deltas (link speed-ups, link revivals, node crashes and
+//     rejoins) invalidate rows that cannot be retracted from the tableau, so
+//     the master is rebuilt — but seeded with the accumulated cut pool
+//     (filtered to partitions that still separate an alive destination),
+//     which typically lets the cutting-plane loop converge in one or two
+//     rounds instead of re-separating every cut from scratch. (A node crash
+//     is geometrically tightening too, but it removes destinations: a pooled
+//     partition whose far side holds only dead nodes would force TP to zero,
+//     so crashes must take the rebuild path where such cuts are filtered
+//     out.)
+//
+// Options.ColdStart disables both reuses: every Resolve then rebuilds the
+// master and re-solves it from scratch each round, which serves as the
+// differential-testing oracle for the warm paths (the same pattern as the
+// per-round cold start of Solve).
+type Session struct {
+	p      *platform.Platform
+	source int
+	opts   *Options
+
+	// Master LP state. problem always holds the complete row set of the
+	// current master; inc prices appended rows into the previous basis
+	// (nil in ColdStart mode, where every round re-solves from scratch).
+	problem *lp.Problem
+	inc     *lp.Incremental
+	seen    map[string]bool
+	cutSeq  int       // monotone row counter driving the anti-degeneracy RHS perturbation
+	times   []float64 // per-link slice times priced into the current master
+
+	// Cut pool: source-side node sets of every cut ever separated, deduped
+	// by partition signature.
+	pool     [][]bool
+	poolKeys map[string]bool
+
+	journalLen int
+	started    bool
+	stats      SessionStats
+}
+
+// SessionStats counts the work done by a session across Resolve calls.
+type SessionStats struct {
+	// Resolves is the number of Resolve calls.
+	Resolves int
+	// WarmResolves counts resolves that reused the previous master by
+	// appending rows; Rebuilds counts resolves that rebuilt it (including
+	// the first).
+	WarmResolves int
+	Rebuilds     int
+	// Rounds is the cumulative number of cutting-plane iterations.
+	Rounds int
+	// WarmPivots and ColdPivots split the cumulative simplex pivots between
+	// warm-started dual-simplex re-solves and cold solves from the slack
+	// basis; ColdSolves counts the master solves that ran cold.
+	WarmPivots int
+	ColdPivots int
+	ColdSolves int
+	// PoolCuts is the current size of the cut pool; PoolReused is the
+	// cumulative number of pooled cuts re-materialized into rebuilt masters.
+	PoolCuts   int
+	PoolReused int
+}
+
+// NewSession returns a session over the platform. Nothing is solved until
+// Resolve is called; the platform may already carry mutations.
+func NewSession(p *platform.Platform, source int, opts *Options) *Session {
+	return &Session{p: p, source: source, opts: opts, poolKeys: make(map[string]bool)}
+}
+
+// Stats returns the cumulative session counters.
+func (s *Session) Stats() SessionStats { return s.stats }
+
+// Resolve computes the optimal steady-state MTP throughput of the
+// platform's current live state (alive nodes, live links, current costs).
+// The first call solves from scratch; later calls reuse the master LP and
+// cut pool as described on Session. Dead links report a zero edge rate and
+// dead nodes are neither destinations nor relays.
+func (s *Session) Resolve() (*Solution, error) {
+	s.stats.Resolves++
+	p := s.p
+	if err := p.ValidateLive(s.source); err != nil {
+		return nil, err
+	}
+	deltas := p.JournalSince(s.journalLen)
+	s.journalLen = p.JournalLen()
+	if p.NumAliveNodes() == 1 {
+		// A lone alive source broadcasts at unbounded rate; drop the master
+		// so a later rejoin rebuilds from the pool.
+		s.inc, s.problem, s.started = nil, nil, false
+		return &Solution{Throughput: math.Inf(1), UpperBound: math.Inf(1), EdgeRate: make([]float64, p.NumLinks())}, nil
+	}
+
+	warm := s.started && s.inc != nil && !s.opts.coldStart()
+	for _, d := range deltas {
+		if !d.Tightening() {
+			warm = false
+			break
+		}
+	}
+	if warm {
+		sol, err := s.warmResolve(deltas)
+		if err == nil {
+			s.stats.WarmResolves++
+			return sol, nil
+		}
+		// The warm master could not be re-solved (iteration limit, numerical
+		// trouble): rebuild once from the pool instead of failing.
+	}
+	return s.rebuild()
+}
+
+// warmResolve appends the rows induced by tightening deltas to the current
+// master and re-runs the cutting-plane loop on the warm handle.
+func (s *Session) warmResolve(deltas []platform.Delta) (*Solution, error) {
+	p := s.p
+	touched := make(map[int]bool) // nodes whose occupation rows must be refreshed
+	for _, d := range deltas {
+		switch d.Kind {
+		case platform.DeltaScaleLink:
+			s.times[d.Link] = p.SliceTime(d.Link)
+			if p.LinkLive(d.Link) {
+				l := p.Link(d.Link)
+				touched[l.From] = true
+				touched[l.To] = true
+			}
+		case platform.DeltaLinkDown:
+			// Force the failed link's rate to zero. Every other row of the
+			// master (older occupation rows included) stays valid.
+			s.problem.AddSparseConstraint([]lp.Term{{Var: d.Link, Coeff: 1}}, lp.LE, 0)
+		}
+	}
+	// Refresh the one-port occupation rows of the endpoints of degraded
+	// links. The old rows had pointwise smaller coefficients, so they remain
+	// valid (dominated) and only the appended rows bind.
+	for u := 0; u < p.NumNodes(); u++ {
+		if !touched[u] || !p.NodeAlive(u) {
+			continue
+		}
+		s.appendOccupationRows(u)
+	}
+	return s.runLoop()
+}
+
+// rebuild constructs a fresh master over the platform's current live state,
+// seeded with the initial cuts and the still-valid part of the cut pool,
+// and runs the cutting-plane loop on it.
+func (s *Session) rebuild() (*Solution, error) {
+	s.stats.Rebuilds++
+	p := s.p
+	e := p.NumLinks()
+	tpVar := e
+	s.problem = lp.NewProblem(e + 1)
+	s.problem.SetObjectiveCoeff(tpVar, 1)
+	s.seen = make(map[string]bool)
+	// The RHS perturbation restarts with the fresh master so that its total
+	// magnitude stays proportional to the rows actually present, not to the
+	// session's lifetime.
+	s.cutSeq = 0
+	s.times = make([]float64, e)
+	for id := 0; id < e; id++ {
+		s.times[id] = p.SliceTime(id)
+	}
+	for u := 0; u < p.NumNodes(); u++ {
+		if p.NodeAlive(u) {
+			s.appendOccupationRows(u)
+		}
+	}
+
+	// Initial cuts: the live out-cut of the source and the live in-cut of
+	// every alive destination; they bound TP so the first master is not
+	// unbounded. Their partitions enter the pool like separated cuts.
+	n := p.NumNodes()
+	srcSide := make([]bool, n)
+	srcSide[s.source] = true
+	s.addCut(s.crossingLiveLinks(srcSide), srcSide)
+	for w := 0; w < n; w++ {
+		if w == s.source || !p.NodeAlive(w) {
+			continue
+		}
+		side := make([]bool, n)
+		for u := 0; u < n; u++ {
+			side[u] = u != w
+		}
+		s.addCut(s.crossingLiveLinks(side), side)
+	}
+
+	// Re-materialize the pooled partitions that still separate at least one
+	// alive destination from the source.
+	for _, side := range s.pool {
+		valid := false
+		for w := 0; w < n; w++ {
+			if !side[w] && p.NodeAlive(w) {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			continue
+		}
+		if s.appendCutRow(s.crossingLiveLinks(side)) {
+			s.stats.PoolReused++
+		}
+	}
+
+	if s.opts.coldStart() {
+		s.inc = nil
+	} else {
+		s.inc = lp.NewIncremental(s.problem, s.opts.lpOptions())
+	}
+	s.started = true
+	return s.runLoop()
+}
+
+// appendOccupationRows appends the node's current one-port occupation rows
+// (incoming and outgoing, over live links at current slice times).
+func (s *Session) appendOccupationRows(u int) {
+	p := s.p
+	for _, ids := range [][]int{p.InLinkIDs(u), p.OutLinkIDs(u)} {
+		terms := make([]lp.Term, 0, len(ids))
+		for _, id := range ids {
+			if p.LinkLive(id) {
+				terms = append(terms, lp.Term{Var: id, Coeff: s.times[id]})
+			}
+		}
+		if len(terms) > 0 {
+			s.problem.AddSparseConstraint(terms, lp.LE, 1)
+		}
+	}
+}
+
+// crossingLiveLinks returns the live links crossing the partition from the
+// source side to the far side, in link-ID order.
+func (s *Session) crossingLiveLinks(side []bool) []int {
+	p := s.p
+	var ids []int
+	for id := 0; id < p.NumLinks(); id++ {
+		l := p.Link(id)
+		if side[l.From] && !side[l.To] && p.LinkLive(id) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// cutPerturbation is the anti-degeneracy right-hand-side perturbation of the
+// cut rows: with dozens of cuts sharing an exact zero RHS the master becomes
+// massively degenerate and the simplex stalls; a distinct tiny positive RHS
+// per row (standard trick) changes the optimum by less than 1e-6, far below
+// the accuracy at which relative performances are reported.
+const cutPerturbation = 1e-9
+
+// appendCutRow appends the master row TP - Σ_{e in cut} n_e <= ε for the
+// given live edge set, unless an identical row is already present. It
+// reports whether a row was added.
+func (s *Session) appendCutRow(cutLinks []int) bool {
+	if len(cutLinks) == 0 {
+		return false
+	}
+	key := cutKey(cutLinks)
+	if s.seen[key] {
+		return false
+	}
+	s.seen[key] = true
+	s.cutSeq++
+	tpVar := s.p.NumLinks()
+	terms := make([]lp.Term, 0, len(cutLinks)+1)
+	terms = append(terms, lp.Term{Var: tpVar, Coeff: 1})
+	for _, id := range cutLinks {
+		terms = append(terms, lp.Term{Var: id, Coeff: -1})
+	}
+	s.problem.AddSparseConstraint(terms, lp.LE, cutPerturbation*float64(s.cutSeq))
+	return true
+}
+
+// addCut appends a cut row for the live edge set and records its partition
+// in the pool for future rebuilds. It reports whether a new row was added.
+func (s *Session) addCut(cutLinks []int, side []bool) bool {
+	if side != nil {
+		key := sideKey(side)
+		if !s.poolKeys[key] {
+			s.poolKeys[key] = true
+			s.pool = append(s.pool, append([]bool(nil), side...))
+		}
+	}
+	return s.appendCutRow(cutLinks)
+}
+
+// sideKey builds the canonical signature of a partition.
+func sideKey(side []bool) string {
+	var b strings.Builder
+	b.Grow(len(side))
+	for _, v := range side {
+		if v {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// runLoop runs the cutting-plane loop on the session's current master: solve
+// the master, separate violated cuts with one max-flow per alive
+// destination, append them, repeat until no cut is violated or the
+// upper/lower-bound gap closes. The returned Solution reports the pivots and
+// master solves of this Resolve only.
+func (s *Session) runLoop() (*Solution, error) {
+	p, source, opts := s.p, s.source, s.opts
+	n, e := p.NumNodes(), p.NumLinks()
+	tpVar := e
+	lpOpts := opts.lpOptions()
+
+	// Separation network: edge IDs coincide with link IDs; dead links keep
+	// zero capacity.
+	nw := maxflow.New(n)
+	for id := 0; id < e; id++ {
+		l := p.Link(id)
+		nw.AddEdge(l.From, l.To, 0)
+	}
+
+	sol := &Solution{EdgeRate: make([]float64, e)}
+	tol := opts.tolerance()
+	var incStart lp.IncrementalStats
+	if s.inc != nil {
+		incStart = s.inc.Stats()
+	}
+	coldRounds := 0
+	solveMaster := func() (*lp.Solution, error) {
+		if s.inc != nil {
+			return s.inc.Solve()
+		}
+		coldRounds++
+		return lp.Solve(s.problem, lpOpts)
+	}
+	finalize := func() {
+		if s.inc != nil {
+			st := s.inc.Stats()
+			sol.WarmPivots = st.WarmPivots - incStart.WarmPivots
+			sol.ColdPivots = st.ColdPivots - incStart.ColdPivots
+			sol.ColdSolves = st.ColdSolves - incStart.ColdSolves
+		} else {
+			sol.ColdPivots = sol.LPIterations
+			sol.ColdSolves = coldRounds
+		}
+		s.stats.Rounds += sol.Rounds
+		s.stats.WarmPivots += sol.WarmPivots
+		s.stats.ColdPivots += sol.ColdPivots
+		s.stats.ColdSolves += sol.ColdSolves
+		s.stats.PoolCuts = len(s.pool)
+	}
+
+	for round := 1; round <= opts.maxRounds(); round++ {
+		sol.Rounds = round
+		lpSol, err := solveMaster()
+		if err != nil {
+			finalize()
+			return nil, fmt.Errorf("%w: %v", ErrLPFailed, err)
+		}
+		switch {
+		case lpSol.Status == lp.Optimal:
+			// Normal case.
+		case lpSol.Status == lp.IterationLimit && lpSol.Feasible:
+			// The simplex ran out of pivots on a degenerate master but still
+			// holds a primal feasible point, so the edge rates are usable for
+			// cut separation. Keep going — but its objective value is NOT an
+			// upper bound on the optimum, so both exits below refuse to
+			// terminate on such a round (the next one re-solves with a fresh
+			// budget; a master that never reaches optimality ends in
+			// ErrNoConvergence, not a silently under-reported throughput).
+		case lpSol.Status == lp.IterationLimit:
+			// The limit hit before any feasible basis existed (a phase-1
+			// limit, or an aborted warm re-solve). X is the all-zero vector:
+			// treating it as a solution would make every max-flow zero and
+			// silently report "throughput 0, converged".
+			finalize()
+			return nil, fmt.Errorf("%w: simplex iteration limit in phase %d left no feasible master solution", ErrLPFailed, lpSol.Phase)
+		default:
+			finalize()
+			return nil, fmt.Errorf("%w: status %v", ErrLPFailed, lpSol.Status)
+		}
+		sol.LPIterations += lpSol.Iterations
+		tp := lpSol.X[tpVar]
+		copy(sol.EdgeRate, lpSol.X[:e])
+		for id := 0; id < e; id++ {
+			if !p.LinkLive(id) {
+				sol.EdgeRate[id] = 0
+			}
+		}
+		sol.Throughput = tp
+		sol.UpperBound = tp
+
+		// Separate violated cuts with one max-flow per alive destination.
+		// The smallest destination max-flow is the throughput the current
+		// edge rates actually support, i.e. a feasible lower bound on the
+		// optimum, while the master value tp is an upper bound.
+		violated := 0
+		for id := 0; id < e; id++ {
+			if p.LinkLive(id) {
+				nw.SetCapacity(id, lpSol.X[id])
+			} else {
+				nw.SetCapacity(id, 0)
+			}
+		}
+		threshold := tp - tol*math.Max(1, tp)
+		supported := math.Inf(1)
+		for w := 0; w < n; w++ {
+			if w == source || !p.NodeAlive(w) {
+				continue
+			}
+			nw.Reset()
+			flow := nw.MaxFlow(source, w)
+			if flow < supported {
+				supported = flow
+			}
+			if flow >= threshold {
+				continue
+			}
+			// Add both canonical minimum cuts (source side and sink side) —
+			// they are usually different, and generating two constraints per
+			// violated destination roughly halves the number of master
+			// re-solves on hierarchical platforms.
+			srcSide := nw.MinCutSourceSide(source)
+			if s.addCut(s.crossingLiveLinks(srcSide), srcSide) {
+				violated++
+			}
+			sinkSide := nw.MinCutSinkSide(w)
+			if s.addCut(s.crossingLiveLinks(sinkSide), sinkSide) {
+				violated++
+			}
+		}
+		sol.Cuts = len(s.seen)
+		if violated == 0 {
+			if lpSol.Status != lp.Optimal {
+				// No cut separates the current point, but the master stopped
+				// at its iteration limit, so tp is just some feasible value —
+				// possibly far below the optimum (in the degenerate case, 0).
+				// Refuse to report it as the converged throughput.
+				finalize()
+				return nil, fmt.Errorf("%w: master LP hit its iteration limit before optimality; throughput %v cannot be certified", ErrLPFailed, tp)
+			}
+			finalize()
+			return sol, nil
+		}
+		if lpSol.Status == lp.Optimal && tp-supported <= opts.gapTolerance()*math.Max(1, tp) {
+			// The current rates already support a throughput within the gap
+			// tolerance of the upper bound; report the achievable value. The
+			// exit requires an Optimal master: on an iteration-limited round
+			// tp is just some feasible value, so a small (or negative) gap
+			// would certify nothing.
+			sol.Throughput = supported
+			finalize()
+			return sol, nil
+		}
+	}
+	finalize()
+	return sol, fmt.Errorf("%w after %d rounds", ErrNoConvergence, sol.Rounds)
+}

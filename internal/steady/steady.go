@@ -35,7 +35,6 @@ import (
 	"strings"
 
 	"repro/internal/lp"
-	"repro/internal/maxflow"
 	"repro/internal/platform"
 )
 
@@ -139,208 +138,15 @@ var (
 
 // Solve computes the optimal MTP throughput and edge rates with the
 // cutting-plane decomposition. The platform must be broadcastable from the
-// source (every node reachable), which is checked up front.
+// source (every alive node reachable through live links; on never-mutated
+// platforms that is full reachability), which is checked up front.
+//
+// Solve is a one-shot wrapper around Session: it builds the master, runs the
+// cutting-plane loop once and discards the session state. Callers re-solving
+// the same platform across mutations should hold a Session instead, which
+// reuses the master LP and the accumulated cut pool between calls.
 func Solve(p *platform.Platform, source int, opts *Options) (*Solution, error) {
-	if err := p.Validate(source); err != nil {
-		return nil, err
-	}
-	n := p.NumNodes()
-	e := p.NumLinks()
-	if n == 1 {
-		return &Solution{Throughput: math.Inf(1), UpperBound: math.Inf(1), EdgeRate: make([]float64, e), Rounds: 0}, nil
-	}
-
-	// Link slice times.
-	times := make([]float64, e)
-	for id := 0; id < e; id++ {
-		times[id] = p.SliceTime(id)
-	}
-
-	// Variable layout: [0, e) edge rates, e = TP.
-	tpVar := e
-	problem := lp.NewProblem(e + 1)
-	problem.SetObjectiveCoeff(tpVar, 1)
-
-	// One-port occupation constraints per node.
-	for u := 0; u < n; u++ {
-		if ids := p.InLinkIDs(u); len(ids) > 0 {
-			terms := make([]lp.Term, 0, len(ids))
-			for _, id := range ids {
-				terms = append(terms, lp.Term{Var: id, Coeff: times[id]})
-			}
-			problem.AddSparseConstraint(terms, lp.LE, 1)
-		}
-		if ids := p.OutLinkIDs(u); len(ids) > 0 {
-			terms := make([]lp.Term, 0, len(ids))
-			for _, id := range ids {
-				terms = append(terms, lp.Term{Var: id, Coeff: times[id]})
-			}
-			problem.AddSparseConstraint(terms, lp.LE, 1)
-		}
-	}
-
-	// Cut constraints are expressed as TP - Σ_{e in cut} n_e <= 0 so that the
-	// master LP never needs artificial variables. A distinct tiny positive
-	// right-hand side is used for every cut: with dozens of cuts sharing an
-	// exact zero RHS the master becomes massively degenerate and the simplex
-	// stalls; the perturbation (standard anti-degeneracy trick) changes the
-	// optimum by less than 1e-6 in absolute value, far below the accuracy at
-	// which relative performances are reported.
-	const cutPerturbation = 1e-9
-	seen := make(map[string]bool)
-	addCut := func(cutLinks []int) bool {
-		if len(cutLinks) == 0 {
-			return false
-		}
-		key := cutKey(cutLinks)
-		if seen[key] {
-			return false
-		}
-		seen[key] = true
-		terms := make([]lp.Term, 0, len(cutLinks)+1)
-		terms = append(terms, lp.Term{Var: tpVar, Coeff: 1})
-		for _, id := range cutLinks {
-			terms = append(terms, lp.Term{Var: id, Coeff: -1})
-		}
-		problem.AddSparseConstraint(terms, lp.LE, cutPerturbation*float64(len(seen)))
-		return true
-	}
-
-	// Initial cuts: the out-cut of the source and the in-cut of every
-	// destination. These bound TP so the first master LP is not unbounded.
-	addCut(append([]int(nil), p.OutLinkIDs(source)...))
-	for w := 0; w < n; w++ {
-		if w != source {
-			addCut(append([]int(nil), p.InLinkIDs(w)...))
-		}
-	}
-
-	// Separation network: edge IDs coincide with link IDs.
-	nw := maxflow.New(n)
-	for id := 0; id < e; id++ {
-		l := p.Link(id)
-		nw.AddEdge(l.From, l.To, 0)
-	}
-
-	sol := &Solution{EdgeRate: make([]float64, e)}
-	tol := opts.tolerance()
-	lpOpts := opts.lpOptions()
-	// The master LP lives in one warm-started incremental solver across
-	// rounds; the cut rows appended by addCut are priced into the previous
-	// optimal basis and re-optimized with dual simplex pivots. The cold path
-	// (Options.ColdStart) re-solves the full problem every round instead.
-	var inc *lp.Incremental
-	if !opts.coldStart() {
-		inc = lp.NewIncremental(problem, lpOpts)
-	}
-	solveMaster := func() (*lp.Solution, error) {
-		if inc != nil {
-			return inc.Solve()
-		}
-		return lp.Solve(problem, lpOpts)
-	}
-	finalize := func() {
-		if inc != nil {
-			st := inc.Stats()
-			sol.WarmPivots = st.WarmPivots
-			sol.ColdPivots = st.ColdPivots
-			sol.ColdSolves = st.ColdSolves
-		} else {
-			sol.ColdPivots = sol.LPIterations
-			sol.ColdSolves = sol.Rounds
-		}
-	}
-	for round := 1; round <= opts.maxRounds(); round++ {
-		sol.Rounds = round
-		lpSol, err := solveMaster()
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrLPFailed, err)
-		}
-		switch {
-		case lpSol.Status == lp.Optimal:
-			// Normal case.
-		case lpSol.Status == lp.IterationLimit && lpSol.Feasible:
-			// The simplex ran out of pivots on a degenerate master but still
-			// holds a primal feasible point, so the edge rates are usable for
-			// cut separation. Keep going — but its objective value is NOT an
-			// upper bound on the optimum, so both exits below refuse to
-			// terminate on such a round (the next one re-solves with a fresh
-			// budget; a master that never reaches optimality ends in
-			// ErrNoConvergence, not a silently under-reported throughput).
-		case lpSol.Status == lp.IterationLimit:
-			// The limit hit before any feasible basis existed (a phase-1
-			// limit, or an aborted warm re-solve). X is the all-zero vector:
-			// treating it as a solution would make every max-flow zero and
-			// silently report "throughput 0, converged".
-			return nil, fmt.Errorf("%w: simplex iteration limit in phase %d left no feasible master solution", ErrLPFailed, lpSol.Phase)
-		default:
-			return nil, fmt.Errorf("%w: status %v", ErrLPFailed, lpSol.Status)
-		}
-		sol.LPIterations += lpSol.Iterations
-		tp := lpSol.X[tpVar]
-		copy(sol.EdgeRate, lpSol.X[:e])
-		sol.Throughput = tp
-		sol.UpperBound = tp
-
-		// Separate violated cuts with one max-flow per destination. The
-		// smallest destination max-flow is the throughput the current edge
-		// rates actually support, i.e. a feasible lower bound on the
-		// optimum, while the master value tp is an upper bound.
-		violated := 0
-		for id := 0; id < e; id++ {
-			nw.SetCapacity(id, lpSol.X[id])
-		}
-		threshold := tp - tol*math.Max(1, tp)
-		supported := math.Inf(1)
-		for w := 0; w < n; w++ {
-			if w == source {
-				continue
-			}
-			nw.Reset()
-			flow := nw.MaxFlow(source, w)
-			if flow < supported {
-				supported = flow
-			}
-			if flow >= threshold {
-				continue
-			}
-			// Add both canonical minimum cuts (source side and sink side) —
-			// they are usually different, and generating two constraints per
-			// violated destination roughly halves the number of master
-			// re-solves on hierarchical platforms.
-			cutSide := nw.MinCutSourceSide(source)
-			if addCut(nw.CutEdges(cutSide)) {
-				violated++
-			}
-			if addCut(nw.CutEdges(nw.MinCutSinkSide(w))) {
-				violated++
-			}
-		}
-		sol.Cuts = len(seen)
-		if violated == 0 {
-			if lpSol.Status != lp.Optimal {
-				// No cut separates the current point, but the master stopped
-				// at its iteration limit, so tp is just some feasible value —
-				// possibly far below the optimum (in the degenerate case, 0).
-				// Refuse to report it as the converged throughput.
-				return nil, fmt.Errorf("%w: master LP hit its iteration limit before optimality; throughput %v cannot be certified", ErrLPFailed, tp)
-			}
-			finalize()
-			return sol, nil
-		}
-		if lpSol.Status == lp.Optimal && tp-supported <= opts.gapTolerance()*math.Max(1, tp) {
-			// The current rates already support a throughput within the gap
-			// tolerance of the upper bound; report the achievable value. The
-			// exit requires an Optimal master: on an iteration-limited round
-			// tp is just some feasible value, so a small (or negative) gap
-			// would certify nothing.
-			sol.Throughput = supported
-			finalize()
-			return sol, nil
-		}
-	}
-	finalize()
-	return sol, fmt.Errorf("%w after %d rounds", ErrNoConvergence, sol.Rounds)
+	return NewSession(p, source, opts).Resolve()
 }
 
 // cutKey builds a canonical signature of a cut (sorted link IDs).

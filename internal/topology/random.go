@@ -68,9 +68,7 @@ func Random(cfg RandomConfig, rng *rand.Rand) (*platform.Platform, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
-	}
+	rng = ensureRNG(rng)
 	p := platform.New(cfg.Nodes)
 	if cfg.SliceSize > 0 {
 		p.SetSliceSize(cfg.SliceSize)

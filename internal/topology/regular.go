@@ -16,9 +16,7 @@ func Star(n int, d BandwidthDist, rng *rand.Rand) (*platform.Platform, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("topology: star needs at least 2 nodes, got %d", n)
 	}
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
-	}
+	rng = ensureRNG(rng)
 	p := platform.New(n)
 	for v := 1; v < n; v++ {
 		symmetricPair(p, 0, v, d, rng)
@@ -31,9 +29,7 @@ func Chain(n int, d BandwidthDist, rng *rand.Rand) (*platform.Platform, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("topology: chain needs at least 2 nodes, got %d", n)
 	}
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
-	}
+	rng = ensureRNG(rng)
 	p := platform.New(n)
 	for v := 0; v+1 < n; v++ {
 		symmetricPair(p, v, v+1, d, rng)
@@ -48,9 +44,7 @@ func Ring(n int, d BandwidthDist, rng *rand.Rand) (*platform.Platform, error) {
 		return nil, err
 	}
 	if n > 2 {
-		if rng == nil {
-			rng = rand.New(rand.NewSource(1))
-		}
+		rng = ensureRNG(rng)
 		symmetricPair(p, n-1, 0, d, rng)
 	}
 	return p, nil
@@ -62,9 +56,7 @@ func Grid2D(rows, cols int, d BandwidthDist, rng *rand.Rand) (*platform.Platform
 	if rows < 1 || cols < 1 || rows*cols < 2 {
 		return nil, fmt.Errorf("topology: invalid grid %dx%d", rows, cols)
 	}
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
-	}
+	rng = ensureRNG(rng)
 	p := platform.New(rows * cols)
 	idx := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
@@ -86,9 +78,7 @@ func Hypercube(dim int, d BandwidthDist, rng *rand.Rand) (*platform.Platform, er
 	if dim < 1 || dim > 20 {
 		return nil, fmt.Errorf("topology: hypercube dimension %d outside [1, 20]", dim)
 	}
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
-	}
+	rng = ensureRNG(rng)
 	n := 1 << dim
 	p := platform.New(n)
 	for u := 0; u < n; u++ {
@@ -144,9 +134,7 @@ func Clusters(cfg ClusterConfig, rng *rand.Rand) (*platform.Platform, error) {
 	if cfg.Clusters*cfg.NodesPerCluster < 2 {
 		return nil, fmt.Errorf("topology: cluster platform needs at least 2 nodes")
 	}
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
-	}
+	rng = ensureRNG(rng)
 	n := cfg.Clusters * cfg.NodesPerCluster
 	p := platform.New(n)
 	frontends := make([]int, cfg.Clusters)

@@ -128,9 +128,7 @@ func Tiers(cfg TiersConfig, rng *rand.Rand) (*platform.Platform, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
-	}
+	rng = ensureRNG(rng)
 	p := platform.New(cfg.TotalNodes)
 	if cfg.SliceSize > 0 {
 		p.SetSliceSize(cfg.SliceSize)
