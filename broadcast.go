@@ -20,12 +20,15 @@
 package broadcast
 
 import (
+	"net/http"
+
 	"repro/internal/dynamic"
 	"repro/internal/experiments"
 	"repro/internal/heuristics"
 	"repro/internal/model"
 	"repro/internal/platform"
 	"repro/internal/scenarios"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/sta"
 	"repro/internal/steady"
@@ -223,6 +226,42 @@ func RepairTree(p *Platform, source int, t *Tree) (*Tree, int, error) {
 func NewSteadySession(p *Platform, source int, opts *OptimalOptions) *SteadySession {
 	return steady.NewSession(p, source, opts)
 }
+
+// Planning-service types: the concurrent fingerprint-keyed planning engine
+// behind the bcast-serve CLI.
+type (
+	// Fingerprint is the canonical content hash of a platform:
+	// permutation-invariant and byte-stable across runs; the plan cache key.
+	Fingerprint = platform.Fingerprint
+	// PlanEngine is the concurrent planning engine: an LRU cache of solved
+	// plans and warm solver sessions keyed on platform fingerprints, over a
+	// bounded worker pool.
+	PlanEngine = service.Engine
+	// PlanEngineConfig tunes a PlanEngine (cache size, workers, solver).
+	PlanEngineConfig = service.Config
+	// PlanRequest asks for the optimal plan of a platform — or of a cached
+	// platform mutated by deltas (the near-duplicate fast path).
+	PlanRequest = service.PlanRequest
+	// PlanResult is the engine's answer: the plan, its canonical bytes, and
+	// the cache/warm-path flags.
+	PlanResult = service.PlanResult
+	// PlanEngineStats snapshots the cache and solver counters.
+	PlanEngineStats = service.Stats
+)
+
+// PlatformFingerprint returns the canonical content fingerprint of a
+// platform (see platform.Fingerprint for the invariance guarantees).
+func PlatformFingerprint(p *Platform) Fingerprint { return p.Fingerprint() }
+
+// ParseFingerprint parses the hex form of a fingerprint.
+func ParseFingerprint(s string) (Fingerprint, error) { return platform.ParseFingerprint(s) }
+
+// NewPlanEngine returns a planning engine with the given configuration.
+func NewPlanEngine(cfg PlanEngineConfig) *PlanEngine { return service.New(cfg) }
+
+// NewPlanHandler returns the HTTP/JSON API of the engine (the handler served
+// by bcast-serve: /v1/plan, /v1/evaluate, /v1/churn, /v1/stats, /healthz).
+func NewPlanHandler(e *PlanEngine) http.Handler { return service.NewHandler(e) }
 
 // Topology generation types.
 type (

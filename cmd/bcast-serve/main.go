@@ -1,0 +1,128 @@
+// Command bcast-serve runs the broadcast-planning service: an HTTP/JSON
+// server around the fingerprint-keyed planning engine. Repeated or
+// near-duplicate platforms are answered from the plan cache (and warm solver
+// sessions) instead of being re-solved from scratch.
+//
+// Endpoints:
+//
+//	POST /v1/plan      plan a platform (or mutate a cached one: base+deltas)
+//	POST /v1/evaluate  compare tree heuristics against the optimum
+//	POST /v1/churn     replay a churn trace (keep/repair/rebuild policies)
+//	GET  /v1/stats     cache and solver statistics
+//	GET  /healthz      liveness probe
+//
+// Examples:
+//
+//	bcast-serve -addr :8080 -cache 512
+//	bcast-serve -self-check
+//	curl -s localhost:8080/v1/plan -d '{"platform": {...}, "source": 0}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	broadcast "repro"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheSize = flag.Int("cache", 256, "maximum number of cached plans")
+		workers   = flag.Int("workers", 0, "maximum concurrent solves (0 = all CPUs)")
+		coldLP    = flag.Bool("cold-lp", false, "disable warm starts inside the master LP solves")
+		selfCheck = flag.Bool("self-check", false, "plan a generated platform twice against the in-process engine, verify the cache hit, and exit")
+	)
+	flag.Parse()
+
+	cfg := service.Config{CacheSize: *cacheSize, Workers: *workers}
+	if *coldLP {
+		cfg.Steady = &broadcast.OptimalOptions{ColdStart: true}
+	}
+	engine := service.New(cfg)
+
+	if *selfCheck {
+		if err := runSelfCheck(engine); err != nil {
+			fmt.Fprintln(os.Stderr, "bcast-serve: self-check failed:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(engine),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute, // large solves can legitimately take a while
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+	fmt.Fprintf(os.Stderr, "bcast-serve: listening on %s (cache %d, workers %d)\n",
+		*addr, *cacheSize, engine.Stats().Workers)
+	err := srv.ListenAndServe()
+	if err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "bcast-serve:", err)
+		os.Exit(1)
+	}
+	// ListenAndServe returns as soon as Shutdown starts; wait for the drain
+	// of in-flight requests to actually finish before exiting.
+	stop()
+	<-drained
+}
+
+// runSelfCheck exercises the engine end to end without binding a port: plan
+// a platform twice (the second answer must come from the cache with
+// byte-identical plan bytes), then plan a one-delta mutation through the
+// warm-session path.
+func runSelfCheck(engine *service.Engine) error {
+	p, err := broadcast.GenerateScenario("cluster-of-clusters", 24, 1)
+	if err != nil {
+		return err
+	}
+	req := service.PlanRequest{Platform: p, Source: 0, Heuristic: broadcast.LPGrowTree}
+	first, err := engine.Plan(req)
+	if err != nil {
+		return err
+	}
+	second, err := engine.Plan(req)
+	if err != nil {
+		return err
+	}
+	if !second.Cached {
+		return fmt.Errorf("repeated request missed the cache")
+	}
+	if string(first.JSON) != string(second.JSON) {
+		return fmt.Errorf("cache hit returned different plan bytes")
+	}
+	mut, err := engine.Plan(service.PlanRequest{
+		Base:      first.Plan.Fingerprint,
+		Deltas:    []broadcast.Delta{{Kind: broadcast.DeltaScaleLink, Link: 0, Factor: 1.5}},
+		Source:    0,
+		Heuristic: broadcast.LPGrowTree,
+	})
+	if err != nil {
+		return err
+	}
+	if !mut.WarmResolved {
+		return fmt.Errorf("delta request did not take the warm-session path")
+	}
+	st := engine.Stats()
+	fmt.Printf("self-check ok: throughput %.6f, mutated %.6f (warm resolve: %v); %d hits / %d misses, %d solves\n",
+		first.Plan.Throughput, mut.Plan.Throughput, mut.WarmResolved, st.Hits, st.Misses, st.Solves)
+	return nil
+}

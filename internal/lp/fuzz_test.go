@@ -1,0 +1,122 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzMaster decodes a random feasible, bounded master LP from fuzz bytes:
+// a non-negative maximization objective, per-variable box constraints
+// (boundedness), and extra LE rows with mixed-sign coefficients and
+// non-negative right-hand sides (the origin stays feasible, like the
+// cutting-plane masters of package steady before their cut rows arrive).
+func fuzzMaster(data []byte) (*Problem, []byte) {
+	take := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	nVars := 2 + int(take())%4 // 2..5 variables
+	p := NewProblem(nVars)
+	for v := 0; v < nVars; v++ {
+		p.SetObjectiveCoeff(v, float64(take())/32)
+		p.AddSparseConstraint([]Term{{Var: v, Coeff: 1}}, LE, 1+float64(take())/128)
+	}
+	extra := int(take()) % 4
+	for r := 0; r < extra; r++ {
+		terms := make([]Term, 0, nVars)
+		for v := 0; v < nVars; v++ {
+			c := float64(take())/32 - 2 // [-2, 6)
+			if c != 0 {
+				terms = append(terms, Term{Var: v, Coeff: c})
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		p.AddSparseConstraint(terms, LE, float64(take())/64)
+	}
+	return p, data
+}
+
+// fuzzRow decodes one appended LE row; rows may have any-sign coefficients
+// but keep a non-negative right-hand side, so the problem stays feasible.
+func fuzzRow(p *Problem, data []byte) ([]Term, float64, []byte) {
+	take := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	terms := make([]Term, 0, p.NumVars())
+	for v := 0; v < p.NumVars(); v++ {
+		c := float64(take())/32 - 2
+		if c != 0 {
+			terms = append(terms, Term{Var: v, Coeff: c})
+		}
+	}
+	return terms, float64(take()) / 64, data
+}
+
+// FuzzIncrementalLP drives the warm-started incremental solver against the
+// cold simplex on random feasible masters: after every batch of appended
+// rows, the warm re-solve and a cold solve of the same problem must both be
+// Optimal and agree on the objective within 1e-6 — the differential contract
+// the cutting-plane solver relies on.
+func FuzzIncrementalLP(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 40, 10, 80, 20, 2, 64, 64, 64, 64, 32, 1, 30, 90, 10, 70, 16})
+	f.Add([]byte{3, 0, 0, 255, 255, 128, 128, 64, 64, 0, 3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14})
+	f.Add([]byte{1, 100, 100, 100, 100, 0, 2, 90, 80, 70, 60, 50, 40, 30, 20, 10})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, rest := fuzzMaster(data)
+		inc := NewIncremental(p, nil)
+
+		check := func(stage int) {
+			warm, err := inc.Solve()
+			if err != nil {
+				t.Fatalf("stage %d: incremental solve: %v", stage, err)
+			}
+			cold, err := Solve(p, nil)
+			if err != nil {
+				t.Fatalf("stage %d: cold solve: %v", stage, err)
+			}
+			if warm.Status != Optimal || cold.Status != Optimal {
+				t.Fatalf("stage %d: status warm=%v cold=%v, want Optimal (problem is feasible and bounded)",
+					stage, warm.Status, cold.Status)
+			}
+			diff := math.Abs(warm.Objective - cold.Objective)
+			if diff > 1e-6*math.Max(1, math.Abs(cold.Objective)) {
+				t.Fatalf("stage %d: warm objective %v != cold %v (diff %g)",
+					stage, warm.Objective, cold.Objective, diff)
+			}
+		}
+		check(0)
+
+		for stage := 1; stage <= 4 && len(rest) > 0; stage++ {
+			rows := 1 + int(rest[0])%3
+			rest = rest[1:]
+			appended := false
+			for r := 0; r < rows; r++ {
+				var terms []Term
+				var rhs float64
+				terms, rhs, rest = fuzzRow(p, rest)
+				if len(terms) == 0 {
+					continue
+				}
+				inc.AddSparseConstraint(terms, LE, rhs)
+				appended = true
+			}
+			if !appended {
+				continue
+			}
+			check(stage)
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package platform
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Fingerprint is a canonical content hash of a platform: two platforms that
+// describe the same communication structure — the same multiset of processors
+// and links with the same costs, slice size and live state, up to a
+// renumbering of nodes and links — fingerprint identically, and the hash is
+// byte-stable across processes and runs. The planning service keys its plan
+// cache and warm solver sessions on it.
+type Fingerprint [sha256.Size]byte
+
+// String returns the fingerprint as a lowercase hex string.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// ParseFingerprint parses the hex form produced by String.
+func ParseFingerprint(s string) (Fingerprint, error) {
+	var f Fingerprint
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return f, fmt.Errorf("platform: invalid fingerprint %q: %w", s, err)
+	}
+	if len(b) != len(f) {
+		return f, fmt.Errorf("platform: invalid fingerprint %q: want %d bytes, got %d", s, len(f), len(b))
+	}
+	copy(f[:], b)
+	return f, nil
+}
+
+// Fingerprint returns the canonical content fingerprint of the platform's
+// current state.
+//
+// The fingerprint covers everything the steady-state solvers and heuristics
+// read: node send/receive overheads, the multiset of directed links with
+// their affine costs, the slice size, and the current alive/live masks. It
+// deliberately ignores presentation and history: node names and the mutation
+// journal do not contribute, so a platform and a mutated-then-restored copy
+// of it fingerprint identically.
+//
+// Permutation invariance is obtained by Weisfeiler–Leman color refinement:
+// nodes start from a hash of their own costs and alive flag, are iteratively
+// re-hashed with the sorted multiset of their incident link signatures, and
+// the final digest hashes the sorted multisets of node colors and of
+// (fromColor, toColor, cost, alive) link signatures. Renumbering nodes or
+// reordering link IDs therefore cannot change the result. As with any hash,
+// distinct platforms may in principle collide (structurally symmetric twins
+// are folded together by design); callers that need exact identity — such as
+// the plan cache — pair the fingerprint with the canonical encoding (or a
+// hash of it), which is numbering-exact.
+func (p *Platform) Fingerprint() Fingerprint {
+	n := len(p.nodes)
+	colors := make([]Fingerprint, n)
+	for u := range p.nodes {
+		colors[u] = p.initialColor(u)
+	}
+
+	// Refine until the color partition stabilizes (the number of distinct
+	// colors stops growing), capped at n rounds as 1-WL guarantees.
+	prevClasses := countClasses(colors)
+	next := make([]Fingerprint, n)
+	for round := 0; round < n; round++ {
+		for u := range p.nodes {
+			next[u] = p.refineColor(u, colors)
+		}
+		colors, next = next, colors
+		classes := countClasses(colors)
+		if classes == prevClasses {
+			break
+		}
+		prevClasses = classes
+	}
+
+	// Final digest: slice size, counts, sorted node colors, sorted link
+	// signatures expressed in color space.
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(p.sliceSize))
+	h.Write(buf[:])
+	binary.BigEndian.PutUint64(buf[:], uint64(n))
+	h.Write(buf[:])
+	binary.BigEndian.PutUint64(buf[:], uint64(len(p.links)))
+	h.Write(buf[:])
+
+	sorted := make([]Fingerprint, n)
+	copy(sorted, colors)
+	sortFingerprints(sorted)
+	for _, c := range sorted {
+		h.Write(c[:])
+	}
+
+	linkSigs := make([]Fingerprint, len(p.links))
+	for id, l := range p.links {
+		linkSigs[id] = hashTuple('L',
+			colors[l.From][:], colors[l.To][:],
+			f64(l.Cost.Latency), f64(l.Cost.PerUnit),
+			boolByte(p.LinkAlive(id)))
+	}
+	sortFingerprints(linkSigs)
+	for _, s := range linkSigs {
+		h.Write(s[:])
+	}
+
+	var out Fingerprint
+	h.Sum(out[:0])
+	return out
+}
+
+// initialColor hashes the node-local content: overhead costs and alive flag.
+func (p *Platform) initialColor(u int) Fingerprint {
+	nd := p.nodes[u]
+	return hashTuple('N',
+		f64(nd.Send.Latency), f64(nd.Send.PerUnit),
+		f64(nd.Recv.Latency), f64(nd.Recv.PerUnit),
+		boolByte(p.NodeAlive(u)))
+}
+
+// refineColor re-hashes one node with the sorted signatures of its incident
+// links (direction, cost, alive flag, far-end color).
+func (p *Platform) refineColor(u int, colors []Fingerprint) Fingerprint {
+	sigs := make([]Fingerprint, 0, len(p.out[u])+len(p.in[u]))
+	for _, id := range p.out[u] {
+		l := p.links[id]
+		sigs = append(sigs, hashTuple('>',
+			f64(l.Cost.Latency), f64(l.Cost.PerUnit),
+			boolByte(p.LinkAlive(id)), colors[l.To][:]))
+	}
+	for _, id := range p.in[u] {
+		l := p.links[id]
+		sigs = append(sigs, hashTuple('<',
+			f64(l.Cost.Latency), f64(l.Cost.PerUnit),
+			boolByte(p.LinkAlive(id)), colors[l.From][:]))
+	}
+	sortFingerprints(sigs)
+	h := sha256.New()
+	h.Write(colors[u][:])
+	for _, s := range sigs {
+		h.Write(s[:])
+	}
+	var out Fingerprint
+	h.Sum(out[:0])
+	return out
+}
+
+// CanonicalEncoding returns a deterministic byte encoding of the platform's
+// exact current state in its own node/link numbering: slice size, node costs
+// and alive flags, links with costs and alive flags. Unlike the fingerprint
+// it is not permutation-invariant; the plan cache compares it to tell a true
+// repeat request from a renumbered (or hash-colliding) twin that happens to
+// share a fingerprint.
+func (p *Platform) CanonicalEncoding() []byte {
+	out := make([]byte, 0, 16+24*len(p.nodes)+40*len(p.links))
+	var buf [8]byte
+	put := func(bits uint64) {
+		binary.BigEndian.PutUint64(buf[:], bits)
+		out = append(out, buf[:]...)
+	}
+	put(math.Float64bits(p.sliceSize))
+	put(uint64(len(p.nodes)))
+	for u, nd := range p.nodes {
+		put(math.Float64bits(nd.Send.Latency))
+		put(math.Float64bits(nd.Send.PerUnit))
+		put(math.Float64bits(nd.Recv.Latency))
+		put(math.Float64bits(nd.Recv.PerUnit))
+		out = append(out, boolByte(p.NodeAlive(u)))
+	}
+	put(uint64(len(p.links)))
+	for id, l := range p.links {
+		put(uint64(l.From))
+		put(uint64(l.To))
+		put(math.Float64bits(l.Cost.Latency))
+		put(math.Float64bits(l.Cost.PerUnit))
+		out = append(out, boolByte(p.LinkAlive(id)))
+	}
+	return out
+}
+
+// hashTuple hashes a tag byte followed by the given fields, each field being
+// either a [sha256.Size]byte slice, an 8-byte float encoding, or a single
+// byte.
+func hashTuple(tag byte, fields ...interface{}) Fingerprint {
+	h := sha256.New()
+	h.Write([]byte{tag})
+	for _, fld := range fields {
+		switch v := fld.(type) {
+		case []byte:
+			h.Write(v)
+		case [8]byte:
+			h.Write(v[:])
+		case byte:
+			h.Write([]byte{v})
+		default:
+			panic(fmt.Sprintf("platform: unsupported hash field %T", fld))
+		}
+	}
+	var out Fingerprint
+	h.Sum(out[:0])
+	return out
+}
+
+// f64 encodes a float bit-exactly for hashing.
+func f64(v float64) [8]byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+	return buf
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// countClasses returns the number of distinct colors.
+func countClasses(colors []Fingerprint) int {
+	seen := make(map[Fingerprint]struct{}, len(colors))
+	for _, c := range colors {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}
+
+// sortFingerprints sorts a slice of fingerprints lexicographically.
+func sortFingerprints(fs []Fingerprint) {
+	sort.Slice(fs, func(i, j int) bool {
+		return bytes.Compare(fs[i][:], fs[j][:]) < 0
+	})
+}

@@ -1,0 +1,150 @@
+package platform
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// fuzzPlatform derives a small deterministic platform from the first bytes
+// of the fuzz input: a bidirectional ring (always broadcastable) plus a few
+// chords, with costs driven by the input bytes.
+func fuzzPlatform(data []byte) (*Platform, []byte) {
+	n := 4
+	if len(data) > 0 {
+		n = 4 + int(data[0])%6 // 4..9 nodes
+		data = data[1:]
+	}
+	p := New(n)
+	take := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	for u := 0; u < n; u++ {
+		cost := model.AffineCost{PerUnit: 0.25 + float64(take())/64}
+		p.MustAddLink(u, (u+1)%n, cost)
+		p.MustAddLink((u+1)%n, u, cost)
+	}
+	chords := int(take()) % 4
+	for c := 0; c < chords; c++ {
+		from := int(take()) % n
+		to := int(take()) % n
+		if from == to {
+			continue
+		}
+		p.MustAddLink(from, to, model.AffineCost{Latency: float64(take()) / 256, PerUnit: 0.5 + float64(take())/64})
+	}
+	return p, data
+}
+
+// scaleFactors are the factors fuzzDelta draws from. They are powers of two
+// on purpose: x·f·(1/f) is only guaranteed bit-exact when f is a power of
+// two, and the byte-identical round-trip contract of apply/undo holds
+// exactly for exactly-invertible factors (for general factors the inverse
+// restores the state up to the last ulp, which CanonicalEncoding would
+// flag).
+var scaleFactors = [...]float64{0.25, 0.5, 2, 4}
+
+// fuzzDelta decodes one delta from three input bytes. The decoded delta may
+// be invalid for the current platform state; ApplyDelta is expected to
+// reject it without side effects.
+func fuzzDelta(p *Platform, kind, target, arg byte) Delta {
+	switch kind % 5 {
+	case 0:
+		return Delta{Kind: DeltaScaleLink, Link: int(target) % (p.NumLinks() + 1), Factor: scaleFactors[arg%4]}
+	case 1:
+		return Delta{Kind: DeltaLinkDown, Link: int(target) % (p.NumLinks() + 1)}
+	case 2:
+		return Delta{Kind: DeltaLinkUp, Link: int(target) % (p.NumLinks() + 1)}
+	case 3:
+		return Delta{Kind: DeltaNodeDown, Node: int(target) % (p.NumNodes() + 1)}
+	default:
+		return Delta{Kind: DeltaNodeUp, Node: int(target) % (p.NumNodes() + 1)}
+	}
+}
+
+// FuzzApplyDeltaUndo drives random delta sequences against a derived
+// platform and checks the mutation contract: applying the recorded inverses
+// in reverse order restores a byte-identical platform state, the journal
+// grows by exactly the applied deltas, and replaying the journal against a
+// pristine clone reproduces the final state.
+func FuzzApplyDeltaUndo(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 10, 20, 30, 0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{5, 200, 100, 3, 9, 9, 9, 1, 0, 64, 2, 0, 0, 3, 1, 0, 4, 1, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, rest := fuzzPlatform(data)
+		pristine := p.Clone()
+		before := p.CanonicalEncoding()
+		beforeFP := p.Fingerprint()
+		journalBefore := p.JournalLen()
+
+		var inverses []Delta
+		applied := 0
+		for len(rest) >= 3 && applied < 32 {
+			d := fuzzDelta(p, rest[0], rest[1], rest[2])
+			rest = rest[3:]
+			jl := p.JournalLen()
+			inv, err := p.ApplyDelta(d)
+			if err != nil {
+				// Rejected deltas must leave no trace.
+				if p.JournalLen() != jl {
+					t.Fatalf("rejected delta %v grew the journal", d)
+				}
+				continue
+			}
+			applied++
+			inverses = append(inverses, inv)
+		}
+
+		// Undo in reverse order.
+		for i := len(inverses) - 1; i >= 0; i-- {
+			if _, err := p.ApplyDelta(inverses[i]); err != nil {
+				t.Fatalf("undo %v failed: %v", inverses[i], err)
+			}
+		}
+
+		if got := p.CanonicalEncoding(); !bytes.Equal(got, before) {
+			t.Fatalf("apply+undo did not restore the platform state\nbefore: %x\nafter:  %x", before, got)
+		}
+		if got := p.Fingerprint(); got != beforeFP {
+			t.Fatalf("apply+undo changed the fingerprint: %s vs %s", got, beforeFP)
+		}
+		if got, want := p.JournalLen(), journalBefore+2*applied; got != want {
+			t.Fatalf("journal length %d, want %d (%d applied)", got, want, applied)
+		}
+
+		// Journal consistency: replaying the full journal against a pristine
+		// clone reproduces the (restored) final state.
+		replay := pristine.Clone()
+		for _, d := range p.JournalSince(0) {
+			if _, err := replay.ApplyDelta(d); err != nil {
+				t.Fatalf("journal replay of %v failed: %v", d, err)
+			}
+		}
+		if !bytes.Equal(replay.CanonicalEncoding(), p.CanonicalEncoding()) {
+			t.Fatal("journal replay diverged from the journaled platform")
+		}
+		// ScaleLink undo multiplies by 1/factor, so costs can drift in the
+		// last ulp only if 1/(1/f) != f; CanonicalEncoding above is bit-exact,
+		// which proves the inverse really is exact for the factors produced
+		// by fuzzDelta. Alive masks must agree entry by entry too.
+		for id := 0; id < p.NumLinks(); id++ {
+			if p.LinkAlive(id) != replay.LinkAlive(id) || p.LinkLive(id) != replay.LinkLive(id) {
+				t.Fatalf("link %d liveness diverged after replay", id)
+			}
+		}
+		for u := 0; u < p.NumNodes(); u++ {
+			if p.NodeAlive(u) != replay.NodeAlive(u) {
+				t.Fatalf("node %d aliveness diverged after replay", u)
+			}
+		}
+	})
+}

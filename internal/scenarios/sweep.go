@@ -7,13 +7,10 @@ import (
 	"time"
 
 	"repro/internal/heuristics"
-	"repro/internal/lp"
 	"repro/internal/model"
 	"repro/internal/parallel"
-	"repro/internal/platform"
+	"repro/internal/service"
 	"repro/internal/stats"
-	"repro/internal/steady"
-	"repro/internal/throughput"
 	"repro/internal/topology"
 )
 
@@ -72,6 +69,13 @@ type SweepConfig struct {
 	// ChurnHeuristic is the tree heuristic driven through the traces
 	// (default lp-grow-tree).
 	ChurnHeuristic string
+	// Planner, when non-nil, routes the per-unit steady-state solves through
+	// the given planning engine: platforms already planned (in this sweep or
+	// by any earlier request against the same engine) are answered from its
+	// fingerprint-keyed cache instead of being re-solved. Nil gives the
+	// sweep a private engine, so repeated sweeps over the same seeds still
+	// hit within one Sweep call's engine only.
+	Planner *service.Engine
 	// OnResult, when non-nil, is invoked once per run as results complete
 	// (in completion order, not report order). Calls are serialized, never
 	// concurrent.
@@ -272,6 +276,12 @@ func Sweep(cfg SweepConfig) (*SweepReport, error) {
 	if cfg.Repetitions <= 0 {
 		cfg.Repetitions = 3
 	}
+	if cfg.Planner == nil {
+		// Plan-only workload: retained warm-session tableaux would be dead
+		// weight on a private per-sweep engine, so drop them after each
+		// solve.
+		cfg.Planner = service.New(service.Config{Workers: cfg.Workers, DisableSessions: true})
+	}
 
 	var units []unit
 	for i, s := range scens {
@@ -376,23 +386,26 @@ func evaluateUnit(cfg SweepConfig, churn churnSettings, u unit, heur []string) [
 	base.Links = p.NumLinks()
 	base.Density = p.Density()
 
-	var steadyOpts *steady.Options
-	if cfg.ColdStartLP || cfg.LPMaxIterations > 0 {
-		steadyOpts = &steady.Options{ColdStart: cfg.ColdStartLP}
-		if cfg.LPMaxIterations > 0 {
-			steadyOpts.LP = &lp.Options{MaxIterations: cfg.LPMaxIterations}
-		}
-	}
-	opt, err := steady.Solve(p, cfg.Source, steadyOpts)
+	// The steady-state reference solve goes through the planning engine:
+	// a platform already planned — by an earlier unit, an earlier sweep over
+	// the same engine, or any service request — is answered from the
+	// fingerprint-keyed cache instead of being re-solved.
+	res, err := cfg.Planner.Plan(service.PlanRequest{
+		Platform:        p,
+		Source:          cfg.Source,
+		ColdLP:          cfg.ColdStartLP,
+		LPMaxIterations: cfg.LPMaxIterations,
+	})
 	if err != nil {
 		return fail(fmt.Errorf("steady-state LP: %w", err))
 	}
+	opt := res.Plan
 	base.Optimal = opt.Throughput
-	base.LPRounds = opt.Rounds
-	base.LPCuts = opt.Cuts
-	base.LPPivots = opt.LPIterations
-	base.LPWarmPivots = opt.WarmPivots
-	base.LPColdPivots = opt.ColdPivots
+	base.LPRounds = opt.LPRounds
+	base.LPCuts = opt.LPCuts
+	base.LPPivots = opt.LPPivots
+	base.LPWarmPivots = opt.LPWarmPivots
+	base.LPColdPivots = opt.LPColdPivots
 
 	if cfg.Churn {
 		// The churn run owns a private clone of the platform; its condensed
@@ -405,7 +418,7 @@ func evaluateUnit(cfg SweepConfig, churn churnSettings, u unit, heur []string) [
 		r := base
 		r.Heuristic = name
 		hStart := time.Now()
-		tp, err := evaluateHeuristic(p, cfg.Source, name, opt.EdgeRate, cfg.EvalModel)
+		tp, err := service.EvaluateHeuristic(p, cfg.Source, name, opt.EdgeRate, cfg.EvalModel)
 		if cfg.RecordTimings {
 			r.WallNanos = time.Since(hStart).Nanoseconds()
 		}
@@ -422,29 +435,6 @@ func evaluateUnit(cfg SweepConfig, churn churnSettings, u unit, heur []string) [
 		out[i] = r
 	}
 	return out
-}
-
-// evaluateHeuristic builds the named heuristic on the platform (sharing the
-// precomputed LP edge rates) and returns its steady-state throughput under
-// the evaluation model. Routing-producing heuristics (the binomial tree) are
-// evaluated with link and node contention, as in the paper.
-func evaluateHeuristic(p *platform.Platform, source int, name string, rates []float64, m model.PortModel) (float64, error) {
-	builder, err := heuristics.ByNameWithRates(name, rates)
-	if err != nil {
-		return 0, err
-	}
-	if rb, ok := builder.(heuristics.RoutingBuilder); ok {
-		routing, err := rb.BuildRouting(p, source)
-		if err != nil {
-			return 0, err
-		}
-		return throughput.RoutingThroughput(p, routing, m), nil
-	}
-	tree, err := builder.Build(p, source)
-	if err != nil {
-		return 0, err
-	}
-	return throughput.TreeThroughput(p, tree, m), nil
 }
 
 // aggregate reduces the runs to one summary per (scenario, size, heuristic)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/heuristics"
 	"repro/internal/model"
+	"repro/internal/service"
 )
 
 func smallSweepConfig() SweepConfig {
@@ -22,10 +23,11 @@ func smallSweepConfig() SweepConfig {
 
 // TestSweepDeterministicAcrossWorkerCounts checks the central ordering
 // guarantee: the marshalled report is byte-identical regardless of the
-// number of workers racing over the units.
+// number of workers racing over the units — including worker counts far
+// beyond the unit count.
 func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	var reports [][]byte
-	for _, workers := range []int{1, 4, 4} {
+	for _, workers := range []int{1, 4, 4, 32} {
 		cfg := smallSweepConfig()
 		cfg.Workers = workers
 		rep, err := Sweep(cfg)
@@ -42,6 +44,54 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 		if !bytes.Equal(reports[0], reports[i]) {
 			t.Fatalf("sweep output differs between runs/worker counts:\n%s\n%s", reports[0], reports[i])
 		}
+	}
+}
+
+// TestSweepSharedPlannerCacheHits routes two sweeps through one planning
+// engine: the second sweep's reference solves are all served from the
+// engine's fingerprint-keyed cache, and the reports stay byte-identical.
+func TestSweepSharedPlannerCacheHits(t *testing.T) {
+	engine := service.New(service.Config{})
+	cfg := smallSweepConfig()
+	cfg.Planner = engine
+	first, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := engine.Stats()
+	if afterFirst.Hits != 0 {
+		t.Fatalf("first sweep had %d cache hits, want 0", afterFirst.Hits)
+	}
+	units := afterFirst.Misses
+	if units == 0 || afterFirst.Solves != units {
+		t.Fatalf("first sweep stats = %+v, want one solve per unit", afterFirst)
+	}
+
+	cfg = smallSweepConfig()
+	cfg.Planner = engine
+	cfg.Workers = 4
+	second, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := engine.Stats()
+	if st.Hits != units {
+		t.Errorf("second sweep hit the cache %d times, want %d (every unit)", st.Hits, units)
+	}
+	if st.Solves != units {
+		t.Errorf("second sweep re-solved: %d total solves, want %d", st.Solves, units)
+	}
+
+	a, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("cached sweep report differs from the solved one")
 	}
 }
 

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/topology"
+)
+
+func benchPlatform(b *testing.B) *platform.Platform {
+	cfg := topology.DefaultClusterConfig()
+	cfg.Clusters = 6
+	cfg.NodesPerCluster = 16
+	p, err := topology.Clusters(cfg, topology.NewRNG(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkServiceCacheMiss measures a cold plan: every iteration runs on an
+// empty cache, so the full fingerprint + steady-state solve is paid.
+func BenchmarkServiceCacheMiss(b *testing.B) {
+	p := benchPlatform(b)
+	req := PlanRequest{Platform: p, Source: 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := New(Config{Workers: 1})
+		if _, err := e.Plan(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceCacheHit measures a repeated identical plan request: the
+// fingerprint is recomputed, the solve is skipped. The ns/op gap against
+// BenchmarkServiceCacheMiss is the cache-hit speedup reported in
+// BENCH_service.txt.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	p := benchPlatform(b)
+	req := PlanRequest{Platform: p, Source: 0}
+	e := New(Config{Workers: 1})
+	if _, err := e.Plan(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Plan(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Cached {
+			b.Fatal("cache miss in hit benchmark")
+		}
+	}
+}
+
+// BenchmarkServiceWarmDelta measures a one-delta-away request through the
+// warm-session path against re-solving the mutated platform cold.
+func BenchmarkServiceWarmDelta(b *testing.B) {
+	base := benchPlatform(b)
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e := New(Config{Workers: 1})
+			first, err := e.Plan(PlanRequest{Platform: base, Source: 0})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			res, err := e.Plan(PlanRequest{
+				Base:   first.Plan.Fingerprint,
+				Deltas: []platform.Delta{{Kind: platform.DeltaScaleLink, Link: 0, Factor: 1.5}},
+				Source: 0,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.WarmResolved {
+				b.Fatal("delta request was not warm")
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			mutated := base.Clone()
+			if _, err := mutated.ApplyDelta(platform.Delta{Kind: platform.DeltaScaleLink, Link: 0, Factor: 1.5}); err != nil {
+				b.Fatal(err)
+			}
+			e := New(Config{Workers: 1})
+			b.StartTimer()
+			if _, err := e.Plan(PlanRequest{Platform: mutated, Source: 0}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/platform"
+)
+
+// planEnvelope is the HTTP response of /v1/plan: the cache/warm flags wrap
+// the canonical plan bytes, so repeated requests carry a byte-identical plan
+// subdocument.
+type planEnvelope struct {
+	Cached bool            `json:"cached"`
+	Warm   bool            `json:"warm,omitempty"`
+	Plan   json.RawMessage `json:"plan"`
+}
+
+// errorBody is the JSON error envelope of every endpoint.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// NewHandler returns the HTTP API of the engine:
+//
+//	POST /v1/plan      PlanRequest  -> {cached, warm, plan}
+//	POST /v1/evaluate  EvaluateRequest -> Evaluation
+//	POST /v1/churn     ChurnRequest -> ChurnReplay
+//	GET  /v1/stats     -> Stats
+//	GET  /healthz      -> "ok"
+//
+// All bodies are JSON. Invalid requests return 400, an unknown base
+// fingerprint 404, solver failures 500 — always with an {"error": ...} body.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET only"))
+			return
+		}
+		writeJSON(w, http.StatusOK, e.Stats())
+	})
+	mux.HandleFunc("/v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		var req PlanRequest
+		if !decodePost(w, r, &req) {
+			return
+		}
+		res, err := e.Plan(req)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, planEnvelope{Cached: res.Cached, Warm: res.WarmResolved, Plan: res.JSON})
+	})
+	mux.HandleFunc("/v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
+		var req EvaluateRequest
+		if !decodePost(w, r, &req) {
+			return
+		}
+		ev, err := e.Evaluate(req)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ev)
+	})
+	mux.HandleFunc("/v1/churn", func(w http.ResponseWriter, r *http.Request) {
+		var req ChurnRequest
+		if !decodePost(w, r, &req) {
+			return
+		}
+		rep, err := e.Churn(req)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	})
+	return mux
+}
+
+// maxBodyBytes bounds request bodies: even very large platforms (tens of
+// thousands of links) stay far below this, and the cap keeps a single
+// client from pinning unbounded memory on the long-running service.
+const maxBodyBytes = 32 << 20
+
+// decodePost enforces the POST method and decodes the JSON body into dst.
+func decodePost(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("service: POST only"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// statusFor maps engine errors to HTTP statuses: caller mistakes are 400s,
+// a missing base fingerprint is 404, an ambiguous one 409; everything not
+// recognizably the client's fault — solver trouble included — is a 500, so
+// monitoring and retry policies see server-side failures as such.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownBase):
+		return http.StatusNotFound
+	case errors.Is(err, ErrAmbiguousBase):
+		return http.StatusConflict
+	case errors.Is(err, ErrNoPlatform), errors.Is(err, ErrBothPlatform), errors.Is(err, ErrTooSmall),
+		errors.Is(err, ErrBadRequest),
+		errors.Is(err, platform.ErrBadDelta), errors.Is(err, platform.ErrDeltaState),
+		errors.Is(err, platform.ErrNodeRange), errors.Is(err, platform.ErrNotReachable),
+		errors.Is(err, platform.ErrNoNodes):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Headers are out; the best left is a JSON error body.
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+		return
+	}
+	data = append(data, '\n')
+	w.Write(data)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

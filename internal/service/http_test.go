@@ -1,0 +1,197 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postJSON(t *testing.T, srv *httptest.Server, path string, body interface{}) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHTTPPlanRoundTrip(t *testing.T) {
+	e := New(Config{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	p := smallPlatform(t, 51)
+	req := PlanRequest{Platform: p, Source: 0}
+
+	resp, body := postJSON(t, srv, "/v1/plan", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var first planEnvelope
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first plan reported cached")
+	}
+
+	resp, body = postJSON(t, srv, "/v1/plan", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var second planEnvelope
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("repeated plan not served from cache")
+	}
+	if !bytes.Equal(first.Plan, second.Plan) {
+		t.Error("cached plan subdocument is not byte-identical")
+	}
+
+	var plan Plan
+	if err := json.Unmarshal(first.Plan, &plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Throughput <= 0 || plan.Fingerprint == "" {
+		t.Errorf("plan = %+v, want positive throughput and a fingerprint", plan)
+	}
+
+	// Delta request against the returned fingerprint.
+	resp, body = postJSON(t, srv, "/v1/plan", map[string]interface{}{
+		"base":   plan.Fingerprint,
+		"deltas": []map[string]interface{}{{"kind": 0, "link": 0, "factor": 2.0}},
+		"source": 0,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta plan status %d: %s", resp.StatusCode, body)
+	}
+	var mut planEnvelope
+	if err := json.Unmarshal(body, &mut); err != nil {
+		t.Fatal(err)
+	}
+	if !mut.Warm {
+		t.Error("delta plan did not take the warm-session path")
+	}
+}
+
+func TestHTTPEvaluateAndChurn(t *testing.T) {
+	e := New(Config{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+	p := smallPlatform(t, 53)
+
+	resp, body := postJSON(t, srv, "/v1/evaluate", EvaluateRequest{
+		Platform: p, Source: 0, Heuristics: []string{"lp-grow-tree"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate status %d: %s", resp.StatusCode, body)
+	}
+	var ev Evaluation
+	if err := json.Unmarshal(body, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Results) != 1 || ev.Results[0].Error != "" || ev.Results[0].Ratio <= 0 {
+		t.Errorf("evaluation = %+v", ev)
+	}
+
+	resp, body = postJSON(t, srv, "/v1/churn", ChurnRequest{Platform: p, Source: 0, Events: 5, Seed: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("churn status %d: %s", resp.StatusCode, body)
+	}
+	var rep ChurnReplay
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trace.Events) != 5 {
+		t.Errorf("trace has %d events, want 5", len(rep.Trace.Events))
+	}
+}
+
+func TestHTTPStatsAndHealth(t *testing.T) {
+	e := New(Config{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+
+	if _, err := e.Plan(PlanRequest{Platform: smallPlatform(t, 55), Source: 0}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 1 || st.Solves != 1 || st.CacheEntries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	e := New(Config{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	// Malformed body.
+	resp, err := http.Post(srv.URL+"/v1/plan", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+
+	// Missing platform.
+	resp, body := postJSON(t, srv, "/v1/plan", map[string]int{"source": 0})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing platform: status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	var e1 errorBody
+	if err := json.Unmarshal(body, &e1); err != nil || e1.Error == "" {
+		t.Errorf("missing platform: no JSON error body: %s", body)
+	}
+
+	// Unknown base fingerprint.
+	fp := smallPlatform(t, 57).Fingerprint().String()
+	resp, _ = postJSON(t, srv, "/v1/plan", map[string]interface{}{"base": fp, "source": 0})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown base: status %d, want 404", resp.StatusCode)
+	}
+
+	// Wrong method.
+	resp, err = http.Get(srv.URL + "/v1/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET plan: status %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,790 @@
+// Package service is the concurrent broadcast-planning engine behind the
+// bcast-serve CLI: a long-running façade over the steady-state solver and the
+// tree heuristics that reuses solved work across requests.
+//
+// Every incoming platform is reduced to its canonical content fingerprint
+// (platform.Fingerprint: permutation-invariant, byte-stable across runs).
+// The engine keys an LRU cache of solved plans — and of warm steady.Session
+// handles — on that fingerprint:
+//
+//   - A repeated identical request is answered from the cache with the
+//     byte-identical marshaled plan, without touching the solver.
+//
+//   - Concurrent identical requests are collapsed into one solve
+//     (singleflight): the first request computes, the others wait on it and
+//     count as cache hits.
+//
+//   - A near-duplicate request — a platform one churn delta away from a
+//     cached one, addressed by base fingerprint plus a delta list — reuses
+//     the cached entry's warm session: tightening deltas re-optimize the
+//     previous optimal basis with a few dual simplex pivots instead of
+//     cold-solving the new platform from scratch.
+//
+// Independent requests are sharded across a bounded worker pool; PlanEach
+// fans a batch out with parallel.MapStream semantics (results in index order,
+// deterministic for any worker count). The scenario sweep engine routes its
+// per-unit solves through an Engine, so sweeps get cross-unit cache hits for
+// free.
+package service
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dynamic"
+	"repro/internal/heuristics"
+	"repro/internal/lp"
+	"repro/internal/model"
+	"repro/internal/parallel"
+	"repro/internal/platform"
+	"repro/internal/steady"
+	"repro/internal/throughput"
+)
+
+// Errors returned by the engine.
+var (
+	ErrNoPlatform   = errors.New("service: request has no platform")
+	ErrBothPlatform = errors.New("service: request sets both platform and base; exactly one is allowed")
+	ErrTooSmall     = errors.New("service: platform needs at least 2 alive nodes")
+	ErrUnknownBase  = errors.New("service: base fingerprint not in cache")
+	// ErrAmbiguousBase means the base fingerprint matches several cached
+	// platforms (renumbered twins fold onto one fingerprint): the request
+	// must pin the intended one with BaseExact, the exactKey of its plan.
+	ErrAmbiguousBase = errors.New("service: base fingerprint matches several cached twins; set baseExact")
+	// ErrBadRequest wraps malformed request fields (unparseable
+	// fingerprints, unknown heuristic or profile names).
+	ErrBadRequest = errors.New("service: bad request")
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// CacheSize bounds the number of cached plans (default 256). Least
+	// recently used entries are evicted.
+	CacheSize int
+	// Workers bounds the number of concurrent solves (default: number of
+	// CPUs). Requests beyond the bound queue; cache hits never queue.
+	Workers int
+	// Steady is the base steady-state solver configuration applied to every
+	// request (per-request ColdLP/LPMaxIterations are layered on top).
+	Steady *steady.Options
+	// DisableSessions drops the warm solver session (master LP tableau and
+	// cut pool) after each solve instead of retaining it on the cache entry.
+	// Delta requests then always re-derive a fresh session from the entry's
+	// platform snapshot. Use it for plan-only workloads — the sweep engine
+	// does — where retained tableaux would be dead weight.
+	DisableSessions bool
+}
+
+func (c Config) cacheSize() int {
+	if c.CacheSize > 0 {
+		return c.CacheSize
+	}
+	return 256
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// PlanRequest asks for the optimal steady-state broadcast plan of a platform.
+// Exactly one of Platform and Base must be set: Platform carries the full
+// platform, Base addresses a previously planned platform by fingerprint and
+// Deltas mutates it (the near-duplicate fast path).
+type PlanRequest struct {
+	// Platform is the full platform to plan for.
+	Platform *platform.Platform `json:"platform,omitempty"`
+	// Base is the fingerprint (hex) of a previously planned platform; Deltas
+	// are applied to it in order. The base request's Source, Heuristic and
+	// LP options must be repeated for the cache key to resolve.
+	Base   string           `json:"base,omitempty"`
+	Deltas []platform.Delta `json:"deltas,omitempty"`
+	// BaseExact optionally pins the exact cached platform the Base
+	// fingerprint refers to (the exactKey of its plan). Required only when
+	// renumbered twins sharing the fingerprint are cached side by side —
+	// deltas address links by ID, so the engine refuses to guess between
+	// twins (ErrAmbiguousBase).
+	BaseExact string `json:"baseExact,omitempty"`
+	// Source is the broadcast source processor.
+	Source int `json:"source"`
+	// Heuristic optionally names a tree heuristic to build and evaluate on
+	// top of the optimal edge rates (empty = LP optimum only).
+	Heuristic string `json:"heuristic,omitempty"`
+	// ColdLP disables warm starts inside the master LP solves.
+	ColdLP bool `json:"coldLP,omitempty"`
+	// LPMaxIterations bounds the simplex pivots per master solve (0 = solver
+	// default).
+	LPMaxIterations int `json:"lpMaxIterations,omitempty"`
+}
+
+// Plan is a solved broadcast plan. It is immutable once cached: the engine
+// hands out the same marshaled bytes for every cache hit.
+type Plan struct {
+	// Fingerprint is the canonical content fingerprint of the planned
+	// platform (hex); delta requests can use it as their next Base.
+	Fingerprint string `json:"fingerprint"`
+	// ExactKey is the hash of the platform's exact canonical encoding in
+	// its own node/link numbering (hex). Unlike the fingerprint it
+	// distinguishes renumbered twins; delta requests pass it as BaseExact
+	// when the fingerprint alone is ambiguous.
+	ExactKey string `json:"exactKey"`
+	Source   int    `json:"source"`
+	Nodes    int    `json:"nodes"`
+	Links    int    `json:"links"`
+	// Throughput and UpperBound are the optimal steady-state MTP throughput
+	// and the final master LP bound; EdgeRate are the per-link optimal rates.
+	Throughput float64   `json:"throughput"`
+	UpperBound float64   `json:"upperBound"`
+	EdgeRate   []float64 `json:"edgeRate"`
+	// LP statistics of the solve that produced the plan.
+	LPRounds     int `json:"lpRounds"`
+	LPCuts       int `json:"lpCuts"`
+	LPPivots     int `json:"lpPivots"`
+	LPWarmPivots int `json:"lpWarmPivots,omitempty"`
+	LPColdPivots int `json:"lpColdPivots,omitempty"`
+	// Heuristic outcome (only when the request named one). The binomial
+	// heuristic produces a routed schedule, so Tree may be nil even with a
+	// throughput.
+	Heuristic           string         `json:"heuristic,omitempty"`
+	Tree                *platform.Tree `json:"tree,omitempty"`
+	HeuristicThroughput float64        `json:"heuristicThroughput,omitempty"`
+	Ratio               float64        `json:"ratio,omitempty"`
+}
+
+// PlanResult is the engine's answer to one plan request.
+type PlanResult struct {
+	// Plan is the solved plan (shared with the cache; treat as read-only).
+	Plan *Plan
+	// JSON is the canonical marshaled form of Plan. Cache hits return a copy
+	// of the exact bytes of the original solve.
+	JSON []byte
+	// Cached reports that the plan was served from the cache.
+	Cached bool
+	// WarmResolved reports that a delta request reused the base entry's warm
+	// session instead of cold-solving.
+	WarmResolved bool
+}
+
+// Stats is a snapshot of the engine counters.
+type Stats struct {
+	// Requests = Hits + Misses; TwinMisses (fingerprint matched but content
+	// differed: a renumbered twin or hash collision) are a subset of Misses.
+	Requests   int64 `json:"requests"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	TwinMisses int64 `json:"twinMisses,omitempty"`
+	Evictions  int64 `json:"evictions,omitempty"`
+	// Solves counts the actual solver runs; DeltaPlans the requests served
+	// through the base+deltas path, split into warm session reuses and
+	// session rebuilds.
+	Solves          int64 `json:"solves"`
+	DeltaPlans      int64 `json:"deltaPlans,omitempty"`
+	WarmResolves    int64 `json:"warmResolves,omitempty"`
+	SessionRebuilds int64 `json:"sessionRebuilds,omitempty"`
+	// Simplex pivot totals across all solves, split warm/cold.
+	LPPivots     int64 `json:"lpPivots"`
+	LPWarmPivots int64 `json:"lpWarmPivots"`
+	LPColdPivots int64 `json:"lpColdPivots"`
+	// ChurnRuns counts churn-replay requests.
+	ChurnRuns int64 `json:"churnRuns,omitempty"`
+	// Cache occupancy and configuration.
+	CacheEntries  int `json:"cacheEntries"`
+	CacheCapacity int `json:"cacheCapacity"`
+	Workers       int `json:"workers"`
+}
+
+// fpKey routes a lookup: the permutation-invariant platform fingerprint
+// plus every request parameter that changes the answer. Renumbered twins
+// share an fpKey.
+type fpKey struct {
+	fp        platform.Fingerprint
+	source    int
+	heuristic string
+	coldLP    bool
+	maxIter   int
+}
+
+// cacheKey identifies one cacheable plan exactly: the routing fpKey plus
+// the hash of the platform's exact canonical encoding, which renumbered
+// twins do NOT share — so a cached plan (whose edge rates and trees are
+// expressed in link/node IDs) is never served across a renumbering.
+type cacheKey struct {
+	fpKey
+	exact [32]byte
+}
+
+// exactHash hashes the platform's exact canonical encoding.
+func exactHash(p *platform.Platform) [32]byte {
+	return sha256.Sum256(p.CanonicalEncoding())
+}
+
+// entry is one cached plan plus (while it lasts) a warm solver session
+// pinned to the entry's platform state.
+type entry struct {
+	key cacheKey
+
+	ready chan struct{} // closed once plan/err are set
+	err   error
+	plan  *Plan
+	json  []byte
+
+	mu sync.Mutex // guards the session fields below
+	// plat is an immutable snapshot of the planned platform; sessions are
+	// re-derived from it when the live one has moved on.
+	plat *platform.Platform
+	// session/sessionP, when non-nil, hold a warm steady session whose
+	// platform is exactly at the entry's state. A delta request takes them
+	// (they follow the mutation to the new entry).
+	session  *steady.Session
+	sessionP *platform.Platform
+}
+
+// Engine is the concurrent fingerprint-keyed planning engine. It is safe for
+// concurrent use.
+type Engine struct {
+	cfg Config
+	sem chan struct{} // bounded worker pool for solver work
+
+	mu    sync.Mutex
+	lru   *list.List // of *entry, most recently used in front
+	byKey map[cacheKey]*list.Element
+	// byFP indexes the cached entries by routing key; the slice holds more
+	// than one element only when renumbered twins are cached side by side.
+	byFP  map[fpKey][]*list.Element
+	stats Stats
+}
+
+// New returns an engine with the given configuration.
+func New(cfg Config) *Engine {
+	return &Engine{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.workers()),
+		lru:   list.New(),
+		byKey: make(map[cacheKey]*list.Element),
+		byFP:  make(map[fpKey][]*list.Element),
+	}
+}
+
+// insertLocked adds a claimed entry to the cache and evicts over capacity.
+// The engine mutex must be held.
+func (e *Engine) insertLocked(ent *entry) *list.Element {
+	el := e.lru.PushFront(ent)
+	e.byKey[ent.key] = el
+	e.byFP[ent.key.fpKey] = append(e.byFP[ent.key.fpKey], el)
+	for e.lru.Len() > e.cfg.cacheSize() {
+		e.removeLocked(e.lru.Back())
+		e.stats.Evictions++
+	}
+	return el
+}
+
+// removeLocked drops an element from the LRU list and both indexes. The
+// engine mutex must be held.
+func (e *Engine) removeLocked(el *list.Element) {
+	ent := el.Value.(*entry)
+	e.lru.Remove(el)
+	delete(e.byKey, ent.key)
+	twins := e.byFP[ent.key.fpKey]
+	for i, t := range twins {
+		if t == el {
+			twins = append(twins[:i], twins[i+1:]...)
+			break
+		}
+	}
+	if len(twins) == 0 {
+		delete(e.byFP, ent.key.fpKey)
+	} else {
+		e.byFP[ent.key.fpKey] = twins
+	}
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.CacheEntries = e.lru.Len()
+	s.CacheCapacity = e.cfg.cacheSize()
+	s.Workers = cap(e.sem)
+	return s
+}
+
+// steadyOptions layers the per-request LP knobs over the engine's base
+// solver configuration.
+func (e *Engine) steadyOptions(req PlanRequest) *steady.Options {
+	var opts steady.Options
+	if e.cfg.Steady != nil {
+		opts = *e.cfg.Steady
+	}
+	if req.ColdLP {
+		opts.ColdStart = true
+	}
+	if req.LPMaxIterations > 0 {
+		// Override only the pivot budget; any other LP tuning configured on
+		// the engine (tolerances, ...) stays in force.
+		var lpOpts lp.Options
+		if opts.LP != nil {
+			lpOpts = *opts.LP
+		}
+		lpOpts.MaxIterations = req.LPMaxIterations
+		opts.LP = &lpOpts
+	}
+	return &opts
+}
+
+func (req PlanRequest) fpKey(fp platform.Fingerprint) fpKey {
+	return fpKey{fp: fp, source: req.Source, heuristic: req.Heuristic, coldLP: req.ColdLP, maxIter: req.LPMaxIterations}
+}
+
+// Plan answers one plan request: from the cache when the platform has been
+// planned before, otherwise by solving (bounded by the worker pool) and
+// caching the result. Delta requests (Base + Deltas) reuse the base entry's
+// warm session when one is available.
+func (e *Engine) Plan(req PlanRequest) (*PlanResult, error) {
+	if req.Base != "" {
+		if req.Platform != nil {
+			return nil, ErrBothPlatform
+		}
+		return e.planFromBase(req)
+	}
+	if req.Platform == nil {
+		return nil, ErrNoPlatform
+	}
+	return e.planPlatform(req, req.Platform, nil)
+}
+
+// planPlatform plans for an explicit platform. taken, when non-nil, is a
+// warm session already positioned at the platform's exact state (the delta
+// path hands one in); it is consumed: either by the solve, or by donating
+// the session to the cache entry the request lands on.
+func (e *Engine) planPlatform(req PlanRequest, p *platform.Platform, taken *takenSession) (*PlanResult, error) {
+	if req.Heuristic != "" {
+		if _, err := heuristics.ByName(req.Heuristic); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
+	if p.NumAliveNodes() < 2 {
+		return nil, ErrTooSmall
+	}
+	fp := p.Fingerprint()
+	key := cacheKey{fpKey: req.fpKey(fp), exact: exactHash(p)}
+
+	e.mu.Lock()
+	e.stats.Requests++
+	if el, ok := e.byKey[key]; ok {
+		ent := el.Value.(*entry)
+		e.lru.MoveToFront(el)
+		e.mu.Unlock()
+		<-ent.ready
+		e.mu.Lock()
+		if ent.err != nil {
+			e.stats.Misses++
+			e.mu.Unlock()
+			return nil, ent.err
+		}
+		e.stats.Hits++
+		e.mu.Unlock()
+		// A delta request that raced a concurrent identical insert donates
+		// its session to the hit entry (the session platform is exactly at
+		// the entry's state — the exact keys matched) instead of dropping
+		// the lineage's only warm state.
+		if taken != nil && !e.cfg.DisableSessions {
+			ent.mu.Lock()
+			if ent.session == nil {
+				ent.session, ent.sessionP = taken.sess, taken.p
+			}
+			ent.mu.Unlock()
+		}
+		return &PlanResult{Plan: ent.plan, JSON: append([]byte(nil), ent.json...), Cached: true}, nil
+	}
+	// Miss: claim the key with an unsolved entry so concurrent identical
+	// requests wait on this solve instead of duplicating it. A renumbered
+	// twin of a cached platform lands here too (same fpKey, different exact
+	// key) and is cached independently — its IDs live in another numbering.
+	if len(e.byFP[key.fpKey]) > 0 {
+		e.stats.TwinMisses++
+	}
+	ent := &entry{key: key, ready: make(chan struct{})}
+	el := e.insertLocked(ent)
+	e.stats.Misses++
+	e.mu.Unlock()
+
+	plan, planJSON, sess, sp, err := e.solve(req, p, taken)
+	e.mu.Lock()
+	if err != nil {
+		ent.err = err
+		// Failed solves are not served from the cache.
+		if cur, ok := e.byKey[key]; ok && cur == el {
+			e.removeLocked(el)
+		}
+		e.mu.Unlock()
+		close(ent.ready)
+		return nil, err
+	}
+	ent.plan = plan
+	ent.json = planJSON
+	e.mu.Unlock()
+	ent.mu.Lock()
+	if e.cfg.DisableSessions {
+		// sp is exclusively owned and the session is being discarded, so it
+		// can serve as the snapshot directly.
+		ent.plat = sp
+	} else {
+		ent.plat = sp.Clone()
+		ent.session = sess
+		ent.sessionP = sp
+	}
+	ent.mu.Unlock()
+	close(ent.ready)
+	return &PlanResult{Plan: plan, JSON: append([]byte(nil), planJSON...), WarmResolved: taken != nil && taken.warm}, nil
+}
+
+// takenSession is a warm session handed from a base entry to the delta path.
+type takenSession struct {
+	sess *steady.Session
+	p    *platform.Platform // the session's live platform, already mutated
+	warm bool
+}
+
+// solve runs the steady-state solver (and the optional heuristic) on its own
+// clone of the platform, bounded by the worker pool. It returns the plan,
+// its canonical bytes, and a session positioned at the solved state for
+// future delta requests.
+func (e *Engine) solve(req PlanRequest, p *platform.Platform, taken *takenSession) (*Plan, []byte, *steady.Session, *platform.Platform, error) {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+
+	var sess *steady.Session
+	var sp *platform.Platform
+	if taken != nil {
+		sess, sp = taken.sess, taken.p
+	} else {
+		sp = p.Clone()
+		sess = steady.NewSession(sp, req.Source, e.steadyOptions(req))
+	}
+	before := sess.Stats()
+	sol, err := sess.Resolve()
+	after := sess.Stats()
+	e.mu.Lock()
+	e.stats.Solves++
+	e.stats.LPPivots += int64(sol0(sol))
+	e.stats.LPWarmPivots += int64(after.WarmPivots - before.WarmPivots)
+	e.stats.LPColdPivots += int64(after.ColdPivots - before.ColdPivots)
+	e.stats.WarmResolves += int64(after.WarmResolves - before.WarmResolves)
+	e.stats.SessionRebuilds += int64(after.Rebuilds - before.Rebuilds)
+	e.mu.Unlock()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+
+	exact := exactHash(sp)
+	plan := &Plan{
+		Fingerprint:  sp.Fingerprint().String(),
+		ExactKey:     hex.EncodeToString(exact[:]),
+		Source:       req.Source,
+		Nodes:        sp.NumNodes(),
+		Links:        sp.NumLinks(),
+		Throughput:   sol.Throughput,
+		UpperBound:   sol.UpperBound,
+		EdgeRate:     sol.EdgeRate,
+		LPRounds:     sol.Rounds,
+		LPCuts:       sol.Cuts,
+		LPPivots:     sol.LPIterations,
+		LPWarmPivots: sol.WarmPivots,
+		LPColdPivots: sol.ColdPivots,
+	}
+	if req.Heuristic != "" {
+		tree, tp, err := buildHeuristic(sp, req.Source, req.Heuristic, sol.EdgeRate, model.OnePortBidirectional)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		plan.Heuristic = req.Heuristic
+		plan.Tree = tree
+		plan.HeuristicThroughput = tp
+		if sol.Throughput > 0 {
+			plan.Ratio = tp / sol.Throughput
+		}
+	}
+	planJSON, err := json.Marshal(plan)
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("service: marshal plan: %w", err)
+	}
+	return plan, planJSON, sess, sp, nil
+}
+
+// sol0 guards against a nil solution on solver errors.
+func sol0(sol *steady.Solution) int {
+	if sol == nil {
+		return 0
+	}
+	return sol.LPIterations
+}
+
+// planFromBase serves a near-duplicate request: the cached platform named by
+// the base fingerprint (and, when twins share it, the BaseExact key),
+// mutated by the request's deltas.
+func (e *Engine) planFromBase(req PlanRequest) (*PlanResult, error) {
+	fp, err := platform.ParseFingerprint(req.Base)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	var wantExact []byte
+	if req.BaseExact != "" {
+		wantExact, err = hex.DecodeString(req.BaseExact)
+		if err != nil || len(wantExact) != 32 {
+			return nil, fmt.Errorf("%w: invalid baseExact %q", ErrBadRequest, req.BaseExact)
+		}
+	}
+
+	// Resolve the base entry. Deltas address links and nodes by ID, so when
+	// several renumbered twins share the fingerprint the request must pin
+	// one with BaseExact — guessing would mutate the wrong platform.
+	e.mu.Lock()
+	var el *list.Element
+	cands := e.byFP[req.fpKey(fp)]
+	switch {
+	case wantExact != nil:
+		for _, c := range cands {
+			if ent := c.Value.(*entry); bytes.Equal(ent.key.exact[:], wantExact) {
+				el = c
+				break
+			}
+		}
+	case len(cands) == 1:
+		el = cands[0]
+	case len(cands) > 1:
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s has %d cached twins", ErrAmbiguousBase, req.Base, len(cands))
+	}
+	if el == nil {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownBase, req.Base)
+	}
+	base := el.Value.(*entry)
+	e.lru.MoveToFront(el)
+	e.stats.DeltaPlans++
+	e.mu.Unlock()
+	<-base.ready
+	if base.err != nil {
+		return nil, base.err
+	}
+
+	// Take the base entry's warm session when it is still home; otherwise
+	// re-derive a fresh one from the immutable snapshot. If the mutated
+	// platform turns out to be cached already, planPlatform's hit path
+	// donates the session to that entry instead of losing it.
+	base.mu.Lock()
+	taken := &takenSession{}
+	if base.session != nil {
+		taken.sess, taken.p = base.session, base.sessionP
+		taken.warm = true
+		base.session, base.sessionP = nil, nil
+	} else {
+		taken.p = base.plat.Clone()
+		taken.sess = steady.NewSession(taken.p, req.Source, e.steadyOptions(req))
+	}
+	base.mu.Unlock()
+	for _, d := range req.Deltas {
+		if _, err := taken.p.ApplyDelta(d); err != nil {
+			// The session platform may be mid-sequence; drop it rather than
+			// returning it home in an undefined state.
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
+	mutReq := req
+	mutReq.Base, mutReq.BaseExact, mutReq.Deltas = "", "", nil
+	return e.planPlatform(mutReq, taken.p, taken)
+}
+
+// PlanEach plans a batch of independent requests across the worker pool with
+// parallel.MapStream semantics: results come back in index order and are
+// deterministic for any worker count. Per-request failures are reported in
+// the outcome, not as a batch error.
+func (e *Engine) PlanEach(reqs []PlanRequest, workers int) []PlanOutcome {
+	return parallel.Map(len(reqs), workers, func(i int) PlanOutcome {
+		res, err := e.Plan(reqs[i])
+		out := PlanOutcome{Result: res}
+		if err != nil {
+			out.Error = err.Error()
+		}
+		return out
+	})
+}
+
+// PlanOutcome is one result of PlanEach.
+type PlanOutcome struct {
+	Result *PlanResult
+	Error  string
+}
+
+// EvaluateRequest asks for the relative performance of tree heuristics on a
+// platform against its steady-state optimum.
+type EvaluateRequest struct {
+	Platform *platform.Platform `json:"platform"`
+	Source   int                `json:"source"`
+	// Heuristics to evaluate (empty = every registered heuristic).
+	Heuristics      []string `json:"heuristics,omitempty"`
+	ColdLP          bool     `json:"coldLP,omitempty"`
+	LPMaxIterations int      `json:"lpMaxIterations,omitempty"`
+}
+
+// HeuristicResult is the outcome of one heuristic in an evaluation.
+type HeuristicResult struct {
+	Heuristic  string  `json:"heuristic"`
+	Throughput float64 `json:"throughput"`
+	Ratio      float64 `json:"ratio"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// Evaluation is the engine's answer to an evaluate request.
+type Evaluation struct {
+	Fingerprint string            `json:"fingerprint"`
+	Optimal     float64           `json:"optimal"`
+	Cached      bool              `json:"cached"`
+	Results     []HeuristicResult `json:"results"`
+}
+
+// Evaluate plans the platform (through the cache) and evaluates every
+// requested heuristic against the optimum.
+func (e *Engine) Evaluate(req EvaluateRequest) (*Evaluation, error) {
+	if req.Platform == nil {
+		return nil, ErrNoPlatform
+	}
+	planReq := PlanRequest{Platform: req.Platform, Source: req.Source, ColdLP: req.ColdLP, LPMaxIterations: req.LPMaxIterations}
+	res, err := e.Plan(planReq)
+	if err != nil {
+		return nil, err
+	}
+	names := req.Heuristics
+	if len(names) == 0 {
+		names = heuristics.Names()
+	}
+	ev := &Evaluation{
+		Fingerprint: res.Plan.Fingerprint,
+		Optimal:     res.Plan.Throughput,
+		Cached:      res.Cached,
+		Results:     make([]HeuristicResult, len(names)),
+	}
+	for i, name := range names {
+		hr := HeuristicResult{Heuristic: name}
+		tp, err := EvaluateHeuristic(req.Platform, req.Source, name, res.Plan.EdgeRate, model.OnePortBidirectional)
+		if err != nil {
+			hr.Error = err.Error()
+		} else {
+			hr.Throughput = tp
+			if ev.Optimal > 0 {
+				hr.Ratio = tp / ev.Optimal
+			}
+		}
+		ev.Results[i] = hr
+	}
+	return ev, nil
+}
+
+// EvaluateHeuristic builds the named heuristic on the platform (sharing
+// precomputed LP edge rates) and returns its steady-state throughput under
+// the port model. Routing-producing heuristics (the binomial tree) are
+// evaluated with link and node contention. The sweep engine and the service
+// share this helper.
+func EvaluateHeuristic(p *platform.Platform, source int, name string, rates []float64, m model.PortModel) (float64, error) {
+	builder, err := heuristics.ByNameWithRates(name, rates)
+	if err != nil {
+		return 0, err
+	}
+	if rb, ok := builder.(heuristics.RoutingBuilder); ok {
+		routing, err := rb.BuildRouting(p, source)
+		if err != nil {
+			return 0, err
+		}
+		return throughput.RoutingThroughput(p, routing, m), nil
+	}
+	tree, err := builder.Build(p, source)
+	if err != nil {
+		return 0, err
+	}
+	return throughput.TreeThroughput(p, tree, m), nil
+}
+
+// buildHeuristic builds the named heuristic and returns its tree (nil for
+// routing heuristics) and throughput.
+func buildHeuristic(p *platform.Platform, source int, name string, rates []float64, m model.PortModel) (*platform.Tree, float64, error) {
+	builder, err := heuristics.ByNameWithRates(name, rates)
+	if err != nil {
+		return nil, 0, err
+	}
+	if rb, ok := builder.(heuristics.RoutingBuilder); ok {
+		routing, err := rb.BuildRouting(p, source)
+		if err != nil {
+			return nil, 0, err
+		}
+		return nil, throughput.RoutingThroughput(p, routing, m), nil
+	}
+	tree, err := builder.Build(p, source)
+	if err != nil {
+		return nil, 0, err
+	}
+	return tree, throughput.TreeThroughput(p, tree, m), nil
+}
+
+// ChurnRequest replays a deterministic churn trace against a platform,
+// comparing the keep/repair/rebuild policies against the re-solved optimum.
+type ChurnRequest struct {
+	Platform *platform.Platform `json:"platform"`
+	Source   int                `json:"source"`
+	// Profile names the churn profile (empty = default); Events is the trace
+	// length (0 = dynamic default); Seed drives the trace generator.
+	Profile string `json:"profile,omitempty"`
+	Events  int    `json:"events,omitempty"`
+	Seed    int64  `json:"seed"`
+	// Heuristic drives the initial build and the rebuild policy.
+	Heuristic string `json:"heuristic,omitempty"`
+	// ColdResolve re-solves the optimum from scratch at every event.
+	ColdResolve bool `json:"coldResolve,omitempty"`
+}
+
+// ChurnReplay is the engine's answer to a churn request.
+type ChurnReplay struct {
+	Fingerprint string          `json:"fingerprint"`
+	Trace       *dynamic.Trace  `json:"trace"`
+	Report      *dynamic.Report `json:"report"`
+}
+
+// Churn generates the request's churn trace and replays it against a private
+// clone of the platform, bounded by the worker pool.
+func (e *Engine) Churn(req ChurnRequest) (*ChurnReplay, error) {
+	if req.Platform == nil {
+		return nil, ErrNoPlatform
+	}
+	prof, err := dynamic.ProfileByName(req.Profile)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	events := req.Events
+	if events <= 0 {
+		events = 20
+	}
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+	trace, err := dynamic.GenerateTrace(req.Platform, req.Source, prof, events, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := dynamic.Config{Heuristic: req.Heuristic, ColdResolve: req.ColdResolve, Steady: e.cfg.Steady}
+	report, err := dynamic.Run(req.Platform, req.Source, trace, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.stats.ChurnRuns++
+	e.mu.Unlock()
+	return &ChurnReplay{Fingerprint: req.Platform.Fingerprint().String(), Trace: trace, Report: report}, nil
+}
