@@ -25,12 +25,14 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/experiments"
 	"repro/internal/heuristics"
+	"repro/internal/load"
 	"repro/internal/model"
 	"repro/internal/platform"
 	"repro/internal/scenarios"
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/sta"
+	"repro/internal/stats"
 	"repro/internal/steady"
 	"repro/internal/throughput"
 	"repro/internal/topology"
@@ -260,8 +262,50 @@ func ParseFingerprint(s string) (Fingerprint, error) { return platform.ParseFing
 func NewPlanEngine(cfg PlanEngineConfig) *PlanEngine { return service.New(cfg) }
 
 // NewPlanHandler returns the HTTP/JSON API of the engine (the handler served
-// by bcast-serve: /v1/plan, /v1/evaluate, /v1/churn, /v1/stats, /healthz).
+// by bcast-serve: /v1/plan, /v1/evaluate, /v1/churn, /v1/stats, /v1/metrics,
+// /healthz).
 func NewPlanHandler(e *PlanEngine) http.Handler { return service.NewHandler(e) }
+
+// Load-generation types: the deterministic workload replay subsystem behind
+// the bcast-load CLI (package internal/load).
+type (
+	// LoadMix is a named workload: phases of zipf-skewed popularity, churn
+	// lineages, renumbered twins and cold-miss floods over registry
+	// scenarios.
+	LoadMix = load.Mix
+	// LoadPhaseSpec describes one phase of a mix.
+	LoadPhaseSpec = load.PhaseSpec
+	// LoadSchedule is a compiled mix: fully materialized requests in
+	// dependency-ordered waves, with exact expected cache outcomes.
+	LoadSchedule = load.Schedule
+	// LoadOptions tune a replay (workers, pacing, wall-clock section).
+	LoadOptions = load.Options
+	// LoadReport is the canonical replay report (BENCH_load.json):
+	// byte-identical for a fixed (mix, seed) across runs and worker counts.
+	LoadReport = load.Report
+	// LatencyHistogram is the fixed-bucket log-scale histogram used for
+	// all latency recording (exact merge, deterministic quantiles).
+	LatencyHistogram = stats.Histogram
+)
+
+// LoadMixes returns the built-in workload mix names in sorted order.
+func LoadMixes() []string { return load.MixNames() }
+
+// LoadMixByName returns the named built-in workload mix.
+func LoadMixByName(name string) (LoadMix, error) { return load.MixByName(name) }
+
+// CompileLoad materializes a workload mix into a deterministic schedule.
+func CompileLoad(mix LoadMix, seed int64) (*LoadSchedule, error) { return load.Compile(mix, seed) }
+
+// RunLoad replays a compiled schedule against a fresh in-process planning
+// engine (with the burst gate wired in, so singleflight counts are exact)
+// and returns the canonical report. For HTTP targets and custom engines use
+// package internal/load via cmd/bcast-load.
+func RunLoad(sched *LoadSchedule, opts LoadOptions) (*LoadReport, error) {
+	engine, gate := load.NewInProcessEngine(sched, 0)
+	opts.Gate = gate
+	return load.Run(engine, sched, opts)
+}
 
 // Topology generation types.
 type (

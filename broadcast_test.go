@@ -255,3 +255,33 @@ func TestPublicAPIScenariosAndSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunLoadFacade drives the load-replay subsystem through the public
+// façade: compile a built-in mix, replay it against a fresh engine, and
+// check the canonical counters line up with the schedule.
+func TestRunLoadFacade(t *testing.T) {
+	mix, err := LoadMixByName("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := CompileLoad(mix, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunLoad(sched, LoadOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Client.Errors != 0 {
+		t.Fatalf("replay errors: %v", rep.Total.Client.ErrorSamples)
+	}
+	if rep.Total.Requests != sched.Requests || rep.Total.Engine.Misses != int64(sched.Distinct) {
+		t.Errorf("total = %+v, want %d requests and %d misses", rep.Total, sched.Requests, sched.Distinct)
+	}
+	if rep.Evictions != 0 {
+		t.Errorf("canonical replay evicted %d entries", rep.Evictions)
+	}
+	if len(LoadMixes()) == 0 {
+		t.Error("no built-in mixes")
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Regenerate the golden report after an intentional report-shape change:
+//
+//	go test ./cmd/bcast-load -run Golden -update
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenLoad replays one mix into a temp file and compares it byte-for-byte
+// against the named golden report.
+func goldenLoad(t *testing.T, golden, mix string, seed int64, workers int) {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "load.json")
+	err := run(mix, seed, workers, 0, "", 0, false, out, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", golden)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("load report differs from %s.\nThis usually means the JSON report shape or the deterministic numbers changed.\nIf the change is intentional, regenerate with: go test ./cmd/bcast-load -run Golden -update\ngot %d bytes, want %d bytes", path, len(got), len(want))
+	}
+}
+
+// TestGoldenLoadReport pins the byte-exact canonical BENCH_load.json of the
+// smoke mix. The same report must come out for every worker count — the
+// acceptance property of the load subsystem — so the golden is checked at
+// two pool sizes.
+func TestGoldenLoadReport(t *testing.T) {
+	goldenLoad(t, "load_smoke.json", "smoke", 7, 1)
+	goldenLoad(t, "load_smoke.json", "smoke", 7, 6)
+}

@@ -1,0 +1,131 @@
+// Command bcast-load generates and replays deterministic, seeded workloads
+// against the broadcast-planning service: zipfian-skewed fingerprint
+// popularity, interleaved base+delta churn lineages, renumbered-twin
+// duplicates and cold-miss floods, at an optional target request rate with
+// a bounded worker pool.
+//
+// By default the replay runs in-process against a fresh planning engine and
+// writes the canonical JSON report (per-phase p50/p90/p99 latency on the
+// deterministic virtual clock, throughput in requests per kilotick, cache
+// hit/miss/twin/singleflight counters) — byte-identical for a fixed
+// (-mix, -seed) across runs and worker counts. -url replays against a
+// running bcast-serve instead; -timings adds the wall-clock section (real
+// latency histograms, requests/second), which is not byte-stable.
+//
+// Examples:
+//
+//	bcast-load -list
+//	bcast-load -mix smoke -seed 7 -o BENCH_load.json -pretty
+//	bcast-load -mix mixed -workers 8 -timings
+//	bcast-load -mix cold-flood -url http://localhost:8080 -rate 50 -timings
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/load"
+)
+
+func main() {
+	var (
+		mixName = flag.String("mix", "smoke", "workload mix to replay (see -list)")
+		seed    = flag.Int64("seed", 1, "workload seed (platforms, zipf draws, churn deltas, renumberings)")
+		workers = flag.Int("workers", 0, "concurrent requests per wave (0 = all CPUs); never changes the canonical report")
+		rate    = flag.Float64("rate", 0, "target request rate per second (0 = unpaced); never changes the canonical report")
+		url     = flag.String("url", "", "replay against a running bcast-serve at this base URL instead of in-process")
+		cache   = flag.Int("cache", 0, "in-process plan-cache capacity (0 = sized to the workload, eviction-free)")
+		timings = flag.Bool("timings", false, "add the wall-clock timings section (makes the JSON non-deterministic)")
+		out     = flag.String("o", "", "write the JSON report to this file instead of stdout")
+		pretty  = flag.Bool("pretty", false, "indent the JSON output")
+		quiet   = flag.Bool("quiet", false, "suppress the summary on stderr")
+		list    = flag.Bool("list", false, "list the built-in mixes, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		listMixes()
+		return
+	}
+	if err := run(*mixName, *seed, *workers, *rate, *url, *cache, *timings, *out, *pretty, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "bcast-load:", err)
+		os.Exit(1)
+	}
+}
+
+// listMixes prints every built-in mix with its phase plan.
+func listMixes() {
+	for _, m := range load.Mixes() {
+		fmt.Printf("%-16s %s\n", m.Name, m.Description)
+		for _, ph := range m.Phases {
+			detail := ""
+			switch ph.Kind {
+			case load.KindZipf:
+				detail = fmt.Sprintf("%d requests over %d platforms, skew %.2f", ph.Requests, ph.Platforms, ph.Skew)
+			case load.KindLineage:
+				detail = fmt.Sprintf("%d lineages x %d deltas", ph.Lineages, ph.Depth)
+			case load.KindTwins:
+				detail = fmt.Sprintf("%d platforms + twins, %d dupes each", ph.Platforms, ph.Dupes)
+			case load.KindFlood:
+				detail = fmt.Sprintf("%d bursts x %d identical requests", ph.Platforms, ph.Burst)
+			}
+			fmt.Printf("  %-16s %-8s size %-3d %-30v %s\n", ph.Name, ph.Kind, ph.Size, ph.Scenarios, detail)
+		}
+	}
+}
+
+func run(mixName string, seed int64, workers int, rate float64, url string, cache int,
+	timings bool, out string, pretty, quiet bool) error {
+	mix, err := load.MixByName(mixName)
+	if err != nil {
+		return err
+	}
+	sched, err := load.Compile(mix, seed)
+	if err != nil {
+		return err
+	}
+
+	opts := load.Options{Workers: workers, Rate: rate, WallClock: timings}
+	var target load.Planner
+	if url != "" {
+		target = load.NewHTTPPlanner(url)
+	} else {
+		engine, gate := load.NewInProcessEngine(sched, cache)
+		target = engine
+		opts.Gate = gate
+	}
+
+	rep, err := load.Run(target, sched, opts)
+	if err != nil {
+		return err
+	}
+
+	var data []byte
+	if pretty {
+		data, err = json.MarshalIndent(rep, "", "  ")
+	} else {
+		data, err = json.Marshal(rep)
+	}
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out != "" {
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+	} else if _, err := os.Stdout.Write(data); err != nil {
+		return err
+	}
+
+	if !quiet {
+		fmt.Fprint(os.Stderr, rep.Summary())
+	}
+	if rep.Total.Client.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed (first: %v)",
+			rep.Total.Client.Errors, rep.Total.Requests, rep.Total.Client.ErrorSamples)
+	}
+	return nil
+}

@@ -9,13 +9,20 @@
 //	POST /v1/evaluate  compare tree heuristics against the optimum
 //	POST /v1/churn     replay a churn trace (keep/repair/rebuild policies)
 //	GET  /v1/stats     cache and solver statistics
+//	GET  /v1/metrics   engine counters + per-endpoint latency quantiles
 //	GET  /healthz      liveness probe
+//
+// Errors are always structured {"error": ...} JSON — malformed bodies get
+// 400s, handler panics recovered 500s, never an empty reply. Use
+// cmd/bcast-load to drive a running server with deterministic workload
+// mixes and measure it.
 //
 // Examples:
 //
 //	bcast-serve -addr :8080 -cache 512
 //	bcast-serve -self-check
 //	curl -s localhost:8080/v1/plan -d '{"platform": {...}, "source": 0}'
+//	curl -s localhost:8080/v1/metrics
 package main
 
 import (

@@ -1,33 +1,3 @@
-// Package dynamic is the dynamic-platform churn engine: it plays a
-// deterministic, seeded timeline of platform mutations (link bandwidth
-// drift, link down/up, node crash/rejoin — see Trace and the churn
-// Profiles) against a running broadcast and compares three adaptation
-// policies at every event:
-//
-//   - keep: the current tree is never changed. Transfers into dead subtrees
-//     simply do not happen; if an alive node is stranded the policy is
-//     "broken" for the event and delivers nothing.
-//
-//   - repair: the tree is patched locally (heuristics.RepairTree): orphaned
-//     subtrees are re-grafted through best residual-bandwidth live links,
-//     stranded nodes are rewired individually. The number of reattached
-//     nodes is the deterministic repair-latency proxy.
-//
-//   - rebuild: the configured heuristic rebuilds a tree from scratch on the
-//     live platform, seeded with the re-solved LP edge rates.
-//
-// Every event's policies are measured against the re-solved steady-state
-// optimum. The re-solve is incremental: one steady.Session carries the
-// warm-started master LP and the accumulated cut pool across mutations
-// (tightening events append rows into the previous optimal basis; loosening
-// events rebuild from the pool). Config.ColdResolve retains per-event cold
-// solves as the differential-testing oracle, the same pattern as the
-// solver's own warm/cold split.
-//
-// Between events each policy delivers throughput × elapsed-time slices; the
-// running shortfall against the optimum (lost slices) is the trace-level
-// figure of merit. Reports are deterministic for a fixed (platform, trace)
-// pair: wall-clock timings are only recorded on request.
 package dynamic
 
 import (

@@ -1,8 +1,3 @@
-// Package experiments reproduces the evaluation section of the paper: the
-// relative-performance figures on random platforms (Figures 4(a), 4(b) and
-// 5) and the Tiers-platform table (Table 3), plus two ablations suggested by
-// the paper's text. Every experiment returns a Table whose rows mirror the
-// series/rows of the corresponding paper artifact.
 package experiments
 
 import (

@@ -1,0 +1,14 @@
+// Package experiments reproduces the evaluation section of the paper: the
+// relative-performance figures on random platforms (Figures 4(a), 4(b) and
+// 5) and the Tiers-platform table (Table 3), plus two ablations suggested
+// by the paper's text.
+//
+// Every experiment is a named configuration (Config) that sources its
+// platforms from the scenario registry (internal/scenarios), evaluates the
+// registered heuristics against the steady-state optimum across a worker
+// pool, and returns a Table whose rows mirror the series/rows of the
+// corresponding paper artifact — mean relative performance and its
+// deviation across platform configurations, as the paper reports them.
+// Scale presets trade platform counts for fidelity; cmd/bcast-bench is the
+// CLI front end and can emit CSV for plotting.
+package experiments

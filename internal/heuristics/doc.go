@@ -1,0 +1,20 @@
+// Package heuristics implements the paper's spanning-tree construction
+// heuristics for the STP problem (Single Tree, Pipelined): given a platform
+// graph and a source processor, build a spanning broadcast tree with good
+// steady-state throughput.
+//
+// Platform-based heuristics (Section 3):
+//
+//   - PruneSimple    — Algorithm 1, "Prune Platform Simple"
+//   - PruneDegree    — Algorithm 2, "Prune Platform Degree"
+//   - GrowTree       — Algorithm 3, "Grow Tree"
+//   - Binomial       — Algorithm 4, MPI-style binomial tree
+//   - MultiportGrowTree    — Algorithm 5 (multi-port cost model)
+//   - MultiportPruneDegree — Section 5.2.2 (PruneDegree with multi-port cost)
+//
+// LP-based heuristics (Section 4.2), seeded by the per-edge rates n(u,v) of
+// the optimal MTP solution:
+//
+//   - LPPrune    — Algorithm 6, "LP Prune"
+//   - LPGrowTree — Algorithm 7, "LP Grow Tree"
+package heuristics

@@ -1,0 +1,227 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/service"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// runSmoke compiles and replays the smoke mix against a fresh gated
+// in-process engine.
+func runSmoke(t *testing.T, workers int) (*Schedule, *Report) {
+	t.Helper()
+	mix, err := MixByName("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Compile(mix, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, gate := NewInProcessEngine(sched, 0)
+	rep, err := Run(engine, sched, Options{Workers: workers, Gate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched, rep
+}
+
+// TestCompileSmokeShape pins the structural invariants of the compiled
+// smoke schedule: every phase's expected counters add up, and the totals
+// match the mix arithmetic.
+func TestCompileSmokeShape(t *testing.T) {
+	sched, _ := runSmoke(t, 4)
+	if len(sched.Phases) != 4 {
+		t.Fatalf("smoke mix compiled to %d phases, want 4", len(sched.Phases))
+	}
+	// zipf: 12 requests; lineage: 2 lineages x (1 base + 2 deltas) = 6;
+	// twins: 2 x (base + twin + 2 dupes) = 8; flood: 2 bursts x 4 = 8.
+	wantReqs := []int{12, 6, 8, 8}
+	for i, ph := range sched.Phases {
+		if ph.Expect.Requests != wantReqs[i] {
+			t.Errorf("phase %q: %d requests, want %d", ph.Spec.Name, ph.Expect.Requests, wantReqs[i])
+		}
+		if ph.Expect.Hits+ph.Expect.Misses != ph.Expect.Requests {
+			t.Errorf("phase %q: hits %d + misses %d != requests %d", ph.Spec.Name, ph.Expect.Hits, ph.Expect.Misses, ph.Expect.Requests)
+		}
+	}
+	lineage := sched.Phases[1].Expect
+	if lineage.Deltas != 4 || lineage.Warm == 0 {
+		t.Errorf("lineage expectations = %+v, want 4 delta requests and some warm resolves", lineage)
+	}
+	twins := sched.Phases[2].Expect
+	if twins.Twins != 2 {
+		t.Errorf("twins expectations = %+v, want 2 twin misses", twins)
+	}
+	flood := sched.Phases[3].Expect
+	if flood.Collapsed != 6 || flood.Misses != 2 {
+		t.Errorf("flood expectations = %+v, want 2 misses and 6 collapsed", flood)
+	}
+	if sched.Requests != 34 {
+		t.Errorf("total requests %d, want 34", sched.Requests)
+	}
+	if sched.Distinct != sched.Expect.Misses {
+		t.Errorf("distinct %d != expected misses %d", sched.Distinct, sched.Expect.Misses)
+	}
+}
+
+// TestRunMatchesSchedule replays the smoke mix and checks the engine
+// counter deltas against the compile-time expectations, phase by phase:
+// the schedule's predicted hits, misses, twin-misses, singleflight
+// collapses, delta plans and warm resolves are exact.
+func TestRunMatchesSchedule(t *testing.T) {
+	sched, rep := runSmoke(t, 8)
+	for i, pr := range rep.Phases {
+		exp := sched.Phases[i].Expect
+		if pr.Client.Errors != 0 {
+			t.Fatalf("phase %q: %d request errors: %v", pr.Name, pr.Client.Errors, pr.Client.ErrorSamples)
+		}
+		if pr.Engine.Requests != int64(exp.Requests) ||
+			pr.Engine.Hits != int64(exp.Hits) ||
+			pr.Engine.Misses != int64(exp.Misses) ||
+			pr.Engine.TwinMisses != int64(exp.Twins) ||
+			pr.Engine.Singleflight != int64(exp.Collapsed) ||
+			pr.Engine.DeltaPlans != int64(exp.Deltas) {
+			t.Errorf("phase %q: engine delta %+v does not match expectations %+v", pr.Name, pr.Engine, exp)
+		}
+		if pr.Client.Warm != exp.Warm {
+			t.Errorf("phase %q: %d warm resolves, want %d", pr.Name, pr.Client.Warm, exp.Warm)
+		}
+		if pr.Client.Collapsed != exp.Collapsed {
+			t.Errorf("phase %q: client collapsed %d, want %d", pr.Name, pr.Client.Collapsed, exp.Collapsed)
+		}
+		if pr.Work.Count != int64(exp.Requests) {
+			t.Errorf("phase %q: work histogram count %d, want %d", pr.Name, pr.Work.Count, exp.Requests)
+		}
+	}
+	if rep.Evictions != 0 {
+		t.Errorf("replay evicted %d entries; canonical runs must be eviction-free", rep.Evictions)
+	}
+	if rep.CacheEntries != sched.Distinct {
+		t.Errorf("cache holds %d entries, want %d distinct plans", rep.CacheEntries, sched.Distinct)
+	}
+	if rep.Total.Engine.Solves != int64(sched.Distinct) {
+		t.Errorf("%d solves, want exactly one per distinct plan (%d)", rep.Total.Engine.Solves, sched.Distinct)
+	}
+}
+
+// TestRunDeterministicAcrossWorkers is the acceptance property of the
+// subsystem: the canonical report marshals byte-identically for any worker
+// count (and across repeated runs).
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	var ref []byte
+	for _, workers := range []int{1, 4, 9} {
+		_, rep := runSmoke(t, workers)
+		got, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if !bytes.Equal(got, ref) {
+			t.Errorf("workers=%d: canonical report differs from workers=1 report:\n%s\n---\n%s", workers, got, ref)
+		}
+	}
+}
+
+// TestRunHTTPMode replays the smoke mix over HTTP against an httptest
+// server. Burst singleflight splits are best-effort without the in-process
+// gate, so only the scheduling-independent counters are asserted.
+func TestRunHTTPMode(t *testing.T) {
+	mix, err := MixByName("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Compile(mix, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := service.New(service.Config{CacheSize: sched.Distinct + 16})
+	srv := httptest.NewServer(service.NewHandler(engine))
+	defer srv.Close()
+	rep, err := Run(NewHTTPPlanner(srv.URL), sched, Options{Workers: 4, WallClock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "http" {
+		t.Errorf("mode %q, want http", rep.Mode)
+	}
+	if rep.Total.Client.Errors != 0 {
+		t.Fatalf("%d errors over HTTP: %v", rep.Total.Client.Errors, rep.Total.Client.ErrorSamples)
+	}
+	if rep.Total.Engine.Requests != int64(sched.Requests) {
+		t.Errorf("engine saw %d requests, want %d", rep.Total.Engine.Requests, sched.Requests)
+	}
+	if rep.Total.Engine.Misses != int64(sched.Distinct) {
+		t.Errorf("engine misses %d, want %d (exactly one per distinct plan)", rep.Total.Engine.Misses, sched.Distinct)
+	}
+	if rep.Total.Engine.TwinMisses != int64(sched.Expect.Twins) {
+		t.Errorf("twin misses %d, want %d", rep.Total.Engine.TwinMisses, sched.Expect.Twins)
+	}
+	if rep.Timings == nil || rep.Timings.LatencyNs.Count != int64(sched.Requests) {
+		t.Errorf("wall-clock timings missing or incomplete: %+v", rep.Timings)
+	}
+}
+
+// TestSummaryGolden pins the human-readable summary of the smoke replay.
+func TestSummaryGolden(t *testing.T) {
+	_, rep := runSmoke(t, 4)
+	got := []byte(rep.Summary())
+	path := filepath.Join("testdata", "golden", "summary_smoke.txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("summary differs from %s.\nIf the change is intentional, regenerate with: go test ./internal/load -run Golden -update\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestMixValidation rejects malformed mixes and unknown names loudly.
+func TestMixValidation(t *testing.T) {
+	if _, err := MixByName("no-such-mix"); err == nil {
+		t.Error("unknown mix name must be rejected")
+	}
+	bad := []Mix{
+		{},
+		{Name: "x"},
+		{Name: "x", Phases: []PhaseSpec{{Name: "p", Kind: KindZipf, Scenarios: []string{"star"}, Size: 8}}},                                       // zipf without counts
+		{Name: "x", Phases: []PhaseSpec{{Name: "p", Kind: KindZipf, Scenarios: []string{"star"}, Size: 8, Platforms: 2, Requests: 4, Skew: 0.5}}}, // bad skew
+		{Name: "x", Phases: []PhaseSpec{{Name: "p", Kind: KindFlood, Scenarios: []string{"star"}, Size: 8, Platforms: 1, Burst: 1}}},              // burst < 2
+		{Name: "x", Phases: []PhaseSpec{{Name: "p", Kind: "nope", Scenarios: []string{"star"}, Size: 8}}},                                         // unknown kind
+		{Name: "x", Phases: []PhaseSpec{{Name: "p", Kind: KindZipf, Scenarios: []string{"no-such-family"}, Size: 8, Platforms: 1, Requests: 1}}},
+		{Name: "x", Phases: []PhaseSpec{{Name: "p", Kind: KindZipf, Scenarios: []string{"star"}, Size: 8, Platforms: 1, Requests: 1, Heuristic: "lp-growtree"}}}, // typo'd heuristic
+
+		{Name: "x", Phases: []PhaseSpec{{Name: "p", Kind: KindTwins, Scenarios: []string{"star"}, Size: 8, Platforms: 1}, {Name: "p", Kind: KindTwins, Scenarios: []string{"star"}, Size: 8, Platforms: 1}}}, // dup phase name
+	}
+	for i, m := range bad {
+		if _, err := Compile(m, 1); err == nil {
+			t.Errorf("bad mix %d compiled without error", i)
+		}
+	}
+	for _, m := range Mixes() {
+		if err := m.validate(); err != nil {
+			t.Errorf("built-in mix %q invalid: %v", m.Name, err)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/heuristics"
+	"repro/internal/scenarios"
+)
+
+// PhaseKind identifies one traffic pattern of a mix phase.
+type PhaseKind string
+
+// The built-in traffic patterns.
+const (
+	// KindZipf draws Requests plan requests over Platforms distinct
+	// platforms with zipfian popularity (skew Skew).
+	KindZipf PhaseKind = "zipf"
+	// KindLineage drives Lineages independent base+delta churn lineages of
+	// Depth deltas each: every request addresses the previous state by
+	// fingerprint and mutates it with one generated churn delta.
+	KindLineage PhaseKind = "lineage"
+	// KindTwins plans Platforms base platforms, then a renumbered twin of
+	// each (same fingerprint, different exact encoding), then Dupes repeat
+	// requests of every base and twin.
+	KindTwins PhaseKind = "twins"
+	// KindFlood issues Platforms cold-miss bursts: Burst identical
+	// concurrent requests against a previously unseen platform each.
+	KindFlood PhaseKind = "flood"
+)
+
+// PhaseSpec describes one phase of a mix. Zero values select sensible
+// defaults where noted; the zero Spec is invalid.
+type PhaseSpec struct {
+	// Name labels the phase in reports (unique within a mix).
+	Name string `json:"name"`
+	// Kind selects the traffic pattern.
+	Kind PhaseKind `json:"kind"`
+	// Scenarios are the registry families platforms are drawn from
+	// (round-robin). Empty is invalid.
+	Scenarios []string `json:"scenarios"`
+	// Size is the node count of every generated platform.
+	Size int `json:"size"`
+	// Platforms is the number of distinct platforms (zipf, twins, flood).
+	Platforms int `json:"platforms,omitempty"`
+	// Requests is the total number of requests of a zipf phase.
+	Requests int `json:"requests,omitempty"`
+	// Skew is the zipf popularity skew (must be > 1; default 1.3).
+	Skew float64 `json:"skew,omitempty"`
+	// Lineages and Depth shape a lineage phase: Lineages independent chains
+	// of one base plan plus Depth delta requests.
+	Lineages int `json:"lineages,omitempty"`
+	Depth    int `json:"depth,omitempty"`
+	// Profile overrides the churn profile generating lineage deltas
+	// (default: the scenario family's registry profile).
+	Profile string `json:"profile,omitempty"`
+	// Dupes is the number of repeat requests per base and per twin in a
+	// twins phase.
+	Dupes int `json:"dupes,omitempty"`
+	// Burst is the number of identical concurrent requests per flood
+	// platform (must be >= 2).
+	Burst int `json:"burst,omitempty"`
+	// Heuristic optionally names a tree heuristic every request of the
+	// phase asks for (empty = LP optimum only).
+	Heuristic string `json:"heuristic,omitempty"`
+}
+
+// Mix is a named workload: an ordered list of phases replayed against one
+// shared plan cache (phases see the cache state earlier phases left
+// behind).
+type Mix struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description"`
+	Phases      []PhaseSpec `json:"phases"`
+}
+
+// validate checks a mix is well-formed enough to compile.
+func (m Mix) validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("load: mix has no name")
+	}
+	if len(m.Phases) == 0 {
+		return fmt.Errorf("load: mix %q has no phases", m.Name)
+	}
+	names := make(map[string]bool, len(m.Phases))
+	for i, ph := range m.Phases {
+		if ph.Name == "" {
+			return fmt.Errorf("load: mix %q: phase %d has no name", m.Name, i)
+		}
+		if names[ph.Name] {
+			return fmt.Errorf("load: mix %q: duplicate phase name %q", m.Name, ph.Name)
+		}
+		names[ph.Name] = true
+		if len(ph.Scenarios) == 0 {
+			return fmt.Errorf("load: mix %q: phase %q has no scenarios", m.Name, ph.Name)
+		}
+		for _, s := range ph.Scenarios {
+			if _, err := scenarios.Get(s); err != nil {
+				return fmt.Errorf("load: mix %q: phase %q: %w", m.Name, ph.Name, err)
+			}
+		}
+		if ph.Size < 2 {
+			return fmt.Errorf("load: mix %q: phase %q: size %d too small", m.Name, ph.Name, ph.Size)
+		}
+		if ph.Heuristic != "" {
+			if _, err := heuristics.ByName(ph.Heuristic); err != nil {
+				return fmt.Errorf("load: mix %q: phase %q: %w", m.Name, ph.Name, err)
+			}
+		}
+		switch ph.Kind {
+		case KindZipf:
+			if ph.Platforms < 1 || ph.Requests < ph.Platforms {
+				return fmt.Errorf("load: mix %q: phase %q: zipf needs platforms >= 1 and requests >= platforms", m.Name, ph.Name)
+			}
+			if ph.Skew != 0 && ph.Skew <= 1 {
+				return fmt.Errorf("load: mix %q: phase %q: zipf skew must be > 1", m.Name, ph.Name)
+			}
+		case KindLineage:
+			if ph.Lineages < 1 || ph.Depth < 1 {
+				return fmt.Errorf("load: mix %q: phase %q: lineage needs lineages >= 1 and depth >= 1", m.Name, ph.Name)
+			}
+		case KindTwins:
+			if ph.Platforms < 1 {
+				return fmt.Errorf("load: mix %q: phase %q: twins needs platforms >= 1", m.Name, ph.Name)
+			}
+		case KindFlood:
+			if ph.Platforms < 1 || ph.Burst < 2 {
+				return fmt.Errorf("load: mix %q: phase %q: flood needs platforms >= 1 and burst >= 2", m.Name, ph.Name)
+			}
+		default:
+			return fmt.Errorf("load: mix %q: phase %q: unknown kind %q", m.Name, ph.Name, ph.Kind)
+		}
+	}
+	return nil
+}
+
+// builtinMixes are the registered workloads. The smoke mix is the
+// deterministic CI/golden workload: small enough to replay in seconds,
+// while still touching all four traffic patterns.
+var builtinMixes = map[string]Mix{
+	"smoke": {
+		Name:        "smoke",
+		Description: "tiny deterministic all-pattern workload (CI smoke and golden tests)",
+		Phases: []PhaseSpec{
+			{Name: "zipf-popular", Kind: KindZipf, Scenarios: []string{scenarios.NameStar, scenarios.NameChain}, Size: 8, Platforms: 3, Requests: 12, Skew: 1.4, Heuristic: "lp-grow-tree"},
+			{Name: "churn-lineages", Kind: KindLineage, Scenarios: []string{scenarios.NameLastMile}, Size: 10, Lineages: 2, Depth: 2},
+			{Name: "twin-storm", Kind: KindTwins, Scenarios: []string{scenarios.NameRing}, Size: 8, Platforms: 2, Dupes: 1},
+			{Name: "cold-flood", Kind: KindFlood, Scenarios: []string{scenarios.NameGrid}, Size: 9, Platforms: 2, Burst: 4},
+		},
+	},
+	"steady-zipf": {
+		Name:        "steady-zipf",
+		Description: "cache-economics workload: zipfian popularity over a mixed scenario pool",
+		Phases: []PhaseSpec{
+			{Name: "warmup", Kind: KindZipf, Scenarios: []string{scenarios.NameClusters, scenarios.NameTiers}, Size: 16, Platforms: 8, Requests: 32, Skew: 1.2, Heuristic: "lp-grow-tree"},
+			{Name: "skewed", Kind: KindZipf, Scenarios: []string{scenarios.NameClusters, scenarios.NameTiers, scenarios.NameLastMile}, Size: 16, Platforms: 12, Requests: 200, Skew: 1.5, Heuristic: "lp-grow-tree"},
+		},
+	},
+	"churn-lineages": {
+		Name:        "churn-lineages",
+		Description: "warm-session workload: many interleaved base+delta churn lineages",
+		Phases: []PhaseSpec{
+			{Name: "lineages", Kind: KindLineage, Scenarios: []string{scenarios.NameClusters, scenarios.NameLastMile, scenarios.NameTiers}, Size: 16, Lineages: 6, Depth: 8},
+		},
+	},
+	"twin-storm": {
+		Name:        "twin-storm",
+		Description: "twin-guard workload: renumbered duplicates hammering shared fingerprints",
+		Phases: []PhaseSpec{
+			{Name: "twins", Kind: KindTwins, Scenarios: []string{scenarios.NameRandomSparse, scenarios.NameRing}, Size: 12, Platforms: 6, Dupes: 4},
+		},
+	},
+	"cold-flood": {
+		Name:        "cold-flood",
+		Description: "singleflight workload: concurrent identical bursts on uncached platforms",
+		Phases: []PhaseSpec{
+			{Name: "floods", Kind: KindFlood, Scenarios: []string{scenarios.NameGrid, scenarios.NameStar}, Size: 12, Platforms: 8, Burst: 8},
+		},
+	},
+	"mixed": {
+		Name:        "mixed",
+		Description: "production-shaped blend: zipf steady state, churn lineages, twins, floods",
+		Phases: []PhaseSpec{
+			{Name: "zipf-popular", Kind: KindZipf, Scenarios: []string{scenarios.NameClusters, scenarios.NameTiers, scenarios.NameLastMile}, Size: 16, Platforms: 10, Requests: 80, Skew: 1.3, Heuristic: "lp-grow-tree"},
+			{Name: "churn-lineages", Kind: KindLineage, Scenarios: []string{scenarios.NameClusters, scenarios.NameLastMile}, Size: 16, Lineages: 4, Depth: 5},
+			{Name: "twin-storm", Kind: KindTwins, Scenarios: []string{scenarios.NameRandomSparse}, Size: 12, Platforms: 4, Dupes: 2},
+			{Name: "cold-flood", Kind: KindFlood, Scenarios: []string{scenarios.NameGrid}, Size: 12, Platforms: 4, Burst: 6},
+			{Name: "zipf-rehit", Kind: KindZipf, Scenarios: []string{scenarios.NameClusters, scenarios.NameTiers, scenarios.NameLastMile}, Size: 16, Platforms: 10, Requests: 60, Skew: 1.3, Heuristic: "lp-grow-tree"},
+		},
+	},
+}
+
+// MixNames returns the built-in mix names in sorted order.
+func MixNames() []string {
+	names := make([]string, 0, len(builtinMixes))
+	for name := range builtinMixes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MixByName returns the named built-in mix; unknown names are rejected with
+// the list of known ones.
+func MixByName(name string) (Mix, error) {
+	m, ok := builtinMixes[name]
+	if !ok {
+		return Mix{}, fmt.Errorf("load: unknown mix %q (known mixes: %v)", name, MixNames())
+	}
+	return m, nil
+}
+
+// Mixes returns every built-in mix in MixNames order.
+func Mixes() []Mix {
+	names := MixNames()
+	out := make([]Mix, 0, len(names))
+	for _, name := range names {
+		out = append(out, builtinMixes[name])
+	}
+	return out
+}

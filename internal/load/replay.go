@@ -1,0 +1,354 @@
+package load
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/service"
+	"repro/internal/stats"
+)
+
+// Planner is the replay target: the in-process engine (EnginePlanner) or a
+// remote bcast-serve (HTTPPlanner).
+type Planner interface {
+	// Plan answers one plan request.
+	Plan(req service.PlanRequest) (*service.PlanResult, error)
+	// Stats snapshots the engine counters (used for per-phase deltas).
+	Stats() (service.Stats, error)
+	// Mode names the target in reports: "in-process" or "http".
+	Mode() string
+}
+
+// EnginePlanner replays against an in-process service.Engine.
+type EnginePlanner struct {
+	Engine *service.Engine
+}
+
+// Plan implements Planner.
+func (ep EnginePlanner) Plan(req service.PlanRequest) (*service.PlanResult, error) {
+	return ep.Engine.Plan(req)
+}
+
+// Stats implements Planner.
+func (ep EnginePlanner) Stats() (service.Stats, error) { return ep.Engine.Stats(), nil }
+
+// Mode implements Planner.
+func (ep EnginePlanner) Mode() string { return "in-process" }
+
+// NewInProcessEngine returns a fresh planning engine wired for a canonical
+// replay of the schedule — the burst gate installed in its instrumentation
+// hooks and, unless cacheSize overrides it, a plan cache sized to hold
+// every distinct plan of the workload without evicting. Pass the returned
+// gate in Options.Gate. cmd/bcast-load, the broadcast façade and the tests
+// all build their targets here so the determinism-critical wiring cannot
+// drift apart.
+func NewInProcessEngine(sched *Schedule, cacheSize int) (EnginePlanner, *Gate) {
+	if cacheSize <= 0 {
+		cacheSize = sched.Distinct + 16
+	}
+	gate := NewGate()
+	engine := service.New(service.Config{CacheSize: cacheSize, Hooks: gate.Hooks()})
+	return EnginePlanner{Engine: engine}, gate
+}
+
+// Gate makes flood bursts deterministic: wired into the engine's
+// instrumentation hooks (service.Config.Hooks), it holds a burst's one
+// solve until every member of the burst has registered its lookup, so
+// exactly burst-1 requests collapse onto the solve — for any worker count
+// and any scheduling. Outside burst waves the gate is disarmed and free.
+type Gate struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	expect int
+	seen   int
+}
+
+// NewGate returns a disarmed gate.
+func NewGate() *Gate {
+	g := &Gate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Hooks returns the service hooks that wire the gate into an engine:
+//
+//	service.New(service.Config{Hooks: gate.Hooks(), ...})
+func (g *Gate) Hooks() *service.Hooks {
+	return &service.Hooks{OnLookup: g.onLookup, BeforeSolve: g.beforeSolve}
+}
+
+func (g *Gate) onLookup(service.LookupEvent) {
+	g.mu.Lock()
+	g.seen++
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+func (g *Gate) beforeSolve() {
+	g.mu.Lock()
+	for g.expect > 0 && g.seen < g.expect {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// arm prepares the gate for a burst of n requests; disarm releases it.
+func (g *Gate) arm(n int) {
+	g.mu.Lock()
+	g.expect, g.seen = n, 0
+	g.mu.Unlock()
+}
+
+func (g *Gate) disarm() {
+	g.mu.Lock()
+	g.expect, g.seen = 0, 0
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// Options tune a replay.
+type Options struct {
+	// Workers bounds the number of concurrently issued requests within a
+	// wave (default: number of CPUs). It changes wall-clock behavior only,
+	// never the canonical report. Exception: a flood burst always issues
+	// its full Burst of identical requests at once regardless of Workers —
+	// concurrency is the pattern under test, and holding members back
+	// would deadlock a gated replay.
+	Workers int
+	// Rate, when positive, paces request issue to the target
+	// requests-per-second (token-bucket over the whole replay). Pacing
+	// changes wall-clock behavior only.
+	Rate float64
+	// Gate, when non-nil, must be wired into the target engine's Hooks; it
+	// makes flood-burst singleflight counts exact. Leave nil for HTTP
+	// targets (bursts still fly concurrently, best-effort).
+	Gate *Gate
+	// WallClock adds the non-deterministic timings section (wall-clock
+	// latency histograms, requests/second) to the report.
+	WallClock bool
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// pacer spaces request starts evenly at the target rate.
+type pacer struct {
+	mu       sync.Mutex
+	next     time.Time
+	interval time.Duration
+}
+
+func newPacer(rate float64) *pacer {
+	if rate <= 0 {
+		return nil
+	}
+	return &pacer{next: time.Now(), interval: time.Duration(float64(time.Second) / rate)}
+}
+
+// wait blocks until the caller's slot; nil pacers never block.
+func (p *pacer) wait() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	at := p.next
+	p.next = p.next.Add(p.interval)
+	p.mu.Unlock()
+	time.Sleep(time.Until(at))
+}
+
+// outcome is the record of one issued request.
+type outcome struct {
+	cost      int64 // virtual ticks: 1 for a hit, 1+LP pivots for a solve
+	wallNs    int64
+	cached    bool
+	collapsed bool
+	warm      bool
+	err       string
+}
+
+// observe converts a plan result into its outcome record.
+func observe(res *service.PlanResult, err error, wall time.Duration) outcome {
+	out := outcome{cost: 1, wallNs: wall.Nanoseconds()}
+	switch {
+	case err != nil:
+		out.err = err.Error()
+	case res.Cached:
+		out.cached = true
+		out.collapsed = res.Collapsed
+	default:
+		out.warm = res.WarmResolved
+		if res.Plan != nil {
+			out.cost = 1 + int64(res.Plan.LPPivots)
+		}
+	}
+	return out
+}
+
+// Run replays a compiled schedule against the target and returns the
+// canonical report. Every field of the report outside the optional timings
+// section is deterministic for a fixed (mix, seed) — independent of worker
+// count, pacing, and wall-clock speed — provided the target starts cold,
+// receives no concurrent foreign traffic, and its plan cache is large
+// enough to hold Schedule.Distinct entries without evicting.
+func Run(target Planner, sched *Schedule, opts Options) (*Report, error) {
+	workers := opts.workers()
+	pace := newPacer(opts.Rate)
+	rep := &Report{
+		Mix:         sched.Mix.Name,
+		Description: sched.Mix.Description,
+		Seed:        sched.Seed,
+		Clock:       "virtual",
+		Mode:        target.Mode(),
+	}
+	var timings *Timings
+	if opts.WallClock {
+		timings = &Timings{Workers: workers, Rate: opts.Rate}
+	}
+	before, err := target.Stats()
+	if err != nil {
+		return nil, fmt.Errorf("load: reading engine stats: %w", err)
+	}
+	initial := before
+	runStart := time.Now()
+	var totalWork, totalWall stats.Histogram
+	var totalVT int64
+
+	for pi := range sched.Phases {
+		phase := &sched.Phases[pi]
+		var work, wall stats.Histogram
+		var client ClientCounters
+		phaseStart := time.Now()
+
+		record := func(out outcome) {
+			work.Record(out.cost)
+			wall.Record(out.wallNs)
+			client.Requests++
+			if out.cached {
+				client.Cached++
+			}
+			if out.collapsed {
+				client.Collapsed++
+			}
+			if out.warm {
+				client.Warm++
+			}
+			if out.err != "" {
+				client.Errors++
+				if len(client.ErrorSamples) < 3 {
+					client.ErrorSamples = append(client.ErrorSamples, out.err)
+				}
+			}
+		}
+
+		for wi := range phase.Waves {
+			wave := &phase.Waves[wi]
+			if wave.Burst {
+				// Exclusive burst wave: one step, Burst concurrent
+				// requests, gated when a Gate is wired in.
+				step := wave.Steps[0]
+				if opts.Gate != nil {
+					opts.Gate.arm(step.Burst)
+				}
+				outs := make([]outcome, step.Burst)
+				var wg sync.WaitGroup
+				for b := 0; b < step.Burst; b++ {
+					wg.Add(1)
+					go func(b int) {
+						defer wg.Done()
+						pace.wait()
+						start := time.Now()
+						res, err := target.Plan(step.Req)
+						outs[b] = observe(res, err, time.Since(start))
+					}(b)
+				}
+				wg.Wait()
+				if opts.Gate != nil {
+					opts.Gate.disarm()
+				}
+				for _, out := range outs {
+					record(out)
+				}
+				continue
+			}
+			outs := parallel.Map(len(wave.Steps), workers, func(i int) outcome {
+				pace.wait()
+				start := time.Now()
+				res, err := target.Plan(wave.Steps[i].Req)
+				return observe(res, err, time.Since(start))
+			})
+			for _, out := range outs {
+				record(out)
+			}
+		}
+
+		after, err := target.Stats()
+		if err != nil {
+			return nil, fmt.Errorf("load: reading engine stats: %w", err)
+		}
+		vt := work.Sum()
+		pr := PhaseReport{
+			Name:        phase.Spec.Name,
+			Kind:        string(phase.Spec.Kind),
+			Requests:    phase.Expect.Requests,
+			Distinct:    phase.Expect.Misses,
+			Client:      client,
+			Engine:      subStats(after, before),
+			Work:        work.Summary(),
+			VirtualTime: vt,
+		}
+		if vt > 0 {
+			pr.RequestsPerKTick = float64(pr.Requests) * 1000 / float64(vt)
+		}
+		rep.Phases = append(rep.Phases, pr)
+		if timings != nil {
+			d := time.Since(phaseStart)
+			pt := PhaseTiming{Name: phase.Spec.Name, DurationNs: d.Nanoseconds(), LatencyNs: wall.Summary()}
+			if d > 0 {
+				pt.RequestsPerSec = float64(pr.Requests) / d.Seconds()
+			}
+			timings.Phases = append(timings.Phases, pt)
+		}
+		totalWork.Merge(&work)
+		totalWall.Merge(&wall)
+		totalVT += vt
+		rep.Total.Client.add(client)
+		before = after
+	}
+
+	final, err := target.Stats()
+	if err != nil {
+		return nil, fmt.Errorf("load: reading engine stats: %w", err)
+	}
+	rep.Total.Name = "total"
+	rep.Total.Kind = "all"
+	rep.Total.Requests = sched.Requests
+	rep.Total.Distinct = sched.Distinct
+	for _, pr := range rep.Phases {
+		rep.Total.Engine.add(pr.Engine)
+	}
+	rep.Total.Work = totalWork.Summary()
+	rep.Total.VirtualTime = totalVT
+	if totalVT > 0 {
+		rep.Total.RequestsPerKTick = float64(sched.Requests) * 1000 / float64(totalVT)
+	}
+	rep.CacheEntries = final.CacheEntries
+	rep.Evictions = final.Evictions - initial.Evictions
+	if timings != nil {
+		d := time.Since(runStart)
+		timings.DurationNs = d.Nanoseconds()
+		timings.LatencyNs = totalWall.Summary()
+		if d > 0 {
+			timings.RequestsPerSec = float64(sched.Requests) / d.Seconds()
+		}
+		rep.Timings = timings
+	}
+	return rep, nil
+}

@@ -1,0 +1,206 @@
+package load
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/service"
+	"repro/internal/stats"
+)
+
+// ClientCounters are the request outcomes as seen by the load generator
+// (response flags), summed per phase.
+type ClientCounters struct {
+	Requests int `json:"requests"`
+	// Cached counts responses served from the plan cache; Collapsed the
+	// subset that waited on an in-flight identical solve; Warm the solves
+	// that reused a warm session via the base+delta path.
+	Cached    int `json:"cached"`
+	Collapsed int `json:"collapsed"`
+	Warm      int `json:"warm"`
+	Errors    int `json:"errors"`
+	// ErrorSamples holds the first few error strings (diagnostics; empty in
+	// a healthy replay).
+	ErrorSamples []string `json:"errorSamples,omitempty"`
+}
+
+func (c *ClientCounters) add(o ClientCounters) {
+	c.Requests += o.Requests
+	c.Cached += o.Cached
+	c.Collapsed += o.Collapsed
+	c.Warm += o.Warm
+	c.Errors += o.Errors
+	for _, s := range o.ErrorSamples {
+		if len(c.ErrorSamples) < 3 {
+			c.ErrorSamples = append(c.ErrorSamples, s)
+		}
+	}
+}
+
+// EngineDelta is the growth of the engine's counters across one phase
+// (server-side truth, from service.Stats snapshots around the phase).
+type EngineDelta struct {
+	Requests        int64 `json:"requests"`
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	TwinMisses      int64 `json:"twinMisses"`
+	Singleflight    int64 `json:"singleflight"`
+	Evictions       int64 `json:"evictions"`
+	Solves          int64 `json:"solves"`
+	DeltaPlans      int64 `json:"deltaPlans"`
+	WarmResolves    int64 `json:"warmResolves"`
+	SessionRebuilds int64 `json:"sessionRebuilds"`
+	LPPivots        int64 `json:"lpPivots"`
+	LPWarmPivots    int64 `json:"lpWarmPivots"`
+	LPColdPivots    int64 `json:"lpColdPivots"`
+}
+
+func (d *EngineDelta) add(o EngineDelta) {
+	d.Requests += o.Requests
+	d.Hits += o.Hits
+	d.Misses += o.Misses
+	d.TwinMisses += o.TwinMisses
+	d.Singleflight += o.Singleflight
+	d.Evictions += o.Evictions
+	d.Solves += o.Solves
+	d.DeltaPlans += o.DeltaPlans
+	d.WarmResolves += o.WarmResolves
+	d.SessionRebuilds += o.SessionRebuilds
+	d.LPPivots += o.LPPivots
+	d.LPWarmPivots += o.LPWarmPivots
+	d.LPColdPivots += o.LPColdPivots
+}
+
+// subStats computes after-before across the engine counter snapshot.
+func subStats(after, before service.Stats) EngineDelta {
+	return EngineDelta{
+		Requests:        after.Requests - before.Requests,
+		Hits:            after.Hits - before.Hits,
+		Misses:          after.Misses - before.Misses,
+		TwinMisses:      after.TwinMisses - before.TwinMisses,
+		Singleflight:    after.Singleflight - before.Singleflight,
+		Evictions:       after.Evictions - before.Evictions,
+		Solves:          after.Solves - before.Solves,
+		DeltaPlans:      after.DeltaPlans - before.DeltaPlans,
+		WarmResolves:    after.WarmResolves - before.WarmResolves,
+		SessionRebuilds: after.SessionRebuilds - before.SessionRebuilds,
+		LPPivots:        after.LPPivots - before.LPPivots,
+		LPWarmPivots:    after.LPWarmPivots - before.LPWarmPivots,
+		LPColdPivots:    after.LPColdPivots - before.LPColdPivots,
+	}
+}
+
+// PhaseReport is the canonical (deterministic) outcome of one mix phase.
+// Latency lives on the virtual clock: one tick for a cache hit, 1+LP-pivots
+// for a solve, so the histogram exposes the cache's latency economics —
+// hit/miss asymmetry, warm-vs-cold solve cost — without wall-clock noise.
+type PhaseReport struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Requests is the phase's request count, Distinct the number of new
+	// distinct plans it creates (== expected cache misses).
+	Requests int `json:"requests"`
+	Distinct int `json:"distinct"`
+	// Client aggregates response flags; Engine is the engine counter delta.
+	Client ClientCounters `json:"client"`
+	Engine EngineDelta    `json:"engine"`
+	// Work is the per-request virtual-clock latency distribution;
+	// VirtualTime its total (the phase's serial virtual duration), and
+	// RequestsPerKTick the phase throughput on that clock.
+	Work             stats.HistogramSummary `json:"work"`
+	VirtualTime      int64                  `json:"virtualTime"`
+	RequestsPerKTick float64                `json:"requestsPerKTick"`
+}
+
+// PhaseTiming is the wall-clock view of a phase (reported only on demand;
+// never byte-stable).
+type PhaseTiming struct {
+	Name           string                 `json:"name"`
+	DurationNs     int64                  `json:"durationNs"`
+	RequestsPerSec float64                `json:"requestsPerSec"`
+	LatencyNs      stats.HistogramSummary `json:"latencyNs"`
+}
+
+// Timings is the optional wall-clock section of a report.
+type Timings struct {
+	Workers        int                    `json:"workers"`
+	Rate           float64                `json:"rate,omitempty"`
+	Phases         []PhaseTiming          `json:"phases"`
+	DurationNs     int64                  `json:"durationNs"`
+	RequestsPerSec float64                `json:"requestsPerSec"`
+	LatencyNs      stats.HistogramSummary `json:"latencyNs"`
+}
+
+// Report is the outcome of one replay: everything outside Timings is
+// deterministic for a fixed (mix, seed) against a cold target — across
+// runs, worker counts and pacing. cmd/bcast-load writes it as
+// BENCH_load.json.
+type Report struct {
+	Mix         string        `json:"mix"`
+	Description string        `json:"description"`
+	Seed        int64         `json:"seed"`
+	Clock       string        `json:"clock"`
+	Mode        string        `json:"mode"`
+	Phases      []PhaseReport `json:"phases"`
+	Total       PhaseReport   `json:"total"`
+	// CacheEntries and Evictions describe the target cache after the
+	// replay: a canonical run must end with Evictions == 0 (size the cache
+	// to Schedule.Distinct or larger).
+	CacheEntries int      `json:"cacheEntries"`
+	Evictions    int64    `json:"evictions"`
+	Timings      *Timings `json:"timings,omitempty"`
+}
+
+// Summary renders the human-readable report: one row per phase plus a
+// total row over the canonical counters, and — when present — a wall-clock
+// footer. Deterministic whenever the report's canonical part is.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "load mix %q seed %d — %s, %s clock\n", r.Mix, r.Seed, r.Mode, r.Clock)
+	fmt.Fprintf(&b, "%s\n", r.Description)
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\tkind\treqs\tdistinct\thit%\tsglfl\twarm\ttwins\tp50\tp99\treq/ktick")
+	rows := append(append([]PhaseReport(nil), r.Phases...), r.Total)
+	for _, pr := range rows {
+		hitPct := 0.0
+		if pr.Engine.Requests > 0 {
+			hitPct = 100 * float64(pr.Engine.Hits) / float64(pr.Engine.Requests)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.1f\t%d\t%d\t%d\t%d\t%d\t%.2f\n",
+			pr.Name, pr.Kind, pr.Requests, pr.Distinct, hitPct,
+			pr.Engine.Singleflight, pr.Client.Warm, pr.Engine.TwinMisses,
+			pr.Work.P50, pr.Work.P99, pr.RequestsPerKTick)
+	}
+	tw.Flush()
+	t := r.Total
+	fmt.Fprintf(&b, "totals: %d requests, %d solves, %d hits (%d collapsed), %d twin misses, %d warm resolves / %d rebuilds\n",
+		t.Requests, t.Engine.Solves, t.Engine.Hits, t.Engine.Singleflight,
+		t.Engine.TwinMisses, t.Engine.WarmResolves, t.Engine.SessionRebuilds)
+	fmt.Fprintf(&b, "lp pivots: %d total (%d warm / %d cold); virtual time %d ticks; cache %d entries, %d evictions\n",
+		t.Engine.LPPivots, t.Engine.LPWarmPivots, t.Engine.LPColdPivots,
+		t.VirtualTime, r.CacheEntries, r.Evictions)
+	if t.Client.Errors > 0 {
+		fmt.Fprintf(&b, "ERRORS: %d requests failed; first: %v\n", t.Client.Errors, t.Client.ErrorSamples)
+	}
+	if r.Timings != nil {
+		fmt.Fprintf(&b, "wall clock (non-deterministic): %.2fs, %.1f req/s, p50 %s p99 %s (workers %d)\n",
+			float64(r.Timings.DurationNs)/1e9, r.Timings.RequestsPerSec,
+			fmtNs(r.Timings.LatencyNs.P50), fmtNs(r.Timings.LatencyNs.P99), r.Timings.Workers)
+	}
+	return b.String()
+}
+
+// fmtNs renders nanoseconds with an adaptive unit.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,420 @@
+package load
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dynamic"
+	"repro/internal/platform"
+	"repro/internal/scenarios"
+	"repro/internal/service"
+	"repro/internal/topology"
+)
+
+// Step is one schedule item: a single plan request, or — when Burst > 1 —
+// Burst identical concurrent requests (a cold-miss flood burst).
+type Step struct {
+	Req service.PlanRequest
+	// Burst is the number of identical concurrent requests (1 = single).
+	Burst int
+	// expectMiss/expectTwin record the compile-time cache outcome of the
+	// step's first request (duplicates of it within a burst are hits).
+	expectMiss bool
+	expectTwin bool
+	// expectWarm records that the step is a delta request expected to take
+	// the base entry's warm session.
+	expectWarm bool
+}
+
+// requests returns the number of requests the step issues.
+func (s Step) requests() int {
+	if s.Burst > 1 {
+		return s.Burst
+	}
+	return 1
+}
+
+// Wave is a set of steps that may execute concurrently in any order: every
+// step's cache outcome is independent of the others (duplicates of a key
+// only ever appear in waves after the key's first-touch wave). Burst waves
+// hold exactly one step and run exclusively, so a Gate can attribute every
+// in-flight lookup to the burst.
+type Wave struct {
+	Steps []Step
+	Burst bool
+}
+
+// Expected are the schedule-derived per-phase cache outcomes: what the
+// engine counters must report after replaying the phase, for any worker
+// count. Collapsed (and the matching engine singleflight count) is exact
+// only when the replay has a Gate; without one it is the upper bound the
+// burst structure aims for.
+type Expected struct {
+	Requests  int `json:"requests"`
+	Misses    int `json:"misses"`
+	Hits      int `json:"hits"`
+	Twins     int `json:"twins"`
+	Collapsed int `json:"collapsed"`
+	Warm      int `json:"warm"`
+	Deltas    int `json:"deltas"`
+}
+
+// add accumulates o into e.
+func (e *Expected) add(o Expected) {
+	e.Requests += o.Requests
+	e.Misses += o.Misses
+	e.Hits += o.Hits
+	e.Twins += o.Twins
+	e.Collapsed += o.Collapsed
+	e.Warm += o.Warm
+	e.Deltas += o.Deltas
+}
+
+// CompiledPhase is one phase of a schedule: its spec, its waves, and the
+// expected cache outcomes.
+type CompiledPhase struct {
+	Spec   PhaseSpec
+	Waves  []Wave
+	Expect Expected
+}
+
+// Schedule is a fully materialized workload: every request body is
+// precomputed (lineage base fingerprints included, by replaying the deltas
+// locally), so replaying a schedule issues exactly the same requests no
+// matter the worker count, pacing or target.
+type Schedule struct {
+	Mix    Mix
+	Seed   int64
+	Phases []CompiledPhase
+	// Requests is the total request count; Distinct the number of distinct
+	// plans the workload creates (the minimum cache capacity for an
+	// eviction-free — and therefore fully deterministic — replay).
+	Requests int
+	Distinct int
+	Expect   Expected
+}
+
+// planKey mirrors the service cache identity: the routing parameters plus
+// the exact canonical encoding, so the compiler predicts hits, misses and
+// twin-misses exactly.
+type planKey struct {
+	fp        platform.Fingerprint
+	source    int
+	heuristic string
+	exact     [32]byte
+}
+
+type routeKey struct {
+	fp        platform.Fingerprint
+	source    int
+	heuristic string
+}
+
+// compiler tracks the simulated cache contents across the whole schedule.
+type compiler struct {
+	seed int64
+	seen map[planKey]bool
+	byFP map[routeKey]int
+}
+
+func (c *compiler) classify(p *platform.Platform, req service.PlanRequest) (miss, twin bool) {
+	fp := p.Fingerprint()
+	key := planKey{fp: fp, source: req.Source, heuristic: req.Heuristic, exact: sha256.Sum256(p.CanonicalEncoding())}
+	rk := routeKey{fp: fp, source: req.Source, heuristic: req.Heuristic}
+	if c.seen[key] {
+		return false, false
+	}
+	twin = c.byFP[rk] > 0
+	c.seen[key] = true
+	c.byFP[rk]++
+	return true, twin
+}
+
+// generate builds the i-th platform of a phase kind: families round-robin
+// over the spec's scenario list, and the seed is derived from the mix seed,
+// the kind label, the family, the size and the index — so two phases
+// sharing kind, scenarios and size see identical platforms (and re-hit each
+// other's cache entries), while phases of different kinds never collide.
+func (c *compiler) generate(spec PhaseSpec, label string, i int) (*platform.Platform, error) {
+	family := spec.Scenarios[i%len(spec.Scenarios)]
+	sc, err := scenarios.Get(family)
+	if err != nil {
+		return nil, err
+	}
+	seed := topology.DeriveSeed(c.seed, "load/"+label+"/"+family, spec.Size, i)
+	p, err := sc.Generate(spec.Size, seed)
+	if err != nil {
+		return nil, fmt.Errorf("load: phase %q platform %d (%s): %w", spec.Name, i, family, err)
+	}
+	return p, nil
+}
+
+// exactHex returns the hex exact-encoding key of a platform (the BaseExact
+// every lineage request pins, so twins can never make a base ambiguous).
+func exactHex(p *platform.Platform) string {
+	sum := sha256.Sum256(p.CanonicalEncoding())
+	return hex.EncodeToString(sum[:])
+}
+
+// Compile materializes a mix into a deterministic schedule.
+func Compile(mix Mix, seed int64) (*Schedule, error) {
+	if err := mix.validate(); err != nil {
+		return nil, err
+	}
+	c := &compiler{seed: seed, seen: make(map[planKey]bool), byFP: make(map[routeKey]int)}
+	sched := &Schedule{Mix: mix, Seed: seed}
+	for _, spec := range mix.Phases {
+		var (
+			ph  CompiledPhase
+			err error
+		)
+		switch spec.Kind {
+		case KindZipf:
+			ph, err = c.compileZipf(spec)
+		case KindLineage:
+			ph, err = c.compileLineage(spec)
+		case KindTwins:
+			ph, err = c.compileTwins(spec)
+		case KindFlood:
+			ph, err = c.compileFlood(spec)
+		default:
+			err = fmt.Errorf("load: unknown phase kind %q", spec.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		sched.Phases = append(sched.Phases, ph)
+		sched.Requests += ph.Expect.Requests
+		sched.Distinct += ph.Expect.Misses
+		sched.Expect.add(ph.Expect)
+	}
+	return sched, nil
+}
+
+// finish derives the phase's expected counters from its classified steps.
+func finish(spec PhaseSpec, waves []Wave) CompiledPhase {
+	ph := CompiledPhase{Spec: spec, Waves: waves}
+	for _, w := range waves {
+		for _, s := range w.Steps {
+			n := s.requests()
+			ph.Expect.Requests += n
+			if s.Req.Base != "" {
+				ph.Expect.Deltas += n
+			}
+			if s.expectMiss {
+				ph.Expect.Misses++
+				ph.Expect.Hits += n - 1
+				ph.Expect.Collapsed += n - 1
+				if s.expectTwin {
+					ph.Expect.Twins++
+				}
+				if s.expectWarm {
+					ph.Expect.Warm++
+				}
+			} else {
+				ph.Expect.Hits += n
+			}
+		}
+	}
+	return ph
+}
+
+// compileZipf draws the request stream and splits it into a first-touch
+// wave (every distinct platform drawn, in draw order) and a duplicate wave.
+func (c *compiler) compileZipf(spec PhaseSpec) (CompiledPhase, error) {
+	plats := make([]*platform.Platform, spec.Platforms)
+	for i := range plats {
+		p, err := c.generate(spec, "zipf", i)
+		if err != nil {
+			return CompiledPhase{}, err
+		}
+		plats[i] = p
+	}
+	skew := spec.Skew
+	if skew == 0 {
+		skew = 1.3
+	}
+	rng := topology.NewRNG(topology.DeriveSeed(c.seed, "load/zipf/draw/"+spec.Name))
+	draw := make([]int, spec.Requests)
+	if spec.Platforms > 1 {
+		z := rand.NewZipf(rng, skew, 1, uint64(spec.Platforms-1))
+		if z == nil {
+			return CompiledPhase{}, fmt.Errorf("load: phase %q: invalid zipf skew %v", spec.Name, skew)
+		}
+		for i := range draw {
+			draw[i] = int(z.Uint64())
+		}
+	}
+	var first, rest []Step
+	for _, idx := range draw {
+		p := plats[idx]
+		req := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic}
+		miss, twin := c.classify(p, req)
+		step := Step{Req: req, Burst: 1, expectMiss: miss, expectTwin: twin}
+		if miss {
+			first = append(first, step)
+		} else {
+			rest = append(rest, step)
+		}
+	}
+	var waves []Wave
+	if len(first) > 0 {
+		waves = append(waves, Wave{Steps: first})
+	}
+	if len(rest) > 0 {
+		waves = append(waves, Wave{Steps: rest})
+	}
+	return finish(spec, waves), nil
+}
+
+// compileLineage builds Lineages independent delta chains. Wave 0 plans
+// every base; wave d plans every lineage's d-th mutation, addressed as
+// base-fingerprint + one delta, with the base state's exact key pinned.
+// Chains are linear and bases distinct, so each delta request finds its
+// base entry's warm session in place for any worker count.
+func (c *compiler) compileLineage(spec PhaseSpec) (CompiledPhase, error) {
+	waves := make([]Wave, spec.Depth+1)
+	for j := 0; j < spec.Lineages; j++ {
+		base, err := c.generate(spec, "lineage", j)
+		if err != nil {
+			return CompiledPhase{}, err
+		}
+		family := spec.Scenarios[j%len(spec.Scenarios)]
+		profName := spec.Profile
+		if profName == "" {
+			sc, _ := scenarios.Get(family)
+			profName = sc.EffectiveChurnProfile()
+		}
+		prof, err := dynamic.ProfileByName(profName)
+		if err != nil {
+			return CompiledPhase{}, fmt.Errorf("load: phase %q: %w", spec.Name, err)
+		}
+		trace, err := dynamic.GenerateTrace(base, 0, prof, spec.Depth, topology.DeriveSeed(c.seed, "load/lineage/trace/"+spec.Name, j))
+		if err != nil {
+			return CompiledPhase{}, fmt.Errorf("load: phase %q lineage %d: %w", spec.Name, j, err)
+		}
+
+		req := service.PlanRequest{Platform: base, Source: 0, Heuristic: spec.Heuristic}
+		miss, twin := c.classify(base, req)
+		waves[0].Steps = append(waves[0].Steps, Step{Req: req, Burst: 1, expectMiss: miss, expectTwin: twin})
+
+		local := base.Clone()
+		for d, ev := range trace.Events {
+			prevFP := local.Fingerprint().String()
+			prevExact := exactHex(local)
+			if _, err := local.ApplyDelta(ev.Delta); err != nil {
+				return CompiledPhase{}, fmt.Errorf("load: phase %q lineage %d delta %d: %w", spec.Name, j, d, err)
+			}
+			dreq := service.PlanRequest{
+				Base:      prevFP,
+				BaseExact: prevExact,
+				Deltas:    []platform.Delta{ev.Delta},
+				Source:    0,
+				Heuristic: spec.Heuristic,
+			}
+			miss, twin := c.classify(local, dreq)
+			// The warm session rides along only while the chain keeps
+			// missing; a mutation that lands back on a cached state is a
+			// plain hit.
+			waves[d+1].Steps = append(waves[d+1].Steps, Step{Req: dreq, Burst: 1, expectMiss: miss, expectTwin: twin, expectWarm: miss})
+		}
+	}
+	return finish(spec, waves), nil
+}
+
+// compileTwins plans base platforms, then renumbered twins (same
+// fingerprint, different exact encoding — verified at compile time), then
+// repeat requests of both.
+func (c *compiler) compileTwins(spec PhaseSpec) (CompiledPhase, error) {
+	var bases, twins []Step
+	var dupes []Step
+	for i := 0; i < spec.Platforms; i++ {
+		base, err := c.generate(spec, "twins", i)
+		if err != nil {
+			return CompiledPhase{}, err
+		}
+		twin, err := renumberedTwin(base, topology.DeriveSeed(c.seed, "load/twins/perm/"+spec.Name, i))
+		if err != nil {
+			return CompiledPhase{}, fmt.Errorf("load: phase %q platform %d: %w", spec.Name, i, err)
+		}
+
+		breq := service.PlanRequest{Platform: base, Source: 0, Heuristic: spec.Heuristic}
+		miss, tw := c.classify(base, breq)
+		bases = append(bases, Step{Req: breq, Burst: 1, expectMiss: miss, expectTwin: tw})
+
+		treq := service.PlanRequest{Platform: twin, Source: 0, Heuristic: spec.Heuristic}
+		miss, tw = c.classify(twin, treq)
+		twins = append(twins, Step{Req: treq, Burst: 1, expectMiss: miss, expectTwin: tw})
+
+		for d := 0; d < spec.Dupes; d++ {
+			for _, p := range []*platform.Platform{base, twin} {
+				dreq := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic}
+				miss, tw := c.classify(p, dreq)
+				dupes = append(dupes, Step{Req: dreq, Burst: 1, expectMiss: miss, expectTwin: tw})
+			}
+		}
+	}
+	waves := []Wave{{Steps: bases}, {Steps: twins}}
+	if len(dupes) > 0 {
+		waves = append(waves, Wave{Steps: dupes})
+	}
+	return finish(spec, waves), nil
+}
+
+// compileFlood emits one exclusive burst wave per platform: Burst identical
+// requests that the replay engine issues concurrently (and, with a Gate,
+// collapses deterministically into one solve).
+func (c *compiler) compileFlood(spec PhaseSpec) (CompiledPhase, error) {
+	var waves []Wave
+	for i := 0; i < spec.Platforms; i++ {
+		p, err := c.generate(spec, "flood", i)
+		if err != nil {
+			return CompiledPhase{}, err
+		}
+		req := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic}
+		miss, twin := c.classify(p, req)
+		waves = append(waves, Wave{
+			Steps: []Step{{Req: req, Burst: spec.Burst, expectMiss: miss, expectTwin: twin}},
+			Burst: true,
+		})
+	}
+	return finish(spec, waves), nil
+}
+
+// renumberedTwin rebuilds the platform under a random node renumbering and
+// link insertion order drawn from the seed. The twin shares the platform's
+// permutation-invariant fingerprint but must differ in exact canonical
+// encoding; the permutation is redrawn until it does (an identity draw is
+// astronomically unlikely but would silently turn a twin-miss into a hit).
+func renumberedTwin(p *platform.Platform, seed int64) (*platform.Platform, error) {
+	orig := p.CanonicalEncoding()
+	origFP := p.Fingerprint()
+	for attempt := 0; attempt < 8; attempt++ {
+		rng := topology.NewRNG(topology.DeriveSeed(seed, "attempt", attempt))
+		perm := rng.Perm(p.NumNodes())
+		order := rng.Perm(p.NumLinks())
+		q := platform.New(p.NumNodes())
+		q.SetSliceSize(p.SliceSize())
+		for u := 0; u < p.NumNodes(); u++ {
+			q.SetNode(perm[u], p.Node(u))
+		}
+		links := p.Links()
+		for _, id := range order {
+			l := links[id]
+			q.MustAddLink(perm[l.From], perm[l.To], l.Cost)
+		}
+		if q.Fingerprint() != origFP {
+			return nil, fmt.Errorf("load: renumbered twin changed fingerprint (fingerprint invariance broken)")
+		}
+		// The twin is requested with source 0 like its base (that is what
+		// makes it share the routing key), so node 0 of the *new* numbering
+		// must be a valid broadcast source.
+		if !bytes.Equal(q.CanonicalEncoding(), orig) && q.ValidateLive(0) == nil {
+			return q, nil
+		}
+	}
+	return nil, fmt.Errorf("load: could not draw a non-identity renumbering")
+}

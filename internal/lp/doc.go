@@ -1,0 +1,21 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	maximize    c·x
+//	subject to  a_i·x {<=, =, >=} b_i   for every constraint i
+//	            x >= 0
+//
+// It replaces the Maple/MuPAD LP solver the paper uses to compute the
+// optimal steady-state broadcast throughput (Section 4.1). The solver is
+// deliberately simple (dense tableau, Dantzig pricing with a Bland
+// anti-cycling fallback) but robust enough for the master problems produced
+// by the cutting-plane decomposition in package steady (a few hundred
+// variables, a few thousand constraints).
+//
+// Two entry points are provided. Solve performs a one-shot cold solve from
+// the slack basis. Incremental is a resolvable handle for the cutting-plane
+// pattern: after an Optimal solve, newly appended constraint rows are priced
+// into the solved tableau and re-optimized with dual simplex pivots from the
+// previous optimal basis, skipping phase 1 and the full primal
+// re-optimization entirely (see NewIncremental).
+package lp

@@ -1,0 +1,8 @@
+// Package maxflow implements Dinic's maximum-flow algorithm on networks
+// with float64 capacities, together with minimum-cut extraction. It is the
+// separation oracle of the cutting-plane solver in package steady: the
+// steady-state broadcast LP requires that, for every destination, the edge
+// rates support a flow of value TP from the source, which by max-flow /
+// min-cut duality is equivalent to every source-destination cut having
+// capacity at least TP.
+package maxflow

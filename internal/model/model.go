@@ -1,8 +1,3 @@
-// Package model defines the communication cost models of the paper
-// "Broadcast Trees for Heterogeneous Platforms" (Beaumont, Marchal, Robert):
-// affine link costs, the one-port (bidirectional and unidirectional)
-// and multi-port port models, and the per-node steady-state period formulas
-// used to evaluate broadcast trees.
 package model
 
 import (

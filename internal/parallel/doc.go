@@ -1,0 +1,13 @@
+// Package parallel provides the bounded worker pools behind every parallel
+// evaluation in the repository: scenario sweeps, robustness trials, the
+// planning service's request batches and the load generator's replay waves.
+//
+// All helpers share one contract: work is identified by a dense index
+// [0, n), fans out across at most `workers` goroutines, and results come
+// back in index order — so the aggregate output of a parallel run is
+// byte-identical to a sequential run, for any worker count. ForEach runs
+// side-effecting work, Map collects results, MapErr short-circuits on the
+// first error, and MapStream additionally delivers results to an observer
+// in index order while later indices are still computing (the sweep engine
+// streams progress through it).
+package parallel

@@ -1,7 +1,3 @@
-// Package parallel provides a small bounded worker pool used to fan the
-// evaluation of many platform configurations (hundreds of platforms times
-// several heuristics and one LP solve each) across CPU cores while keeping
-// result ordering deterministic.
 package parallel
 
 import (

@@ -1,0 +1,32 @@
+// Package platform defines the heterogeneous target platform of the paper:
+// a directed graph of processors connected by communication links with
+// affine costs, plus the broadcast-tree type produced by the heuristics.
+//
+// A Platform holds dense integer-identified nodes (with per-node multi-port
+// send/receive overheads) and directed links (with model.AffineCost
+// occupation costs), an adjacency index, and the message slice size. It is
+// immutable-by-default: every subsystem that needs to modify one works on
+// its own Clone. The only sanctioned mutation path is ApplyDelta — link
+// bandwidth drift, link down/up, node crash/rejoin — which journals every
+// delta and returns its inverse, so state can be replayed, diffed (steady
+// sessions diff journal suffixes) and exactly undone. Alive/live masks
+// track which nodes and links a mutated platform can still use, and
+// ValidateLive checks broadcastability over the live part.
+//
+// Two identity notions support the planning service's cache:
+//
+//   - Fingerprint is the canonical content fingerprint: a
+//     permutation-invariant, byte-stable SHA-256 of the platform's current
+//     state, computed via Weisfeiler–Leman color refinement. Renumbering
+//     nodes or links, reordering insertions, or mutating and restoring a
+//     platform cannot change it; names and the journal never contribute.
+//
+//   - CanonicalEncoding is the exact encoding in the platform's own
+//     numbering: it distinguishes renumbered twins that share a
+//     fingerprint, so cached plans (whose rates and trees are expressed in
+//     link/node IDs) are never served across a renumbering.
+//
+// Tree is the spanning broadcast tree built by the heuristics; Routing the
+// routed schedule of the binomial heuristic. JSON (de)serialization
+// validates links on the way in and round-trips platforms byte-stably.
+package platform

@@ -1,6 +1,3 @@
-// Package platform defines the heterogeneous target platform of the paper:
-// a directed graph of processors connected by communication links with
-// affine costs, plus the broadcast-tree type produced by the heuristics.
 package platform
 
 import (

@@ -1,18 +1,3 @@
-// Package robustness quantifies how sensitive a broadcast tree is to small
-// changes in link performance — the property the paper's conclusion puts
-// forward as an argument for single-tree (STP) schedules. Each trial scales
-// every link cost by an independent factor drawn uniformly from
-// [1-δ, 1+δ] and measures the throughput of (i) the original tree kept
-// unchanged and (ii) the tree rebuilt by the heuristic on the perturbed
-// platform, both relative to the perturbed platform's MTP optimum.
-//
-// Trials are independent (each perturbs and cold-solves its own platform),
-// so they run across a worker pool; every trial derives its own seed from
-// the base seed the same way the scenario sweep derives per-platform seeds,
-// which keeps the report bit-identical regardless of worker count. For the
-// complementary time-evolving analysis (one platform drifting through a
-// correlated event timeline instead of independent redraws) see
-// internal/dynamic.
 package robustness
 
 import (

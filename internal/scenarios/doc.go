@@ -1,0 +1,18 @@
+// Package scenarios is a registry of named platform families and a parallel
+// sweep engine that evaluates every registered broadcast heuristic across
+// them.
+//
+// A Scenario is a deterministic, seeded generator of platform.Platform
+// values at parameterised sizes: the same (size, seed) pair always yields a
+// byte-identical platform. The built-in families cover the platforms the
+// paper evaluates (random platforms of Table 2, Tiers-like hierarchies of
+// Table 3) as well as the regular and hierarchical topologies that motivate
+// topology-aware broadcast trees (homogeneous clusters, clusters of
+// clusters, stars, chains, rings, grids, bandwidth-skewed "last-mile"
+// platforms).
+//
+// The experiment harness (internal/experiments) sources all of its
+// platforms from this package, and the sweep engine (Sweep) fans
+// scenario x size x heuristic combinations across a worker pool with
+// deterministic result ordering. Use Register to add a custom family.
+package scenarios

@@ -1,0 +1,28 @@
+// Package service is the concurrent broadcast-planning engine behind the
+// bcast-serve CLI: a long-running façade over the steady-state solver and the
+// tree heuristics that reuses solved work across requests.
+//
+// Every incoming platform is reduced to its canonical content fingerprint
+// (platform.Fingerprint: permutation-invariant, byte-stable across runs).
+// The engine keys an LRU cache of solved plans — and of warm steady.Session
+// handles — on that fingerprint:
+//
+//   - A repeated identical request is answered from the cache with the
+//     byte-identical marshaled plan, without touching the solver.
+//
+//   - Concurrent identical requests are collapsed into one solve
+//     (singleflight): the first request computes, the others wait on it and
+//     count as cache hits.
+//
+//   - A near-duplicate request — a platform one churn delta away from a
+//     cached one, addressed by base fingerprint plus a delta list — reuses
+//     the cached entry's warm session: tightening deltas re-optimize the
+//     previous optimal basis with a few dual simplex pivots instead of
+//     cold-solving the new platform from scratch.
+//
+// Independent requests are sharded across a bounded worker pool; PlanEach
+// fans a batch out with parallel.MapStream semantics (results in index order,
+// deterministic for any worker count). The scenario sweep engine routes its
+// per-unit solves through an Engine, so sweeps get cross-unit cache hits for
+// free.
+package service

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/platform"
 )
@@ -13,9 +15,10 @@ import (
 // the canonical plan bytes, so repeated requests carry a byte-identical plan
 // subdocument.
 type planEnvelope struct {
-	Cached bool            `json:"cached"`
-	Warm   bool            `json:"warm,omitempty"`
-	Plan   json.RawMessage `json:"plan"`
+	Cached    bool            `json:"cached"`
+	Collapsed bool            `json:"collapsed,omitempty"`
+	Warm      bool            `json:"warm,omitempty"`
+	Plan      json.RawMessage `json:"plan"`
 }
 
 // errorBody is the JSON error envelope of every endpoint.
@@ -25,28 +28,40 @@ type errorBody struct {
 
 // NewHandler returns the HTTP API of the engine:
 //
-//	POST /v1/plan      PlanRequest  -> {cached, warm, plan}
+//	POST /v1/plan      PlanRequest  -> {cached, collapsed, warm, plan}
 //	POST /v1/evaluate  EvaluateRequest -> Evaluation
 //	POST /v1/churn     ChurnRequest -> ChurnReplay
-//	GET  /v1/stats     -> Stats
+//	GET  /v1/stats     -> Stats (engine counters)
+//	GET  /v1/metrics   -> MetricsSnapshot (engine counters + per-endpoint
+//	                      request/error counts and latency quantiles)
 //	GET  /healthz      -> "ok"
 //
 // All bodies are JSON. Invalid requests return 400, an unknown base
-// fingerprint 404, solver failures 500 — always with an {"error": ...} body.
+// fingerprint 404, solver failures 500 — always with an {"error": ...} body;
+// a panicking handler is recovered into a structured 500, never an empty
+// reply.
 func NewHandler(e *Engine) http.Handler {
+	m := NewMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/v1/stats", instrument(m, "/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET only"))
 			return
 		}
 		writeJSON(w, http.StatusOK, e.Stats())
-	})
-	mux.HandleFunc("/v1/plan", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.Handle("/v1/metrics", instrument(m, "/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET only"))
+			return
+		}
+		writeJSON(w, http.StatusOK, m.Snapshot(e))
+	}))
+	mux.Handle("/v1/plan", instrument(m, "/v1/plan", func(w http.ResponseWriter, r *http.Request) {
 		var req PlanRequest
 		if !decodePost(w, r, &req) {
 			return
@@ -56,9 +71,9 @@ func NewHandler(e *Engine) http.Handler {
 			writeError(w, statusFor(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, planEnvelope{Cached: res.Cached, Warm: res.WarmResolved, Plan: res.JSON})
-	})
-	mux.HandleFunc("/v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, planEnvelope{Cached: res.Cached, Collapsed: res.Collapsed, Warm: res.WarmResolved, Plan: res.JSON})
+	}))
+	mux.Handle("/v1/evaluate", instrument(m, "/v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
 		var req EvaluateRequest
 		if !decodePost(w, r, &req) {
 			return
@@ -69,8 +84,8 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, ev)
-	})
-	mux.HandleFunc("/v1/churn", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.Handle("/v1/churn", instrument(m, "/v1/churn", func(w http.ResponseWriter, r *http.Request) {
 		var req ChurnRequest
 		if !decodePost(w, r, &req) {
 			return
@@ -81,8 +96,60 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, rep)
-	})
+	}))
 	return mux
+}
+
+// statusWriter remembers the status code and whether anything was written,
+// so instrumentation can count errors and the panic recovery knows whether a
+// structured 500 body can still be sent.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if !sw.wrote {
+		sw.status = status
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if !sw.wrote {
+		sw.status = http.StatusOK
+		sw.wrote = true
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// instrument wraps a route handler with latency/error accounting and panic
+// recovery. A panic inside the engine or a handler is converted into a
+// structured {"error": ...} 500 (when the response has not started yet)
+// instead of a severed connection with an empty body.
+func instrument(m *Metrics, route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				// http.ErrAbortHandler is net/http's sanctioned way to abort
+				// a response, and a panic after the response started cannot
+				// be converted into a well-formed error body — re-panic in
+				// both cases so the server severs the connection and the
+				// client sees the truncation.
+				if rec == http.ErrAbortHandler || sw.wrote {
+					m.observe(route, http.StatusInternalServerError, time.Since(start))
+					panic(rec)
+				}
+				writeError(sw, http.StatusInternalServerError, fmt.Errorf("service: internal error: %v", rec))
+			}
+			m.observe(route, sw.status, time.Since(start))
+		}()
+		h(sw, r)
+	})
 }
 
 // maxBodyBytes bounds request bodies: even very large platforms (tens of
@@ -91,6 +158,9 @@ func NewHandler(e *Engine) http.Handler {
 const maxBodyBytes = 32 << 20
 
 // decodePost enforces the POST method and decodes the JSON body into dst.
+// The body must be exactly one JSON document: trailing content — malformed
+// or otherwise — is rejected with a structured 400 instead of being
+// silently ignored.
 func decodePost(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("service: POST only"))
@@ -100,6 +170,11 @@ func decodePost(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return false
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		writeError(w, http.StatusBadRequest, errors.New("service: bad request body: trailing data after JSON document"))
 		return false
 	}
 	return true

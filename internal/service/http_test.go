@@ -195,3 +195,143 @@ func TestHTTPErrors(t *testing.T) {
 		t.Errorf("GET plan: status %d, want 405", resp.StatusCode)
 	}
 }
+
+// TestHTTPMalformedJSONStructured400 pins the malformed-request contract:
+// every flavor of malformed JSON — syntax errors, wrong field types, empty
+// bodies, unknown fields, and valid JSON followed by trailing garbage — is
+// a 400 with a structured {"error": ...} payload, never an empty body.
+func TestHTTPMalformedJSONStructured400(t *testing.T) {
+	e := New(Config{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"syntax error", `{nope`},
+		{"truncated", `{"platform": {"nodes": [`},
+		{"empty body", ``},
+		{"wrong type", `{"source": "zero"}`},
+		{"not an object", `[1, 2, 3]`},
+		{"unknown field", `{"sauce": 0}`},
+		{"trailing garbage", `{"source": 0} {"more": 1}`},
+		{"trailing junk bytes", `{"source": 0} ???`},
+	}
+	for _, tc := range cases {
+		for _, path := range []string{"/v1/plan", "/v1/evaluate", "/v1/churn"} {
+			resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatalf("%s %s: %v", tc.name, path, err)
+			}
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				t.Fatalf("%s %s: read body: %v", tc.name, path, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("%s %s: status %d, want 400 (%s)", tc.name, path, resp.StatusCode, buf.Bytes())
+			}
+			var eb errorBody
+			if err := json.Unmarshal(buf.Bytes(), &eb); err != nil || eb.Error == "" {
+				t.Errorf("%s %s: response is not a structured error payload: %q", tc.name, path, buf.String())
+			}
+		}
+	}
+}
+
+// TestHTTPPanicRecovered asserts that a panic inside a handler surfaces as
+// a structured 500 JSON error, not a severed connection with an empty body.
+func TestHTTPPanicRecovered(t *testing.T) {
+	h := instrument(NewMetrics(), "/boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/boom")
+	if err != nil {
+		t.Fatalf("panic severed the connection: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(buf.Bytes(), &eb); err != nil || !strings.Contains(eb.Error, "kaboom") {
+		t.Errorf("panic did not produce a structured error body: %q", buf.String())
+	}
+}
+
+// TestHTTPMetricsEndpoint checks that /v1/metrics reports the engine
+// counters plus per-endpoint request/error counts and latency summaries.
+func TestHTTPMetricsEndpoint(t *testing.T) {
+	e := New(Config{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	p := smallPlatform(t, 59)
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, srv, "/v1/plan", PlanRequest{Platform: p, Source: 0})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("plan status %d: %s", resp.StatusCode, body)
+		}
+	}
+	// One client error on the same route.
+	resp, err := http.Post(srv.URL+"/v1/plan", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap MetricsSnapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Engine.Requests != 2 || snap.Engine.Hits != 1 || snap.Engine.Misses != 1 {
+		t.Errorf("engine stats = %+v, want 2 requests / 1 hit / 1 miss", snap.Engine)
+	}
+	plan := snap.Endpoints["/v1/plan"]
+	if plan.Requests != 3 || plan.Errors != 1 {
+		t.Errorf("plan endpoint metrics = %+v, want 3 requests / 1 error", plan)
+	}
+	if plan.LatencyNs.Count != 3 || plan.LatencyNs.P50 <= 0 || plan.LatencyNs.P99 < plan.LatencyNs.P50 {
+		t.Errorf("plan latency summary = %+v", plan.LatencyNs)
+	}
+	if resp, err = http.Post(srv.URL+"/v1/metrics", "application/json", strings.NewReader("{}")); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST metrics: status %d, want 405", resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPAbortHandlerPropagates asserts the recovery middleware does not
+// swallow http.ErrAbortHandler (net/http's sanctioned response abort): the
+// connection must be severed so the client detects the truncation instead
+// of reading a fabricated clean error.
+func TestHTTPAbortHandlerPropagates(t *testing.T) {
+	h := instrument(NewMetrics(), "/abort", func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/abort")
+	if err == nil {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("abort was converted into a clean reply: status %d body %q", resp.StatusCode, buf.String())
+	}
+}

@@ -1,30 +1,3 @@
-// Package service is the concurrent broadcast-planning engine behind the
-// bcast-serve CLI: a long-running façade over the steady-state solver and the
-// tree heuristics that reuses solved work across requests.
-//
-// Every incoming platform is reduced to its canonical content fingerprint
-// (platform.Fingerprint: permutation-invariant, byte-stable across runs).
-// The engine keys an LRU cache of solved plans — and of warm steady.Session
-// handles — on that fingerprint:
-//
-//   - A repeated identical request is answered from the cache with the
-//     byte-identical marshaled plan, without touching the solver.
-//
-//   - Concurrent identical requests are collapsed into one solve
-//     (singleflight): the first request computes, the others wait on it and
-//     count as cache hits.
-//
-//   - A near-duplicate request — a platform one churn delta away from a
-//     cached one, addressed by base fingerprint plus a delta list — reuses
-//     the cached entry's warm session: tightening deltas re-optimize the
-//     previous optimal basis with a few dual simplex pivots instead of
-//     cold-solving the new platform from scratch.
-//
-// Independent requests are sharded across a bounded worker pool; PlanEach
-// fans a batch out with parallel.MapStream semantics (results in index order,
-// deterministic for any worker count). The scenario sweep engine routes its
-// per-unit solves through an Engine, so sweeps get cross-unit cache hits for
-// free.
 package service
 
 import (
@@ -80,6 +53,39 @@ type Config struct {
 	// platform snapshot. Use it for plan-only workloads — the sweep engine
 	// does — where retained tableaux would be dead weight.
 	DisableSessions bool
+	// Hooks, when non-nil, exposes engine-internal events to instrumentation
+	// (metrics exporters, the load harness's deterministic burst gate). A nil
+	// Hooks — and any nil callback — costs nothing.
+	Hooks *Hooks
+}
+
+// Hooks are the engine's instrumentation points. Both callbacks may be
+// invoked concurrently from many request goroutines.
+type Hooks struct {
+	// OnLookup fires once per plan request, under the engine lock, at the
+	// moment the request is routed: a miss has just claimed its cache entry,
+	// a hit is about to use (or wait on) an existing one. It must return
+	// quickly and must not call back into the engine.
+	OnLookup func(LookupEvent)
+	// BeforeSolve fires on the solving goroutine after it has claimed the
+	// cache entry and a worker slot, immediately before the solver runs.
+	// Blocking inside it delays the solve (and every request collapsed onto
+	// it); the load harness uses this to hold a solve until a whole burst of
+	// identical requests has demonstrably registered, making singleflight
+	// counters deterministic.
+	BeforeSolve func()
+}
+
+// LookupEvent describes one routed plan request.
+type LookupEvent struct {
+	// Miss reports that the request claimed a new cache entry and will solve.
+	Miss bool
+	// Twin reports a miss whose fingerprint was already cached under a
+	// different exact encoding (a renumbered twin).
+	Twin bool
+	// Collapsed reports a hit on an entry whose solve is still in flight:
+	// the request will wait on that solve instead of starting its own.
+	Collapsed bool
 }
 
 func (c Config) cacheSize() int {
@@ -169,6 +175,10 @@ type PlanResult struct {
 	JSON []byte
 	// Cached reports that the plan was served from the cache.
 	Cached bool
+	// Collapsed reports that the request arrived while an identical solve
+	// was in flight and waited on it (singleflight). Collapsed implies
+	// Cached.
+	Collapsed bool
 	// WarmResolved reports that a delta request reused the base entry's warm
 	// session instead of cold-solving.
 	WarmResolved bool
@@ -177,12 +187,15 @@ type PlanResult struct {
 // Stats is a snapshot of the engine counters.
 type Stats struct {
 	// Requests = Hits + Misses; TwinMisses (fingerprint matched but content
-	// differed: a renumbered twin or hash collision) are a subset of Misses.
-	Requests   int64 `json:"requests"`
-	Hits       int64 `json:"hits"`
-	Misses     int64 `json:"misses"`
-	TwinMisses int64 `json:"twinMisses,omitempty"`
-	Evictions  int64 `json:"evictions,omitempty"`
+	// differed: a renumbered twin or hash collision) are a subset of Misses,
+	// and Singleflight (requests that found their solve already in flight
+	// and waited on it instead of duplicating it) a subset of Hits.
+	Requests     int64 `json:"requests"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	TwinMisses   int64 `json:"twinMisses,omitempty"`
+	Singleflight int64 `json:"singleflight,omitempty"`
+	Evictions    int64 `json:"evictions,omitempty"`
 	// Solves counts the actual solver runs; DeltaPlans the requests served
 	// through the base+deltas path, split into warm session reuses and
 	// session rebuilds.
@@ -307,6 +320,14 @@ func (e *Engine) removeLocked(el *list.Element) {
 	}
 }
 
+// hook delivers a lookup event to the configured instrumentation. The
+// engine mutex is held by the caller.
+func (e *Engine) hook(ev LookupEvent) {
+	if e.cfg.Hooks != nil && e.cfg.Hooks.OnLookup != nil {
+		e.cfg.Hooks.OnLookup(ev)
+	}
+}
+
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
@@ -383,6 +404,18 @@ func (e *Engine) planPlatform(req PlanRequest, p *platform.Platform, taken *take
 	if el, ok := e.byKey[key]; ok {
 		ent := el.Value.(*entry)
 		e.lru.MoveToFront(el)
+		// Classify the hit while still under the lock: an entry whose ready
+		// channel is not yet closed is an in-flight solve this request
+		// collapses onto. The classification point is the lookup, so it is
+		// deterministic for schedules that order duplicates after their
+		// first-touch completed (they always see ready closed).
+		collapsed := false
+		select {
+		case <-ent.ready:
+		default:
+			collapsed = true
+		}
+		e.hook(LookupEvent{Collapsed: collapsed})
 		e.mu.Unlock()
 		<-ent.ready
 		e.mu.Lock()
@@ -392,6 +425,9 @@ func (e *Engine) planPlatform(req PlanRequest, p *platform.Platform, taken *take
 			return nil, ent.err
 		}
 		e.stats.Hits++
+		if collapsed {
+			e.stats.Singleflight++
+		}
 		e.mu.Unlock()
 		// A delta request that raced a concurrent identical insert donates
 		// its session to the hit entry (the session platform is exactly at
@@ -404,18 +440,20 @@ func (e *Engine) planPlatform(req PlanRequest, p *platform.Platform, taken *take
 			}
 			ent.mu.Unlock()
 		}
-		return &PlanResult{Plan: ent.plan, JSON: append([]byte(nil), ent.json...), Cached: true}, nil
+		return &PlanResult{Plan: ent.plan, JSON: append([]byte(nil), ent.json...), Cached: true, Collapsed: collapsed}, nil
 	}
 	// Miss: claim the key with an unsolved entry so concurrent identical
 	// requests wait on this solve instead of duplicating it. A renumbered
 	// twin of a cached platform lands here too (same fpKey, different exact
 	// key) and is cached independently — its IDs live in another numbering.
-	if len(e.byFP[key.fpKey]) > 0 {
+	twin := len(e.byFP[key.fpKey]) > 0
+	if twin {
 		e.stats.TwinMisses++
 	}
 	ent := &entry{key: key, ready: make(chan struct{})}
 	el := e.insertLocked(ent)
 	e.stats.Misses++
+	e.hook(LookupEvent{Miss: true, Twin: twin})
 	e.mu.Unlock()
 
 	plan, planJSON, sess, sp, err := e.solve(req, p, taken)
@@ -462,6 +500,9 @@ type takenSession struct {
 func (e *Engine) solve(req PlanRequest, p *platform.Platform, taken *takenSession) (*Plan, []byte, *steady.Session, *platform.Platform, error) {
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
+	if e.cfg.Hooks != nil && e.cfg.Hooks.BeforeSolve != nil {
+		e.cfg.Hooks.BeforeSolve()
+	}
 
 	var sess *steady.Session
 	var sp *platform.Platform

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -623,5 +624,78 @@ func TestEvaluateOnePortRatiosAgainstModel(t *testing.T) {
 	}
 	if math.Abs(tp-ev.Results[0].Throughput) > 1e-12 {
 		t.Errorf("EvaluateHeuristic %v != Evaluate %v", tp, ev.Results[0].Throughput)
+	}
+}
+
+// TestSingleflightGateDeterministic drives the Hooks instrumentation the
+// way the load harness does: BeforeSolve holds the one solve of a burst of
+// identical requests until every member has registered its lookup, which
+// makes the singleflight split exact — 1 miss and k-1 collapsed hits — for
+// any scheduling and any worker-pool size.
+func TestSingleflightGateDeterministic(t *testing.T) {
+	const burst = 6
+	var (
+		gateMu sync.Mutex
+		seen   int
+	)
+	cond := sync.NewCond(&gateMu)
+	hooks := &Hooks{
+		OnLookup: func(LookupEvent) {
+			gateMu.Lock()
+			seen++
+			gateMu.Unlock()
+			cond.Broadcast()
+		},
+		BeforeSolve: func() {
+			gateMu.Lock()
+			for seen < burst {
+				cond.Wait()
+			}
+			gateMu.Unlock()
+		},
+	}
+	e := New(Config{Workers: 2, Hooks: hooks})
+	p := smallPlatform(t, 61)
+
+	var wg sync.WaitGroup
+	results := make([]*PlanResult, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := e.Plan(PlanRequest{Platform: p, Source: 0})
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+
+	var cached, collapsed int
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("request %d has no result", i)
+		}
+		if res.Cached {
+			cached++
+		}
+		if res.Collapsed {
+			collapsed++
+			if !res.Cached {
+				t.Errorf("request %d: collapsed without cached", i)
+			}
+		}
+		if !bytes.Equal(res.JSON, results[0].JSON) {
+			t.Errorf("request %d returned different plan bytes", i)
+		}
+	}
+	if cached != burst-1 || collapsed != burst-1 {
+		t.Errorf("cached=%d collapsed=%d, want %d each", cached, collapsed, burst-1)
+	}
+	st := e.Stats()
+	if st.Misses != 1 || st.Hits != burst-1 || st.Singleflight != burst-1 || st.Solves != 1 {
+		t.Errorf("stats = %+v, want 1 miss / %d hits / %d singleflight / 1 solve", st, burst-1, burst-1)
 	}
 }

@@ -1,11 +1,3 @@
-// Package sim simulates the pipelined broadcast of a message along a
-// spanning tree, slice by slice, under the bidirectional one-port and
-// multi-port models. The simulation reproduces the schedule an actual
-// implementation would follow (every node forwards slices to its children
-// in a fixed round-robin order, serializing its port or its per-send
-// overhead), and therefore validates the analytic steady-state throughput
-// used everywhere else in the repository: as the number of slices grows the
-// measured steady-state rate converges to throughput.Evaluate's prediction.
 package sim
 
 import (

@@ -1,18 +1,3 @@
-// Package slicing chooses how to cut a message into slices for a pipelined
-// broadcast. The paper leaves the slice size as an application-level
-// parameter (Section 2.4); this package provides the classical trade-off
-// analysis: with affine link costs, many small slices shorten the pipeline
-// fill time but pay the per-slice start-up latency α on every hop, so there
-// is an optimal intermediate slice count.
-//
-// The model used is the steady-state approximation of package throughput:
-//
-//	makespan(K) ≈ fill(K) + (K-1) · period(K)
-//
-// where K is the slice count, fill is the time the first slice needs to
-// reach the deepest leaf, and period is the bottleneck node period for
-// slices of size total/K. Both are exact for chains and stars and within a
-// few percent of the event-accurate simulator elsewhere (see the tests).
 package slicing
 
 import (

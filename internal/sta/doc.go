@@ -1,0 +1,11 @@
+// Package sta implements heuristics for the STA problem (Single Tree,
+// Atomic): broadcasting the whole message at once along a spanning tree and
+// minimizing the makespan. These are the classical baselines the paper's
+// related-work section discusses — Fastest Node First [Banikazemi et al.]
+// and Fastest Edge First [Bhat et al.] — and are provided as an extension so
+// the repository covers all three regimes of Table 1.
+//
+// Both heuristics are greedy constructions under the bidirectional one-port
+// model: a node that holds the message forwards it to one destination at a
+// time, each transfer taking the full link occupation for the whole message.
+package sta

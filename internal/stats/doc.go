@@ -1,0 +1,21 @@
+// Package stats provides the statistics used by every report in the
+// repository, in two groups.
+//
+// Descriptive statistics (Summarize, Mean, StdDev, Median, Min, Max,
+// GeometricMean, ConfidenceInterval95) aggregate experiment samples — the
+// paper reports mean relative performance and its deviation across platform
+// configurations, and the sweep/churn/robustness reports follow the same
+// pattern. NaN values are treated as missing and ignored.
+//
+// Histogram is the fixed-bucket log-scale latency histogram behind the
+// load-replay reports and the service's /v1/metrics endpoint. It uses the
+// HDR-histogram log-linear layout (8 sub-buckets per power-of-two octave,
+// values 0..7 exact, relative error <= 12.5%) over non-negative int64 ticks
+// — nanoseconds for wall-clock latency, virtual work units for the load
+// generator's deterministic clock. All state is integral, so Merge is
+// exact: merging any sharding of a stream reproduces the single-stream
+// state bit for bit, which is what makes histogram-bearing reports
+// byte-identical across worker counts. Quantile returns a deterministic
+// upper bound, monotone in q; Summary is the compact JSON view
+// (count/min/max/mean/p50/p90/p99).
+package stats

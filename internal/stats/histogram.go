@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// The histogram uses log-linear bucketing with 3 significant bits (the
+// HDR-histogram layout): values 0..7 get one bucket each, and every further
+// power-of-two octave is split into 8 equal sub-buckets, so any recorded
+// value is off from its bucket's upper bound by at most 12.5%. The bucket
+// boundaries are fixed at compile time — two histograms always agree on
+// them, which is what makes Merge exact (bucket counts simply add) and the
+// aggregate independent of how a stream was sharded across workers.
+const (
+	histSubBits = 3 // sub-buckets per octave = 1<<histSubBits
+	histSub     = 1 << histSubBits
+	// histMaxOctave bounds the tracked value range: values of histMaxValue
+	// and above land in one overflow bucket (whose reported bound is the
+	// exact maximum, which the histogram tracks separately). 2^41 ticks is
+	// ~37 minutes when a tick is a nanosecond — far beyond any latency the
+	// planning service can produce without timing out first.
+	histMaxOctave = 41
+	histMaxValue  = int64(1) << histMaxOctave
+	// histBuckets = 8 exact small-value buckets + 8 per octave for octaves
+	// 3..40 + 1 overflow.
+	histBuckets = histSub + histSub*(histMaxOctave-histSubBits) + 1
+)
+
+// Histogram is a fixed-bucket log-scale histogram of non-negative int64
+// values (latency ticks: nanoseconds on the wall clock, work units on the
+// load generator's virtual clock). The zero value is ready to use.
+//
+// All state is integral (bucket counts, count, sum, exact min/max), so
+// Merge is exact: merging any sharding of a stream yields a histogram
+// identical to ingesting the stream sequentially, regardless of shard count
+// or order. Quantile is deterministic and monotone in q.
+type Histogram struct {
+	counts [histBuckets]int64
+	count  int64
+	sum    int64
+	min    int64 // valid only when count > 0
+	max    int64
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	if v >= histMaxValue {
+		return histBuckets - 1
+	}
+	k := bits.Len64(uint64(v)) - 1 // octave: v in [2^k, 2^(k+1)), k >= 3
+	sub := int(v>>(uint(k-histSubBits))) - histSub
+	return histSub*(k-histSubBits+1) + sub
+}
+
+// bucketUpper returns the largest value that maps to bucket i (the bound
+// reported by Quantile). The overflow bucket has no finite bound of its own;
+// callers clamp to the tracked maximum.
+func bucketUpper(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	if i >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	// Bucket i (i >= histSub) covers [ (histSub+sub) << (g-1), (histSub+sub+1) << (g-1) )
+	// where g = i/histSub and sub = i%histSub: octave k = g + histSubBits - 1.
+	g := i / histSub
+	sub := i % histSub
+	return (int64(histSub+sub+1) << uint(g-1)) - 1
+}
+
+// Record adds one value to the histogram. Negative values are clamped to
+// zero (latencies cannot be negative; clamping keeps Record total).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Merge adds every recorded value of o into h. Merging is exact: the result
+// is identical to having recorded both streams into one histogram, in any
+// order and any sharding.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the exact sum of the recorded values.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min returns the smallest recorded value (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the exact arithmetic mean of the recorded values (0 when
+// empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper bound of the q-th quantile (q in [0, 1], values
+// outside are clamped): the upper bound of the bucket holding the value of
+// rank ceil(q*count), clamped into [Min, Max]. The bound is within 12.5% of
+// the true quantile, deterministic, and monotone non-decreasing in q.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || q <= 0 {
+		return h.min
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := bucketUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max // unreachable: cum reaches count == rank bound
+}
+
+// HistogramSummary is the compact serialized view of a histogram used by
+// JSON reports: exact count/min/max/mean plus the standard latency
+// quantiles. All fields derive deterministically from the histogram state.
+type HistogramSummary struct {
+	Count int64   `json:"count"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+}
+
+// Summary returns the report view of the histogram.
+func (h *Histogram) Summary() HistogramSummary {
+	return HistogramSummary{
+		Count: h.Count(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// String returns a compact human-readable summary.
+func (h *Histogram) String() string {
+	s := h.Summary()
+	return fmt.Sprintf("count=%d min=%d p50=%d p90=%d p99=%d max=%d mean=%.1f",
+		s.Count, s.Min, s.P50, s.P90, s.P99, s.Max, s.Mean)
+}

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomSample draws a heavy-tailed sample shaped like request latencies:
+// mostly small values with occasional huge outliers, plus edge values.
+func randomSample(r *rand.Rand, n int) []int64 {
+	s := make([]int64, n)
+	for i := range s {
+		switch r.Intn(10) {
+		case 0:
+			s[i] = r.Int63n(8) // exact small-value buckets
+		case 1:
+			s[i] = int64(1) << uint(r.Intn(62)) // power-of-two boundaries
+		case 2:
+			s[i] = histMaxValue + r.Int63n(1<<20) // overflow bucket
+		default:
+			s[i] = int64(math.Exp(r.Float64() * 20)) // log-uniform bulk
+		}
+	}
+	return s
+}
+
+// TestHistogramBucketsCoverInt64 checks the bucket mapping invariants for
+// every boundary-adjacent value: indexes are in range and monotone, and each
+// value is <= the upper bound of its own bucket.
+func TestHistogramBucketsCoverInt64(t *testing.T) {
+	prev := -1
+	probe := []int64{0, 1, 2, 7, 8, 9}
+	for k := uint(4); k < 63; k++ {
+		v := int64(1) << k
+		probe = append(probe, v-1, v, v+1)
+	}
+	for _, v := range probe {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0, %d)", v, i, histBuckets)
+		}
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		if up := bucketUpper(i); v > up {
+			t.Fatalf("value %d above its bucket %d upper bound %d", v, i, up)
+		}
+	}
+	// Every non-overflow bucket's upper bound must map back to that bucket.
+	for i := 0; i < histBuckets-1; i++ {
+		if got := bucketIndex(bucketUpper(i)); got != i {
+			t.Fatalf("bucketIndex(bucketUpper(%d)) = %d", i, got)
+		}
+	}
+}
+
+// TestHistogramQuantilesMonotone is the property test for the quantile
+// bound: for any sample, Quantile must be monotone non-decreasing in q,
+// bracketed by min and max, and within the bucket's relative error of the
+// true (sorted-sample) quantile.
+func TestHistogramQuantilesMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var h Histogram
+		sample := randomSample(r, 1+r.Intn(500))
+		for _, v := range sample {
+			h.Record(v)
+		}
+		prev := int64(-1)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("trial %d: Quantile(%.2f) = %d < previous %d", trial, q, v, prev)
+			}
+			if v < h.Min() || v > h.Max() {
+				t.Fatalf("trial %d: Quantile(%.2f) = %d outside [%d, %d]", trial, q, v, h.Min(), h.Max())
+			}
+			prev = v
+		}
+		if h.Quantile(0) != h.Min() {
+			t.Fatalf("trial %d: Quantile(0) = %d, want min %d", trial, h.Quantile(0), h.Min())
+		}
+		if h.Quantile(1) != h.Max() {
+			t.Fatalf("trial %d: Quantile(1) = %d, want max %d", trial, h.Quantile(1), h.Max())
+		}
+	}
+}
+
+// TestHistogramQuantileAccuracy checks the advertised error bound: the
+// reported quantile is an upper bound of the true rank value and within
+// 12.5% of it (exact below 8).
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		var h Histogram
+		n := 1 + r.Intn(300)
+		sample := make([]int64, n)
+		for i := range sample {
+			sample[i] = int64(math.Exp(r.Float64() * 18))
+			h.Record(sample[i])
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			got := h.Quantile(q)
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			// true rank-th smallest
+			sorted := append([]int64(nil), sample...)
+			for i := 1; i < len(sorted); i++ {
+				for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+					sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+				}
+			}
+			want := sorted[rank-1]
+			if got < want {
+				t.Fatalf("trial %d q=%.2f: bound %d below true quantile %d", trial, q, got, want)
+			}
+			if want >= 8 && float64(got) > float64(want)*1.125 {
+				t.Fatalf("trial %d q=%.2f: bound %d exceeds true quantile %d by more than 12.5%%", trial, q, got, want)
+			}
+			if want < 8 && got != want && got > h.Max() {
+				t.Fatalf("trial %d q=%.2f: small values must be exact: got %d want %d", trial, q, got, want)
+			}
+		}
+	}
+}
+
+// TestHistogramMergeEqualsSingleStream is the exact-merge property: splitting
+// a stream into arbitrary chunks, ingesting each into its own histogram and
+// merging must produce a histogram identical (full state, not just summary)
+// to single-stream ingestion.
+func TestHistogramMergeEqualsSingleStream(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		sample := randomSample(r, 1+r.Intn(400))
+		var whole Histogram
+		for _, v := range sample {
+			whole.Record(v)
+		}
+		var merged Histogram
+		for lo := 0; lo < len(sample); {
+			hi := lo + 1 + r.Intn(len(sample)-lo)
+			var part Histogram
+			for _, v := range sample[lo:hi] {
+				part.Record(v)
+			}
+			merged.Merge(&part)
+			lo = hi
+		}
+		if merged != whole {
+			t.Fatalf("trial %d: merged state differs from single-stream state:\nmerged %v\nwhole  %v", trial, merged.Summary(), whole.Summary())
+		}
+	}
+}
+
+// TestHistogramWorkerCountDeterministic is the sharding property behind the
+// deterministic load reports: distributing a stream round-robin across any
+// number of workers and merging the per-worker histograms (in any merge
+// order) yields byte-identical state.
+func TestHistogramWorkerCountDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	sample := randomSample(r, 1000)
+	var ref Histogram
+	for _, v := range sample {
+		ref.Record(v)
+	}
+	for _, workers := range []int{1, 2, 3, 7, 16, 64} {
+		shards := make([]Histogram, workers)
+		for i, v := range sample {
+			shards[i%workers].Record(v)
+		}
+		// Merge in reverse order to show merge-order independence too.
+		var merged Histogram
+		for i := workers - 1; i >= 0; i-- {
+			merged.Merge(&shards[i])
+		}
+		if merged != ref {
+			t.Fatalf("workers=%d: merged histogram differs from sequential reference", workers)
+		}
+	}
+}
+
+// TestHistogramEdgeCases pins the behavior of the empty histogram, negative
+// clamping, nil merge, and the summary of a single value.
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Merge(nil)
+	h.Merge(&Histogram{})
+	if h.Count() != 0 {
+		t.Fatal("merging empty histograms must not change state")
+	}
+	h.Record(-5)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative values must clamp to 0: %+v", h.Summary())
+	}
+	var one Histogram
+	one.Record(42)
+	s := one.Summary()
+	if s.Count != 1 || s.Min != 42 || s.Max != 42 || s.Mean != 42 || s.P50 != 42 || s.P99 != 42 {
+		t.Fatalf("single-value summary wrong: %+v", s)
+	}
+	if one.String() == "" {
+		t.Fatal("String must not be empty")
+	}
+}

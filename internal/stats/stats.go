@@ -1,6 +1,3 @@
-// Package stats provides the descriptive statistics used to aggregate
-// experiment results (the paper reports mean relative performance and its
-// deviation across platform configurations).
 package stats
 
 import (

@@ -1,0 +1,18 @@
+// Package throughput evaluates broadcast trees and routed schedules: the
+// steady-state throughput of a pipelined broadcast under the one-port and
+// multi-port models (Sections 2.4 and 3.2 of the paper), per-node
+// bottleneck reports, and the makespan of an atomic (STA) broadcast.
+//
+// The steady-state evaluation inverts the per-node period: under the
+// bidirectional one-port model a node's period is the sum of the link
+// occupations of its tree children (sends serialize) joined with its
+// receive occupation; under the multi-port model only the per-send
+// overheads serialize. The tree throughput is the reciprocal of the worst
+// period over all nodes — the pipeline advances at the speed of its
+// bottleneck — and Report lists every node's period so experiments can
+// attribute the bottleneck. RoutingThroughput evaluates routed schedules
+// (the binomial heuristic), accounting for link and node contention along
+// shared path segments. These evaluators are the single source of truth
+// for "throughput" everywhere: heuristics, sweeps, the churn engine and the
+// planning service all report numbers computed here.
+package throughput

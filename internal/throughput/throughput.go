@@ -1,7 +1,3 @@
-// Package throughput evaluates broadcast trees: the steady-state throughput
-// of a pipelined broadcast along a tree under the one-port and multi-port
-// models (Sections 2.4 and 3.2 of the paper), per-node bottleneck reports,
-// and the makespan of an atomic (STA) broadcast along a tree.
 package throughput
 
 import (

@@ -1,0 +1,8 @@
+// Package topology generates heterogeneous platforms: the random platforms
+// of Table 2 of the paper, Tiers-like hierarchical WAN/MAN/LAN platforms
+// (substituting for the Tiers generator used in Section 5.1), and a few
+// regular topologies (star, chain, ring, grid, hypercube, clustered) used by
+// examples and tests.
+//
+// All generators are deterministic given an explicit *rand.Rand.
+package topology

@@ -1,7 +1,3 @@
-// Package viz renders platforms, broadcast trees and routed schedules in
-// Graphviz DOT format and as compact ASCII summaries, for inspection and for
-// the documentation of experiments. Rendering is deterministic (nodes and
-// links are emitted in index order) so the output is diff-friendly.
 package viz
 
 import (

@@ -1,0 +1,65 @@
+package broadcast
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocs is the documentation contract of the repository, enforced
+// in CI: every internal package carries a dedicated doc.go whose package
+// comment is a real overview (starts with "Package <name>" and says more
+// than one throwaway line), so `go doc repro/internal/<pkg>` is useful and
+// new packages cannot land undocumented.
+func TestPackageDocs(t *testing.T) {
+	entries, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const minDocChars = 200
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		pkg := e.Name()
+		docPath := filepath.Join("internal", pkg, "doc.go")
+		t.Run(pkg, func(t *testing.T) {
+			src, err := os.ReadFile(docPath)
+			if err != nil {
+				t.Fatalf("package %s has no doc.go: %v", pkg, err)
+			}
+			f, err := parser.ParseFile(token.NewFileSet(), docPath, src, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parse %s: %v", docPath, err)
+			}
+			if f.Doc == nil {
+				t.Fatalf("%s has no package comment", docPath)
+			}
+			text := f.Doc.Text()
+			if !strings.HasPrefix(text, "Package "+pkg+" ") {
+				t.Errorf("%s: package comment must start with %q, got %q",
+					docPath, "Package "+pkg, firstLine(text))
+			}
+			if len(text) < minDocChars {
+				t.Errorf("%s: package comment is %d chars; a real overview needs at least %d",
+					docPath, len(text), minDocChars)
+			}
+			// doc.go is documentation only: no declarations beyond the
+			// package clause.
+			if len(f.Decls) != 0 {
+				t.Errorf("%s: doc.go must contain only the package comment and clause, found %d declarations",
+					docPath, len(f.Decls))
+			}
+		})
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
