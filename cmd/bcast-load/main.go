@@ -1,8 +1,10 @@
 // Command bcast-load generates and replays deterministic, seeded workloads
 // against the broadcast-planning service: zipfian-skewed fingerprint
 // popularity, interleaved base+delta churn lineages, renumbered-twin
-// duplicates and cold-miss floods, at an optional target request rate with
-// a bounded worker pool.
+// duplicates, cold-miss floods and overload storms (cold misses beyond the
+// engine's lanes+queue capacity, proving sheds, hit-latency isolation and
+// degraded-mode answers), at an optional target request rate with a bounded
+// worker pool.
 //
 // By default the replay runs in-process against a fresh planning engine and
 // writes the canonical JSON report (per-phase p50/p90/p99 latency on the
@@ -17,6 +19,7 @@
 //	bcast-load -list
 //	bcast-load -mix smoke -seed 7 -o BENCH_load.json -pretty
 //	bcast-load -mix mixed -workers 8 -timings
+//	bcast-load -mix overload -o BENCH_overload.json
 //	bcast-load -mix cold-flood -url http://localhost:8080 -rate 50 -timings
 package main
 
@@ -70,6 +73,9 @@ func listMixes() {
 				detail = fmt.Sprintf("%d platforms + twins, %d dupes each", ph.Platforms, ph.Dupes)
 			case load.KindFlood:
 				detail = fmt.Sprintf("%d bursts x %d identical requests", ph.Platforms, ph.Burst)
+			case load.KindOverload:
+				detail = fmt.Sprintf("%d cold vs %d lanes + %d queue (%d shed), %d hits over %d hot, %d degraded",
+					ph.Cold, ph.Lanes, ph.Queue, ph.Cold-ph.Lanes-ph.Queue, ph.Hits, ph.Hot, ph.Degraded)
 			}
 			fmt.Printf("  %-16s %-8s size %-3d %-30v %s\n", ph.Name, ph.Kind, ph.Size, ph.Scenarios, detail)
 		}

@@ -13,9 +13,14 @@
 //	GET  /healthz      liveness probe
 //
 // Errors are always structured {"error": ...} JSON — malformed bodies get
-// 400s, handler panics recovered 500s, never an empty reply. Use
-// cmd/bcast-load to drive a running server with deterministic workload
-// mixes and measure it.
+// 400s, handler panics recovered 500s, never an empty reply. Under overload
+// the server stays predictable instead of queueing without bound: solves run
+// under a deadline (-deadline, or per-request deadlineMs) and time out with a
+// 504, and once the solve lanes plus the admission queue (-queue) are full,
+// further cold requests are shed with a 429 and a Retry-After header. Clients
+// may also pass "degraded": true to get an immediate heuristic plan while the
+// LP refinement continues in the background. Use cmd/bcast-load to drive a
+// running server with deterministic workload mixes and measure it.
 //
 // Examples:
 //
@@ -32,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"time"
 
 	broadcast "repro"
@@ -43,12 +49,27 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		cacheSize = flag.Int("cache", 256, "maximum number of cached plans")
 		workers   = flag.Int("workers", 0, "maximum concurrent solves (0 = all CPUs)")
+		queue     = flag.Int("queue", -1, "admission queue depth beyond the solve lanes; above it cold requests are shed with 429 (-1 = 4x workers, 0 = unbounded, never shed)")
+		deadline  = flag.Duration("deadline", 2*time.Minute, "default solve deadline per request, overridable per request via deadlineMs (0 = none)")
 		coldLP    = flag.Bool("cold-lp", false, "disable warm starts inside the master LP solves")
 		selfCheck = flag.Bool("self-check", false, "plan a generated platform twice against the in-process engine, verify the cache hit, and exit")
 	)
 	flag.Parse()
 
-	cfg := service.Config{CacheSize: *cacheSize, Workers: *workers}
+	lanes := *workers
+	if lanes <= 0 {
+		lanes = runtime.NumCPU()
+	}
+	depth := *queue
+	if depth < 0 {
+		depth = 4 * lanes
+	}
+	cfg := service.Config{
+		CacheSize:       *cacheSize,
+		Workers:         *workers,
+		QueueDepth:      depth,
+		DefaultDeadline: *deadline,
+	}
 	if *coldLP {
 		cfg.Steady = &broadcast.OptimalOptions{ColdStart: true}
 	}
@@ -67,7 +88,11 @@ func main() {
 		Handler:           service.NewHandler(engine),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
-		WriteTimeout:      5 * time.Minute, // large solves can legitimately take a while
+		// Backstop only: solves are bounded by the engine's deadline (the
+		// -deadline default or the request's deadlineMs), which produces a
+		// structured 504. The write timeout merely severs a connection whose
+		// handler somehow outlived that contract.
+		WriteTimeout: 5 * time.Minute,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -79,8 +104,8 @@ func main() {
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
 	}()
-	fmt.Fprintf(os.Stderr, "bcast-serve: listening on %s (cache %d, workers %d)\n",
-		*addr, *cacheSize, engine.Stats().Workers)
+	fmt.Fprintf(os.Stderr, "bcast-serve: listening on %s (cache %d, workers %d, queue %d, deadline %s)\n",
+		*addr, *cacheSize, engine.Stats().Workers, depth, *deadline)
 	err := srv.ListenAndServe()
 	if err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "bcast-serve:", err)

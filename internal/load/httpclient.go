@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -37,6 +38,7 @@ type envelope struct {
 	Cached    bool            `json:"cached"`
 	Collapsed bool            `json:"collapsed"`
 	Warm      bool            `json:"warm"`
+	Degraded  bool            `json:"degraded"`
 	Plan      json.RawMessage `json:"plan"`
 }
 
@@ -57,8 +59,30 @@ func (hp *HTTPPlanner) Plan(req service.PlanRequest) (*service.PlanResult, error
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var he httpError
-		if json.NewDecoder(resp.Body).Decode(&he) == nil && he.Error != "" {
-			return nil, fmt.Errorf("load: /v1/plan: %s (status %d)", he.Error, resp.StatusCode)
+		msg := ""
+		if json.NewDecoder(resp.Body).Decode(&he) == nil {
+			msg = he.Error
+		}
+		// Map the overload-contract statuses back onto the engine's typed
+		// errors so replays treat HTTP and in-process targets uniformly
+		// (observe counts sheds by errors.Is(err, service.ErrOverloaded)).
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			retry := time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if n, err := strconv.Atoi(s); err == nil && n > 0 {
+					retry = time.Duration(n) * time.Second
+				}
+			}
+			return nil, &service.OverloadedError{RetryAfter: retry}
+		case http.StatusGatewayTimeout:
+			if msg == "" {
+				msg = "gateway timeout"
+			}
+			return nil, fmt.Errorf("load: /v1/plan: %s: %w", msg, service.ErrCanceled)
+		}
+		if msg != "" {
+			return nil, fmt.Errorf("load: /v1/plan: %s (status %d)", msg, resp.StatusCode)
 		}
 		return nil, fmt.Errorf("load: /v1/plan: status %d", resp.StatusCode)
 	}
@@ -76,6 +100,7 @@ func (hp *HTTPPlanner) Plan(req service.PlanRequest) (*service.PlanResult, error
 		Cached:       env.Cached,
 		Collapsed:    env.Collapsed,
 		WarmResolved: env.Warm,
+		Degraded:     env.Degraded,
 	}, nil
 }
 

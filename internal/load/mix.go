@@ -27,6 +27,16 @@ const (
 	// KindFlood issues Platforms cold-miss bursts: Burst identical
 	// concurrent requests against a previously unseen platform each.
 	KindFlood PhaseKind = "flood"
+	// KindOverload proves the overload contract: the engine is shaped to
+	// Lanes solve lanes plus a bounded admission queue of Queue waiters, Hot
+	// platforms are prewarmed, then a storm of Cold fresh cold misses is
+	// issued in index order (the first Lanes take lanes, the next Queue
+	// queue, the rest are shed with the overload error) while a zipfian
+	// stream of Hits cache hits runs through the saturated engine. When
+	// Degraded > 0, a follow-up wave requests that many fresh platforms in
+	// degraded mode (immediate heuristic answer, background LP refinement)
+	// and re-requests them refined.
+	KindOverload PhaseKind = "overload"
 )
 
 // PhaseSpec describes one phase of a mix. Zero values select sensible
@@ -63,6 +73,23 @@ type PhaseSpec struct {
 	// Heuristic optionally names a tree heuristic every request of the
 	// phase asks for (empty = LP optimum only).
 	Heuristic string `json:"heuristic,omitempty"`
+	// Lanes and Queue shape the engine of an overload phase: Lanes
+	// concurrent solve lanes and a bounded admission queue of Queue waiters
+	// (the replay builds its in-process engine with exactly this shape).
+	Lanes int `json:"lanes,omitempty"`
+	Queue int `json:"queue,omitempty"`
+	// Cold is the storm size of an overload phase: Cold fresh cold-miss
+	// requests issued in index order against the saturated engine. It must
+	// exceed Lanes+Queue so the tail is deterministically shed.
+	Cold int `json:"cold,omitempty"`
+	// Hot and Hits shape the overload phase's hit stream: Hot prewarmed
+	// platforms drawn Hits times with zipfian popularity (skew Skew) while
+	// the storm holds every solve lane.
+	Hot  int `json:"hot,omitempty"`
+	Hits int `json:"hits,omitempty"`
+	// Degraded is the number of fresh platforms an overload phase requests
+	// in degraded mode after the storm (0 = skip the degraded wave).
+	Degraded int `json:"degraded,omitempty"`
 }
 
 // Mix is a named workload: an ordered list of phases replayed against one
@@ -83,6 +110,7 @@ func (m Mix) validate() error {
 		return fmt.Errorf("load: mix %q has no phases", m.Name)
 	}
 	names := make(map[string]bool, len(m.Phases))
+	var overload *struct{ lanes, queue int }
 	for i, ph := range m.Phases {
 		if ph.Name == "" {
 			return fmt.Errorf("load: mix %q: phase %d has no name", m.Name, i)
@@ -127,6 +155,26 @@ func (m Mix) validate() error {
 			if ph.Platforms < 1 || ph.Burst < 2 {
 				return fmt.Errorf("load: mix %q: phase %q: flood needs platforms >= 1 and burst >= 2", m.Name, ph.Name)
 			}
+		case KindOverload:
+			if ph.Lanes < 1 || ph.Queue < 1 {
+				return fmt.Errorf("load: mix %q: phase %q: overload needs lanes >= 1 and queue >= 1", m.Name, ph.Name)
+			}
+			if ph.Cold <= ph.Lanes+ph.Queue {
+				return fmt.Errorf("load: mix %q: phase %q: overload needs cold > lanes+queue so the storm sheds", m.Name, ph.Name)
+			}
+			if ph.Hot < 1 || ph.Hits < 1 {
+				return fmt.Errorf("load: mix %q: phase %q: overload needs hot >= 1 and hits >= 1", m.Name, ph.Name)
+			}
+			if ph.Hot > ph.Lanes+ph.Queue {
+				return fmt.Errorf("load: mix %q: phase %q: overload needs hot <= lanes+queue so the prewarm never sheds", m.Name, ph.Name)
+			}
+			if ph.Skew != 0 && ph.Skew <= 1 {
+				return fmt.Errorf("load: mix %q: phase %q: overload skew must be > 1", m.Name, ph.Name)
+			}
+			if overload != nil && (overload.lanes != ph.Lanes || overload.queue != ph.Queue) {
+				return fmt.Errorf("load: mix %q: phase %q: overload phases must agree on lanes/queue (one engine replays the whole mix)", m.Name, ph.Name)
+			}
+			overload = &struct{ lanes, queue int }{ph.Lanes, ph.Queue}
 		default:
 			return fmt.Errorf("load: mix %q: phase %q: unknown kind %q", m.Name, ph.Name, ph.Kind)
 		}
@@ -175,6 +223,13 @@ var builtinMixes = map[string]Mix{
 		Description: "singleflight workload: concurrent identical bursts on uncached platforms",
 		Phases: []PhaseSpec{
 			{Name: "floods", Kind: KindFlood, Scenarios: []string{scenarios.NameGrid, scenarios.NameStar}, Size: 12, Platforms: 8, Burst: 8},
+		},
+	},
+	"overload": {
+		Name:        "overload",
+		Description: "overload-contract workload: cold storm beyond lanes+queue with a zipf hit stream through the saturated engine, then degraded-mode plans refined in the background",
+		Phases: []PhaseSpec{
+			{Name: "storm", Kind: KindOverload, Scenarios: []string{scenarios.NameClusters, scenarios.NameGrid}, Size: 12, Lanes: 2, Queue: 2, Cold: 8, Hot: 3, Hits: 40, Skew: 1.4, Degraded: 3, Heuristic: "lp-grow-tree"},
 		},
 	},
 	"mixed": {

@@ -1,0 +1,128 @@
+package load
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// runOverload compiles and replays the overload mix against a fresh gated
+// in-process engine shaped by the schedule (lanes + bounded queue).
+func runOverload(t *testing.T, workers int) (*Schedule, *Report) {
+	t.Helper()
+	mix, err := MixByName("overload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Compile(mix, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, gate := NewInProcessEngine(sched, 0)
+	rep, err := Run(engine, sched, Options{Workers: workers, Gate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched, rep
+}
+
+// TestOverloadContract replays the overload mix and asserts the contract the
+// storm is built to prove:
+//
+//   - every request past lanes+queue capacity is visibly shed (exact count,
+//     no silent drops, no errors),
+//   - the hit stream through the saturated engine keeps the flat one-tick
+//     hit latency (p99 == 1 on the virtual clock),
+//   - every degraded answer is refined in the background,
+//   - the cache ends exactly at the workload's distinct plans (shed attempts
+//     leave nothing behind).
+func TestOverloadContract(t *testing.T) {
+	sched, rep := runOverload(t, 4)
+	spec := sched.Mix.Phases[0]
+
+	if sched.Overload == nil || sched.Overload.Lanes != spec.Lanes || sched.Overload.Queue != spec.Queue {
+		t.Fatalf("schedule overload shape %+v, want lanes %d queue %d", sched.Overload, spec.Lanes, spec.Queue)
+	}
+	wantShed := spec.Cold - spec.Lanes - spec.Queue
+	if sched.Expect.Shed != wantShed {
+		t.Fatalf("Expect.Shed = %d, want %d", sched.Expect.Shed, wantShed)
+	}
+
+	total := rep.Total
+	if total.Client.Errors != 0 {
+		t.Fatalf("replay had %d errors: %v", total.Client.Errors, total.Client.ErrorSamples)
+	}
+	if total.Client.Shed != wantShed {
+		t.Errorf("client sheds = %d, want %d", total.Client.Shed, wantShed)
+	}
+	if total.Engine.Shed != int64(wantShed) {
+		t.Errorf("engine sheds = %d, want %d", total.Engine.Shed, wantShed)
+	}
+	// Every accepted request was answered: requests = hits + solved misses +
+	// shed, with nothing unaccounted.
+	answered := total.Client.Cached + total.Client.Degraded + total.Client.Shed +
+		int(total.Engine.Solves) - int(total.Engine.Refines)
+	if answered != total.Client.Requests {
+		t.Errorf("answered %d of %d requests (cached %d, degraded %d, shed %d, foreground solves %d)",
+			answered, total.Client.Requests, total.Client.Cached, total.Client.Degraded,
+			total.Client.Shed, total.Engine.Solves-total.Engine.Refines)
+	}
+
+	storm := rep.Phases[0]
+	if storm.HitWork == nil {
+		t.Fatal("storm phase has no hit-stream histogram")
+	}
+	if storm.HitWork.Count != int64(spec.Hits) {
+		t.Errorf("hit stream count = %d, want %d", storm.HitWork.Count, spec.Hits)
+	}
+	if storm.HitWork.P99 != 1 || storm.HitWork.Max != 1 {
+		t.Errorf("hit latency through saturation p99=%d max=%d, want both 1 (flat hit cost)",
+			storm.HitWork.P99, storm.HitWork.Max)
+	}
+
+	if total.Client.Degraded != spec.Degraded {
+		t.Errorf("degraded answers = %d, want %d", total.Client.Degraded, spec.Degraded)
+	}
+	if total.Engine.Refines != int64(spec.Degraded) || total.Engine.RefineFailures != 0 {
+		t.Errorf("refines = %d (failures %d), want %d refined / 0 failures",
+			total.Engine.Refines, total.Engine.RefineFailures, spec.Degraded)
+	}
+
+	if rep.CacheEntries != sched.Distinct {
+		t.Errorf("cache entries = %d, want %d distinct (shed attempts must leave nothing)",
+			rep.CacheEntries, sched.Distinct)
+	}
+	if rep.Evictions != 0 {
+		t.Errorf("evictions = %d, want 0", rep.Evictions)
+	}
+}
+
+// TestOverloadDeterministicAcrossWorkers pins the byte-identical replay
+// guarantee for the overload mix: lanes, queue slots and sheds land on the
+// same step indexes for any worker count, so the canonical report never
+// moves.
+func TestOverloadDeterministicAcrossWorkers(t *testing.T) {
+	_, base := runOverload(t, 1)
+	want, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 16} {
+		_, rep := runOverload(t, workers)
+		got, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("report with %d workers differs from single-worker report", workers)
+		}
+	}
+	// And across repeat runs with the same worker count.
+	_, again := runOverload(t, 4)
+	got, err := json.Marshal(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("repeat run produced a different report")
+	}
+}

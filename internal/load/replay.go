@@ -1,6 +1,7 @@
 package load
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -38,6 +39,11 @@ func (ep EnginePlanner) Stats() (service.Stats, error) { return ep.Engine.Stats(
 // Mode implements Planner.
 func (ep EnginePlanner) Mode() string { return "in-process" }
 
+// Drain waits for the engine's background refinements; Run calls it (via an
+// optional interface, so HTTP targets are unaffected) after a DrainAfter
+// wave.
+func (ep EnginePlanner) Drain() { ep.Engine.Drain() }
+
 // NewInProcessEngine returns a fresh planning engine wired for a canonical
 // replay of the schedule — the burst gate installed in its instrumentation
 // hooks and, unless cacheSize overrides it, a plan cache sized to hold
@@ -47,23 +53,37 @@ func (ep EnginePlanner) Mode() string { return "in-process" }
 // drift apart.
 func NewInProcessEngine(sched *Schedule, cacheSize int) (EnginePlanner, *Gate) {
 	if cacheSize <= 0 {
-		cacheSize = sched.Distinct + 16
+		// Shed storm requests transiently claim a cache slot before the
+		// overload error removes it again, so the eviction-free floor is
+		// Distinct plus the worst-case shed overlap, not Distinct alone.
+		cacheSize = sched.Distinct + sched.Expect.Shed + 16
 	}
 	gate := NewGate()
-	engine := service.New(service.Config{CacheSize: cacheSize, Hooks: gate.Hooks()})
+	cfg := service.Config{CacheSize: cacheSize, Hooks: gate.Hooks()}
+	if sched.Overload != nil {
+		cfg.Workers = sched.Overload.Lanes
+		cfg.QueueDepth = sched.Overload.Queue
+	}
+	engine := service.New(cfg)
 	return EnginePlanner{Engine: engine}, gate
 }
 
-// Gate makes flood bursts deterministic: wired into the engine's
-// instrumentation hooks (service.Config.Hooks), it holds a burst's one
-// solve until every member of the burst has registered its lookup, so
+// Gate makes flood bursts and overload storms deterministic: wired into the
+// engine's instrumentation hooks (service.Config.Hooks), it holds a burst's
+// one solve until every member of the burst has registered its lookup, so
 // exactly burst-1 requests collapse onto the solve — for any worker count
-// and any scheduling. Outside burst waves the gate is disarmed and free.
+// and any scheduling. During a storm it additionally holds every admitted
+// solve at BeforeSolve (so lanes stay occupied while the storm tail is shed
+// and the hit stream is measured) and forwards the engine's admission
+// decisions, letting the replay launch storm requests strictly one admission
+// at a time. Outside those waves the gate is disarmed and free.
 type Gate struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	expect int
 	seen   int
+	hold   bool
+	admit  chan service.AdmitKind
 }
 
 // NewGate returns a disarmed gate.
@@ -77,7 +97,7 @@ func NewGate() *Gate {
 //
 //	service.New(service.Config{Hooks: gate.Hooks(), ...})
 func (g *Gate) Hooks() *service.Hooks {
-	return &service.Hooks{OnLookup: g.onLookup, BeforeSolve: g.beforeSolve}
+	return &service.Hooks{OnLookup: g.onLookup, BeforeSolve: g.beforeSolve, OnAdmit: g.onAdmit}
 }
 
 func (g *Gate) onLookup(service.LookupEvent) {
@@ -89,10 +109,19 @@ func (g *Gate) onLookup(service.LookupEvent) {
 
 func (g *Gate) beforeSolve() {
 	g.mu.Lock()
-	for g.expect > 0 && g.seen < g.expect {
+	for (g.expect > 0 && g.seen < g.expect) || g.hold {
 		g.cond.Wait()
 	}
 	g.mu.Unlock()
+}
+
+func (g *Gate) onAdmit(ev service.AdmitEvent) {
+	g.mu.Lock()
+	ch := g.admit
+	g.mu.Unlock()
+	if ch != nil {
+		ch <- ev.Kind
+	}
 }
 
 // arm prepares the gate for a burst of n requests; disarm releases it.
@@ -107,6 +136,54 @@ func (g *Gate) disarm() {
 	g.expect, g.seen = 0, 0
 	g.mu.Unlock()
 	g.cond.Broadcast()
+}
+
+// holdSolves parks every solve at BeforeSolve until releaseSolves; the
+// storm's admitted cold misses keep their lanes occupied while the tail is
+// shed and the hit stream runs.
+func (g *Gate) holdSolves() {
+	g.mu.Lock()
+	g.hold = true
+	g.mu.Unlock()
+}
+
+func (g *Gate) releaseSolves() {
+	g.mu.Lock()
+	g.hold = false
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// armAdmit starts forwarding admission decisions into a buffered channel of
+// the given capacity (the storm size, so the hook never blocks); disarmAdmit
+// stops forwarding.
+func (g *Gate) armAdmit(capacity int) {
+	g.mu.Lock()
+	g.admit = make(chan service.AdmitKind, capacity)
+	g.mu.Unlock()
+}
+
+func (g *Gate) disarmAdmit() {
+	g.mu.Lock()
+	g.admit = nil
+	g.mu.Unlock()
+}
+
+// awaitAdmitOr blocks until the engine reports the next admission decision
+// or the request finishes outright (a request failing before admission never
+// admits — without the done guard the storm would hang on it).
+func (g *Gate) awaitAdmitOr(done <-chan struct{}) {
+	g.mu.Lock()
+	ch := g.admit
+	g.mu.Unlock()
+	if ch == nil {
+		<-done
+		return
+	}
+	select {
+	case <-ch:
+	case <-done:
+	}
 }
 
 // Options tune a replay.
@@ -171,18 +248,27 @@ type outcome struct {
 	cached    bool
 	collapsed bool
 	warm      bool
+	shed      bool
+	degraded  bool
 	err       string
 }
 
-// observe converts a plan result into its outcome record.
+// observe converts a plan result into its outcome record. A shed request is
+// part of the overload contract — a deliberate, structured rejection — so it
+// is counted on its own and never as an error; its virtual cost is one tick
+// (the engine does no solving for it).
 func observe(res *service.PlanResult, err error, wall time.Duration) outcome {
 	out := outcome{cost: 1, wallNs: wall.Nanoseconds()}
 	switch {
+	case err != nil && errors.Is(err, service.ErrOverloaded):
+		out.shed = true
 	case err != nil:
 		out.err = err.Error()
 	case res.Cached:
 		out.cached = true
 		out.collapsed = res.Collapsed
+	case res.Degraded:
+		out.degraded = true
 	default:
 		out.warm = res.WarmResolved
 		if res.Plan != nil {
@@ -200,6 +286,16 @@ func observe(res *service.PlanResult, err error, wall time.Duration) outcome {
 // enough to hold Schedule.Distinct entries without evicting.
 func Run(target Planner, sched *Schedule, opts Options) (*Report, error) {
 	workers := opts.workers()
+	if sched.Overload != nil {
+		// The target engine is shaped to Lanes+Queue cold-miss capacity for
+		// the storm; capping the replay's own concurrency at that capacity
+		// keeps the non-storm waves (prewarm, other phases of the mix) from
+		// accidentally shedding. Wall-clock only — the canonical report never
+		// depends on the worker count.
+		if cap := sched.Overload.Lanes + sched.Overload.Queue; workers > cap {
+			workers = cap
+		}
+	}
 	pace := newPacer(opts.Rate)
 	rep := &Report{
 		Mix:         sched.Mix.Name,
@@ -223,7 +319,7 @@ func Run(target Planner, sched *Schedule, opts Options) (*Report, error) {
 
 	for pi := range sched.Phases {
 		phase := &sched.Phases[pi]
-		var work, wall stats.Histogram
+		var work, wall, hitWork stats.Histogram
 		var client ClientCounters
 		phaseStart := time.Now()
 
@@ -240,6 +336,12 @@ func Run(target Planner, sched *Schedule, opts Options) (*Report, error) {
 			if out.warm {
 				client.Warm++
 			}
+			if out.shed {
+				client.Shed++
+			}
+			if out.degraded {
+				client.Degraded++
+			}
 			if out.err != "" {
 				client.Errors++
 				if len(client.ErrorSamples) < 3 {
@@ -250,6 +352,12 @@ func Run(target Planner, sched *Schedule, opts Options) (*Report, error) {
 
 		for wi := range phase.Waves {
 			wave := &phase.Waves[wi]
+			if wave.Storm {
+				for _, out := range runStorm(target, wave, opts, pace, workers, &hitWork) {
+					record(out)
+				}
+				continue
+			}
 			if wave.Burst {
 				// Exclusive burst wave: one step, Burst concurrent
 				// requests, gated when a Gate is wired in.
@@ -287,6 +395,14 @@ func Run(target Planner, sched *Schedule, opts Options) (*Report, error) {
 			for _, out := range outs {
 				record(out)
 			}
+			if wave.DrainAfter {
+				// Background refinements must land before the next wave reads
+				// their entries; HTTP targets have no drain hook and fall
+				// back to the hit path's own wait-for-refinement.
+				if d, ok := target.(interface{ Drain() }); ok {
+					d.Drain()
+				}
+			}
 		}
 
 		after, err := target.Stats()
@@ -298,11 +414,15 @@ func Run(target Planner, sched *Schedule, opts Options) (*Report, error) {
 			Name:        phase.Spec.Name,
 			Kind:        string(phase.Spec.Kind),
 			Requests:    phase.Expect.Requests,
-			Distinct:    phase.Expect.Misses,
+			Distinct:    phase.Expect.Misses - phase.Expect.Shed,
 			Client:      client,
 			Engine:      subStats(after, before),
 			Work:        work.Summary(),
 			VirtualTime: vt,
+		}
+		if hitWork.Count() > 0 {
+			hw := hitWork.Summary()
+			pr.HitWork = &hw
 		}
 		if vt > 0 {
 			pr.RequestsPerKTick = float64(pr.Requests) * 1000 / float64(vt)
@@ -351,4 +471,55 @@ func Run(target Planner, sched *Schedule, opts Options) (*Report, error) {
 		rep.Timings = timings
 	}
 	return rep, nil
+}
+
+// runStorm replays an overload storm wave. With a Gate wired in, admitted
+// solves are held at BeforeSolve and the cold steps are launched strictly
+// one admission decision at a time, so lanes, queue slots and sheds land on
+// fixed step indexes for any worker count; the hit stream then runs through
+// the fully saturated engine (its virtual-latency histogram is recorded into
+// hitWork — the overload contract requires it to stay at the flat hit cost),
+// and only afterwards are the held solves released. Without a Gate (HTTP
+// targets) the storm flies concurrently best-effort and shed counts are not
+// deterministic. Outcomes are returned in step order: cold steps first, hit
+// stream after.
+func runStorm(target Planner, wave *Wave, opts Options, pace *pacer, workers int, hitWork *stats.Histogram) []outcome {
+	gate := opts.Gate
+	outs := make([]outcome, len(wave.Steps))
+	if gate != nil {
+		gate.holdSolves()
+		gate.armAdmit(len(wave.Steps))
+	}
+	var wg sync.WaitGroup
+	for i := range wave.Steps {
+		step := wave.Steps[i]
+		done := make(chan struct{})
+		wg.Add(1)
+		go func(i int, step Step) {
+			defer wg.Done()
+			defer close(done)
+			pace.wait()
+			start := time.Now()
+			res, err := target.Plan(step.Req)
+			outs[i] = observe(res, err, time.Since(start))
+		}(i, step)
+		if gate != nil {
+			gate.awaitAdmitOr(done)
+		}
+	}
+	hitOuts := parallel.Map(len(wave.Hits), workers, func(i int) outcome {
+		pace.wait()
+		start := time.Now()
+		res, err := target.Plan(wave.Hits[i].Req)
+		return observe(res, err, time.Since(start))
+	})
+	if gate != nil {
+		gate.disarmAdmit()
+		gate.releaseSolves()
+	}
+	wg.Wait()
+	for _, out := range hitOuts {
+		hitWork.Record(out.cost)
+	}
+	return append(outs, hitOuts...)
 }

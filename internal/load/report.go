@@ -19,7 +19,13 @@ type ClientCounters struct {
 	Cached    int `json:"cached"`
 	Collapsed int `json:"collapsed"`
 	Warm      int `json:"warm"`
-	Errors    int `json:"errors"`
+	// Shed counts requests the engine rejected under the overload contract
+	// (structured 429 / ErrOverloaded): deliberate rejections, not errors.
+	// Degraded counts opt-in degraded answers (immediate heuristic plan,
+	// background refinement).
+	Shed     int `json:"shed,omitempty"`
+	Degraded int `json:"degraded,omitempty"`
+	Errors   int `json:"errors"`
 	// ErrorSamples holds the first few error strings (diagnostics; empty in
 	// a healthy replay).
 	ErrorSamples []string `json:"errorSamples,omitempty"`
@@ -30,6 +36,8 @@ func (c *ClientCounters) add(o ClientCounters) {
 	c.Cached += o.Cached
 	c.Collapsed += o.Collapsed
 	c.Warm += o.Warm
+	c.Shed += o.Shed
+	c.Degraded += o.Degraded
 	c.Errors += o.Errors
 	for _, s := range o.ErrorSamples {
 		if len(c.ErrorSamples) < 3 {
@@ -54,6 +62,16 @@ type EngineDelta struct {
 	LPPivots        int64 `json:"lpPivots"`
 	LPWarmPivots    int64 `json:"lpWarmPivots"`
 	LPColdPivots    int64 `json:"lpColdPivots"`
+	// Overload-contract counters (omitted when zero so pre-contract reports
+	// stay byte-identical). Queued is deliberately absent: whether a cold
+	// miss takes a free lane or waits in the queue depends on scheduling,
+	// so it can never be part of the canonical report.
+	Shed              int64 `json:"shed,omitempty"`
+	Canceled          int64 `json:"canceled,omitempty"`
+	Degraded          int64 `json:"degraded,omitempty"`
+	Refines           int64 `json:"refines,omitempty"`
+	RefineFailures    int64 `json:"refineFailures,omitempty"`
+	EvictionsDeferred int64 `json:"evictionsDeferred,omitempty"`
 }
 
 func (d *EngineDelta) add(o EngineDelta) {
@@ -70,6 +88,12 @@ func (d *EngineDelta) add(o EngineDelta) {
 	d.LPPivots += o.LPPivots
 	d.LPWarmPivots += o.LPWarmPivots
 	d.LPColdPivots += o.LPColdPivots
+	d.Shed += o.Shed
+	d.Canceled += o.Canceled
+	d.Degraded += o.Degraded
+	d.Refines += o.Refines
+	d.RefineFailures += o.RefineFailures
+	d.EvictionsDeferred += o.EvictionsDeferred
 }
 
 // subStats computes after-before across the engine counter snapshot.
@@ -88,6 +112,13 @@ func subStats(after, before service.Stats) EngineDelta {
 		LPPivots:        after.LPPivots - before.LPPivots,
 		LPWarmPivots:    after.LPWarmPivots - before.LPWarmPivots,
 		LPColdPivots:    after.LPColdPivots - before.LPColdPivots,
+
+		Shed:              after.Shed - before.Shed,
+		Canceled:          after.Canceled - before.Canceled,
+		Degraded:          after.Degraded - before.Degraded,
+		Refines:           after.Refines - before.Refines,
+		RefineFailures:    after.RefineFailures - before.RefineFailures,
+		EvictionsDeferred: after.EvictionsDeferred - before.EvictionsDeferred,
 	}
 }
 
@@ -111,6 +142,11 @@ type PhaseReport struct {
 	Work             stats.HistogramSummary `json:"work"`
 	VirtualTime      int64                  `json:"virtualTime"`
 	RequestsPerKTick float64                `json:"requestsPerKTick"`
+	// HitWork, present only for overload phases, is the virtual-latency
+	// distribution of just the hit stream issued through the saturated
+	// engine: the overload contract requires it to stay at the flat
+	// one-tick hit cost (P99 == 1) while the storm holds every lane.
+	HitWork *stats.HistogramSummary `json:"hitWork,omitempty"`
 }
 
 // PhaseTiming is the wall-clock view of a phase (reported only on demand;
@@ -180,6 +216,10 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&b, "lp pivots: %d total (%d warm / %d cold); virtual time %d ticks; cache %d entries, %d evictions\n",
 		t.Engine.LPPivots, t.Engine.LPWarmPivots, t.Engine.LPColdPivots,
 		t.VirtualTime, r.CacheEntries, r.Evictions)
+	if t.Client.Shed > 0 || t.Client.Degraded > 0 {
+		fmt.Fprintf(&b, "overload: %d shed, %d degraded answers (%d refined, %d refine failures)\n",
+			t.Client.Shed, t.Client.Degraded, t.Engine.Refines, t.Engine.RefineFailures)
+	}
 	if t.Client.Errors > 0 {
 		fmt.Fprintf(&b, "ERRORS: %d requests failed; first: %v\n", t.Client.Errors, t.Client.ErrorSamples)
 	}

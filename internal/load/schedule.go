@@ -27,6 +27,12 @@ type Step struct {
 	// expectWarm records that the step is a delta request expected to take
 	// the base entry's warm session.
 	expectWarm bool
+	// expectShed marks a storm step past lanes+queue capacity: the engine
+	// must reject it with the overload error and cache nothing.
+	expectShed bool
+	// expectDegraded marks an opt-in degraded request: answered immediately
+	// with the heuristic tree and refined in the background.
+	expectDegraded bool
 }
 
 // requests returns the number of requests the step issues.
@@ -45,6 +51,16 @@ func (s Step) requests() int {
 type Wave struct {
 	Steps []Step
 	Burst bool
+	// Storm marks the overload storm wave: Steps are cold misses issued
+	// strictly in index order (each launched only after the previous one's
+	// admission decision), so lanes, queue slots and sheds land on fixed
+	// indexes; Hits is the zipfian hit stream issued while every admitted
+	// solve is still held at the gate.
+	Storm bool
+	Hits  []Step
+	// DrainAfter makes the replay wait for the target's background
+	// refinements (degraded-mode solves) before the next wave.
+	DrainAfter bool
 }
 
 // Expected are the schedule-derived per-phase cache outcomes: what the
@@ -60,6 +76,14 @@ type Expected struct {
 	Collapsed int `json:"collapsed"`
 	Warm      int `json:"warm"`
 	Deltas    int `json:"deltas"`
+	// Shed counts storm requests the engine must reject for overload. The
+	// engine books a shed attempt as a miss too (the claimed entry is
+	// removed again), so Misses includes Shed and the number of distinct
+	// plans a phase creates is Misses - Shed.
+	Shed int `json:"shed,omitempty"`
+	// Degraded counts opt-in degraded requests (each also a miss, answered
+	// heuristically and refined in the background).
+	Degraded int `json:"degraded,omitempty"`
 }
 
 // add accumulates o into e.
@@ -71,6 +95,8 @@ func (e *Expected) add(o Expected) {
 	e.Collapsed += o.Collapsed
 	e.Warm += o.Warm
 	e.Deltas += o.Deltas
+	e.Shed += o.Shed
+	e.Degraded += o.Degraded
 }
 
 // CompiledPhase is one phase of a schedule: its spec, its waves, and the
@@ -91,10 +117,21 @@ type Schedule struct {
 	Phases []CompiledPhase
 	// Requests is the total request count; Distinct the number of distinct
 	// plans the workload creates (the minimum cache capacity for an
-	// eviction-free — and therefore fully deterministic — replay).
+	// eviction-free — and therefore fully deterministic — replay; shed
+	// requests create no lasting entry and are not counted).
 	Requests int
 	Distinct int
 	Expect   Expected
+	// Overload, when non-nil, is the engine shape the mix's overload phases
+	// demand: NewInProcessEngine builds the target with exactly Lanes solve
+	// lanes and a Queue-deep admission queue.
+	Overload *OverloadShape
+}
+
+// OverloadShape is the engine concurrency shape an overload phase pins.
+type OverloadShape struct {
+	Lanes int `json:"lanes"`
+	Queue int `json:"queue"`
 }
 
 // planKey mirrors the service cache identity: the routing parameters plus
@@ -180,6 +217,11 @@ func Compile(mix Mix, seed int64) (*Schedule, error) {
 			ph, err = c.compileTwins(spec)
 		case KindFlood:
 			ph, err = c.compileFlood(spec)
+		case KindOverload:
+			ph, err = c.compileOverload(spec)
+			if err == nil {
+				sched.Overload = &OverloadShape{Lanes: spec.Lanes, Queue: spec.Queue}
+			}
 		default:
 			err = fmt.Errorf("load: unknown phase kind %q", spec.Kind)
 		}
@@ -188,7 +230,7 @@ func Compile(mix Mix, seed int64) (*Schedule, error) {
 		}
 		sched.Phases = append(sched.Phases, ph)
 		sched.Requests += ph.Expect.Requests
-		sched.Distinct += ph.Expect.Misses
+		sched.Distinct += ph.Expect.Misses - ph.Expect.Shed
 		sched.Expect.add(ph.Expect)
 	}
 	return sched, nil
@@ -204,7 +246,13 @@ func finish(spec PhaseSpec, waves []Wave) CompiledPhase {
 			if s.Req.Base != "" {
 				ph.Expect.Deltas += n
 			}
-			if s.expectMiss {
+			switch {
+			case s.expectShed:
+				// The engine books the rejected attempt as a miss (the
+				// claimed entry is removed again), never as a hit.
+				ph.Expect.Misses++
+				ph.Expect.Shed++
+			case s.expectMiss:
 				ph.Expect.Misses++
 				ph.Expect.Hits += n - 1
 				ph.Expect.Collapsed += n - 1
@@ -214,8 +262,19 @@ func finish(spec PhaseSpec, waves []Wave) CompiledPhase {
 				if s.expectWarm {
 					ph.Expect.Warm++
 				}
-			} else {
+				if s.expectDegraded {
+					ph.Expect.Degraded++
+				}
+			default:
 				ph.Expect.Hits += n
+			}
+		}
+		for _, s := range w.Hits {
+			ph.Expect.Requests++
+			if s.expectMiss {
+				ph.Expect.Misses++
+			} else {
+				ph.Expect.Hits++
 			}
 		}
 	}
@@ -380,6 +439,96 @@ func (c *compiler) compileFlood(spec PhaseSpec) (CompiledPhase, error) {
 			Steps: []Step{{Req: req, Burst: spec.Burst, expectMiss: miss, expectTwin: twin}},
 			Burst: true,
 		})
+	}
+	return finish(spec, waves), nil
+}
+
+// compileOverload builds the overload-contract phase: a prewarm wave over
+// Hot platforms, then the storm wave — Cold fresh cold misses issued in
+// index order against an engine shaped to Lanes+Queue capacity (the first
+// Lanes take solve lanes, the next Queue the admission queue, the tail is
+// shed) with a zipfian stream of Hits hits over the hot set riding through
+// the saturated engine — and, when Degraded > 0, a degraded wave of fresh
+// opt-in heuristic plans followed by a refined re-request wave.
+func (c *compiler) compileOverload(spec PhaseSpec) (CompiledPhase, error) {
+	// Prewarm: the hot set every storm hit lands on.
+	hot := make([]*platform.Platform, spec.Hot)
+	var prewarm []Step
+	for i := range hot {
+		p, err := c.generate(spec, "overload-hot", i)
+		if err != nil {
+			return CompiledPhase{}, err
+		}
+		hot[i] = p
+		req := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic}
+		miss, twin := c.classify(p, req)
+		prewarm = append(prewarm, Step{Req: req, Burst: 1, expectMiss: miss, expectTwin: twin})
+	}
+
+	// Storm: Cold fresh platforms. Indexes past lanes+queue are shed by the
+	// engine and deliberately NOT classified as seen — a shed request's
+	// claimed entry is removed again, so the platform stays uncached.
+	storm := Wave{Storm: true}
+	admitted := spec.Lanes + spec.Queue
+	for i := 0; i < spec.Cold; i++ {
+		p, err := c.generate(spec, "overload-cold", i)
+		if err != nil {
+			return CompiledPhase{}, err
+		}
+		req := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic}
+		if i < admitted {
+			miss, twin := c.classify(p, req)
+			storm.Steps = append(storm.Steps, Step{Req: req, Burst: 1, expectMiss: miss, expectTwin: twin})
+		} else {
+			storm.Steps = append(storm.Steps, Step{Req: req, Burst: 1, expectShed: true})
+		}
+	}
+
+	// Hit stream: zipfian draws over the hot set, issued while the storm
+	// holds every solve lane — the proof that saturation leaves hit latency
+	// untouched.
+	skew := spec.Skew
+	if skew == 0 {
+		skew = 1.3
+	}
+	rng := topology.NewRNG(topology.DeriveSeed(c.seed, "load/overload/draw/"+spec.Name))
+	var z *rand.Zipf
+	if spec.Hot > 1 {
+		z = rand.NewZipf(rng, skew, 1, uint64(spec.Hot-1))
+		if z == nil {
+			return CompiledPhase{}, fmt.Errorf("load: phase %q: invalid zipf skew %v", spec.Name, skew)
+		}
+	}
+	for i := 0; i < spec.Hits; i++ {
+		idx := 0
+		if z != nil {
+			idx = int(z.Uint64())
+		}
+		p := hot[idx]
+		req := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic}
+		miss, twin := c.classify(p, req)
+		storm.Hits = append(storm.Hits, Step{Req: req, Burst: 1, expectMiss: miss, expectTwin: twin})
+	}
+	waves := []Wave{{Steps: prewarm}, storm}
+
+	// Degraded wave: fresh platforms answered heuristically right away and
+	// refined in the background; after the drain, the re-request wave must
+	// see the refined (non-degraded) plans as plain hits.
+	if spec.Degraded > 0 {
+		var dsteps, rsteps []Step
+		for i := 0; i < spec.Degraded; i++ {
+			p, err := c.generate(spec, "overload-degraded", i)
+			if err != nil {
+				return CompiledPhase{}, err
+			}
+			dreq := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic, Degraded: true}
+			miss, twin := c.classify(p, dreq)
+			dsteps = append(dsteps, Step{Req: dreq, Burst: 1, expectMiss: miss, expectTwin: twin, expectDegraded: true})
+			rreq := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic}
+			rmiss, rtwin := c.classify(p, rreq)
+			rsteps = append(rsteps, Step{Req: rreq, Burst: 1, expectMiss: rmiss, expectTwin: rtwin})
+		}
+		waves = append(waves, Wave{Steps: dsteps, DrainAfter: true}, Wave{Steps: rsteps})
 	}
 	return finish(spec, waves), nil
 }

@@ -1,0 +1,84 @@
+package lp
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// cancelProblem builds a small LP with a non-trivial pivot sequence:
+// maximize x0+x1 subject to a few overlapping capacity rows.
+func cancelProblem() *Problem {
+	p := NewProblem(3)
+	p.SetObjective([]float64{1, 1, 0.5})
+	p.AddConstraint([]float64{1, 2, 1}, LE, 4)
+	p.AddConstraint([]float64{2, 1, 0}, LE, 3)
+	p.AddConstraint([]float64{0, 1, 2}, LE, 5)
+	return p
+}
+
+func TestSolveContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveContext(ctx, cancelProblem(), nil)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("SolveContext on canceled ctx = %v, want ErrCanceled", err)
+	}
+}
+
+func TestSolveContextNilAndBackground(t *testing.T) {
+	// nil ctx must behave like context.Background(): solve normally.
+	sol, err := SolveContext(nil, cancelProblem(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	ref, err := Solve(cancelProblem(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-ref.Objective) > 1e-9 {
+		t.Fatalf("nil-ctx objective %v != Solve objective %v", sol.Objective, ref.Objective)
+	}
+}
+
+// TestIncrementalCanceledThenResolves cancels a warm re-solve and verifies
+// the handle recovers: the canceled attempt must not count as a warm failure
+// nor leave a mid-pivot tableau behind, and the next (uncanceled) Solve must
+// match a cold differential oracle.
+func TestIncrementalCanceledThenResolves(t *testing.T) {
+	inc := NewIncremental(cancelProblem(), nil)
+	first, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != Optimal {
+		t.Fatalf("initial status %v", first.Status)
+	}
+
+	// A cutting row that shaves the optimum, solved under a dead context.
+	inc.AddConstraint([]float64{1, 1, 1}, LE, first.Objective*0.9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := inc.SolveContext(ctx); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled SolveContext = %v, want ErrCanceled", err)
+	}
+
+	sol, err := inc.Solve()
+	if err != nil {
+		t.Fatalf("re-solve after cancellation: %v", err)
+	}
+	oracle, err := Solve(inc.Problem(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-oracle.Objective) > 1e-9 {
+		t.Fatalf("post-cancel solve %v/%v, oracle %v", sol.Status, sol.Objective, oracle.Objective)
+	}
+	if inc.Stats().ColdSolves < 2 {
+		t.Errorf("stats %+v: canceled tableau should have forced a cold re-solve", inc.Stats())
+	}
+}

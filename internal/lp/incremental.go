@@ -1,5 +1,7 @@
 package lp
 
+import "context"
+
 // Incremental is a resolvable solver handle for the cutting-plane pattern:
 // solve a problem once, then repeatedly append constraint rows and re-solve.
 // After an Optimal solve, rows added since the previous Solve are priced into
@@ -85,18 +87,34 @@ func (inc *Incremental) AddSparseConstraint(terms []Term, rel Relation, rhs floa
 // Solution then reflects the cold result and its Iterations include the
 // pivots of both attempts.
 func (inc *Incremental) Solve() (*Solution, error) {
+	return inc.SolveContext(context.Background())
+}
+
+// SolveContext is Solve with cooperative cancellation. A canceled solve
+// leaves the handle consistent but cold: the mid-pivot tableau is discarded
+// (it must not seed a future warm start), the cancellation does not count
+// toward the warm-failure limit, and the next Solve simply re-solves from
+// scratch. A canceled warm attempt returns the wrapped ErrCanceled directly
+// instead of falling back to a cold solve — the caller's deadline has
+// already expired, so burning a full cold solve on its budget would defeat
+// the point of canceling.
+func (inc *Incremental) SolveContext(ctx context.Context) (*Solution, error) {
 	if inc.p == nil || inc.p.numVars == 0 {
 		return nil, ErrBadProblem
 	}
 	var warmSpent int
 	if inc.t != nil && inc.status == Optimal && !inc.noWarm && inc.objectiveUnchanged() {
-		sol := inc.warmSolve()
+		sol := inc.warmSolve(ctx)
 		inc.stats.WarmSolves++
 		inc.stats.WarmPivots += sol.Iterations
 		if sol.Status == Optimal {
 			inc.lastWarm = true
 			inc.failures = 0
 			return sol, nil
+		}
+		if sol.Status == Canceled {
+			inc.t = nil
+			return nil, canceledErr(ctx)
 		}
 		// The warm attempt stalled (or proved infeasibility, which could be
 		// accumulated drift): discard the tableau and re-solve from scratch.
@@ -107,8 +125,9 @@ func (inc *Incremental) Solve() (*Solution, error) {
 			inc.noWarm = true
 		}
 	}
-	sol, t, err := solveWithTableau(inc.p, inc.opts)
+	sol, t, err := solveWithTableau(ctx, inc.p, inc.opts)
 	if err != nil {
+		inc.t = nil
 		return nil, err
 	}
 	inc.t = t
@@ -142,7 +161,7 @@ func (inc *Incremental) objectiveUnchanged() bool {
 // and re-optimizes from the previous basis: dual simplex until primal
 // feasibility is restored, then primal simplex to polish any numerical drift
 // (usually zero pivots).
-func (inc *Incremental) warmSolve() *Solution {
+func (inc *Incremental) warmSolve(ctx context.Context) *Solution {
 	t := inc.t
 	appended := 0
 	for _, c := range inc.p.constraints[inc.synced:] {
@@ -170,9 +189,9 @@ func (inc *Incremental) warmSolve() *Solution {
 		maxIter = budget
 	}
 	sol := &Solution{X: make([]float64, inc.p.numVars), Phase: 2}
-	status := t.dualIterate(maxIter, &sol.Iterations)
+	status := t.dualIterate(ctx, maxIter, &sol.Iterations)
 	if status == Optimal {
-		status = t.iterate(maxIter, &sol.Iterations, true)
+		status = t.iterate(ctx, maxIter, &sol.Iterations, true)
 	}
 	sol.Status = status
 	inc.status = status

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -120,6 +121,11 @@ const (
 	Unbounded
 	// IterationLimit means the solver stopped before convergence.
 	IterationLimit
+	// Canceled means the solve context was canceled mid-pivot. The tableau
+	// is structurally consistent (pivots are atomic) but the basis is
+	// neither optimal nor necessarily feasible; SolveContext reports this
+	// as ErrCanceled rather than as a Solution.
+	Canceled
 )
 
 // String returns a human-readable status name.
@@ -133,6 +139,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterationLimit:
 		return "iteration-limit"
+	case Canceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -171,10 +179,36 @@ type Options struct {
 // ErrBadProblem is returned for structurally invalid problems.
 var ErrBadProblem = errors.New("lp: invalid problem")
 
+// ErrCanceled is returned when a solve context is canceled before the
+// simplex reaches a verdict. Every layer above the solver (steady sessions,
+// the planning service) wraps — never replaces — this sentinel, so
+// errors.Is(err, lp.ErrCanceled) identifies a deadline/cancellation outcome
+// at any level of the stack.
+var ErrCanceled = errors.New("solve canceled")
+
+// cancelCheckInterval is how many pivots the simplex loops run between
+// context checks: coarse enough that the check is free compared to a dense
+// pivot, fine enough that cancellation latency is a handful of pivots.
+const cancelCheckInterval = 64
+
 // Solve solves the problem with the two-phase primal simplex method.
 func Solve(p *Problem, opts *Options) (*Solution, error) {
-	sol, _, err := solveWithTableau(p, opts)
+	return SolveContext(context.Background(), p, opts)
+}
+
+// SolveContext is Solve with cooperative cancellation: the pivot loops check
+// ctx every cancelCheckInterval pivots and abandon the solve with an error
+// wrapping ErrCanceled once the context is done. A nil ctx is treated as
+// context.Background().
+func SolveContext(ctx context.Context, p *Problem, opts *Options) (*Solution, error) {
+	sol, _, err := solveWithTableau(ctx, p, opts)
 	return sol, err
+}
+
+// canceledErr builds the error for an abandoned solve, preserving the
+// ErrCanceled sentinel and the context's own cause.
+func canceledErr(ctx context.Context) error {
+	return fmt.Errorf("lp: %w: %v", ErrCanceled, ctx.Err())
 }
 
 // maxIterations resolves the pivot budget for a tableau of the given size.
@@ -187,8 +221,9 @@ func maxIterations(opts *Options, t *tableau) int {
 
 // solveWithTableau is Solve, additionally returning the final tableau so the
 // incremental solver can keep pivoting on it. The tableau is nil when the
-// problem was decided without building one (no constraints).
-func solveWithTableau(p *Problem, opts *Options) (*Solution, *tableau, error) {
+// problem was decided without building one (no constraints) or when the
+// solve was canceled (a mid-pivot basis must not be reused).
+func solveWithTableau(ctx context.Context, p *Problem, opts *Options) (*Solution, *tableau, error) {
 	if p == nil || p.numVars == 0 {
 		return nil, nil, ErrBadProblem
 	}
@@ -222,7 +257,10 @@ func solveWithTableau(p *Problem, opts *Options) (*Solution, *tableau, error) {
 			phase1[j] = -1
 		}
 		t.setCostRow(phase1)
-		status := t.iterate(maxIter, &sol.Iterations, false)
+		status := t.iterate(ctx, maxIter, &sol.Iterations, false)
+		if status == Canceled {
+			return nil, nil, canceledErr(ctx)
+		}
 		if status == IterationLimit {
 			// No feasible basis was reached: X stays all-zero and is NOT a
 			// feasible point. Callers must check Phase (or Feasible) before
@@ -244,7 +282,10 @@ func solveWithTableau(p *Problem, opts *Options) (*Solution, *tableau, error) {
 	phase2 := make([]float64, t.cols)
 	copy(phase2, p.objective)
 	t.setCostRow(phase2)
-	status := t.iterate(maxIter, &sol.Iterations, true)
+	status := t.iterate(ctx, maxIter, &sol.Iterations, true)
+	if status == Canceled {
+		return nil, nil, canceledErr(ctx)
+	}
 	sol.Status = status
 	if status == Unbounded {
 		return sol, t, nil

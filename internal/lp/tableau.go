@@ -1,6 +1,15 @@
 package lp
 
-import "math"
+import (
+	"context"
+	"math"
+)
+
+// pollCtx reports whether the context is done. It is called from the pivot
+// loops every cancelCheckInterval pivots; a nil context never cancels.
+func pollCtx(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
 
 // tableau is the dense simplex tableau. Columns are laid out as
 // [decision variables | slack/surplus variables | artificial variables],
@@ -184,12 +193,15 @@ func (t *tableau) forbidArtificials() {
 // the objective value stalls for a long stretch of (necessarily degenerate)
 // pivots, which guarantees termination without paying Bland's slow
 // convergence on well-behaved problems.
-func (t *tableau) iterate(maxIter int, counter *int, detectUnbounded bool) Status {
+func (t *tableau) iterate(ctx context.Context, maxIter int, counter *int, detectUnbounded bool) Status {
 	stallLimit := 4 * (t.rows + 16)
 	lastObjective := t.objectiveValue()
 	stalled := 0
 	useBland := false
 	for {
+		if *counter%cancelCheckInterval == 0 && pollCtx(ctx) {
+			return Canceled
+		}
 		if !useBland {
 			if obj := t.objectiveValue(); obj > lastObjective+t.tol {
 				lastObjective = obj
@@ -365,12 +377,15 @@ func (t *tableau) infeasibility() float64 {
 // infeasibility stalls — the dual analogue of the primal anti-cycling
 // fallback in iterate. The entering column minimizes the dual ratio
 // |cost/coefficient| with smallest-index tie-breaking.
-func (t *tableau) dualIterate(maxIter int, counter *int) Status {
+func (t *tableau) dualIterate(ctx context.Context, maxIter int, counter *int) Status {
 	stallLimit := 4 * (t.rows + 16)
 	lastInfeas := t.infeasibility()
 	stalled := 0
 	useBland := false
 	for {
+		if *counter%cancelCheckInterval == 0 && pollCtx(ctx) {
+			return Canceled
+		}
 		leave := -1
 		if useBland {
 			for i := 0; i < t.rows; i++ {

@@ -25,4 +25,27 @@
 // deterministic for any worker count). The scenario sweep engine routes its
 // per-unit solves through an Engine, so sweeps get cross-unit cache hits for
 // free.
+//
+// # Overload contract
+//
+// Past capacity the engine answers or refuses — never queues without bound:
+//
+//   - Deadlines and cancellation: PlanContext (and friends) thread a context
+//     into the simplex pivot loop, which polls it every 64 pivots. An expired
+//     or canceled solve returns ErrCanceled, removes its claimed cache entry
+//     (waiters see the error, the next request re-solves cold), and never
+//     leaves a mid-pivot tableau to be reused warm.
+//
+//   - Admission control: solves run on Config.Workers lanes plus a bounded
+//     wait queue of Config.QueueDepth tokens (0 = unbounded). A cold miss
+//     that finds lanes and queue full is shed immediately with an
+//     *OverloadedError carrying a Retry-After hint derived from the observed
+//     solve-latency distribution. Hits and collapsed singleflight waiters
+//     bypass admission entirely, so the hot set stays flat-latency under
+//     saturation.
+//
+//   - Degraded mode: a PlanRequest with Degraded set accepts an immediate
+//     heuristic tree on a cold miss (Plan.Degraded is set) while a background
+//     worker refines the cache entry to the LP optimum; Drain waits for
+//     in-flight refinements.
 package service

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/platform"
@@ -13,11 +14,13 @@ import (
 
 // planEnvelope is the HTTP response of /v1/plan: the cache/warm flags wrap
 // the canonical plan bytes, so repeated requests carry a byte-identical plan
-// subdocument.
+// subdocument. Degraded marks a heuristic answer served under the degraded
+// contract while the LP refinement runs in the background.
 type planEnvelope struct {
 	Cached    bool            `json:"cached"`
 	Collapsed bool            `json:"collapsed,omitempty"`
 	Warm      bool            `json:"warm,omitempty"`
+	Degraded  bool            `json:"degraded,omitempty"`
 	Plan      json.RawMessage `json:"plan"`
 }
 
@@ -40,6 +43,13 @@ type errorBody struct {
 // fingerprint 404, solver failures 500 — always with an {"error": ...} body;
 // a panicking handler is recovered into a structured 500, never an empty
 // reply.
+//
+// Overload contract: every solving endpoint runs under the request context
+// plus the per-request deadlineMs (or the engine's configured default), and a
+// solve abandoned on that deadline is a structured 504. When the engine's
+// solve lanes and admission queue are both full, cold work is shed with a
+// structured 429 carrying a Retry-After header (whole seconds, estimated from
+// recent solve latency). Cache hits and collapsed waits never shed.
 func NewHandler(e *Engine) http.Handler {
 	m := NewMetrics()
 	mux := http.NewServeMux()
@@ -66,21 +76,21 @@ func NewHandler(e *Engine) http.Handler {
 		if !decodePost(w, r, &req) {
 			return
 		}
-		res, err := e.Plan(req)
+		res, err := e.PlanContext(r.Context(), req)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			writeOverloadAware(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, planEnvelope{Cached: res.Cached, Collapsed: res.Collapsed, Warm: res.WarmResolved, Plan: res.JSON})
+		writeJSON(w, http.StatusOK, planEnvelope{Cached: res.Cached, Collapsed: res.Collapsed, Warm: res.WarmResolved, Degraded: res.Degraded, Plan: res.JSON})
 	}))
 	mux.Handle("/v1/evaluate", instrument(m, "/v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
 		var req EvaluateRequest
 		if !decodePost(w, r, &req) {
 			return
 		}
-		ev, err := e.Evaluate(req)
+		ev, err := e.EvaluateContext(r.Context(), req)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			writeOverloadAware(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, ev)
@@ -90,9 +100,9 @@ func NewHandler(e *Engine) http.Handler {
 		if !decodePost(w, r, &req) {
 			return
 		}
-		rep, err := e.Churn(req)
+		rep, err := e.ChurnContext(r.Context(), req)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			writeOverloadAware(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, rep)
@@ -180,12 +190,33 @@ func decodePost(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
 	return true
 }
 
+// writeOverloadAware writes the error with statusFor's mapping, additionally
+// attaching the Retry-After header when the engine shed the request for
+// overload (the header must be set before the status line goes out, so the
+// generic writeError path cannot do it).
+func writeOverloadAware(w http.ResponseWriter, err error) {
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
+		secs := int64(oe.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeError(w, statusFor(err), err)
+}
+
 // statusFor maps engine errors to HTTP statuses: caller mistakes are 400s,
-// a missing base fingerprint is 404, an ambiguous one 409; everything not
-// recognizably the client's fault — solver trouble included — is a 500, so
-// monitoring and retry policies see server-side failures as such.
+// a missing base fingerprint is 404, an ambiguous one 409, a shed request
+// 429, a solve abandoned on its deadline 504; everything not recognizably
+// the client's fault — solver trouble included — is a 500, so monitoring and
+// retry policies see server-side failures as such.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, ErrCanceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, ErrUnknownBase):
 		return http.StatusNotFound
 	case errors.Is(err, ErrAmbiguousBase):

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHTTPDeadlineReturns504 drives a plan request whose deadlineMs expires
+// before the solve can pivot: the response must be a structured 504 carrying
+// the cancellation error, and the engine must be left without a cache entry.
+func TestHTTPDeadlineReturns504(t *testing.T) {
+	// The hook parks the solver until the request deadline has passed; the
+	// solver's first context poll then abandons the solve.
+	e := New(Config{Hooks: &Hooks{BeforeSolve: func() { time.Sleep(60 * time.Millisecond) }}})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	p := smallPlatform(t, 61)
+	resp, body := postJSON(t, srv, "/v1/plan", PlanRequest{Platform: p, Source: 0, DeadlineMs: 20})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504; body %s", resp.StatusCode, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Fatalf("504 body %q is not a structured error", body)
+	}
+	if st := e.Stats(); st.CacheEntries != 0 || st.Canceled == 0 {
+		t.Errorf("stats after 504 = %+v, want 0 entries and Canceled > 0", st)
+	}
+}
+
+// TestHTTPOverloadReturns429WithRetryAfter saturates a one-lane, one-queue
+// engine and verifies the shed requests get a structured 429 with an integer
+// Retry-After header.
+func TestHTTPOverloadReturns429WithRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	admitted := make(chan struct{}, 8)
+	var solvers atomic.Int32
+	e := New(Config{
+		Workers:    1,
+		QueueDepth: 1,
+		Hooks: &Hooks{
+			BeforeSolve: func() {
+				if solvers.Add(1) == 1 {
+					<-release
+				}
+			},
+			OnAdmit: func(AdmitEvent) { admitted <- struct{}{} },
+		},
+	})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	type result struct {
+		status     int
+		retryAfter string
+		body       []byte
+	}
+	results := make([]result, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		p := smallPlatform(t, int64(500+i))
+		done := make(chan struct{})
+		wg.Add(1)
+		go func(i int, req PlanRequest) {
+			defer wg.Done()
+			defer close(done)
+			resp, body := postJSON(t, srv, "/v1/plan", req)
+			results[i] = result{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After"), body: body}
+		}(i, PlanRequest{Platform: p, Source: 0})
+		select {
+		case <-admitted:
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("request %d: no admission decision", i)
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	var ok, shed int
+	for i, r := range results {
+		switch r.status {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+			secs, err := strconv.Atoi(r.retryAfter)
+			if err != nil || secs < 1 {
+				t.Errorf("request %d: Retry-After %q, want integer seconds >= 1", i, r.retryAfter)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(r.body, &eb); err != nil || eb.Error == "" {
+				t.Errorf("request %d: 429 body %q is not a structured error", i, r.body)
+			}
+		default:
+			t.Errorf("request %d: status %d, want 200 or 429", i, r.status)
+		}
+	}
+	if ok != 2 || shed != 2 {
+		t.Fatalf("%d ok / %d shed, want 2 / 2", ok, shed)
+	}
+}
+
+// TestHTTPDegradedPlanFlagged checks the degraded opt-in over HTTP: the
+// response carries the degraded flag, and after the background refinement a
+// plain request sees the refined plan without the flag.
+func TestHTTPDegradedPlanFlagged(t *testing.T) {
+	e := New(Config{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	p := smallPlatform(t, 71)
+	resp, body := postJSON(t, srv, "/v1/plan", PlanRequest{Platform: p, Source: 0, Degraded: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded plan status %d: %s", resp.StatusCode, body)
+	}
+	var env planEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if !env.Degraded {
+		t.Fatal("degraded response not flagged")
+	}
+	var plan Plan
+	if err := json.Unmarshal(env.Plan, &plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Throughput <= 0 || !plan.Degraded {
+		t.Fatalf("degraded plan = %+v, want positive throughput and Degraded", plan)
+	}
+
+	e.Drain()
+
+	resp, body = postJSON(t, srv, "/v1/plan", PlanRequest{Platform: p, Source: 0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refined plan status %d: %s", resp.StatusCode, body)
+	}
+	env = planEnvelope{}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Degraded {
+		t.Error("refined hit still flagged degraded")
+	}
+	if !env.Cached {
+		t.Error("refined plan not served from the cache")
+	}
+}

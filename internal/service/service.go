@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -10,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/dynamic"
 	"repro/internal/heuristics"
@@ -17,6 +19,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/parallel"
 	"repro/internal/platform"
+	"repro/internal/stats"
 	"repro/internal/steady"
 	"repro/internal/throughput"
 )
@@ -34,7 +37,38 @@ var (
 	// ErrBadRequest wraps malformed request fields (unparseable
 	// fingerprints, unknown heuristic or profile names).
 	ErrBadRequest = errors.New("service: bad request")
+	// ErrCanceled identifies a deadline/cancellation outcome anywhere in the
+	// stack: it is the lp.ErrCanceled sentinel re-exported, so
+	// errors.Is(err, service.ErrCanceled) matches whether the request died
+	// waiting in the admission queue, waiting on a collapsed solve, or
+	// mid-pivot inside the simplex.
+	ErrCanceled = lp.ErrCanceled
+	// ErrOverloaded is the sentinel matched by errors.Is for shed requests;
+	// the concrete error is always an *OverloadedError carrying the
+	// suggested Retry-After. The message is deliberately constant (no
+	// durations) so error strings are byte-stable across runs.
+	ErrOverloaded = errors.New("service: overloaded: solve lanes and admission queue are full")
 )
+
+// OverloadedError is returned when a cold miss is shed: the solve pool and
+// the bounded admission queue are both full. RetryAfter is a back-off
+// suggestion derived from the observed solve-latency histogram (roughly the
+// time to drain the current backlog), clamped to [1s, 60s]; the HTTP layer
+// surfaces it as a Retry-After header on the 429 response.
+type OverloadedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string { return ErrOverloaded.Error() }
+
+// Unwrap makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
+
+// canceled builds the error for a request abandoned because its context was
+// done, preserving the ErrCanceled sentinel.
+func canceled(ctx context.Context) error {
+	return fmt.Errorf("service: %w: %v", ErrCanceled, ctx.Err())
+}
 
 // Config tunes an Engine.
 type Config struct {
@@ -44,6 +78,23 @@ type Config struct {
 	// Workers bounds the number of concurrent solves (default: number of
 	// CPUs). Requests beyond the bound queue; cache hits never queue.
 	Workers int
+	// QueueDepth bounds the admission queue for cold-miss solves: when every
+	// solve lane is busy, up to QueueDepth requests wait their turn and any
+	// further cold miss is shed immediately with an *OverloadedError (HTTP
+	// 429 + Retry-After). Zero keeps the pre-admission-control behavior: an
+	// unbounded queue that never sheds. Cache hits and collapsed
+	// singleflight waits never touch the queue (priority lanes).
+	QueueDepth int
+	// DefaultDeadline, when positive, bounds every request that does not
+	// carry its own deadlineMs: the solve is canceled (ErrCanceled, HTTP
+	// 504) once the deadline expires. Zero means no server-side deadline.
+	DefaultDeadline time.Duration
+	// DegradedHeuristic names the tree heuristic used to answer opt-in
+	// degraded requests immediately while the LP solve refines in the
+	// background (default "grow-tree"). It should be a non-LP heuristic —
+	// an LP-based one would pay the very solve degraded mode exists to
+	// avoid.
+	DegradedHeuristic string
 	// Steady is the base steady-state solver configuration applied to every
 	// request (per-request ColdLP/LPMaxIterations are layered on top).
 	Steady *steady.Options
@@ -72,8 +123,48 @@ type Hooks struct {
 	// Blocking inside it delays the solve (and every request collapsed onto
 	// it); the load harness uses this to hold a solve until a whole burst of
 	// identical requests has demonstrably registered, making singleflight
-	// counters deterministic.
+	// counters deterministic. Background refinement solves (degraded mode)
+	// do not fire it.
 	BeforeSolve func()
+	// OnAdmit fires once per admission decision for a cold-miss (or churn)
+	// solve: lane taken directly, queued behind busy lanes, or shed. It
+	// fires on the requesting goroutine, outside the engine lock; the load
+	// harness uses it to sequence overload storms deterministically.
+	// Background refinement solves do not fire it.
+	OnAdmit func(AdmitEvent)
+}
+
+// AdmitKind classifies one admission decision.
+type AdmitKind int
+
+const (
+	// AdmitLane: a free solve lane was claimed directly.
+	AdmitLane AdmitKind = iota
+	// AdmitQueued: all lanes busy; the request waits in the admission queue
+	// (bounded when Config.QueueDepth > 0, unbounded otherwise).
+	AdmitQueued
+	// AdmitShed: lanes and bounded queue both full; the request was rejected
+	// with an *OverloadedError.
+	AdmitShed
+)
+
+// String returns a human-readable admission kind.
+func (k AdmitKind) String() string {
+	switch k {
+	case AdmitLane:
+		return "lane"
+	case AdmitQueued:
+		return "queued"
+	case AdmitShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("AdmitKind(%d)", int(k))
+	}
+}
+
+// AdmitEvent describes one admission decision.
+type AdmitEvent struct {
+	Kind AdmitKind
 }
 
 // LookupEvent describes one routed plan request.
@@ -100,6 +191,13 @@ func (c Config) workers() int {
 		return c.Workers
 	}
 	return runtime.NumCPU()
+}
+
+func (c Config) degradedHeuristic() string {
+	if c.DegradedHeuristic != "" {
+		return c.DegradedHeuristic
+	}
+	return heuristics.NameGrowTree
 }
 
 // PlanRequest asks for the optimal steady-state broadcast plan of a platform.
@@ -130,6 +228,17 @@ type PlanRequest struct {
 	// LPMaxIterations bounds the simplex pivots per master solve (0 = solver
 	// default).
 	LPMaxIterations int `json:"lpMaxIterations,omitempty"`
+	// DeadlineMs bounds this request in milliseconds: the solve is canceled
+	// (ErrCanceled, HTTP 504) once the budget expires. Zero falls back to
+	// the engine's DefaultDeadline (which may itself be "none"). Not part
+	// of the cache identity.
+	DeadlineMs int `json:"deadlineMs,omitempty"`
+	// Degraded opts into degraded mode: a cold miss is answered immediately
+	// with the engine's cheap heuristic tree (PlanResult.Degraded and
+	// Plan.Degraded set) while the LP-optimal solve runs — and updates the
+	// cache entry — in the background. Hits on an already-refined entry
+	// return the optimal plan as usual. Not part of the cache identity.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Plan is a solved broadcast plan. It is immutable once cached: the engine
@@ -164,6 +273,11 @@ type Plan struct {
 	Tree                *platform.Tree `json:"tree,omitempty"`
 	HeuristicThroughput float64        `json:"heuristicThroughput,omitempty"`
 	Ratio               float64        `json:"ratio,omitempty"`
+	// Degraded marks a heuristic-only answer served by degraded mode before
+	// its background LP refinement landed: Throughput is then the heuristic
+	// tree's throughput (a lower bound), EdgeRate is absent and the LP
+	// counters are zero.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // PlanResult is the engine's answer to one plan request.
@@ -182,20 +296,48 @@ type PlanResult struct {
 	// WarmResolved reports that a delta request reused the base entry's warm
 	// session instead of cold-solving.
 	WarmResolved bool
+	// Degraded reports that the answer is a degraded-mode heuristic plan
+	// (the background refinement had not landed yet).
+	Degraded bool
 }
 
 // Stats is a snapshot of the engine counters.
 type Stats struct {
-	// Requests = Hits + Misses; TwinMisses (fingerprint matched but content
-	// differed: a renumbered twin or hash collision) are a subset of Misses,
-	// and Singleflight (requests that found their solve already in flight
-	// and waited on it instead of duplicating it) a subset of Hits.
+	// Requests = Hits + Misses, on every path including errors: a request
+	// that waited on a solve which then failed — and a request abandoned by
+	// its own deadline — counts as a Miss (it got no plan). TwinMisses
+	// (fingerprint matched but content differed: a renumbered twin or hash
+	// collision) are a subset of Misses. Singleflight counts requests that
+	// found their solve already in flight and waited on it instead of
+	// duplicating it; it is counted at lookup classification — the same
+	// moment LookupEvent{Collapsed: true} fires — so the hook-side and
+	// stats-side views agree even when the collapsed-onto solve fails.
+	// (Successful collapsed waits are a subset of Hits; failed ones land in
+	// Misses, so Singleflight is not a subset of Hits on error paths.)
 	Requests     int64 `json:"requests"`
 	Hits         int64 `json:"hits"`
 	Misses       int64 `json:"misses"`
 	TwinMisses   int64 `json:"twinMisses,omitempty"`
 	Singleflight int64 `json:"singleflight,omitempty"`
 	Evictions    int64 `json:"evictions,omitempty"`
+	// EvictionsDeferred counts eviction scans that skipped an in-flight
+	// entry (solve not finished): evicting one would break the singleflight
+	// invariant, so the cache temporarily exceeds capacity instead.
+	EvictionsDeferred int64 `json:"evictionsDeferred,omitempty"`
+	// Admission-control outcomes for cold-miss solves: Queued waited behind
+	// busy lanes, Shed were rejected with an *OverloadedError, Canceled
+	// were abandoned by their context (in the queue, on a collapsed wait,
+	// or mid-solve).
+	Queued   int64 `json:"queued,omitempty"`
+	Shed     int64 `json:"shed,omitempty"`
+	Canceled int64 `json:"canceled,omitempty"`
+	// Degraded-mode outcomes: Degraded counts heuristic-only answers served
+	// immediately, Refines the background LP solves that later replaced
+	// them in the cache, RefineFailures the refinements that failed (the
+	// degraded plan then stays, still flagged Degraded).
+	Degraded       int64 `json:"degraded,omitempty"`
+	Refines        int64 `json:"refines,omitempty"`
+	RefineFailures int64 `json:"refineFailures,omitempty"`
 	// Solves counts the actual solver runs; DeltaPlans the requests served
 	// through the base+deltas path, split into warm session reuses and
 	// session rebuilds.
@@ -213,6 +355,7 @@ type Stats struct {
 	CacheEntries  int `json:"cacheEntries"`
 	CacheCapacity int `json:"cacheCapacity"`
 	Workers       int `json:"workers"`
+	QueueDepth    int `json:"queueDepth,omitempty"`
 }
 
 // fpKey routes a lookup: the permutation-invariant platform fingerprint
@@ -246,11 +389,21 @@ type entry struct {
 	key cacheKey
 
 	ready chan struct{} // closed once plan/err are set
-	err   error
-	plan  *Plan
-	json  []byte
+	// refined is non-nil iff the entry was created by a degraded request:
+	// it is closed once the background refinement finished (successfully or
+	// not). Requests that did not opt into degraded mode wait on it before
+	// consuming the plan. Immutable after insert.
+	refined chan struct{}
+	err     error
 
-	mu sync.Mutex // guards the session fields below
+	mu sync.Mutex // guards every field below
+	// plan/json start as the degraded heuristic plan for degraded entries
+	// and are swapped for the refined LP plan when it lands; degraded
+	// mirrors Plan.Degraded. For normal entries they are written once
+	// before ready closes and never change.
+	plan     *Plan
+	json     []byte
+	degraded bool
 	// plat is an immutable snapshot of the planned platform; sessions are
 	// re-derived from it when the live one has moved on.
 	plat *platform.Platform
@@ -266,6 +419,17 @@ type entry struct {
 type Engine struct {
 	cfg Config
 	sem chan struct{} // bounded worker pool for solver work
+	// queue is the bounded admission queue for cold-miss solves (nil when
+	// QueueDepth is 0: unbounded waiting, never shed). A token in the queue
+	// is a request allowed to block on sem; when both are full, acquire
+	// sheds.
+	queue chan struct{}
+	bg    sync.WaitGroup // in-flight background refinements
+
+	// solveNs records the wall-clock latency of completed solves; Retry-
+	// After suggestions for shed requests derive from it.
+	latMu   sync.Mutex
+	solveNs stats.Histogram
 
 	mu    sync.Mutex
 	lru   *list.List // of *entry, most recently used in front
@@ -278,14 +442,23 @@ type Engine struct {
 
 // New returns an engine with the given configuration.
 func New(cfg Config) *Engine {
-	return &Engine{
+	e := &Engine{
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.workers()),
 		lru:   list.New(),
 		byKey: make(map[cacheKey]*list.Element),
 		byFP:  make(map[fpKey][]*list.Element),
 	}
+	if cfg.QueueDepth > 0 {
+		e.queue = make(chan struct{}, cfg.QueueDepth)
+	}
+	return e
 }
+
+// Drain blocks until every background refinement currently in flight has
+// completed and updated its cache entry. Deterministic replays call it
+// before snapshotting counters; servers call it on shutdown.
+func (e *Engine) Drain() { e.bg.Wait() }
 
 // insertLocked adds a claimed entry to the cache and evicts over capacity.
 // The engine mutex must be held.
@@ -293,11 +466,44 @@ func (e *Engine) insertLocked(ent *entry) *list.Element {
 	el := e.lru.PushFront(ent)
 	e.byKey[ent.key] = el
 	e.byFP[ent.key.fpKey] = append(e.byFP[ent.key.fpKey], el)
+	e.trimLocked()
+	return el
+}
+
+// entryDone reports whether the entry's solve has finished (ready closed).
+func entryDone(ent *entry) bool {
+	select {
+	case <-ent.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// trimLocked evicts least-recently-used entries while the cache is over
+// capacity — but never an in-flight one: evicting an entry whose solve has
+// not finished would detach it from the cache, so a concurrent identical
+// request would miss and duplicate the solve, silently breaking the "one
+// solve per distinct platform" singleflight invariant. In-flight entries are
+// skipped (counted in EvictionsDeferred) and the cache stays over capacity
+// until a later insert or solve completion trims it. The engine mutex must
+// be held.
+func (e *Engine) trimLocked() {
 	for e.lru.Len() > e.cfg.cacheSize() {
-		e.removeLocked(e.lru.Back())
+		var victim *list.Element
+		for el := e.lru.Back(); el != nil; el = el.Prev() {
+			if entryDone(el.Value.(*entry)) {
+				victim = el
+				break
+			}
+			e.stats.EvictionsDeferred++
+		}
+		if victim == nil {
+			return // everything is in flight; stay over capacity for now
+		}
+		e.removeLocked(victim)
 		e.stats.Evictions++
 	}
-	return el
 }
 
 // removeLocked drops an element from the LRU list and both indexes. The
@@ -328,6 +534,84 @@ func (e *Engine) hook(ev LookupEvent) {
 	}
 }
 
+// admit delivers an admission event to the configured instrumentation. It is
+// called outside the engine lock.
+func (e *Engine) admit(kind AdmitKind) {
+	if e.cfg.Hooks != nil && e.cfg.Hooks.OnAdmit != nil {
+		e.cfg.Hooks.OnAdmit(AdmitEvent{Kind: kind})
+	}
+}
+
+// acquire claims a solve lane for a request-path solve, applying admission
+// control: a free lane is taken directly; otherwise the request enters the
+// admission queue (bounded by QueueDepth when set) and blocks until a lane
+// frees or its context is done; when lanes and bounded queue are both full
+// it is shed with an *OverloadedError. The returned release function frees
+// the lane. Cache hits and collapsed waits never call acquire.
+func (e *Engine) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case e.sem <- struct{}{}:
+		e.admit(AdmitLane)
+		return e.releaseLane, nil
+	default:
+	}
+	if e.queue != nil {
+		select {
+		case e.queue <- struct{}{}:
+			// Hold the queue token while blocked on a lane; freed on return.
+			defer func() { <-e.queue }()
+		default:
+			e.mu.Lock()
+			e.stats.Shed++
+			e.mu.Unlock()
+			e.admit(AdmitShed)
+			return nil, &OverloadedError{RetryAfter: e.retryAfter()}
+		}
+	}
+	e.mu.Lock()
+	e.stats.Queued++
+	e.mu.Unlock()
+	e.admit(AdmitQueued)
+	if ctx == nil {
+		e.sem <- struct{}{}
+		return e.releaseLane, nil
+	}
+	select {
+	case e.sem <- struct{}{}:
+		return e.releaseLane, nil
+	case <-ctx.Done():
+		return nil, canceled(ctx)
+	}
+}
+
+func (e *Engine) releaseLane() { <-e.sem }
+
+// retryAfter estimates how long a shed client should back off: the observed
+// median solve latency scaled by the backlog a retry would sit behind,
+// rounded up to whole seconds and clamped to [1s, 60s]. With no completed
+// solves yet it defaults to 1s.
+func (e *Engine) retryAfter() time.Duration {
+	e.latMu.Lock()
+	var p50 int64
+	if e.solveNs.Count() > 0 {
+		p50 = e.solveNs.Quantile(0.5)
+	}
+	e.latMu.Unlock()
+	if p50 <= 0 {
+		return time.Second
+	}
+	backlog := int64(len(e.queue)) + 1 // racy read; an estimate is fine
+	est := time.Duration(p50 * backlog / int64(cap(e.sem)))
+	secs := int64((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
@@ -336,6 +620,7 @@ func (e *Engine) Stats() Stats {
 	s.CacheEntries = e.lru.Len()
 	s.CacheCapacity = e.cfg.cacheSize()
 	s.Workers = cap(e.sem)
+	s.QueueDepth = e.cfg.QueueDepth
 	return s
 }
 
@@ -371,23 +656,54 @@ func (req PlanRequest) fpKey(fp platform.Fingerprint) fpKey {
 // caching the result. Delta requests (Base + Deltas) reuse the base entry's
 // warm session when one is available.
 func (e *Engine) Plan(req PlanRequest) (*PlanResult, error) {
+	return e.PlanContext(context.Background(), req)
+}
+
+// PlanContext is Plan with cooperative cancellation and deadlines: the
+// context (plus the request's DeadlineMs or the engine's DefaultDeadline)
+// bounds admission waits, collapsed singleflight waits and the solve's own
+// simplex pivots. A canceled request returns an error wrapping ErrCanceled
+// and never leaves a cache entry or a poisoned warm session behind. A nil
+// ctx is treated as context.Background().
+func (e *Engine) PlanContext(ctx context.Context, req PlanRequest) (*PlanResult, error) {
+	ctx, cancel := e.requestContext(ctx, req.DeadlineMs)
+	if cancel != nil {
+		defer cancel()
+	}
 	if req.Base != "" {
 		if req.Platform != nil {
 			return nil, ErrBothPlatform
 		}
-		return e.planFromBase(req)
+		return e.planFromBase(ctx, req)
 	}
 	if req.Platform == nil {
 		return nil, ErrNoPlatform
 	}
-	return e.planPlatform(req, req.Platform, nil)
+	return e.planPlatform(ctx, req, req.Platform, nil)
+}
+
+// requestContext layers the request deadline (DeadlineMs, else the engine's
+// DefaultDeadline) onto the caller's context. The returned cancel is nil
+// when no deadline applies.
+func (e *Engine) requestContext(ctx context.Context, deadlineMs int) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	d := time.Duration(deadlineMs) * time.Millisecond
+	if d <= 0 {
+		d = e.cfg.DefaultDeadline
+	}
+	if d <= 0 {
+		return ctx, nil
+	}
+	return context.WithTimeout(ctx, d)
 }
 
 // planPlatform plans for an explicit platform. taken, when non-nil, is a
 // warm session already positioned at the platform's exact state (the delta
 // path hands one in); it is consumed: either by the solve, or by donating
 // the session to the cache entry the request lands on.
-func (e *Engine) planPlatform(req PlanRequest, p *platform.Platform, taken *takenSession) (*PlanResult, error) {
+func (e *Engine) planPlatform(ctx context.Context, req PlanRequest, p *platform.Platform, taken *takenSession) (*PlanResult, error) {
 	if req.Heuristic != "" {
 		if _, err := heuristics.ByName(req.Heuristic); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -408,26 +724,45 @@ func (e *Engine) planPlatform(req PlanRequest, p *platform.Platform, taken *take
 		// channel is not yet closed is an in-flight solve this request
 		// collapses onto. The classification point is the lookup, so it is
 		// deterministic for schedules that order duplicates after their
-		// first-touch completed (they always see ready closed).
+		// first-touch completed (they always see ready closed). Singleflight
+		// is counted here too — at the same moment the hook fires — so the
+		// stats-side and hook-side views agree even when the solve this
+		// request collapsed onto later fails.
 		collapsed := false
 		select {
 		case <-ent.ready:
 		default:
 			collapsed = true
 		}
+		if collapsed {
+			e.stats.Singleflight++
+		}
 		e.hook(LookupEvent{Collapsed: collapsed})
 		e.mu.Unlock()
-		<-ent.ready
+		select {
+		case <-ent.ready:
+		case <-ctx.Done():
+			return nil, e.abandonHit(ctx)
+		}
+		if ent.refined != nil && !req.Degraded {
+			// The entry is (or was) a degraded one. Opt-in degraded requests
+			// take whatever plan is current; everyone else waits for the
+			// background refinement to land.
+			select {
+			case <-ent.refined:
+			case <-ctx.Done():
+				return nil, e.abandonHit(ctx)
+			}
+		}
 		e.mu.Lock()
 		if ent.err != nil {
+			// Collapsed waiters on a failed solve got no plan: they count as
+			// Misses, keeping Hits+Misses == Requests on every path.
 			e.stats.Misses++
 			e.mu.Unlock()
 			return nil, ent.err
 		}
 		e.stats.Hits++
-		if collapsed {
-			e.stats.Singleflight++
-		}
 		e.mu.Unlock()
 		// A delta request that raced a concurrent identical insert donates
 		// its session to the hit entry (the session platform is exactly at
@@ -440,7 +775,10 @@ func (e *Engine) planPlatform(req PlanRequest, p *platform.Platform, taken *take
 			}
 			ent.mu.Unlock()
 		}
-		return &PlanResult{Plan: ent.plan, JSON: append([]byte(nil), ent.json...), Cached: true, Collapsed: collapsed}, nil
+		ent.mu.Lock()
+		plan, planJSON, degraded := ent.plan, ent.json, ent.degraded
+		ent.mu.Unlock()
+		return &PlanResult{Plan: plan, JSON: append([]byte(nil), planJSON...), Cached: true, Collapsed: collapsed, Degraded: degraded}, nil
 	}
 	// Miss: claim the key with an unsolved entry so concurrent identical
 	// requests wait on this solve instead of duplicating it. A renumbered
@@ -451,16 +789,26 @@ func (e *Engine) planPlatform(req PlanRequest, p *platform.Platform, taken *take
 		e.stats.TwinMisses++
 	}
 	ent := &entry{key: key, ready: make(chan struct{})}
+	if req.Degraded {
+		ent.refined = make(chan struct{})
+	}
 	el := e.insertLocked(ent)
 	e.stats.Misses++
 	e.hook(LookupEvent{Miss: true, Twin: twin})
 	e.mu.Unlock()
 
-	plan, planJSON, sess, sp, err := e.solve(req, p, taken)
+	if req.Degraded {
+		return e.planDegraded(req, p, ent, el, taken)
+	}
+
+	plan, planJSON, sess, sp, err := e.solve(ctx, req, p, taken)
 	e.mu.Lock()
 	if err != nil {
+		if errors.Is(err, ErrCanceled) {
+			e.stats.Canceled++
+		}
 		ent.err = err
-		// Failed solves are not served from the cache.
+		// Failed (and canceled) solves are not served from the cache.
 		if cur, ok := e.byKey[key]; ok && cur == el {
 			e.removeLocked(el)
 		}
@@ -468,10 +816,10 @@ func (e *Engine) planPlatform(req PlanRequest, p *platform.Platform, taken *take
 		close(ent.ready)
 		return nil, err
 	}
-	ent.plan = plan
-	ent.json = planJSON
 	e.mu.Unlock()
 	ent.mu.Lock()
+	ent.plan = plan
+	ent.json = planJSON
 	if e.cfg.DisableSessions {
 		// sp is exclusively owned and the session is being discarded, so it
 		// can serve as the snapshot directly.
@@ -483,7 +831,123 @@ func (e *Engine) planPlatform(req PlanRequest, p *platform.Platform, taken *take
 	}
 	ent.mu.Unlock()
 	close(ent.ready)
+	// A completed solve may unblock evictions deferred while it was in
+	// flight.
+	e.mu.Lock()
+	e.trimLocked()
+	e.mu.Unlock()
 	return &PlanResult{Plan: plan, JSON: append([]byte(nil), planJSON...), WarmResolved: taken != nil && taken.warm}, nil
+}
+
+// abandonHit accounts for a hit-path wait abandoned by its context: the
+// request got no plan, so it counts as a Miss (and Canceled).
+func (e *Engine) abandonHit(ctx context.Context) error {
+	e.mu.Lock()
+	e.stats.Misses++
+	e.stats.Canceled++
+	e.mu.Unlock()
+	return canceled(ctx)
+}
+
+// planDegraded answers a freshly claimed cold miss with the engine's cheap
+// heuristic tree and schedules the LP-optimal solve as a background
+// refinement of the same cache entry. The degraded answer never touches
+// admission control — that is the point: overloaded tail latency collapses
+// from solve-cost to heuristic-cost. The refinement acquires a lane the
+// plain blocking way (no shedding, no deadline — the client already has its
+// answer).
+func (e *Engine) planDegraded(req PlanRequest, p *platform.Platform, ent *entry, el *list.Element, taken *takenSession) (*PlanResult, error) {
+	plan, planJSON, err := e.degradedPlan(req, p)
+	e.mu.Lock()
+	if err != nil {
+		ent.err = err
+		if cur, ok := e.byKey[ent.key]; ok && cur == el {
+			e.removeLocked(el)
+		}
+		e.mu.Unlock()
+		close(ent.refined)
+		close(ent.ready)
+		return nil, err
+	}
+	e.stats.Degraded++
+	e.mu.Unlock()
+	ent.mu.Lock()
+	ent.plan = plan
+	ent.json = planJSON
+	ent.degraded = true
+	ent.plat = p.Clone()
+	ent.mu.Unlock()
+	close(ent.ready)
+	// The refinement solves its own snapshot: the caller keeps ownership of
+	// p after we return. A delta request's taken session is engine-owned
+	// and rides along instead.
+	refineP := p
+	if taken == nil {
+		refineP = p.Clone()
+	}
+	e.bg.Add(1)
+	go e.refine(ent, req, refineP, taken)
+	return &PlanResult{Plan: plan, JSON: append([]byte(nil), planJSON...), Degraded: true}, nil
+}
+
+// degradedPlan builds the immediate heuristic-only answer of degraded mode.
+// It always uses the engine's configured degraded heuristic — the request's
+// own Heuristic (honored by the refinement) may be LP-based, which would pay
+// the very solve degraded mode exists to avoid.
+func (e *Engine) degradedPlan(req PlanRequest, p *platform.Platform) (*Plan, []byte, error) {
+	name := e.cfg.degradedHeuristic()
+	tree, tp, err := buildHeuristic(p, req.Source, name, nil, model.OnePortBidirectional)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: degraded plan: %w", err)
+	}
+	exact := exactHash(p)
+	plan := &Plan{
+		Fingerprint:         p.Fingerprint().String(),
+		ExactKey:            hex.EncodeToString(exact[:]),
+		Source:              req.Source,
+		Nodes:               p.NumNodes(),
+		Links:               p.NumLinks(),
+		Throughput:          tp, // heuristic lower bound until refined
+		Heuristic:           name,
+		Tree:                tree,
+		HeuristicThroughput: tp,
+		Degraded:            true,
+	}
+	planJSON, err := json.Marshal(plan)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: marshal plan: %w", err)
+	}
+	return plan, planJSON, nil
+}
+
+// refine is the background half of degraded mode: solve the LP-optimal plan
+// and swap it into the still-cached entry. On failure the degraded plan
+// stays (still flagged Degraded) — the client already answered, so there is
+// nobody to surface the error to beyond the RefineFailures counter.
+func (e *Engine) refine(ent *entry, req PlanRequest, p *platform.Platform, taken *takenSession) {
+	defer e.bg.Done()
+	plan, planJSON, sess, sp, err := e.solveBackground(req, p, taken)
+	if err != nil {
+		e.mu.Lock()
+		e.stats.RefineFailures++
+		e.mu.Unlock()
+		close(ent.refined)
+		return
+	}
+	e.mu.Lock()
+	e.stats.Refines++
+	e.mu.Unlock()
+	ent.mu.Lock()
+	ent.plan = plan
+	ent.json = planJSON
+	ent.degraded = false
+	ent.plat = sp.Clone()
+	if !e.cfg.DisableSessions {
+		ent.session = sess
+		ent.sessionP = sp
+	}
+	ent.mu.Unlock()
+	close(ent.refined)
 }
 
 // takenSession is a warm session handed from a base entry to the delta path.
@@ -493,17 +957,36 @@ type takenSession struct {
 	warm bool
 }
 
-// solve runs the steady-state solver (and the optional heuristic) on its own
-// clone of the platform, bounded by the worker pool. It returns the plan,
-// its canonical bytes, and a session positioned at the solved state for
-// future delta requests.
-func (e *Engine) solve(req PlanRequest, p *platform.Platform, taken *takenSession) (*Plan, []byte, *steady.Session, *platform.Platform, error) {
-	e.sem <- struct{}{}
-	defer func() { <-e.sem }()
+// solve runs the steady-state solver (and the optional heuristic) for a
+// request-path cold miss: admission-controlled lane acquisition (which may
+// shed), the BeforeSolve hook, then the solver itself under the request
+// context.
+func (e *Engine) solve(ctx context.Context, req PlanRequest, p *platform.Platform, taken *takenSession) (*Plan, []byte, *steady.Session, *platform.Platform, error) {
+	release, err := e.acquire(ctx)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	defer release()
 	if e.cfg.Hooks != nil && e.cfg.Hooks.BeforeSolve != nil {
 		e.cfg.Hooks.BeforeSolve()
 	}
+	return e.runSolve(ctx, req, p, taken)
+}
 
+// solveBackground runs a degraded-mode refinement solve: plain blocking lane
+// acquisition (no queue bound, no shedding, no hooks) and no deadline — the
+// client already received its degraded answer.
+func (e *Engine) solveBackground(req PlanRequest, p *platform.Platform, taken *takenSession) (*Plan, []byte, *steady.Session, *platform.Platform, error) {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+	return e.runSolve(context.Background(), req, p, taken)
+}
+
+// runSolve runs the steady-state solver (and the optional heuristic) on its
+// own clone of the platform; the caller holds a solve lane. It returns the
+// plan, its canonical bytes, and a session positioned at the solved state
+// for future delta requests.
+func (e *Engine) runSolve(ctx context.Context, req PlanRequest, p *platform.Platform, taken *takenSession) (*Plan, []byte, *steady.Session, *platform.Platform, error) {
 	var sess *steady.Session
 	var sp *platform.Platform
 	if taken != nil {
@@ -513,8 +996,15 @@ func (e *Engine) solve(req PlanRequest, p *platform.Platform, taken *takenSessio
 		sess = steady.NewSession(sp, req.Source, e.steadyOptions(req))
 	}
 	before := sess.Stats()
-	sol, err := sess.Resolve()
+	start := time.Now()
+	sol, err := sess.ResolveContext(ctx)
+	elapsed := time.Since(start)
 	after := sess.Stats()
+	if err == nil {
+		e.latMu.Lock()
+		e.solveNs.Record(elapsed.Nanoseconds())
+		e.latMu.Unlock()
+	}
 	e.mu.Lock()
 	e.stats.Solves++
 	e.stats.LPPivots += int64(sol0(sol))
@@ -573,7 +1063,7 @@ func sol0(sol *steady.Solution) int {
 // planFromBase serves a near-duplicate request: the cached platform named by
 // the base fingerprint (and, when twins share it, the BaseExact key),
 // mutated by the request's deltas.
-func (e *Engine) planFromBase(req PlanRequest) (*PlanResult, error) {
+func (e *Engine) planFromBase(ctx context.Context, req PlanRequest) (*PlanResult, error) {
 	fp, err := platform.ParseFingerprint(req.Base)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -614,7 +1104,16 @@ func (e *Engine) planFromBase(req PlanRequest) (*PlanResult, error) {
 	e.lru.MoveToFront(el)
 	e.stats.DeltaPlans++
 	e.mu.Unlock()
-	<-base.ready
+	select {
+	case <-base.ready:
+	case <-ctx.Done():
+		// Not a routed lookup (Requests was not incremented for the base
+		// entry), so no Miss/Hit accounting here — just the cancellation.
+		e.mu.Lock()
+		e.stats.Canceled++
+		e.mu.Unlock()
+		return nil, canceled(ctx)
+	}
 	if base.err != nil {
 		return nil, base.err
 	}
@@ -643,7 +1142,7 @@ func (e *Engine) planFromBase(req PlanRequest) (*PlanResult, error) {
 	}
 	mutReq := req
 	mutReq.Base, mutReq.BaseExact, mutReq.Deltas = "", "", nil
-	return e.planPlatform(mutReq, taken.p, taken)
+	return e.planPlatform(ctx, mutReq, taken.p, taken)
 }
 
 // PlanEach plans a batch of independent requests across the worker pool with
@@ -651,8 +1150,15 @@ func (e *Engine) planFromBase(req PlanRequest) (*PlanResult, error) {
 // deterministic for any worker count. Per-request failures are reported in
 // the outcome, not as a batch error.
 func (e *Engine) PlanEach(reqs []PlanRequest, workers int) []PlanOutcome {
+	return e.PlanEachContext(context.Background(), reqs, workers)
+}
+
+// PlanEachContext is PlanEach under a shared context: each request is bounded
+// by the context (plus its own DeadlineMs / the engine default), and
+// per-request cancellations surface in the outcome like any other error.
+func (e *Engine) PlanEachContext(ctx context.Context, reqs []PlanRequest, workers int) []PlanOutcome {
 	return parallel.Map(len(reqs), workers, func(i int) PlanOutcome {
-		res, err := e.Plan(reqs[i])
+		res, err := e.PlanContext(ctx, reqs[i])
 		out := PlanOutcome{Result: res}
 		if err != nil {
 			out.Error = err.Error()
@@ -697,11 +1203,17 @@ type Evaluation struct {
 // Evaluate plans the platform (through the cache) and evaluates every
 // requested heuristic against the optimum.
 func (e *Engine) Evaluate(req EvaluateRequest) (*Evaluation, error) {
+	return e.EvaluateContext(context.Background(), req)
+}
+
+// EvaluateContext is Evaluate with cooperative cancellation: the context
+// (plus the engine's DefaultDeadline) bounds the underlying plan solve.
+func (e *Engine) EvaluateContext(ctx context.Context, req EvaluateRequest) (*Evaluation, error) {
 	if req.Platform == nil {
 		return nil, ErrNoPlatform
 	}
 	planReq := PlanRequest{Platform: req.Platform, Source: req.Source, ColdLP: req.ColdLP, LPMaxIterations: req.LPMaxIterations}
-	res, err := e.Plan(planReq)
+	res, err := e.PlanContext(ctx, planReq)
 	if err != nil {
 		return nil, err
 	}
@@ -802,6 +1314,15 @@ type ChurnReplay struct {
 // Churn generates the request's churn trace and replays it against a private
 // clone of the platform, bounded by the worker pool.
 func (e *Engine) Churn(req ChurnRequest) (*ChurnReplay, error) {
+	return e.ChurnContext(context.Background(), req)
+}
+
+// ChurnContext is Churn under a context: admission control applies exactly
+// as for cold-miss plan solves (a saturated engine sheds churn replays with
+// an *OverloadedError, a canceled context abandons the admission wait). The
+// replay itself runs to completion once admitted — its many small re-solves
+// are individually far below any sensible deadline.
+func (e *Engine) ChurnContext(ctx context.Context, req ChurnRequest) (*ChurnReplay, error) {
 	if req.Platform == nil {
 		return nil, ErrNoPlatform
 	}
@@ -813,8 +1334,15 @@ func (e *Engine) Churn(req ChurnRequest) (*ChurnReplay, error) {
 	if events <= 0 {
 		events = 20
 	}
-	e.sem <- struct{}{}
-	defer func() { <-e.sem }()
+	ctx, cancel := e.requestContext(ctx, 0)
+	if cancel != nil {
+		defer cancel()
+	}
+	release, err := e.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	trace, err := dynamic.GenerateTrace(req.Platform, req.Source, prof, events, req.Seed)
 	if err != nil {
 		return nil, err

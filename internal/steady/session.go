@@ -1,6 +1,8 @@
 package steady
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -101,6 +103,17 @@ func (s *Session) Stats() SessionStats { return s.stats }
 // cut pool as described on Session. Dead links report a zero edge rate and
 // dead nodes are neither destinations nor relays.
 func (s *Session) Resolve() (*Solution, error) {
+	return s.ResolveContext(context.Background())
+}
+
+// ResolveContext is Resolve with cooperative cancellation: the context is
+// threaded into every master LP solve and checked between cutting-plane
+// rounds. A canceled resolve returns an error wrapping lp.ErrCanceled and
+// leaves the session consistent but cold — the partially pivoted master is
+// dropped (never reused as a warm basis) while the cut pool survives, so the
+// next Resolve simply rebuilds from the pool exactly as after a loosening
+// mutation. A nil ctx is treated as context.Background().
+func (s *Session) ResolveContext(ctx context.Context) (*Solution, error) {
 	s.stats.Resolves++
 	p := s.p
 	if err := p.ValidateLive(s.source); err != nil {
@@ -123,20 +136,27 @@ func (s *Session) Resolve() (*Solution, error) {
 		}
 	}
 	if warm {
-		sol, err := s.warmResolve(deltas)
+		sol, err := s.warmResolve(ctx, deltas)
 		if err == nil {
 			s.stats.WarmResolves++
 			return sol, nil
 		}
+		if errors.Is(err, lp.ErrCanceled) {
+			// The caller's deadline expired mid-solve: do NOT fall through to
+			// the rebuild fallback — a full cold re-solve on an expired budget
+			// defeats the point of canceling. runLoop already marked the
+			// session cold.
+			return nil, err
+		}
 		// The warm master could not be re-solved (iteration limit, numerical
 		// trouble): rebuild once from the pool instead of failing.
 	}
-	return s.rebuild()
+	return s.rebuild(ctx)
 }
 
 // warmResolve appends the rows induced by tightening deltas to the current
 // master and re-runs the cutting-plane loop on the warm handle.
-func (s *Session) warmResolve(deltas []platform.Delta) (*Solution, error) {
+func (s *Session) warmResolve(ctx context.Context, deltas []platform.Delta) (*Solution, error) {
 	p := s.p
 	touched := make(map[int]bool) // nodes whose occupation rows must be refreshed
 	for _, d := range deltas {
@@ -163,13 +183,13 @@ func (s *Session) warmResolve(deltas []platform.Delta) (*Solution, error) {
 		}
 		s.appendOccupationRows(u)
 	}
-	return s.runLoop()
+	return s.runLoop(ctx)
 }
 
 // rebuild constructs a fresh master over the platform's current live state,
 // seeded with the initial cuts and the still-valid part of the cut pool,
 // and runs the cutting-plane loop on it.
-func (s *Session) rebuild() (*Solution, error) {
+func (s *Session) rebuild(ctx context.Context) (*Solution, error) {
 	s.stats.Rebuilds++
 	p := s.p
 	e := p.NumLinks()
@@ -233,7 +253,7 @@ func (s *Session) rebuild() (*Solution, error) {
 		s.inc = lp.NewIncremental(s.problem, s.opts.lpOptions())
 	}
 	s.started = true
-	return s.runLoop()
+	return s.runLoop(ctx)
 }
 
 // appendOccupationRows appends the node's current one-port occupation rows
@@ -329,7 +349,7 @@ func sideKey(side []bool) string {
 // destination, append them, repeat until no cut is violated or the
 // upper/lower-bound gap closes. The returned Solution reports the pivots and
 // master solves of this Resolve only.
-func (s *Session) runLoop() (*Solution, error) {
+func (s *Session) runLoop(ctx context.Context) (*Solution, error) {
 	p, source, opts := s.p, s.source, s.opts
 	n, e := p.NumNodes(), p.NumLinks()
 	tpVar := e
@@ -352,10 +372,16 @@ func (s *Session) runLoop() (*Solution, error) {
 	coldRounds := 0
 	solveMaster := func() (*lp.Solution, error) {
 		if s.inc != nil {
-			return s.inc.Solve()
+			return s.inc.SolveContext(ctx)
 		}
 		coldRounds++
-		return lp.Solve(s.problem, lpOpts)
+		return lp.SolveContext(ctx, s.problem, lpOpts)
+	}
+	// dropMaster marks the session cold after a canceled solve: the
+	// partially pivoted master must never seed a warm basis, but the cut
+	// pool stays valid and seeds the next rebuild.
+	dropMaster := func() {
+		s.inc, s.problem, s.started = nil, nil, false
 	}
 	finalize := func() {
 		if s.inc != nil {
@@ -375,10 +401,22 @@ func (s *Session) runLoop() (*Solution, error) {
 	}
 
 	for round := 1; round <= opts.maxRounds(); round++ {
+		if ctx != nil && ctx.Err() != nil {
+			dropMaster()
+			finalize()
+			return nil, fmt.Errorf("steady: resolve canceled: %w: %v", lp.ErrCanceled, ctx.Err())
+		}
 		sol.Rounds = round
 		lpSol, err := solveMaster()
 		if err != nil {
 			finalize()
+			if errors.Is(err, lp.ErrCanceled) {
+				// Wrap with %w so callers can still match lp.ErrCanceled;
+				// deliberately NOT ErrLPFailed — nothing failed, the caller's
+				// deadline expired.
+				dropMaster()
+				return nil, fmt.Errorf("steady: resolve canceled: %w", err)
+			}
 			return nil, fmt.Errorf("%w: %v", ErrLPFailed, err)
 		}
 		switch {
