@@ -32,6 +32,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -107,7 +108,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "bcast-serve: listening on %s (cache %d, workers %d, queue %d, deadline %s)\n",
 		*addr, *cacheSize, engine.Stats().Workers, depth, *deadline)
 	err := srv.ListenAndServe()
-	if err != nil && err != http.ErrServerClosed {
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "bcast-serve:", err)
 		os.Exit(1)
 	}

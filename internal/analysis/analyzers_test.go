@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atest"
+)
+
+// Each analyzer is exercised against a violating fixture (every rule fires
+// where a // want comment says so, and nowhere else) and a conforming one
+// (the same constructs outside the rule's scope produce nothing). Removing
+// an analyzer's rule makes the corresponding fixture fail with unmatched
+// expectations, so these suites pin the rules themselves, not just the
+// plumbing.
+
+func TestDetRandFixture(t *testing.T) {
+	atest.Run(t, analysis.DetRand, "detrand/scenarios")
+}
+
+func TestDetRandConformingPackage(t *testing.T) {
+	atest.Run(t, analysis.DetRand, "detrand/other")
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	atest.Run(t, analysis.CtxFlow, "ctxflow/service")
+}
+
+func TestCtxFlowConformingPackage(t *testing.T) {
+	atest.Run(t, analysis.CtxFlow, "ctxflow/other")
+}
+
+func TestLockGuardFixture(t *testing.T) {
+	atest.Run(t, analysis.LockGuard, "lockguard/cache")
+}
+
+func TestSentErrFixture(t *testing.T) {
+	atest.Run(t, analysis.SentErr, "senterr/use")
+}
+
+func TestSentErrDefiningPackageClean(t *testing.T) {
+	atest.Run(t, analysis.SentErr, "senterr/sent")
+}

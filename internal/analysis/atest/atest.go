@@ -1,0 +1,127 @@
+// Package atest runs analyzers over fixture packages with analysistest-style
+// expectations: fixture sources live under testdata/src/<path> (a GOPATH-like
+// layout so fixtures can import each other) and mark every line where a
+// finding is expected with a trailing comment of the form
+//
+//	// want "regexp"            one expected finding
+//	// want "re1" "re2"         two expected findings on the same line
+//
+// Run loads the fixture package, applies the analyzer, and fails the test
+// for every unmatched expectation and every unexpected diagnostic, so a
+// fixture proves both directions: the rule fires where it must and stays
+// quiet where it must not.
+package atest
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe extracts the quoted regexps of one // want comment: double-quoted
+// or backtick-quoted, the latter convenient for patterns full of escapes.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run applies the analyzer to the fixture package at
+// testdata/src/<path> (relative to the caller's directory) and compares
+// diagnostics against // want comments. Suppression directives
+// (//lint:ignore) are honored, exactly as in the real driver.
+func Run(t *testing.T, analyzer *analysis.Analyzer, path string) {
+	t.Helper()
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("atest: %v", err)
+	}
+	loader.Overlay = map[string]string{"": filepath.Join(testdata, "src")}
+	pkg, err := loader.LoadDir(path)
+	if err != nil {
+		t.Fatalf("atest: loading fixture %s: %v", path, err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{analyzer}, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatalf("atest: running %s on %s: %v", analyzer.Name, path, err)
+	}
+
+	unmatched := collectWants(t, pkg.Dir)
+	for _, d := range diags {
+		k := lineKey{filepath.Base(d.Position.Filename), d.Position.Line}
+		res := unmatched[k]
+		matched := -1
+		for i, re := range res {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", analyzer.Name, d)
+			continue
+		}
+		unmatched[k] = append(res[:matched], res[matched+1:]...)
+	}
+	for k, res := range unmatched {
+		for _, re := range res {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
+				analyzer.Name, k.file, k.line, re)
+		}
+	}
+}
+
+// lineKey addresses one fixture source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+// collectWants parses every fixture file for // want comments.
+func collectWants(t *testing.T, dir string) map[lineKey][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[lineKey][]*regexp.Regexp)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		full := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("atest: parse %s: %v", full, err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("atest: %s:%d: bad want regexp %q: %v", full, pos.Line, pat, err)
+					}
+					k := lineKey{e.Name(), pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces PR 6's cancellation contract on the service hot path: in
+// internal/service, internal/steady and internal/lp, a function that
+// receives a context.Context must thread it all the way down — it must not
+// mint context.Background()/context.TODO(), and it must not call the
+// context-free variant of a callee that has a *Context sibling. Without
+// this, one refactor can silently make a solve path uncancelable and the
+// deadline/admission contract (429/504 behavior) rots.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "In internal/service, internal/steady and internal/lp, functions receiving a " +
+		"context.Context must pass it on: no context.Background()/TODO() in their bodies " +
+		"and no calling X(...) where an XContext(ctx, ...) sibling exists.",
+	Run: runCtxFlow,
+}
+
+// ctxflowPackages are the packages forming the cancelable solve path,
+// matched by package name so fixtures exercise the same rule.
+var ctxflowPackages = map[string]bool{
+	"service": true,
+	"steady":  true,
+	"lp":      true,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if !ctxflowPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !funcReceivesContext(pass, fn.Type) {
+				continue
+			}
+			checkCtxBody(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// funcReceivesContext reports whether the function type declares a
+// parameter of type context.Context.
+func funcReceivesContext(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := pass.TypesInfo.Types[field.Type].Type; isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// checkCtxBody walks one context-receiving function body. Function
+// literals that declare their own context parameter start a fresh scope
+// (they are a new context-receiving function); literals that do not are
+// still part of the enclosing flow — background goroutines that must
+// outlive the request annotate their Background() with //lint:ignore
+// ctxflow and a reason, which keeps the decision visible at the call site.
+func checkCtxBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			// The documented nil-defaulting idiom of the exported
+			// back-compat wrappers is fine: the context is not dropped, a
+			// missing one is substituted.
+			//
+			//	if ctx == nil { ctx = context.Background() }
+			if isNilCtxDefault(pass, n) {
+				return false
+			}
+		case *ast.FuncLit:
+			if funcReceivesContext(pass, n.Type) {
+				checkCtxBody(pass, n.Body)
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			checkCtxCall(pass, n)
+		}
+		return true
+	})
+}
+
+// isNilCtxDefault matches "if c == nil { c = context.Background() }" (or
+// TODO) for a context-typed variable c.
+func isNilCtxDefault(pass *Pass, ifs *ast.IfStmt) bool {
+	cond, ok := unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok || cond.Op.String() != "==" || ifs.Else != nil || len(ifs.Body.List) != 1 {
+		return false
+	}
+	var ctxIdent *ast.Ident
+	for x, y := range map[ast.Expr]ast.Expr{cond.X: cond.Y, cond.Y: cond.X} {
+		if id, ok := unparen(x).(*ast.Ident); ok && id.Name == "nil" {
+			if c, ok := unparen(y).(*ast.Ident); ok && isContextType(pass.TypesInfo.Types[y].Type) {
+				ctxIdent = c
+			}
+		}
+	}
+	if ctxIdent == nil {
+		return false
+	}
+	asg, ok := ifs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := unparen(asg.Lhs[0]).(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[lhs] != pass.TypesInfo.Uses[ctxIdent] {
+		return false
+	}
+	call, ok := unparen(asg.Rhs[0]).(*ast.CallExpr)
+	return ok && isPkgCall(pass.TypesInfo, call, "context", "Background", "TODO")
+}
+
+func checkCtxCall(pass *Pass, call *ast.CallExpr) {
+	if isPkgCall(pass.TypesInfo, call, "context", "Background", "TODO") {
+		fn := calleeFunc(pass.TypesInfo, call)
+		pass.Reportf(call.Pos(),
+			"context.%s() inside a function that receives a ctx: thread the caller's context so the solve path stays cancelable",
+			fn.Name())
+		return
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Name() == "" {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	// Callee already takes a context? Then the context.Background check
+	// above (applied to the argument expression during the walk) covers it.
+	if sigTakesContext(sig) {
+		return
+	}
+	if sibling := contextSibling(pass, call, fn, sig); sibling != "" {
+		pass.Reportf(call.Pos(),
+			"call to %s drops the caller's context: use %s(ctx, ...) so cancellation reaches the callee",
+			fn.Name(), sibling)
+	}
+}
+
+// sigTakesContext reports whether the signature's first parameter is a
+// context.Context.
+func sigTakesContext(sig *types.Signature) bool {
+	return sig.Params() != nil && sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type())
+}
+
+// contextSibling returns the name of a <fn.Name()>Context sibling taking a
+// leading context.Context — a method on the same receiver type, or a
+// function in the same package — or "" if none exists.
+func contextSibling(pass *Pass, call *ast.CallExpr, fn *types.Func, sig *types.Signature) string {
+	name := fn.Name() + "Context"
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), name)
+		if m, ok := obj.(*types.Func); ok {
+			if msig, ok := m.Type().(*types.Signature); ok && sigTakesContext(msig) {
+				return name
+			}
+		}
+		return ""
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	if obj := fn.Pkg().Scope().Lookup(name); obj != nil {
+		if m, ok := obj.(*types.Func); ok {
+			if msig, ok := m.Type().(*types.Signature); ok && sigTakesContext(msig) {
+				return name
+			}
+		}
+	}
+	return ""
+}

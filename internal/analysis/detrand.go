@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetRand enforces the determinism contract of the report-producing
+// packages (PR 1's byte-identical sweep reports, PR 5's byte-identical load
+// reports): no wall clocks, no global math/rand stream, RNGs constructed
+// only through topology.NewRNG/DeriveSeed, and no map iteration whose
+// order can escape into output.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "In deterministic packages (scenarios, topology, dynamic, load, stats, platform) " +
+		"forbid time.Now/time.Since, the global math/rand functions and ad-hoc RNG " +
+		"construction (use topology.NewRNG/DeriveSeed), and flag range-over-map loops " +
+		"whose iteration order escapes un-sorted.",
+	Run: runDetRand,
+}
+
+// detrandPackages are the packages whose outputs are pinned byte-identical
+// by golden and determinism tests; matched by package name so fixture
+// packages exercise the same rule.
+var detrandPackages = map[string]bool{
+	"scenarios": true,
+	"topology":  true,
+	"dynamic":   true,
+	"load":      true,
+	"stats":     true,
+	"platform":  true,
+}
+
+// globalRandFuncs are the math/rand package-level functions that draw from
+// the process-global, unseeded-by-default stream.
+var globalRandFuncs = []string{
+	"Int", "Intn", "Int31", "Int31n", "Int63", "Int63n",
+	"Uint32", "Uint64", "Float32", "Float64",
+	"NormFloat64", "ExpFloat64", "Perm", "Shuffle", "Read", "Seed",
+}
+
+func runDetRand(pass *Pass) error {
+	if !detrandPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDetRandCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, f, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetRandCall(pass *Pass, call *ast.CallExpr) {
+	switch {
+	case isPkgCall(pass.TypesInfo, call, "time", "Now", "Since", "Until"):
+		fn := calleeFunc(pass.TypesInfo, call)
+		pass.Reportf(call.Pos(),
+			"wall clock (time.%s) in deterministic package %q: timings must come from the seeded schedule, or carry //lint:ignore detrand for deliberate wall-time instrumentation",
+			fn.Name(), pass.Pkg.Name())
+	case isPkgCall(pass.TypesInfo, call, "math/rand", globalRandFuncs...):
+		fn := calleeFunc(pass.TypesInfo, call)
+		pass.Reportf(call.Pos(),
+			"global math/rand stream (rand.%s) in deterministic package %q: draw from an explicit *rand.Rand seeded via topology.NewRNG/DeriveSeed",
+			fn.Name(), pass.Pkg.Name())
+	case isPkgCall(pass.TypesInfo, call, "math/rand", "New", "NewSource"),
+		isPkgCall(pass.TypesInfo, call, "math/rand/v2", "New", "NewPCG", "NewChaCha8"):
+		fn := calleeFunc(pass.TypesInfo, call)
+		pass.Reportf(call.Pos(),
+			"ad-hoc RNG construction (rand.%s) in deterministic package %q: construct streams through topology.NewRNG and derive sub-seeds with topology.DeriveSeed",
+			fn.Name(), pass.Pkg.Name())
+	}
+}
+
+// checkMapRange flags a range over a map unless every statement of the loop
+// body is order-insensitive: writes into maps, commutative numeric
+// accumulation, delete, or the collect-keys-then-sort idiom (an append to a
+// slice that is passed to a sort function later in the same enclosing
+// function).
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.Types[rng.X].Type
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	fnBody := enclosingFuncBody(file, rng.Pos())
+	for _, stmt := range rng.Body.List {
+		if !orderInsensitiveStmt(pass, stmt, fnBody, rng) {
+			pass.Reportf(rng.Pos(),
+				"map iteration order escapes in deterministic package %q: sort the keys first (or restrict the body to order-insensitive aggregation)",
+				pass.Pkg.Name())
+			return
+		}
+	}
+}
+
+// orderInsensitiveStmt classifies one loop-body statement.
+func orderInsensitiveStmt(pass *Pass, stmt ast.Stmt, fnBody *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return true
+	case *ast.ExprStmt:
+		// delete(m, k) is order-insensitive; any other call may observe
+		// order.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" {
+				if _, isFn := pass.TypesInfo.Uses[id].(*types.Func); !isFn {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.AssignStmt:
+		return orderInsensitiveAssign(pass, s, fnBody, rng)
+	case *ast.IfStmt:
+		// Conditional aggregation (min/max tracking): the condition itself
+		// is pure observation; require the branches to be
+		// order-insensitive. Conditional min/max updates commute.
+		for _, inner := range s.Body.List {
+			if !orderInsensitiveStmt(pass, inner, fnBody, rng) {
+				return false
+			}
+		}
+		switch e := s.Else.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			for _, inner := range e.List {
+				if !orderInsensitiveStmt(pass, inner, fnBody, rng) {
+					return false
+				}
+			}
+		case ast.Stmt:
+			if !orderInsensitiveStmt(pass, e, fnBody, rng) {
+				return false
+			}
+		}
+		return true
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			if !orderInsensitiveStmt(pass, inner, fnBody, rng) {
+				return false
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK
+	default:
+		return false
+	}
+}
+
+func orderInsensitiveAssign(pass *Pass, s *ast.AssignStmt, fnBody *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	switch s.Tok.String() {
+	case "+=", "-=", "*=":
+		// Commutative accumulation — but string += concatenates in
+		// iteration order.
+		for _, lhs := range s.Lhs {
+			if t := pass.TypesInfo.Types[lhs].Type; t != nil {
+				if basic, ok := t.Underlying().(*types.Basic); !ok || basic.Info()&types.IsString != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	case "=", ":=":
+		// Two benign shapes: writing into a map index, and the
+		// collect-then-sort idiom x = append(x, ...) with a later sort of x.
+		for i, lhs := range s.Lhs {
+			if idx, ok := unparen(lhs).(*ast.IndexExpr); ok {
+				if t := pass.TypesInfo.Types[idx.X].Type; t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						continue
+					}
+				}
+			}
+			if i < len(s.Rhs) {
+				if call, ok := unparen(s.Rhs[i]).(*ast.CallExpr); ok {
+					if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+						if target, ok := unparen(lhs).(*ast.Ident); ok && sortedLater(pass, fnBody, rng, target) {
+							continue
+						}
+					}
+				}
+			}
+			return false
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// sortedLater reports whether, after the range statement, the enclosing
+// function passes the identifier's object to a sort function
+// (sort.Strings, sort.Ints, sort.Slice, sort.Sort, slices.Sort*, ...).
+func sortedLater(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, target *ast.Ident) bool {
+	if fnBody == nil {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[target]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[target]
+	}
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		if p := objPkgPath(fn); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					mentioned = true
+					return false
+				}
+				return true
+			})
+			if mentioned {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingFuncBody finds the body of the innermost function declaration or
+// literal containing pos.
+func enclosingFuncBody(file *ast.File, pos token.Pos) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || pos < n.Pos() || pos >= n.End() {
+			return n == file
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				body = fn.Body
+			}
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		return true
+	})
+	return body
+}

@@ -1,0 +1,33 @@
+// Package analysis is the repository's static-analysis framework: a
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// surface (Analyzer, Pass, Diagnostic) plus a package loader built entirely
+// on the standard library's go/parser, go/types and source importer, so the
+// lint suite builds offline with no module downloads.
+//
+// The package ships four analyzers that encode the repository's load-bearing
+// invariants as machine-checked rules (see docs/ARCHITECTURE.md, "Enforced
+// invariants"):
+//
+//   - detrand: deterministic packages (scenarios, topology, dynamic, load,
+//     stats, platform) must not read wall clocks or the global math/rand
+//     stream, must construct RNGs through topology.NewRNG/DeriveSeed, and
+//     must not let map iteration order escape into reports, JSON or hashes.
+//   - ctxflow: in internal/service, internal/steady and internal/lp a
+//     function that receives a context.Context must thread it — no
+//     context.Background()/TODO() inside, and no calling X when an
+//     XContext sibling exists.
+//   - lockguard: struct fields annotated "// guarded by <mu>" (the service
+//     Stats counters and cache maps) may only be accessed with that mutex
+//     held or through sync/atomic.
+//   - senterr: sentinel errors (ErrCanceled, ErrLPFailed, ErrOverloaded,
+//     ...) must be wrapped with %w and matched with errors.Is, never
+//     compared with == or formatted with %v.
+//
+// Deliberate exceptions are annotated in the source with
+// "//lint:ignore <analyzer> <reason>" on (or immediately above) the
+// offending line, or "//lint:file-ignore <analyzer> <reason>" anywhere in a
+// file; the driver drops suppressed diagnostics after analysis. cmd/bcast-lint
+// is the multichecker binary that runs the whole suite over the module; the
+// atest subpackage runs analyzers over testdata fixtures with
+// analysistest-style "// want" expectations.
+package analysis

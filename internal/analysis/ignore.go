@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Suppression comments, staticcheck-style:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//	//lint:file-ignore <analyzer>[,<analyzer>...] <reason>
+//
+// A line ignore suppresses findings of the listed analyzers on the line it
+// sits on, or — when the comment stands alone — on the next source line. A
+// file ignore suppresses them in the whole file. The reason is mandatory:
+// an ignore without one is itself reported by the driver (as analyzer
+// "lint"), so every exception carries its justification in the source.
+
+type ignoreSet struct {
+	// file maps filename -> analyzer name -> suppressed.
+	file map[string]map[string]bool
+	// line maps filename -> line -> analyzer name -> suppressed.
+	line map[string]map[int]map[string]bool
+	// bad collects malformed ignore directives as diagnostics.
+	bad []Diagnostic
+}
+
+// collectIgnores scans every comment of the package for lint directives.
+func collectIgnores(pkg *Package) *ignoreSet {
+	ign := &ignoreSet{
+		file: make(map[string]map[string]bool),
+		line: make(map[string]map[int]map[string]bool),
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				kind := fields[0]
+				if kind != "ignore" && kind != "file-ignore" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 3 {
+					ign.bad = append(ign.bad, Diagnostic{
+						Pos:      c.Pos(),
+						Position: pos,
+						Analyzer: "lint",
+						Message:  "malformed //lint:" + kind + " directive: need analyzer names and a reason",
+					})
+					continue
+				}
+				names := strings.Split(fields[1], ",")
+				if kind == "file-ignore" {
+					m := ign.file[pos.Filename]
+					if m == nil {
+						m = make(map[string]bool)
+						ign.file[pos.Filename] = m
+					}
+					for _, n := range names {
+						m[n] = true
+					}
+					continue
+				}
+				// A line directive covers its own line (trailing-comment
+				// placement) and the next one (annotation-above-the-
+				// statement placement).
+				lm := ign.line[pos.Filename]
+				if lm == nil {
+					lm = make(map[int]map[string]bool)
+					ign.line[pos.Filename] = lm
+				}
+				for _, target := range []int{pos.Line, pos.Line + 1} {
+					m := lm[target]
+					if m == nil {
+						m = make(map[string]bool)
+						lm[target] = m
+					}
+					for _, n := range names {
+						m[n] = true
+					}
+				}
+			}
+		}
+	}
+	return ign
+}
+
+func (i *ignoreSet) suppressed(d Diagnostic) bool {
+	if m := i.file[d.Position.Filename]; m[d.Analyzer] {
+		return true
+	}
+	if lm := i.line[d.Position.Filename]; lm != nil {
+		if m := lm[d.Position.Line]; m[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}

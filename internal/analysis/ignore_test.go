@@ -1,0 +1,129 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// loadFixture loads one fixture package from testdata/src.
+func loadFixture(t *testing.T, path string) *analysis.Package {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Overlay = map[string]string{"": filepath.Join(testdata, "src")}
+	pkg, err := loader.LoadDir(path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	return pkg
+}
+
+// TestSuppressionDirectives drives the ignorecase fixture (package name
+// "stats", so detrand is in scope) through the real driver and checks each
+// directive's effect: a valid line ignore suppresses, a file-ignore
+// suppresses the whole file, a malformed directive suppresses nothing and
+// is itself reported.
+func TestSuppressionDirectives(t *testing.T) {
+	pkg := loadFixture(t, "ignorecase/ign")
+	diags, err := analysis.Run([]*analysis.Analyzer{analysis.DetRand}, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type finding struct {
+		file     string
+		analyzer string
+		substr   string
+	}
+	want := []finding{
+		// Malformed directive reported by the driver itself.
+		{"ign.go", "lint", "malformed //lint:ignore directive"},
+		// Unsuppressed control finding.
+		{"ign.go", "detrand", "time.Now"},
+		// The malformed ignore must not suppress: its time.Now is reported.
+		{"ign.go", "detrand", "time.Now"},
+	}
+	if len(diags) != len(want) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(want))
+	}
+	matched := make([]bool, len(want))
+	for _, d := range diags {
+		ok := false
+		for i, w := range want {
+			if matched[i] {
+				continue
+			}
+			if filepath.Base(d.Position.Filename) == w.file &&
+				d.Analyzer == w.analyzer &&
+				strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, d := range diags {
+		if filepath.Base(d.Position.Filename) == "fileignored.go" {
+			t.Errorf("file-ignore did not suppress: %s", d)
+		}
+	}
+}
+
+// TestLoadPatterns checks the wildcard expansion the CLI driver relies on.
+func TestLoadPatterns(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns("./internal/analysis/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := make(map[string]bool)
+	for _, p := range pkgs {
+		paths[p.Path] = true
+	}
+	for _, want := range []string{"repro/internal/analysis", "repro/internal/analysis/atest"} {
+		if !paths[want] {
+			t.Errorf("pattern ./internal/analysis/... did not load %s (got %v)", want, paths)
+		}
+	}
+
+	if _, err := loader.LoadPatterns("github.com/elsewhere/pkg"); err == nil {
+		t.Error("expected error for a pattern outside the module")
+	}
+}
+
+// TestRunSortsDiagnostics pins the deterministic output order the CI gate
+// depends on for stable diffs.
+func TestRunSortsDiagnostics(t *testing.T) {
+	pkg := loadFixture(t, "detrand/scenarios")
+	diags, err := analysis.Run(analysis.All(), []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) < 2 {
+		t.Fatalf("expected multiple findings in the detrand fixture, got %d", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1].Position, diags[i].Position
+		if a.Filename > b.Filename || (a.Filename == b.Filename && a.Line > b.Line) {
+			t.Errorf("diagnostics out of order: %s before %s", diags[i-1], diags[i])
+		}
+	}
+}

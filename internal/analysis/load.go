@@ -1,0 +1,362 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path; Dir the directory its files live
+	// in; Name the package clause name.
+	Path string
+	Dir  string
+	Name string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader loads and type-checks packages of the surrounding module using
+// only the standard library: module-internal imports resolve against the
+// module directory tree, everything else (the standard library) through the
+// compiler-independent source importer, so no pre-built export data and no
+// network access are needed.
+type Loader struct {
+	// Fset is shared by every package the loader touches.
+	Fset *token.FileSet
+	// Module is the module path from go.mod; RootDir the directory that
+	// holds go.mod.
+	Module  string
+	RootDir string
+	// Overlay maps additional import-path prefixes to directories (used by
+	// the atest fixture runner, whose fixture packages live under
+	// testdata/src in a GOPATH-like layout).
+	Overlay map[string]string
+	// IncludeTests also parses _test.go files of loaded packages. The lint
+	// suite defaults to false: tests deliberately use explicit ad-hoc RNGs
+	// and wall clocks.
+	IncludeTests bool
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a loader rooted at the module containing dir (dir or
+// the nearest parent holding go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		Module:  module,
+		RootDir: root,
+		pkgs:    make(map[string]*Package),
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.RootDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal and overlay
+// paths load recursively from source; everything else is delegated to the
+// standard library's source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if d, ok := l.lookupDir(path); ok {
+		pkg, err := l.load(path, d)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// lookupDir resolves an import path against the module and the overlay.
+func (l *Loader) lookupDir(path string) (string, bool) {
+	if path == l.Module {
+		return l.RootDir, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.Module+"/"); ok {
+		return filepath.Join(l.RootDir, filepath.FromSlash(rest)), true
+	}
+	for prefix, dir := range l.Overlay {
+		if prefix == "" {
+			// Catch-all root: every otherwise-unresolved path maps under
+			// dir, GOPATH/src style. Standard-library paths must keep
+			// resolving through the source importer, so only claim paths
+			// whose directory actually exists.
+			d := filepath.Join(dir, filepath.FromSlash(path))
+			if st, err := os.Stat(d); err == nil && st.IsDir() {
+				return d, true
+			}
+			continue
+		}
+		if path == prefix {
+			return dir, true
+		}
+		if rest, ok := strings.CutPrefix(path, prefix+"/"); ok {
+			return filepath.Join(dir, filepath.FromSlash(rest)), true
+		}
+	}
+	return "", false
+}
+
+// LoadDir loads the package in the directory mapped to the given import
+// path (which must resolve inside the module or the overlay).
+func (l *Loader) LoadDir(path string) (*Package, error) {
+	dir, ok := l.lookupDir(path)
+	if !ok {
+		return nil, fmt.Errorf("analysis: import path %q is outside the module", path)
+	}
+	return l.load(path, dir)
+}
+
+// load parses and type-checks one package directory, caching the result.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	l.pkgs[path] = nil // cycle marker
+	names, err := goFilesIn(dir, l.IncludeTests)
+	if err != nil {
+		delete(l.pkgs, path)
+		return nil, err
+	}
+	if len(names) == 0 {
+		delete(l.pkgs, path)
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			delete(l.pkgs, path)
+			return nil, err
+		}
+		// External test packages (package foo_test) type-check separately;
+		// keep the primary package only.
+		if n := f.Name.Name; strings.HasSuffix(n, "_test") && !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			continue
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		if f.Name.Name == pkgName {
+			files = append(files, f)
+		}
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		// Collect but tolerate soft errors so one bad file does not hide
+		// findings in the rest of the package.
+		Error: func(error) {},
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		delete(l.pkgs, path)
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Name:  pkgName,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadPatterns expands the given package patterns ("./...", "./internal/lp",
+// import paths) against the module and loads every matching package.
+func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var paths []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs, err := l.moduleDirs()
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			basePath, err := l.patternPath(base)
+			if err != nil {
+				return nil, err
+			}
+			dirs, err := l.moduleDirs()
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				if d == basePath || strings.HasPrefix(d, basePath+"/") {
+					add(d)
+				}
+			}
+		default:
+			p, err := l.patternPath(pat)
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+		}
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.LoadDir(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// patternPath turns one non-wildcard pattern into an import path.
+func (l *Loader) patternPath(pat string) (string, error) {
+	switch {
+	case pat == "." || pat == "./":
+		return l.Module, nil
+	case strings.HasPrefix(pat, "./"):
+		return l.Module + "/" + strings.TrimPrefix(pat, "./"), nil
+	case pat == l.Module || strings.HasPrefix(pat, l.Module+"/"):
+		return pat, nil
+	default:
+		return "", fmt.Errorf("analysis: pattern %q is outside module %s", pat, l.Module)
+	}
+}
+
+// moduleDirs walks the module tree and returns the import paths of every
+// directory holding buildable Go files, skipping testdata, vendor and
+// hidden directories.
+func (l *Loader) moduleDirs() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.RootDir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.RootDir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := goFilesIn(p, false)
+		if err != nil {
+			return err
+		}
+		if len(names) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.RootDir, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, l.Module)
+		} else {
+			paths = append(paths, l.Module+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	return paths, err
+}
+
+// goFilesIn lists the .go files of one directory in sorted order,
+// excluding _test.go files unless tests is set.
+func goFilesIn(dir string, tests bool) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

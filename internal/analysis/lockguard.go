@@ -1,0 +1,376 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockGuard enforces mutex discipline on annotated fields: a struct field
+// carrying a "// guarded by <mu>" comment (the service Engine's Stats
+// counters and cache maps) may only be read or written while <mu> of the
+// same base expression is held, via sync/atomic, inside a function whose
+// name ends in "Locked", or inside a function annotated
+// "// lockguard: holds <base>.<mu>". The check is a conservative lexical
+// simulation of Lock/Unlock flow (branch-aware, defer-aware), not a full
+// happens-before analysis — it exists to catch the easy, common regression:
+// a new counter bump or map touch outside the critical section.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "Fields annotated '// guarded by <mu>' may only be accessed with that mutex " +
+		"held (Lock/RLock on the same receiver), via sync/atomic, or from *Locked " +
+		"functions / functions annotated '// lockguard: holds <mu>'.",
+	Run: runLockGuard,
+}
+
+var (
+	guardedByRe  = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+	holdsRe      = regexp.MustCompile(`lockguard: holds ([A-Za-z_][A-Za-z0-9_.]*)`)
+	lockMethods  = map[string]bool{"Lock": true, "RLock": true}
+	unlockedVerb = map[string]bool{"Unlock": true, "RUnlock": true}
+)
+
+func runLockGuard(pass *Pass) error {
+	guards := collectGuardedFields(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			sim := &lockSim{pass: pass, guards: guards, sticky: map[string]bool{}}
+			held := map[string]bool{}
+			if fn.Doc != nil {
+				for _, m := range holdsRe.FindAllStringSubmatch(fn.Doc.Text(), -1) {
+					held[m[1]] = true
+				}
+			}
+			sim.evalStmts(fn.Body.List, held)
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields maps struct-field objects to the name of the mutex
+// field guarding them, from "guarded by <mu>" annotations in field doc or
+// trailing comments.
+func collectGuardedFields(pass *Pass) map[types.Object]string {
+	guards := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := ""
+				for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					if cg == nil {
+						continue
+					}
+					if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+						guard = m[1]
+					}
+				}
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// lockSim simulates held-mutex state through one function body. Mutexes are
+// identified by the source rendering of their access path ("e.mu",
+// "s.latMu"), which ties the guard to the same base object as the field
+// access in every realistic method body.
+type lockSim struct {
+	pass   *Pass
+	guards map[types.Object]string
+	// sticky marks mutexes with a pending defer-Unlock: held until return.
+	sticky map[string]bool
+}
+
+func (s *lockSim) evalStmts(stmts []ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+	for _, stmt := range stmts {
+		var term bool
+		held, term = s.evalStmt(stmt, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (s *lockSim) evalStmt(stmt ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if mu, verb := s.lockCall(st.X); mu != "" {
+			if lockMethods[verb] {
+				held[mu] = true
+			} else {
+				delete(held, mu)
+			}
+			return held, false
+		}
+		s.checkExpr(st.X, held)
+		return held, false
+	case *ast.DeferStmt:
+		// defer mu.Unlock() (directly or inside a deferred closure) keeps
+		// the mutex held for the rest of the function.
+		ast.Inspect(st.Call, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if mu, verb := s.lockCall(call); mu != "" && unlockedVerb[verb] {
+					s.sticky[mu] = true
+				}
+			}
+			return true
+		})
+		s.checkExpr(st.Call, held)
+		return held, false
+	case *ast.GoStmt:
+		// The goroutine body runs without the caller's locks.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			s.unlocked().evalStmts(lit.Body.List, map[string]bool{})
+		}
+		for _, arg := range st.Call.Args {
+			s.checkExpr(arg, held)
+		}
+		return held, false
+	case *ast.AssignStmt, *ast.IncDecStmt, *ast.DeclStmt, *ast.SendStmt:
+		s.checkNodeExprs(stmt, held)
+		return held, false
+	case *ast.ReturnStmt:
+		s.checkNodeExprs(stmt, held)
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.LabeledStmt:
+		return s.evalStmt(st.Stmt, held)
+	case *ast.BlockStmt:
+		return s.evalStmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held, _ = s.evalStmt(st.Init, held)
+		}
+		s.checkExpr(st.Cond, held)
+		hBody, tBody := s.evalStmts(st.Body.List, copyHeld(held))
+		hElse, tElse := copyHeld(held), false
+		if st.Else != nil {
+			hElse, tElse = s.evalStmt(st.Else, copyHeld(held))
+		}
+		switch {
+		case tBody && tElse:
+			return held, true
+		case tBody:
+			return hElse, false
+		case tElse:
+			return hBody, false
+		default:
+			return intersectHeld(hBody, hElse), false
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held, _ = s.evalStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.checkExpr(st.Cond, held)
+		}
+		hBody, _ := s.evalStmts(st.Body.List, copyHeld(held))
+		if st.Post != nil {
+			s.evalStmt(st.Post, hBody)
+		}
+		return intersectHeld(held, hBody), false
+	case *ast.RangeStmt:
+		s.checkExpr(st.X, held)
+		hBody, _ := s.evalStmts(st.Body.List, copyHeld(held))
+		return intersectHeld(held, hBody), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return s.evalBranches(stmt, held)
+	default:
+		s.checkNodeExprs(stmt, held)
+		return held, false
+	}
+}
+
+// evalBranches handles switch/type-switch/select conservatively: every
+// clause is evaluated from the pre-state; the post-state is the
+// intersection of the non-terminating clauses.
+func (s *lockSim) evalBranches(stmt ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+	var clauses []ast.Stmt
+	switch st := stmt.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held, _ = s.evalStmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.checkExpr(st.Tag, held)
+		}
+		clauses = st.Body.List
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			held, _ = s.evalStmt(st.Init, held)
+		}
+		s.checkNodeExprs(st.Assign, held)
+		clauses = st.Body.List
+	case *ast.SelectStmt:
+		clauses = st.Body.List
+	}
+	post := copyHeld(held)
+	first := true
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				s.checkExpr(e, held)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				s.checkNodeExprs(c.Comm, held)
+			}
+			body = c.Body
+		}
+		hc, tc := s.evalStmts(body, copyHeld(held))
+		if tc {
+			continue
+		}
+		if first {
+			post = hc
+			first = false
+		} else {
+			post = intersectHeld(post, hc)
+		}
+	}
+	return post, false
+}
+
+// lockCall recognizes <expr>.<mu>.Lock/Unlock/RLock/RUnlock() and returns
+// the rendered mutex path and the verb.
+func (s *lockSim) lockCall(e ast.Expr) (string, string) {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	verb := sel.Sel.Name
+	if !lockMethods[verb] && !unlockedVerb[verb] {
+		return "", ""
+	}
+	// Require the receiver to be a sync (rw)mutex-ish value: a named type
+	// with Lock/Unlock from package sync, or anything rendering as a
+	// selector path. Rendering is what the guard match uses.
+	return types.ExprString(sel.X), verb
+}
+
+// checkNodeExprs checks every expression hanging off a statement node.
+func (s *lockSim) checkNodeExprs(stmt ast.Stmt, held map[string]bool) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok {
+			s.checkExpr(e, held)
+			return false
+		}
+		return true
+	})
+}
+
+// checkExpr reports guarded-field accesses in e that happen with the guard
+// not held. Accesses routed through sync/atomic calls are allowed;
+// function literals are simulated with no locks held (they may run later)
+// unless immediately invoked, in which case they inherit the current state.
+func (s *lockSim) checkExpr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(s.pass.TypesInfo, n); fn != nil && objPkgPath(fn) == "sync/atomic" {
+				// Atomic access to a guarded field is explicitly allowed.
+				return false
+			}
+			if lit, ok := n.Fun.(*ast.FuncLit); ok {
+				// Immediately-invoked literal: runs here, inherits locks.
+				s.evalStmts(lit.Body.List, copyHeld(held))
+				for _, arg := range n.Args {
+					s.checkExpr(arg, held)
+				}
+				return false
+			}
+			return true
+		case *ast.FuncLit:
+			// Escaping closure: assume it runs without the caller's locks.
+			s.unlocked().evalStmts(n.Body.List, map[string]bool{})
+			return false
+		case *ast.SelectorExpr:
+			s.checkSelector(n, held)
+			return true
+		}
+		return true
+	})
+}
+
+// checkSelector reports the access if n selects a guarded field whose
+// mutex is not currently held.
+func (s *lockSim) checkSelector(n *ast.SelectorExpr, held map[string]bool) {
+	obj := s.pass.TypesInfo.Uses[n.Sel]
+	if obj == nil {
+		if sel := s.pass.TypesInfo.Selections[n]; sel != nil {
+			obj = sel.Obj()
+		}
+	}
+	guard, ok := s.guards[obj]
+	if !ok {
+		return
+	}
+	mu := types.ExprString(n.X) + "." + guard
+	if held[mu] || s.sticky[mu] {
+		return
+	}
+	s.pass.Reportf(n.Pos(),
+		"field %s is guarded by %s but accessed without holding it (lock %s, use sync/atomic, or mark the function '// lockguard: holds %s')",
+		types.ExprString(n), mu, mu, mu)
+}
+
+// unlocked returns a simulator for code that escapes the current critical
+// section (goroutines, stored closures): same guards, but the enclosing
+// function's pending defer-Unlocks do not apply there.
+func (s *lockSim) unlocked() *lockSim {
+	return &lockSim{pass: s.pass, guards: s.guards, sticky: map[string]bool{}}
+}
+
+func copyHeld(h map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func intersectHeld(a, b map[string]bool) map[string]bool {
+	c := make(map[string]bool)
+	for k := range a {
+		if b[k] {
+			c[k] = true
+		}
+	}
+	return c
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SentErr enforces the sentinel-error contract that PR 2 (ErrLPFailed) and
+// PR 6 (ErrCanceled, ErrOverloaded) rely on: the solve path wraps these
+// sentinels through several layers (lp → steady → service → HTTP), so a
+// bare == comparison or a %v-formatted sentinel silently stops matching as
+// soon as any layer adds context. Sentinels must be wrapped with %w and
+// tested with errors.Is.
+var SentErr = &Analyzer{
+	Name: "senterr",
+	Doc: "Package-level Err* sentinels must be wrapped with %w (not %v/%s) in " +
+		"fmt.Errorf and matched with errors.Is, never compared with == or != or " +
+		"switched on directly.",
+	Run: runSentErr,
+}
+
+func runSentErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, n)
+			case *ast.SwitchStmt:
+				checkSentinelSwitch(pass, n)
+			case *ast.CallExpr:
+				checkSentinelErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelVar reports whether e resolves to a package-level exported-or-not
+// variable of error type whose name starts with "Err".
+func sentinelVar(pass *Pass, e ast.Expr) *types.Var {
+	var obj types.Object
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[x.Sel]
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func checkSentinelCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if v := sentinelVar(pass, side); v != nil {
+			pass.Reportf(be.Pos(),
+				"sentinel %s compared with %s: wrapped errors never match; use errors.Is(err, %s)",
+				v.Name(), be.Op, sentinelRef(pass, v))
+			return
+		}
+	}
+}
+
+func checkSentinelSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	if t := pass.TypesInfo.Types[sw.Tag].Type; t == nil || !isErrorType(t) {
+		return
+	}
+	for _, cl := range sw.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if v := sentinelVar(pass, e); v != nil {
+				pass.Reportf(e.Pos(),
+					"sentinel %s used as a switch case on an error value: wrapped errors never match; use errors.Is(err, %s)",
+					v.Name(), sentinelRef(pass, v))
+			}
+		}
+	}
+}
+
+// checkSentinelErrorf verifies that sentinels passed to fmt.Errorf are
+// consumed by a %w verb, not %v/%s/%q.
+func checkSentinelErrorf(pass *Pass, call *ast.CallExpr) {
+	if !isPkgCall(pass.TypesInfo, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	for i, arg := range call.Args[1:] {
+		v := sentinelVar(pass, arg)
+		if v == nil {
+			continue
+		}
+		if i < len(verbs) && verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(),
+				"sentinel %s formatted with %%%c: the chain breaks for errors.Is; wrap it with %%w",
+				v.Name(), verbs[i])
+		}
+	}
+}
+
+// sentinelRef renders the sentinel the way the comparing package would
+// spell it (pkg.ErrX across packages, ErrX within its own).
+func sentinelRef(pass *Pass, v *types.Var) string {
+	if v.Pkg() == pass.Pkg {
+		return v.Name()
+	}
+	return v.Pkg().Name() + "." + v.Name()
+}
+
+// formatVerbs extracts the argument-consuming verbs of a format string in
+// order. Width/precision stars consume arguments too and are returned as
+// '*' entries; '%%' consumes nothing.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// flags, width, precision
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0123456789.", rune(c)) {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, rune(format[i]))
+		}
+	}
+	return verbs
+}

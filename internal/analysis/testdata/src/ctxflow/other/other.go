@@ -1,0 +1,10 @@
+// Package other is the conforming ctxflow fixture: it is NOT one of the
+// solve-path packages, so minting Background inside a context-receiving
+// function must produce no findings here.
+package other
+
+import "context"
+
+func Mints(ctx context.Context) context.Context {
+	return context.Background()
+}

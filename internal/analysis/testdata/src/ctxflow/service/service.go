@@ -1,0 +1,83 @@
+// Package service is a ctxflow fixture: its name puts it on the cancelable
+// solve path, so context-receiving functions must thread their context —
+// no minted Background/TODO, no calling X when an XContext sibling exists.
+// Context-free exported wrappers and the documented nil-defaulting idiom
+// stay quiet.
+package service
+
+import "context"
+
+type Engine struct{}
+
+func (e *Engine) ResolveContext(ctx context.Context, n int) int { return n }
+
+// Resolve is the back-compat wrapper idiom: it receives no context, so
+// minting Background here is the documented default and must not be
+// flagged.
+func (e *Engine) Resolve(n int) int { return e.ResolveContext(context.Background(), n) }
+
+func Mints(ctx context.Context, e *Engine) int {
+	bg := context.Background() // want `context\.Background\(\) inside a function that receives a ctx`
+	return e.ResolveContext(bg, 1)
+}
+
+func MintsTODO(ctx context.Context, e *Engine) int {
+	return e.ResolveContext(context.TODO(), 1) // want `context\.TODO\(\) inside a function that receives a ctx`
+}
+
+func DropsMethod(ctx context.Context, e *Engine) int {
+	return e.Resolve(1) // want `call to Resolve drops the caller's context: use ResolveContext`
+}
+
+func DropsFunc(ctx context.Context) {
+	Work() // want `call to Work drops the caller's context: use WorkContext`
+}
+
+func Work()                           {}
+func WorkContext(ctx context.Context) {}
+
+// NoSibling has no WorkAloneContext variant: calling it cannot thread a
+// context and is clean.
+func WorkAlone() {}
+
+func Threads(ctx context.Context, e *Engine) int {
+	WorkContext(ctx)
+	WorkAlone()
+	return e.ResolveContext(ctx, 1)
+}
+
+// NilDefault is the documented nil-substitution idiom: clean.
+func NilDefault(ctx context.Context, e *Engine) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return e.ResolveContext(ctx, 1)
+}
+
+// Derives wraps the incoming context: clean.
+func Derives(ctx context.Context, e *Engine) int {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return e.ResolveContext(sub, 1)
+}
+
+func SpawnsGoroutine(ctx context.Context, e *Engine) {
+	go func() {
+		_ = context.Background() // want `context\.Background\(\) inside a function that receives a ctx`
+	}()
+}
+
+func SpawnsAnnotated(ctx context.Context, e *Engine) {
+	go func() {
+		//lint:ignore ctxflow fixture: background work deliberately outlives the request
+		_ = context.Background()
+	}()
+}
+
+// LitWithOwnCtx declares its own context parameter: a fresh scope, checked
+// independently.
+func LitWithOwnCtx(ctx context.Context, e *Engine) func(context.Context) int {
+	return func(inner context.Context) int {
+		return e.ResolveContext(inner, 1)
+	}
+}

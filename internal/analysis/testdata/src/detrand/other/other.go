@@ -1,0 +1,29 @@
+// Package other is the conforming detrand fixture: it is NOT in the
+// deterministic-package set, so the very constructs flagged in the
+// scenarios fixture must produce no findings here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Timestamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func GlobalStream() int {
+	return rand.Intn(10)
+}
+
+func AdHocRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func Escapes(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+// Package scenarios is a detrand fixture: its name puts it in the
+// deterministic-package set, so wall clocks, the global math/rand stream,
+// ad-hoc RNG construction and escaping map iteration must all be flagged,
+// while the blessed patterns (explicit streams, keys-then-sort, commutative
+// aggregation) must stay quiet.
+package scenarios
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Timestamp() int64 {
+	return time.Now().UnixNano() // want `wall clock \(time\.Now\)`
+}
+
+func Elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `wall clock \(time\.Since\)`
+}
+
+func AnnotatedTimestamp() int64 {
+	//lint:ignore detrand fixture: deliberate wall-clock exemption with a recorded reason
+	return time.Now().UnixNano()
+}
+
+func GlobalStream() int {
+	return rand.Intn(10) // want `global math/rand stream \(rand\.Intn\)`
+}
+
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand stream \(rand\.Shuffle\)`
+}
+
+func AdHocRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `ad-hoc RNG construction \(rand\.New\)` `ad-hoc RNG construction \(rand\.NewSource\)`
+}
+
+// ExplicitStream draws from a caller-provided stream: the deterministic
+// idiom, never flagged.
+func ExplicitStream(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+func EscapesConcat(m map[string]int) string {
+	out := ""
+	for k := range m { // want `map iteration order escapes`
+		out += k
+	}
+	return out
+}
+
+func EscapesAppend(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `map iteration order escapes`
+		out = append(out, v)
+	}
+	return out
+}
+
+// SortedKeys is the collect-then-sort idiom: clean.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Aggregates commutes: clean.
+func Aggregates(m map[string]int) (total int, n int) {
+	for _, v := range m {
+		total += v
+		n++
+	}
+	return total, n
+}
+
+// Inverts writes into another map: clean.
+func Inverts(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Prunes deletes from a map: clean.
+func Prunes(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// RangesSlice is not a map range at all: clean.
+func RangesSlice(xs []int) []int {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v*2)
+	}
+	return out
+}

@@ -1,0 +1,10 @@
+// This file opts out of detrand wholesale.
+//
+//lint:file-ignore detrand fixture: measurement-only file
+package stats
+
+import "time"
+
+func WholeFileExempt() int64 {
+	return time.Now().UnixNano()
+}

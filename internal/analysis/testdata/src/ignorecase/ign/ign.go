@@ -1,0 +1,20 @@
+// Package stats (directory ignorecase/ign) exercises the suppression
+// machinery: a valid line ignore, a malformed directive (no reason) that
+// the driver reports itself, and an unsuppressed finding as a control.
+package stats
+
+import "time"
+
+func Suppressed() int64 {
+	//lint:ignore detrand fixture: wall time is fine here
+	return time.Now().UnixNano()
+}
+
+func Unsuppressed() int64 {
+	return time.Now().UnixNano()
+}
+
+func Malformed() int64 {
+	//lint:ignore detrand
+	return time.Now().UnixNano()
+}

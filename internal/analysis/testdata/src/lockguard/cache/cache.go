@@ -1,0 +1,119 @@
+// Package cache is a lockguard fixture: fields annotated "guarded by mu"
+// may only be touched with the mutex held (branch- and defer-aware), via
+// sync/atomic, or from *Locked / "lockguard: holds" functions. Escaping
+// goroutines lose the caller's locks.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Counter struct {
+	mu     sync.Mutex
+	hits   int64 // guarded by mu
+	misses int64 // guarded by mu
+	free   int64 // unannotated: never checked
+}
+
+func (c *Counter) Good() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+func (c *Counter) GoodDefer() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+func (c *Counter) Bad() {
+	c.hits++ // want `field c\.hits is guarded by c\.mu but accessed without holding it`
+}
+
+func (c *Counter) BadAfterUnlock() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+	c.misses++ // want `field c\.misses is guarded by c\.mu`
+}
+
+func (c *Counter) BadRead() int64 {
+	return c.hits // want `field c\.hits is guarded by c\.mu`
+}
+
+func (c *Counter) Unannotated() int64 {
+	return c.free
+}
+
+func (c *Counter) Atomic() int64 {
+	atomic.AddInt64(&c.hits, 1)
+	return atomic.LoadInt64(&c.misses)
+}
+
+// bumpLocked follows the *Locked naming convention: the caller holds mu.
+func (c *Counter) bumpLocked() { c.hits++ }
+
+// snapshot trusts its annotation.
+//
+// lockguard: holds c.mu
+func (c *Counter) snapshot() (int64, int64) { return c.hits, c.misses }
+
+// EarlyReturn unlocks on one branch and returns; the fall-through path is
+// still under the lock and must stay clean.
+func (c *Counter) EarlyReturn(cond bool) int64 {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.hits
+	c.mu.Unlock()
+	return n
+}
+
+// BranchMerge unlocks in only one non-returning branch: after the merge the
+// lock may or may not be held, so the access is flagged.
+func (c *Counter) BranchMerge(cond bool) {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+	}
+	c.hits++ // want `field c\.hits is guarded by c\.mu`
+	if !cond {
+		c.mu.Unlock()
+	}
+}
+
+// Goroutine bodies do not inherit the caller's critical section.
+func (c *Counter) Goroutine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.hits++ // want `field c\.hits is guarded by c\.mu`
+	}()
+}
+
+// Immediately-invoked literals run inside the critical section: clean.
+func (c *Counter) Iife() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int64 { return c.hits }()
+}
+
+// LoopLockStep locks and unlocks per iteration: clean inside, and the
+// conservative post-loop state still counts the second access as locked
+// because the loop body re-locks before it ends... it does not — the body
+// ends unlocked, so the access below must be inside its own critical
+// section.
+func (c *Counter) LoopLockStep(n int) {
+	for i := 0; i < n; i++ {
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+}

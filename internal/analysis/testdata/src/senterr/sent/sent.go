@@ -1,0 +1,9 @@
+// Package sent is the sentinel-defining half of the senterr fixture.
+package sent
+
+import "errors"
+
+var (
+	ErrCanceled = errors.New("sent: canceled")
+	ErrLPFailed = errors.New("sent: lp failed")
+)

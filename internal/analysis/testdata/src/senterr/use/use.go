@@ -1,0 +1,54 @@
+// Package use is the consuming half of the senterr fixture: == / != / switch
+// comparisons against sentinels and %v-formatted sentinels are flagged;
+// errors.Is, %w wrapping and nil checks stay quiet.
+package use
+
+import (
+	"errors"
+	"fmt"
+
+	"senterr/sent"
+)
+
+func Compare(err error) bool {
+	return err == sent.ErrCanceled // want `sentinel ErrCanceled compared with ==`
+}
+
+func CompareNeq(err error) bool {
+	return sent.ErrLPFailed != err // want `sentinel ErrLPFailed compared with !=`
+}
+
+func Switch(err error) string {
+	switch err {
+	case sent.ErrCanceled: // want `sentinel ErrCanceled used as a switch case`
+		return "canceled"
+	default:
+		return ""
+	}
+}
+
+func WrapWrong(err error) error {
+	return fmt.Errorf("solve: %v (cause %w)", sent.ErrCanceled, err) // want `sentinel ErrCanceled formatted with %v`
+}
+
+func WrapString(err error) error {
+	return fmt.Errorf("solve: %s", sent.ErrLPFailed) // want `sentinel ErrLPFailed formatted with %s`
+}
+
+func WrapRight(err error) error {
+	return fmt.Errorf("solve: %w: %v", sent.ErrCanceled, err)
+}
+
+func Is(err error) bool {
+	return errors.Is(err, sent.ErrCanceled)
+}
+
+func NilCheck(err error) bool {
+	return err == nil
+}
+
+// Annotated comparisons carry their justification.
+func AnnotatedCompare(err error) bool {
+	//lint:ignore senterr fixture: identity comparison required by a third-party contract
+	return err == sent.ErrCanceled
+}

@@ -185,6 +185,7 @@ func (ps *policyState) lost(optimalAcc float64) float64 {
 // fixed (platform, source, trace, cfg) tuple unless Config.RecordTimings is
 // set.
 func Run(base *platform.Platform, source int, trace *Trace, cfg Config) (*Report, error) {
+	//lint:ignore detrand opt-in wall-time instrumentation (RecordTimings); excluded from canonical reports
 	start := time.Now()
 	p := base.Clone()
 	if err := p.ValidateLive(source); err != nil {
@@ -288,12 +289,14 @@ func Run(base *platform.Platform, source int, trace *Trace, cfg Config) (*Report
 					ps.throughput = 0
 				}
 			case PolicyRepair:
+				//lint:ignore detrand opt-in wall-time instrumentation (RecordTimings); excluded from canonical reports
 				repairStart := time.Now()
 				repaired, st, err := heuristics.RepairTree(p, source, ps.tree)
 				if err != nil {
 					return nil, fmt.Errorf("dynamic: repair policy at event %d: %w", i, err)
 				}
 				if cfg.RecordTimings {
+					//lint:ignore detrand opt-in wall-time instrumentation (RecordTimings); excluded from canonical reports
 					po.RepairNanos = time.Since(repairStart).Nanoseconds()
 				}
 				ps.tree = repaired
@@ -354,6 +357,7 @@ func Run(base *platform.Platform, source int, trace *Trace, cfg Config) (*Report
 	rep.ResolvePivots = resolvePivots
 	rep.LP = session.Stats()
 	if cfg.RecordTimings {
+		//lint:ignore detrand opt-in wall-time instrumentation (RecordTimings); excluded from canonical reports
 		rep.WallNanos = time.Since(start).Nanoseconds()
 	}
 	return rep, nil

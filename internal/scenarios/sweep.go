@@ -297,6 +297,7 @@ func Sweep(cfg SweepConfig) (*SweepReport, error) {
 		}
 	}
 
+	//lint:ignore detrand opt-in wall-time instrumentation (RecordTimings); excluded from canonical reports
 	start := time.Now()
 	perUnit := parallel.MapStream(len(units), cfg.Workers, func(i int) []RunResult {
 		return evaluateUnit(cfg, churn, units[i], heur)
@@ -350,6 +351,7 @@ func Sweep(cfg SweepConfig) (*SweepReport, error) {
 	}
 	report.Meta.TotalRuns = len(report.Runs)
 	if cfg.RecordTimings {
+		//lint:ignore detrand opt-in wall-time instrumentation (RecordTimings); excluded from canonical reports
 		report.Meta.TotalWallNanos = time.Since(start).Nanoseconds()
 	}
 	report.Aggregates = aggregate(report.Runs, scens, sizes, heur, cfg.RecordTimings)
@@ -417,9 +419,11 @@ func evaluateUnit(cfg SweepConfig, churn churnSettings, u unit, heur []string) [
 	for i, name := range heur {
 		r := base
 		r.Heuristic = name
+		//lint:ignore detrand opt-in wall-time instrumentation (RecordTimings); excluded from canonical reports
 		hStart := time.Now()
 		tp, err := service.EvaluateHeuristic(p, cfg.Source, name, opt.EdgeRate, cfg.EvalModel)
 		if cfg.RecordTimings {
+			//lint:ignore detrand opt-in wall-time instrumentation (RecordTimings); excluded from canonical reports
 			r.WallNanos = time.Since(hStart).Nanoseconds()
 		}
 		if err != nil {

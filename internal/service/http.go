@@ -150,6 +150,9 @@ func instrument(m *Metrics, route string, h http.HandlerFunc) http.Handler {
 				// be converted into a well-formed error body — re-panic in
 				// both cases so the server severs the connection and the
 				// client sees the truncation.
+				// net/http's own recovery compares the raw panic value, so
+				// matching its contract requires the identity comparison.
+				//lint:ignore senterr net/http defines panic(ErrAbortHandler) by identity, not by error chain
 				if rec == http.ErrAbortHandler || sw.wrote {
 					m.observe(route, http.StatusInternalServerError, time.Since(start))
 					panic(rec)

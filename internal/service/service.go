@@ -429,15 +429,15 @@ type Engine struct {
 	// solveNs records the wall-clock latency of completed solves; Retry-
 	// After suggestions for shed requests derive from it.
 	latMu   sync.Mutex
-	solveNs stats.Histogram
+	solveNs stats.Histogram // guarded by latMu
 
 	mu    sync.Mutex
-	lru   *list.List // of *entry, most recently used in front
-	byKey map[cacheKey]*list.Element
+	lru   *list.List                 // guarded by mu; of *entry, most recently used in front
+	byKey map[cacheKey]*list.Element // guarded by mu
 	// byFP indexes the cached entries by routing key; the slice holds more
 	// than one element only when renumbered twins are cached side by side.
-	byFP  map[fpKey][]*list.Element
-	stats Stats
+	byFP  map[fpKey][]*list.Element // guarded by mu
+	stats Stats                     // guarded by mu
 }
 
 // New returns an engine with the given configuration.
