@@ -27,6 +27,7 @@ import (
 	"repro/internal/heuristics"
 	"repro/internal/load"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/scenarios"
 	"repro/internal/service"
@@ -249,6 +250,16 @@ type (
 	PlanResult = service.PlanResult
 	// PlanEngineStats snapshots the cache and solver counters.
 	PlanEngineStats = service.Stats
+	// PlanTrace is the record of one request through the engine: its ID,
+	// outcome, and ordered typed span events (lookup, admit, solve, ...).
+	PlanTrace = obs.Trace
+	// PlanTracer buffers finished request traces in a bounded lock-sharded
+	// ring; wire one into PlanEngineConfig.Tracer to trace an engine.
+	PlanTracer = obs.Tracer
+	// PlanTracerOptions configure a PlanTracer: ring capacity and the opt-in
+	// WallClock mode (real timestamps and per-process IDs; the default is
+	// deterministic content-derived IDs with no wall-clock fields).
+	PlanTracerOptions = obs.Options
 )
 
 // PlatformFingerprint returns the canonical content fingerprint of a
@@ -263,8 +274,19 @@ func NewPlanEngine(cfg PlanEngineConfig) *PlanEngine { return service.New(cfg) }
 
 // NewPlanHandler returns the HTTP/JSON API of the engine (the handler served
 // by bcast-serve: /v1/plan, /v1/evaluate, /v1/churn, /v1/stats, /v1/metrics,
-// /healthz).
+// /v1/trace, /metrics, /healthz).
 func NewPlanHandler(e *PlanEngine) http.Handler { return service.NewHandler(e) }
+
+// NewPlanTracer returns a trace ring buffer for PlanEngineConfig.Tracer.
+// With the zero options the tracer is deterministic: content-derived trace
+// IDs, no wall-clock data, snapshots sorted by ID — the same workload
+// produces the byte-identical trace set at any worker count.
+func NewPlanTracer(opts PlanTracerOptions) *PlanTracer { return obs.NewTracer(opts) }
+
+// PlanMetricsText renders the engine's counters and solve-stage summaries
+// as a Prometheus text exposition (version 0.0.4) — the same families the
+// HTTP handler serves at GET /metrics, minus the per-route HTTP section.
+func PlanMetricsText(e *PlanEngine) string { return service.PromText(e, nil) }
 
 // Load-generation types: the deterministic workload replay subsystem behind
 // the bcast-load CLI (package internal/load).

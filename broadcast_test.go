@@ -2,6 +2,7 @@ package broadcast
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -283,5 +284,51 @@ func TestRunLoadFacade(t *testing.T) {
 	}
 	if len(LoadMixes()) == 0 {
 		t.Error("no built-in mixes")
+	}
+}
+
+// TestPublicAPIObservability exercises the observability exports: a traced
+// engine records one deterministic trace per request, and the Prometheus
+// rendering covers the engine counters and solve-stage summaries.
+func TestPublicAPIObservability(t *testing.T) {
+	p, err := GenerateScenario("star", 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewPlanEngine(PlanEngineConfig{
+		CacheSize: 8,
+		Tracer:    NewPlanTracer(PlanTracerOptions{Capacity: 8}),
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := e.Plan(PlanRequest{Platform: p, Source: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	traces := e.Tracer().Snapshot("", 0)
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(traces))
+	}
+	outcomes := map[string]int{}
+	for _, tr := range traces {
+		if tr.ID == "" || len(tr.Events) == 0 {
+			t.Errorf("malformed trace: %+v", tr)
+		}
+		if tr.StartNs != 0 || tr.DurNs != 0 {
+			t.Errorf("deterministic trace %s carries wall-clock fields", tr.ID)
+		}
+		outcomes[tr.Outcome]++
+	}
+	if outcomes["miss"] != 1 || outcomes["hit"] != 1 {
+		t.Errorf("outcomes = %v, want one miss and one hit", outcomes)
+	}
+	text := PlanMetricsText(e)
+	for _, want := range []string{
+		"bcast_requests_total 2",
+		"bcast_cache_hits_total 1",
+		"# TYPE bcast_solve_pivots summary",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("PlanMetricsText missing %q", want)
+		}
 	}
 }

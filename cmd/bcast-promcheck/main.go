@@ -1,0 +1,121 @@
+// Command bcast-promcheck probes the observability surface of a running
+// bcast-serve: it scrapes GET /metrics and validates the body against the
+// Prometheus text exposition format (the same validator the unit tests
+// use — well-formed names, no duplicate or interleaved families, parsable
+// sample values), fetches GET /v1/trace and requires a minimum number of
+// buffered request traces, and optionally probes an opt-in pprof listener
+// on its separate port. CI's observability smoke job boots a server,
+// drives it with cmd/bcast-load, and then runs this check; any violation
+// exits non-zero with a one-line reason.
+//
+// Examples:
+//
+//	bcast-promcheck -url http://127.0.0.1:8080
+//	bcast-promcheck -url http://127.0.0.1:8080 -min-traces 30 -pprof http://127.0.0.1:6060
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// requiredFamilies are metric families every healthy scrape must expose:
+// a core engine counter, an overload-contract counter and a solve-stage
+// summary — one sentinel per metric group, not the full name table (the
+// unit tests pin that).
+var requiredFamilies = []string{
+	"bcast_requests_total",
+	"bcast_shed_total",
+	"bcast_solve_pivots",
+}
+
+func main() {
+	var (
+		baseURL   = flag.String("url", "http://127.0.0.1:8080", "base URL of the bcast-serve instance to probe")
+		pprofURL  = flag.String("pprof", "", "base URL of the server's pprof listener (empty = skip the pprof probe)")
+		minTraces = flag.Int("min-traces", 1, "minimum number of buffered traces GET /v1/trace must report")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+	if err := run(client, *baseURL, *pprofURL, *minTraces); err != nil {
+		fmt.Fprintln(os.Stderr, "bcast-promcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(client *http.Client, baseURL, pprofURL string, minTraces int) error {
+	body, err := fetch(client, baseURL+"/metrics")
+	if err != nil {
+		return err
+	}
+	samples, err := obs.ValidateExposition(string(body))
+	if err != nil {
+		return fmt.Errorf("GET /metrics is not valid Prometheus text exposition: %w", err)
+	}
+	for _, fam := range requiredFamilies {
+		if !strings.Contains(string(body), "# TYPE "+fam+" ") {
+			return fmt.Errorf("GET /metrics is missing the %s family", fam)
+		}
+	}
+	fmt.Printf("metrics ok: %d samples, all required families present\n", samples)
+
+	tbody, err := fetch(client, baseURL+"/v1/trace")
+	if err != nil {
+		return err
+	}
+	var env struct {
+		Count  int          `json:"count"`
+		Traces []*obs.Trace `json:"traces"`
+	}
+	if err := json.Unmarshal(tbody, &env); err != nil {
+		return fmt.Errorf("GET /v1/trace did not return the trace envelope: %w", err)
+	}
+	if env.Count < minTraces || len(env.Traces) < minTraces {
+		return fmt.Errorf("GET /v1/trace holds %d traces, want at least %d", env.Count, minTraces)
+	}
+	for _, tr := range env.Traces {
+		if tr.ID == "" || tr.Outcome == "" || len(tr.Events) == 0 {
+			return fmt.Errorf("GET /v1/trace returned a malformed trace: %+v", tr)
+		}
+	}
+	fmt.Printf("traces ok: %d buffered, most recent %s (%s)\n", env.Count, env.Traces[0].ID, env.Traces[0].Outcome)
+
+	if pprofURL != "" {
+		pbody, err := fetch(client, pprofURL+"/debug/pprof/cmdline")
+		if err != nil {
+			return err
+		}
+		if len(pbody) == 0 {
+			return fmt.Errorf("pprof cmdline probe returned an empty body")
+		}
+		fmt.Println("pprof ok: cmdline endpoint answered")
+	}
+	return nil
+}
+
+// fetch GETs a URL and returns the body, treating any non-200 as an error.
+func fetch(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("GET %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("GET %s: reading body: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}

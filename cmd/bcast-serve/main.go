@@ -9,7 +9,9 @@
 //	POST /v1/evaluate  compare tree heuristics against the optimum
 //	POST /v1/churn     replay a churn trace (keep/repair/rebuild policies)
 //	GET  /v1/stats     cache and solver statistics
-//	GET  /v1/metrics   engine counters + per-endpoint latency quantiles
+//	GET  /v1/metrics   engine counters + per-endpoint latency quantiles (JSON)
+//	GET  /metrics      the same counters in Prometheus text exposition format
+//	GET  /v1/trace     recent request traces (?outcome=hit|miss|shed|..., ?limit=)
 //	GET  /healthz      liveness probe
 //
 // Errors are always structured {"error": ...} JSON — malformed bodies get
@@ -22,12 +24,23 @@
 // LP refinement continues in the background. Use cmd/bcast-load to drive a
 // running server with deterministic workload mixes and measure it.
 //
+// Observability: every request is traced (typed spans: cache lookup,
+// admission, queue wait, LP solve with pivot/round/cut counts, degraded
+// answer, background refinement, response write) into a bounded ring buffer
+// (-trace-buffer) served by GET /v1/trace, and the response carries the
+// request-scoped trace ID in an X-Bcast-Trace header. Request and panic logs
+// are structured log/slog JSON on stderr with the same trace IDs. -pprof
+// exposes net/http/pprof on a separate listener, kept off the service port so
+// profiling endpoints are never reachable from the public address.
+//
 // Examples:
 //
 //	bcast-serve -addr :8080 -cache 512
 //	bcast-serve -self-check
+//	bcast-serve -pprof 127.0.0.1:6060
 //	curl -s localhost:8080/v1/plan -d '{"platform": {...}, "source": 0}'
-//	curl -s localhost:8080/v1/metrics
+//	curl -s localhost:8080/metrics
+//	curl -s 'localhost:8080/v1/trace?outcome=miss&limit=10'
 package main
 
 import (
@@ -35,25 +48,31 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
 	"time"
 
 	broadcast "repro"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		cacheSize = flag.Int("cache", 256, "maximum number of cached plans")
-		workers   = flag.Int("workers", 0, "maximum concurrent solves (0 = all CPUs)")
-		queue     = flag.Int("queue", -1, "admission queue depth beyond the solve lanes; above it cold requests are shed with 429 (-1 = 4x workers, 0 = unbounded, never shed)")
-		deadline  = flag.Duration("deadline", 2*time.Minute, "default solve deadline per request, overridable per request via deadlineMs (0 = none)")
-		coldLP    = flag.Bool("cold-lp", false, "disable warm starts inside the master LP solves")
-		selfCheck = flag.Bool("self-check", false, "plan a generated platform twice against the in-process engine, verify the cache hit, and exit")
+		addr        = flag.String("addr", ":8080", "listen address")
+		cacheSize   = flag.Int("cache", 256, "maximum number of cached plans")
+		workers     = flag.Int("workers", 0, "maximum concurrent solves (0 = all CPUs)")
+		queue       = flag.Int("queue", -1, "admission queue depth beyond the solve lanes; above it cold requests are shed with 429 (-1 = 4x workers, 0 = unbounded, never shed)")
+		deadline    = flag.Duration("deadline", 2*time.Minute, "default solve deadline per request, overridable per request via deadlineMs (0 = none)")
+		coldLP      = flag.Bool("cold-lp", false, "disable warm starts inside the master LP solves")
+		traceBuffer = flag.Int("trace-buffer", 512, "request traces retained for GET /v1/trace (0 disables tracing)")
+		pprofAddr   = flag.String("pprof", "", "listen address for net/http/pprof (empty = profiling disabled); keep it on localhost")
+		quiet       = flag.Bool("quiet", false, "disable structured request logging (panic logs are kept)")
+		selfCheck   = flag.Bool("self-check", false, "plan a generated platform twice against the in-process engine, verify the cache hit, and exit")
 	)
 	flag.Parse()
 
@@ -74,6 +93,12 @@ func main() {
 	if *coldLP {
 		cfg.Steady = &broadcast.OptimalOptions{ColdStart: true}
 	}
+	if *traceBuffer > 0 {
+		// The server traces in WallClock mode: per-process trace IDs minted
+		// at the HTTP layer, timestamps and queue-wait spans recorded. The
+		// deterministic mode exists for in-process replays (internal/load).
+		cfg.Tracer = obs.NewTracer(obs.Options{Capacity: *traceBuffer, WallClock: true})
+	}
 	engine := service.New(cfg)
 
 	if *selfCheck {
@@ -84,9 +109,31 @@ func main() {
 		return
 	}
 
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	handlerLogger := logger
+	if *quiet {
+		handlerLogger = nil
+	}
+
+	if *pprofAddr != "" {
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: pprofMux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "err", err.Error())
+			}
+		}()
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandler(engine),
+		Handler:           service.NewHandlerOpts(engine, service.HandlerOptions{Logger: handlerLogger}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		// Backstop only: solves are bounded by the engine's deadline (the
@@ -105,8 +152,14 @@ func main() {
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
 	}()
-	fmt.Fprintf(os.Stderr, "bcast-serve: listening on %s (cache %d, workers %d, queue %d, deadline %s)\n",
-		*addr, *cacheSize, engine.Stats().Workers, depth, *deadline)
+	logger.Info("listening",
+		"addr", *addr,
+		"cache", *cacheSize,
+		"workers", engine.Stats().Workers,
+		"queue", depth,
+		"deadline", deadline.String(),
+		"traceBuffer", *traceBuffer,
+		"pprof", *pprofAddr)
 	err := srv.ListenAndServe()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "bcast-serve:", err)
@@ -121,7 +174,8 @@ func main() {
 // runSelfCheck exercises the engine end to end without binding a port: plan
 // a platform twice (the second answer must come from the cache with
 // byte-identical plan bytes), then plan a one-delta mutation through the
-// warm-session path.
+// warm-session path, and print the engine counters — the overload-contract
+// ones included, so a zero-shed healthy run is visibly zero-shed.
 func runSelfCheck(engine *service.Engine) error {
 	p, err := broadcast.GenerateScenario("cluster-of-clusters", 24, 1)
 	if err != nil {
@@ -154,8 +208,15 @@ func runSelfCheck(engine *service.Engine) error {
 	if !mut.WarmResolved {
 		return fmt.Errorf("delta request did not take the warm-session path")
 	}
+	engine.Drain()
 	st := engine.Stats()
 	fmt.Printf("self-check ok: throughput %.6f, mutated %.6f (warm resolve: %v); %d hits / %d misses, %d solves\n",
 		first.Plan.Throughput, mut.Plan.Throughput, mut.WarmResolved, st.Hits, st.Misses, st.Solves)
+	fmt.Printf("self-check overload counters: shed %d, queued %d, canceled %d, degraded %d, refines %d, refineFailures %d, evictionsDeferred %d, queueDepth %d\n",
+		st.Shed, st.Queued, st.Canceled, st.Degraded, st.Refines, st.RefineFailures, st.EvictionsDeferred, st.QueueDepth)
+	if second.TraceID != "" {
+		fmt.Printf("self-check tracing: cache-hit trace %s recorded (%d traces buffered)\n",
+			second.TraceID, engine.Tracer().Len())
+	}
 	return nil
 }

@@ -22,6 +22,10 @@ func TestDetRandConformingPackage(t *testing.T) {
 	atest.Run(t, analysis.DetRand, "detrand/other")
 }
 
+func TestDetRandObsFixture(t *testing.T) {
+	atest.Run(t, analysis.DetRand, "detrand/obs")
+}
+
 func TestCtxFlowFixture(t *testing.T) {
 	atest.Run(t, analysis.CtxFlow, "ctxflow/service")
 }

@@ -1,0 +1,60 @@
+// Package obs is a detrand fixture mirroring the real observability
+// package: its name is in the deterministic-package set, so bare wall-clock
+// reads and global randomness must be flagged, while the package's sanctioned
+// idiom — a single annotated wall-clock site for the opt-in WallClock trace
+// mode, and ID-sorted snapshot assembly — must stay quiet.
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// BareTimestamp is the violation the scope addition exists to catch: a trace
+// or metric stamped from the wall clock on the deterministic path.
+func BareTimestamp() int64 {
+	return time.Now().UnixNano() // want `wall clock \(time\.Now\)`
+}
+
+// SpanDuration measures with time.Since: equally forbidden.
+func SpanDuration(start time.Time) time.Duration {
+	return time.Since(start) // want `wall clock \(time\.Since\)`
+}
+
+// wallNow mirrors the real package's one sanctioned wall-clock read: the
+// opt-in WallClock trace mode's timestamp source, annotated with the reason
+// deterministic tracers never reach it.
+func wallNow() int64 {
+	//lint:ignore detrand opt-in wall-clock trace timestamps; deterministic tracers never reach this
+	return time.Now().UnixNano()
+}
+
+// WallEvent uses the annotated source: clean.
+func WallEvent() int64 { return wallNow() }
+
+// SampleTraceID drawing from the global stream would make IDs
+// non-reproducible: flagged.
+func SampleTraceID() uint64 {
+	return rand.Uint64() // want `global math/rand stream \(rand\.Uint64\)`
+}
+
+// SortedSnapshot is the package's canonical dump idiom — collect from the
+// shard map, then sort by ID: clean.
+func SortedSnapshot(byID map[string]int) []string {
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RenderUnsorted leaks map order into an exposition: flagged.
+func RenderUnsorted(families map[string]string) string {
+	out := ""
+	for _, line := range families { // want `map iteration order escapes`
+		out += line
+	}
+	return out
+}

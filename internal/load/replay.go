@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/service"
 	"repro/internal/stats"
@@ -45,6 +46,15 @@ func (ep EnginePlanner) Stats() (service.Stats, error) { return ep.Engine.Stats(
 // Mode implements Planner.
 func (ep EnginePlanner) Mode() string { return "in-process" }
 
+// StageStats exposes the engine's solve-stage histograms; Run folds the
+// deterministic trio (pivots, rounds, cuts per solve) into the canonical
+// report's solveStages section.
+func (ep EnginePlanner) StageStats() service.StageStats { return ep.Engine.StageStats() }
+
+// Tracer exposes the engine's tracer (the deterministic one
+// NewInProcessEngine installs); Run reports the buffered trace count.
+func (ep EnginePlanner) Tracer() *obs.Tracer { return ep.Engine.Tracer() }
+
 // Drain waits for the engine's background refinements; Run calls it (via an
 // optional interface, so HTTP targets are unaffected) after a DrainAfter
 // wave.
@@ -65,7 +75,15 @@ func NewInProcessEngine(sched *Schedule, cacheSize int) (EnginePlanner, *Gate) {
 		cacheSize = sched.Distinct + sched.Expect.Shed + 16
 	}
 	gate := NewGate()
-	cfg := service.Config{CacheSize: cacheSize, Hooks: gate.Hooks()}
+	// Replays trace every request with a deterministic tracer: content-derived
+	// trace IDs, no wall-clock fields, snapshots sorted by ID — so a trace
+	// dump of the replay is byte-identical for any worker count, exactly like
+	// the canonical report. The ring is sized to hold every trace the
+	// schedule can produce (one per request plus one refine trace per
+	// degraded answer) without evicting; eviction order is insertion order,
+	// which scheduling could perturb.
+	tracer := obs.NewTracer(obs.Options{Capacity: sched.Requests + sched.Expect.Degraded + 16})
+	cfg := service.Config{CacheSize: cacheSize, Hooks: gate.Hooks(), Tracer: tracer}
 	if sched.Overload != nil {
 		cfg.Workers = sched.Overload.Lanes
 		cfg.QueueDepth = sched.Overload.Queue
@@ -467,6 +485,19 @@ func Run(target Planner, sched *Schedule, opts Options) (*Report, error) {
 	}
 	rep.CacheEntries = final.CacheEntries
 	rep.Evictions = final.Evictions - initial.Evictions
+	// In-process targets expose the solve-stage histograms and the trace
+	// buffer; both are deterministic (per-solve pivot/round/cut counts are
+	// fixed by the schedule, trace count is requests plus refines), so they
+	// live in the canonical report. HTTP targets lack the hooks and skip them.
+	if ss, ok := target.(interface{ StageStats() service.StageStats }); ok {
+		st := ss.StageStats()
+		rep.SolveStages = &SolveStages{Pivots: st.SolvePivots, Rounds: st.SolveRounds, Cuts: st.SolveCuts}
+	}
+	if tt, ok := target.(interface{ Tracer() *obs.Tracer }); ok {
+		if tr := tt.Tracer(); tr != nil {
+			rep.Traces = tr.Len()
+		}
+	}
 	if timings != nil {
 		d := time.Since(runStart)
 		timings.DurationNs = d.Nanoseconds()

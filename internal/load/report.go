@@ -168,6 +168,17 @@ type Timings struct {
 	LatencyNs      stats.HistogramSummary `json:"latencyNs"`
 }
 
+// SolveStages is the deterministic solve-stage breakdown of an in-process
+// replay: the distribution of cutting-plane rounds, cuts and simplex pivots
+// per solve, lifted from the engine's stage histograms. The wall-clock stage
+// histograms (solve/queue-wait/refine latency) are deliberately absent —
+// they would break the report's byte-stability.
+type SolveStages struct {
+	Pivots stats.HistogramSummary `json:"pivots"`
+	Rounds stats.HistogramSummary `json:"rounds"`
+	Cuts   stats.HistogramSummary `json:"cuts"`
+}
+
 // Report is the outcome of one replay: everything outside Timings is
 // deterministic for a fixed (mix, seed) against a cold target — across
 // runs, worker counts and pacing. cmd/bcast-load writes it as
@@ -183,9 +194,14 @@ type Report struct {
 	// CacheEntries and Evictions describe the target cache after the
 	// replay: a canonical run must end with Evictions == 0 (size the cache
 	// to Schedule.Distinct or larger).
-	CacheEntries int      `json:"cacheEntries"`
-	Evictions    int64    `json:"evictions"`
-	Timings      *Timings `json:"timings,omitempty"`
+	CacheEntries int   `json:"cacheEntries"`
+	Evictions    int64 `json:"evictions"`
+	// SolveStages is the per-solve stage breakdown and Traces the number of
+	// request traces the target buffered; both are present for in-process
+	// targets only and are part of the canonical (deterministic) report.
+	SolveStages *SolveStages `json:"solveStages,omitempty"`
+	Traces      int          `json:"traces,omitempty"`
+	Timings     *Timings     `json:"timings,omitempty"`
 }
 
 // Summary renders the human-readable report: one row per phase plus a
@@ -219,6 +235,11 @@ func (r *Report) Summary() string {
 	if t.Client.Shed > 0 || t.Client.Degraded > 0 {
 		fmt.Fprintf(&b, "overload: %d shed, %d degraded answers (%d refined, %d refine failures)\n",
 			t.Client.Shed, t.Client.Degraded, t.Engine.Refines, t.Engine.RefineFailures)
+	}
+	if r.SolveStages != nil {
+		s := r.SolveStages
+		fmt.Fprintf(&b, "solve stages: pivots p50 %d p99 %d, rounds p50 %d p99 %d, cuts p50 %d p99 %d; %d traces buffered\n",
+			s.Pivots.P50, s.Pivots.P99, s.Rounds.P50, s.Rounds.P99, s.Cuts.P50, s.Cuts.P99, r.Traces)
 	}
 	if t.Client.Errors > 0 {
 		fmt.Fprintf(&b, "ERRORS: %d requests failed; first: %v\n", t.Client.Errors, t.Client.ErrorSamples)

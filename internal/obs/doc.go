@@ -1,0 +1,41 @@
+// Package obs is the observability layer of the planning service: request
+// tracing, a Prometheus-text metrics registry, and the validation helper the
+// CI smoke job uses against a live /metrics endpoint. It is stdlib-only,
+// like the rest of the module.
+//
+// # Tracing
+//
+// A Trace is the per-request record of one plan request's lifecycle: a
+// sequence of typed span events (cache lookup, admission decision, LP solve
+// with its pivot/cut/round counts, degraded answer, background refinement,
+// cancellation, response write) appended by the engine as the request moves
+// through the stack. Completed traces land in a bounded lock-sharded ring
+// buffer inside the Tracer, from which Snapshot serves the GET /v1/trace
+// endpoint (recent traces, filterable by outcome).
+//
+// # Determinism contract
+//
+// The trace subsystem follows the same opt-in split as the rest of the
+// repository (detrand): by default a Tracer records no wall-clock fields and
+// assigns content-derived trace IDs — a hash of the request's cache-key
+// identity, its outcome, and a per-(identity, outcome) occurrence counter —
+// so an in-process load replay under the virtual clock produces a
+// byte-identical, ID-sorted trace dump for any worker count. Only
+// scheduling-independent facts are recorded: an admission event says
+// admitted or shed, never lane-vs-queued (like Stats.Queued, that split is
+// scheduling-dependent and excluded from canonical output). Wall-clock
+// timestamps, durations and queue-wait spans appear only when
+// Options.WallClock opts in (the bcast-serve default), which switches trace
+// IDs to unique per-process values and the Snapshot order to
+// most-recent-first.
+//
+// # Metrics
+//
+// Registry is a small counter/gauge/summary registry that renders the
+// Prometheus text exposition format (version 0.0.4): families sorted by
+// name, HELP/TYPE lines once per family, histogram-backed summaries emitted
+// as quantile samples plus _sum/_count. ValidateExposition parses an
+// exposition and rejects malformed names, duplicate or interleaved
+// families, duplicate samples and unparsable values; the CI smoke job runs
+// it (via cmd/bcast-promcheck) against a scraped /metrics body.
+package obs

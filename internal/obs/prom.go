@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// familyType is a Prometheus metric family type.
+type familyType string
+
+const (
+	typeCounter familyType = "counter"
+	typeGauge   familyType = "gauge"
+	typeSummary familyType = "summary"
+)
+
+// sample is one exposition line: name{labels} value.
+type sample struct {
+	suffix string // appended to the family name ("", "_sum", "_count")
+	labels string // rendered label block including braces, or ""
+	value  string
+}
+
+// family is one metric family: HELP/TYPE plus its samples.
+type family struct {
+	name    string
+	help    string
+	typ     familyType
+	samples []sample
+}
+
+// Registry collects metric families and renders the Prometheus text
+// exposition format (version 0.0.4). It is a per-scrape builder, not a
+// long-lived store: the /metrics handler constructs one from engine
+// snapshots on every request, so there is no double bookkeeping between
+// the JSON metrics and the Prometheus ones.
+type Registry struct {
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) fam(name, help string, typ familyType) *family {
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.fams[name] = f
+	}
+	return f
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders a label block from alternating key, value pairs.
+func labelString(kv ...string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// Counter adds a counter sample; kv are alternating label key/value pairs.
+func (r *Registry) Counter(name, help string, value float64, kv ...string) {
+	f := r.fam(name, help, typeCounter)
+	f.samples = append(f.samples, sample{labels: labelString(kv...), value: formatFloat(value)})
+}
+
+// Gauge adds a gauge sample.
+func (r *Registry) Gauge(name, help string, value float64, kv ...string) {
+	f := r.fam(name, help, typeGauge)
+	f.samples = append(f.samples, sample{labels: labelString(kv...), value: formatFloat(value)})
+}
+
+// Summary renders a stats.HistogramSummary as a Prometheus summary family:
+// quantile samples (0.5/0.9/0.99) plus _sum and _count. scale multiplies the
+// recorded integer values into the exported unit (e.g. 1e-9 for ns→seconds).
+// The HDR histogram does not retain an exact sum, so _sum is mean*count —
+// exact for the deterministic replays, close enough for dashboards. kv are
+// extra labels applied to every sample of the family.
+func (r *Registry) Summary(name, help string, s stats.HistogramSummary, scale float64, kv ...string) {
+	f := r.fam(name, help, typeSummary)
+	q := func(qv string, v float64) {
+		lab := append(append([]string{}, kv...), "quantile", qv)
+		f.samples = append(f.samples, sample{labels: labelString(lab...), value: formatFloat(v * scale)})
+	}
+	q("0.5", float64(s.P50))
+	q("0.9", float64(s.P90))
+	q("0.99", float64(s.P99))
+	base := labelString(kv...)
+	f.samples = append(f.samples, sample{suffix: "_sum", labels: base, value: formatFloat(s.Mean * float64(s.Count) * scale)})
+	f.samples = append(f.samples, sample{suffix: "_count", labels: base, value: formatFloat(float64(s.Count))})
+}
+
+// Render writes the exposition: families sorted by name, HELP and TYPE once
+// per family, then its samples in insertion order.
+func (r *Registry) Render() string {
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		f := r.fams[n]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.samples {
+			fmt.Fprintf(&b, "%s%s%s %s\n", f.name, s.suffix, s.labels, s.value)
+		}
+	}
+	return b.String()
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(\s+-?\d+)?$`)
+)
+
+// ValidateExposition checks a Prometheus text exposition (0.0.4) for the
+// failure modes a hand-rolled renderer can produce: malformed metric names,
+// duplicate or interleaved families, samples without a family, duplicate
+// (name, labels) samples, and unparsable values. The CI smoke job runs it
+// against a live /metrics scrape via cmd/bcast-promcheck. It returns the
+// number of samples seen.
+func ValidateExposition(body string) (int, error) {
+	if body == "" {
+		return 0, fmt.Errorf("promcheck: empty exposition")
+	}
+	if !strings.HasSuffix(body, "\n") {
+		return 0, fmt.Errorf("promcheck: exposition must end with a newline")
+	}
+	seenFam := make(map[string]bool)   // family -> HELP/TYPE seen
+	closedFam := make(map[string]bool) // family -> a later family started
+	typeOf := make(map[string]familyType)
+	seenSample := make(map[string]bool)
+	current := ""
+	samples := 0
+	for ln, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				return samples, fmt.Errorf("promcheck: line %d: malformed %s line", lineNo, parts[1])
+			}
+			name := parts[2]
+			if !metricNameRe.MatchString(name) {
+				return samples, fmt.Errorf("promcheck: line %d: malformed metric name %q", lineNo, name)
+			}
+			if parts[1] == "TYPE" {
+				switch familyType(parts[3]) {
+				case typeCounter, typeGauge, typeSummary, "histogram", "untyped":
+				default:
+					return samples, fmt.Errorf("promcheck: line %d: unknown type %q for %s", lineNo, parts[3], name)
+				}
+				if _, dup := typeOf[name]; dup {
+					return samples, fmt.Errorf("promcheck: line %d: duplicate TYPE for family %s", lineNo, name)
+				}
+				typeOf[name] = familyType(parts[3])
+			}
+			if name != current {
+				if closedFam[name] {
+					return samples, fmt.Errorf("promcheck: line %d: family %s interleaved (reopened)", lineNo, name)
+				}
+				if current != "" {
+					closedFam[current] = true
+				}
+				current = name
+			}
+			seenFam[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return samples, fmt.Errorf("promcheck: line %d: malformed sample line %q", lineNo, line)
+		}
+		name, labels, value := m[1], m[2], m[3]
+		base := name
+		for _, suf := range []string{"_sum", "_count", "_bucket"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name && seenFam[trimmed] {
+				base = trimmed
+				break
+			}
+		}
+		if !seenFam[base] {
+			return samples, fmt.Errorf("promcheck: line %d: sample %s outside any declared family", lineNo, name)
+		}
+		if base != current {
+			return samples, fmt.Errorf("promcheck: line %d: sample %s interleaved into family %s", lineNo, name, current)
+		}
+		key := name + labels
+		if seenSample[key] {
+			return samples, fmt.Errorf("promcheck: line %d: duplicate sample %s", lineNo, key)
+		}
+		seenSample[key] = true
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			switch value {
+			case "+Inf", "-Inf", "NaN":
+			default:
+				return samples, fmt.Errorf("promcheck: line %d: unparsable value %q", lineNo, value)
+			}
+		}
+		samples++
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("promcheck: exposition contains no samples")
+	}
+	return samples, nil
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func buildExposition() string {
+	r := NewRegistry()
+	r.Counter("bcast_requests_total", "Total plan requests.", 42)
+	r.Counter("bcast_cache_hits_total", "Cache hits.", 40)
+	r.Gauge(dummyGaugeName, "Current queue depth.", 3)
+	var h stats.Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(int64(i))
+	}
+	r.Summary("bcast_solve_pivots", "Simplex pivots per solve.", h.Summary(), 1)
+	r.Counter("bcast_http_requests_total", "HTTP requests by route.", 7, "route", "/v1/plan", "status", "200")
+	r.Counter("bcast_http_requests_total", "HTTP requests by route.", 1, "route", "/v1/plan", "status", "429")
+	return r.Render()
+}
+
+const dummyGaugeName = "bcast_queue_depth"
+
+func TestRenderAndValidateRoundTrip(t *testing.T) {
+	body := buildExposition()
+	n, err := ValidateExposition(body)
+	if err != nil {
+		t.Fatalf("ValidateExposition: %v\n%s", err, body)
+	}
+	if n < 8 {
+		t.Fatalf("samples = %d, want >= 8\n%s", n, body)
+	}
+	for _, want := range []string{
+		"# TYPE bcast_requests_total counter",
+		"# TYPE bcast_queue_depth gauge",
+		"# TYPE bcast_solve_pivots summary",
+		`bcast_solve_pivots{quantile="0.5"}`,
+		"bcast_solve_pivots_sum",
+		"bcast_solve_pivots_count 100",
+		`bcast_http_requests_total{route="/v1/plan",status="200"} 7`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	// Families must be sorted by name.
+	idxHits := strings.Index(body, "# HELP bcast_cache_hits_total")
+	idxReq := strings.Index(body, "# HELP bcast_requests_total")
+	if idxHits < 0 || idxReq < 0 || idxHits > idxReq {
+		t.Fatalf("families not sorted:\n%s", body)
+	}
+	if !strings.HasSuffix(body, "\n") {
+		t.Fatalf("exposition does not end with newline")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	if a, b := buildExposition(), buildExposition(); a != b {
+		t.Fatalf("Render not deterministic:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"empty", "", "empty"},
+		{"no trailing newline", "# HELP a a\n# TYPE a counter\na 1", "newline"},
+		{"no samples", "# HELP a a\n# TYPE a counter\n", "no samples"},
+		{"bad name", "# HELP 9bad a\n# TYPE 9bad counter\n9bad 1\n", "malformed metric name"},
+		{"orphan sample", "orphan 1\n", "outside any declared family"},
+		{"duplicate sample", "# HELP a a\n# TYPE a counter\na 1\na 2\n", "duplicate sample"},
+		{"duplicate type", "# HELP a a\n# TYPE a counter\n# TYPE a counter\na 1\n", "duplicate TYPE"},
+		{"bad value", "# HELP a a\n# TYPE a counter\na one\n", "unparsable value"},
+		{"bad type", "# HELP a a\n# TYPE a widget\na 1\n", "unknown type"},
+		{
+			"interleaved",
+			"# HELP a a\n# TYPE a counter\na 1\n# HELP b b\n# TYPE b counter\nb 1\n# HELP a a2\na{x=\"1\"} 2\n",
+			"interleaved",
+		},
+		{
+			"sample interleaved",
+			"# HELP a a\n# TYPE a counter\n# HELP b b\n# TYPE b counter\na 1\n",
+			"interleaved",
+		},
+	}
+	for _, tc := range cases {
+		if _, err := ValidateExposition(tc.body); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateExpositionAcceptsSpecials(t *testing.T) {
+	body := "# HELP a a\n# TYPE a gauge\na +Inf\na{x=\"1\"} NaN\na{x=\"2\"} -Inf\na{x=\"3\"} 1e-09\n"
+	if n, err := ValidateExposition(body); err != nil || n != 4 {
+		t.Fatalf("specials: n=%d err=%v", n, err)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "Escapes.", 1, "path", `a"b\c`+"\n")
+	body := r.Render()
+	if !strings.Contains(body, `esc_total{path="a\"b\\c\n"} 1`) {
+		t.Fatalf("label not escaped:\n%s", body)
+	}
+	if _, err := ValidateExposition(body); err != nil {
+		t.Fatalf("ValidateExposition: %v", err)
+	}
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func ident(s string) [32]byte { return sha256.Sum256([]byte(s)) }
+
+func TestNilTracerAndTraceAreNoOps(t *testing.T) {
+	var tr *Tracer
+	tc := tr.Begin("req")
+	if tc != nil {
+		t.Fatalf("nil tracer Begin = %v, want nil", tc)
+	}
+	tc.Add(Event{Kind: SpanLookup})
+	tc.SetIdentity(ident("a"))
+	if tc.Wall() || tc.TraceID() != "" {
+		t.Fatalf("nil trace leaked state")
+	}
+	tr.Finish(tc, OutcomeHit)
+	if got := tr.Snapshot("", 0); got != nil {
+		t.Fatalf("nil tracer Snapshot = %v, want nil", got)
+	}
+	if tr.Len() != 0 || tr.WallClock() {
+		t.Fatalf("nil tracer Len/WallClock leaked state")
+	}
+}
+
+func TestDeterministicIDsAndOrdering(t *testing.T) {
+	run := func() string {
+		tr := NewTracer(Options{Capacity: 64})
+		for i := 0; i < 3; i++ {
+			tc := tr.Begin("")
+			tc.SetIdentity(ident("same"))
+			tc.Add(Event{Kind: SpanLookup, Miss: i == 0})
+			tr.Finish(tc, OutcomeHit)
+		}
+		tc := tr.Begin("ignored-req-id")
+		tc.SetIdentity(ident("other"))
+		tc.Add(Event{Kind: SpanLookup, Miss: true})
+		tc.Add(Event{Kind: SpanSolve, Pivots: 12})
+		tr.Finish(tc, OutcomeMiss)
+		b, err := json.Marshal(tr.Snapshot("", 0))
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return string(b)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("deterministic tracer produced differing dumps:\n%s\n%s", a, b)
+	}
+	tr := NewTracer(Options{Capacity: 64})
+	tc := tr.Begin("req-id-should-be-ignored")
+	tc.SetIdentity(ident("x"))
+	tr.Finish(tc, OutcomeHit)
+	if tc.ID == "req-id-should-be-ignored" {
+		t.Fatalf("deterministic tracer adopted the request ID")
+	}
+	if tc.StartNs != 0 || tc.DurNs != 0 {
+		t.Fatalf("deterministic trace carries wall-clock fields: %+v", tc)
+	}
+	if len(tc.Events) != 0 {
+		t.Fatalf("unexpected events")
+	}
+}
+
+func TestDeterministicDuplicateClassesGetDistinctIDs(t *testing.T) {
+	tr := NewTracer(Options{Capacity: 64})
+	ids := make(map[string]bool)
+	for i := 0; i < 4; i++ {
+		tc := tr.Begin("")
+		tc.SetIdentity(ident("dup"))
+		tr.Finish(tc, OutcomeHit)
+		if ids[tc.ID] {
+			t.Fatalf("duplicate trace ID %q for occurrence %d", tc.ID, i)
+		}
+		ids[tc.ID] = true
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+}
+
+func TestWallClockTracer(t *testing.T) {
+	tr := NewTracer(Options{Capacity: 8, WallClock: true})
+	if !tr.WallClock() {
+		t.Fatalf("WallClock() = false")
+	}
+	tc := tr.Begin("abcd1234")
+	if !tc.Wall() {
+		t.Fatalf("trace not in wall mode")
+	}
+	if tc.TraceID() != "abcd1234" {
+		t.Fatalf("wall tracer ignored request ID: %q", tc.TraceID())
+	}
+	tc.SetIdentity(ident("w"))
+	tc.Add(Event{Kind: SpanLookup})
+	tr.Finish(tc, OutcomeHit)
+	if tc.StartNs == 0 {
+		t.Fatalf("wall trace missing StartNs")
+	}
+	anon := tr.Begin("")
+	if anon.TraceID() == "" {
+		t.Fatalf("wall tracer Begin(\"\") assigned no ID")
+	}
+	tr.Finish(anon, OutcomeMiss)
+	snap := tr.Snapshot("", 0)
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot len = %d, want 2", len(snap))
+	}
+	if snap[0].StartNs < snap[1].StartNs {
+		t.Fatalf("wall snapshot not most-recent-first")
+	}
+}
+
+func TestSnapshotFilterAndLimit(t *testing.T) {
+	tr := NewTracer(Options{Capacity: 64})
+	for i := 0; i < 5; i++ {
+		tc := tr.Begin("")
+		tc.SetIdentity(ident(fmt.Sprintf("h%d", i)))
+		tr.Finish(tc, OutcomeHit)
+	}
+	for i := 0; i < 2; i++ {
+		tc := tr.Begin("")
+		tc.SetIdentity(ident(fmt.Sprintf("m%d", i)))
+		tr.Finish(tc, OutcomeMiss)
+	}
+	if got := len(tr.Snapshot(OutcomeHit, 0)); got != 5 {
+		t.Fatalf("hit filter = %d, want 5", got)
+	}
+	if got := len(tr.Snapshot(OutcomeMiss, 0)); got != 2 {
+		t.Fatalf("miss filter = %d, want 2", got)
+	}
+	if got := len(tr.Snapshot("", 3)); got != 3 {
+		t.Fatalf("limit = %d, want 3", got)
+	}
+	if got := len(tr.Snapshot(OutcomeShed, 0)); got != 0 {
+		t.Fatalf("shed filter = %d, want 0", got)
+	}
+}
+
+func TestRingBufferBounds(t *testing.T) {
+	tr := NewTracer(Options{Capacity: 16})
+	for i := 0; i < 400; i++ {
+		tc := tr.Begin("")
+		tc.SetIdentity(ident(fmt.Sprintf("k%d", i)))
+		tr.Finish(tc, OutcomeHit)
+	}
+	if n := tr.Len(); n > 16 {
+		t.Fatalf("ring retained %d traces, capacity 16", n)
+	}
+}
+
+func TestConcurrentFinishIsSafe(t *testing.T) {
+	tr := NewTracer(Options{Capacity: 4096})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tc := tr.Begin("")
+				tc.SetIdentity(ident(fmt.Sprintf("c%d", i%32)))
+				tc.Add(Event{Kind: SpanLookup})
+				tr.Finish(tc, OutcomeHit)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := tr.Len(); n != 1600 {
+		t.Fatalf("Len = %d, want 1600", n)
+	}
+	snap := tr.Snapshot("", 0)
+	seen := make(map[string]bool, len(snap))
+	for _, tc := range snap {
+		if seen[tc.ID] {
+			t.Fatalf("duplicate trace ID %q under concurrency", tc.ID)
+		}
+		seen[tc.ID] = true
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	if RequestID(context.Background()) != "" {
+		t.Fatalf("empty context yielded a request ID")
+	}
+	ctx := WithRequestID(context.Background(), "deadbeef")
+	if got := RequestID(ctx); got != "deadbeef" {
+		t.Fatalf("RequestID = %q", got)
+	}
+	var nilCtx context.Context
+	if RequestID(nilCtx) != "" {
+		t.Fatalf("nil context yielded a request ID")
+	}
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || len(a) != 16 || len(b) != 16 {
+		t.Fatalf("NewRequestID not unique 16-hex: %q %q", a, b)
+	}
+}

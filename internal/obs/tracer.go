@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// wallNow is the package's only wall-clock read, used exclusively for the
+// opt-in WallClock fields (trace/event timestamps, Begin-time IDs); the
+// canonical deterministic mode never calls it.
+func wallNow() int64 {
+	//lint:ignore detrand opt-in wall-clock trace timestamps; deterministic tracers never reach this
+	return time.Now().UnixNano()
+}
+
+// Options tune a Tracer.
+type Options struct {
+	// Capacity bounds the number of completed traces retained across the
+	// ring shards (default 512). A deterministic replay that wants a
+	// complete dump must size it to the replay's request count.
+	Capacity int
+	// WallClock opts into wall-clock fields (StartNs/DurNs/TNs, queue-wait
+	// spans) and per-process trace IDs assigned at Begin. It makes trace
+	// dumps non-deterministic, exactly like the load report's timings
+	// section; the deterministic default follows the detrand contract.
+	WallClock bool
+}
+
+const traceShards = 16
+
+// traceShard is one lock-sharded ring of completed traces.
+type traceShard struct {
+	mu   sync.Mutex
+	ring []*Trace // capacity-bounded; next points at the oldest slot
+	next int
+	cap  int
+	// classes counts finished traces per (identity, outcome) class; it
+	// drives the deterministic content-derived IDs. Unused under WallClock.
+	classes map[string]uint64
+}
+
+// Tracer records request traces into a bounded, lock-sharded ring buffer.
+// It is safe for concurrent use; a nil *Tracer is a valid no-op tracer
+// (Begin returns nil, and nil traces swallow events).
+type Tracer struct {
+	opts Options
+	seq  atomic.Uint64 // WallClock-mode ID source
+	rr   atomic.Uint64 // round-robin ring placement
+	sh   [traceShards]traceShard
+}
+
+// NewTracer returns a tracer with the given options.
+func NewTracer(opts Options) *Tracer {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 512
+	}
+	t := &Tracer{opts: opts}
+	per := (opts.Capacity + traceShards - 1) / traceShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range t.sh {
+		t.sh[i].cap = per
+		t.sh[i].classes = make(map[string]uint64)
+	}
+	return t
+}
+
+// WallClock reports whether the tracer records wall-clock fields.
+func (tr *Tracer) WallClock() bool { return tr != nil && tr.opts.WallClock }
+
+// Begin starts a trace. reqID, when non-empty and the tracer is in
+// WallClock mode, becomes the trace ID (the HTTP layer passes its
+// request-scoped ID so header and trace agree); a deterministic tracer
+// ignores it and derives the ID at Finish. A nil tracer returns nil.
+func (tr *Tracer) Begin(reqID string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	t := &Trace{wall: tr.opts.WallClock}
+	if tr.opts.WallClock {
+		t.startNs = wallNow()
+		t.StartNs = t.startNs
+		if reqID != "" {
+			t.ID = reqID
+		} else {
+			var b [16]byte
+			binary.BigEndian.PutUint64(b[:8], tr.seq.Add(1))
+			binary.BigEndian.PutUint64(b[8:], uint64(t.startNs))
+			sum := sha256.Sum256(b[:])
+			t.ID = hex.EncodeToString(sum[:8])
+		}
+		t.hasID = true
+	}
+	return t
+}
+
+// Finish seals the trace with its outcome, assigns the deterministic ID
+// when none exists yet, and records it into the ring. Safe with a nil
+// tracer or trace.
+func (tr *Tracer) Finish(t *Trace, outcome string) {
+	if tr == nil || t == nil {
+		return
+	}
+	t.Outcome = outcome
+	t.Key = hex.EncodeToString(t.identity[:8])
+	if t.wall {
+		t.DurNs = wallNow() - t.startNs
+	}
+	if !t.hasID {
+		// Content-derived deterministic ID: hash(identity, outcome, k) with
+		// k the per-(identity, outcome) occurrence counter. Which concurrent
+		// duplicate gets which k is scheduling-dependent, but duplicates of
+		// one class carry byte-identical event sequences, so the *set* of
+		// traces — and therefore the ID-sorted dump — is deterministic. The
+		// counter lives in the shard the identity hashes to, so every
+		// duplicate of a class contends on the same map entry.
+		cs := &tr.sh[int(t.identity[0])%traceShards]
+		key := string(t.identity[:]) + "|" + outcome
+		cs.mu.Lock()
+		k := cs.classes[key]
+		cs.classes[key] = k + 1
+		cs.mu.Unlock()
+		h := sha256.New()
+		h.Write(t.identity[:])
+		h.Write([]byte(outcome))
+		var kb [8]byte
+		binary.BigEndian.PutUint64(kb[:], k)
+		h.Write(kb[:])
+		sum := h.Sum(nil)
+		t.ID = hex.EncodeToString(sum[:8])
+		t.hasID = true
+	}
+	// Ring placement is round-robin (not identity-keyed) so the shards fill
+	// evenly and the retained count tracks Capacity, not the identity
+	// distribution.
+	s := &tr.sh[tr.rr.Add(1)%traceShards]
+	s.mu.Lock()
+	if len(s.ring) < s.cap {
+		s.ring = append(s.ring, t)
+	} else {
+		s.ring[s.next] = t
+		s.next = (s.next + 1) % s.cap
+	}
+	s.mu.Unlock()
+}
+
+// Snapshot returns retained traces, optionally filtered by outcome
+// (hit/collapsed/miss/shed/canceled/degraded/refine/error; "" keeps all)
+// and truncated to limit (<= 0 keeps all). Order is the canonical one:
+// ascending by trace ID for a deterministic tracer — which makes the dump
+// byte-stable for byte-stable workloads — and most-recent-first (descending
+// StartNs, ID as tie-break) for a WallClock tracer. Traces are shared and
+// must be treated as read-only.
+func (tr *Tracer) Snapshot(outcome string, limit int) []*Trace {
+	if tr == nil {
+		return nil
+	}
+	var out []*Trace
+	for i := range tr.sh {
+		s := &tr.sh[i]
+		s.mu.Lock()
+		for _, t := range s.ring {
+			if t != nil && (outcome == "" || t.Outcome == outcome) {
+				out = append(out, t)
+			}
+		}
+		s.mu.Unlock()
+	}
+	if tr.opts.WallClock {
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].StartNs != out[j].StartNs {
+				return out[i].StartNs > out[j].StartNs
+			}
+			return out[i].ID < out[j].ID
+		})
+	} else {
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Len returns the number of retained traces.
+func (tr *Tracer) Len() int {
+	if tr == nil {
+		return 0
+	}
+	n := 0
+	for i := range tr.sh {
+		s := &tr.sh[i]
+		s.mu.Lock()
+		n += len(s.ring)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// NewRequestID returns a fresh request-scoped trace ID for the HTTP layer:
+// 16 hex characters, unique per process. It is wall-clock-seeded and must
+// not be used on deterministic paths.
+func NewRequestID() string {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], reqSeq.Add(1))
+	binary.BigEndian.PutUint64(b[8:], uint64(wallNow()))
+	sum := sha256.Sum256(b[:])
+	return hex.EncodeToString(sum[:8])
+}
+
+var reqSeq atomic.Uint64

@@ -3,6 +3,7 @@ package service
 import (
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/topology"
 )
@@ -53,6 +54,34 @@ func BenchmarkServiceCacheHit(b *testing.B) {
 		}
 		if !res.Cached {
 			b.Fatal("cache miss in hit benchmark")
+		}
+	}
+}
+
+// BenchmarkServiceCacheHitTraced is BenchmarkServiceCacheHit with a
+// deterministic tracer attached: the ns/op gap against the untraced variant
+// is the hit-path cost of tracing (trace allocation, identity hash,
+// content-derived ID, ring insert), pinned in BENCH_obs.json with a <5%
+// overhead target.
+func BenchmarkServiceCacheHitTraced(b *testing.B) {
+	p := benchPlatform(b)
+	req := PlanRequest{Platform: p, Source: 0}
+	e := New(Config{Workers: 1, Tracer: obs.NewTracer(obs.Options{Capacity: 512})})
+	if _, err := e.Plan(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Plan(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Cached {
+			b.Fatal("cache miss in hit benchmark")
+		}
+		if res.TraceID == "" {
+			b.Fatal("traced hit carried no trace ID")
 		}
 	}
 }

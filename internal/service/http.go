@@ -5,28 +5,45 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
 // planEnvelope is the HTTP response of /v1/plan: the cache/warm flags wrap
 // the canonical plan bytes, so repeated requests carry a byte-identical plan
 // subdocument. Degraded marks a heuristic answer served under the degraded
-// contract while the LP refinement runs in the background.
+// contract while the LP refinement runs in the background. TraceID repeats
+// the X-Bcast-Trace header when the engine traced the request.
 type planEnvelope struct {
 	Cached    bool            `json:"cached"`
 	Collapsed bool            `json:"collapsed,omitempty"`
 	Warm      bool            `json:"warm,omitempty"`
 	Degraded  bool            `json:"degraded,omitempty"`
+	TraceID   string          `json:"traceId,omitempty"`
 	Plan      json.RawMessage `json:"plan"`
 }
 
-// errorBody is the JSON error envelope of every endpoint.
+// errorBody is the JSON error envelope of every endpoint. TraceID, Method
+// and Path are set by the panic-recovery middleware so an internal error is
+// attributable from the body alone (the satellite contract: a recovered
+// panic is never an empty or anonymous reply).
 type errorBody struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	TraceID string `json:"traceId,omitempty"`
+	Method  string `json:"method,omitempty"`
+	Path    string `json:"path,omitempty"`
+}
+
+// traceEnvelope is the response body of GET /v1/trace.
+type traceEnvelope struct {
+	Count  int          `json:"count"`
+	Traces []*obs.Trace `json:"traces"`
 }
 
 // NewHandler returns the HTTP API of the engine:
@@ -51,39 +68,119 @@ type errorBody struct {
 // structured 429 carrying a Retry-After header (whole seconds, estimated from
 // recent solve latency). Cache hits and collapsed waits never shed.
 func NewHandler(e *Engine) http.Handler {
+	return NewHandlerOpts(e, HandlerOptions{})
+}
+
+// HandlerOptions tune NewHandlerOpts beyond the defaults.
+type HandlerOptions struct {
+	// Logger, when non-nil, receives structured request logs (route, method,
+	// status, duration, trace ID; plan requests additionally log their cache
+	// and admission outcome) and panic-recovery logs with the stack. A nil
+	// Logger disables logging.
+	Logger *slog.Logger
+}
+
+// NewHandlerOpts is NewHandler with options. Beyond the NewHandler routes it
+// serves:
+//
+//	GET  /metrics   -> Prometheus text exposition (PromText)
+//	GET  /v1/trace  -> recent request traces (?outcome= filters by
+//	                   hit/collapsed/miss/shed/canceled/degraded/refine/error,
+//	                   ?limit= caps the count, default 100)
+//
+// When the engine has a tracer, every response carries an X-Bcast-Trace
+// header with the request-scoped trace ID, and /v1/plan responses repeat it
+// in the envelope.
+func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
 	m := NewMetrics()
+	ins := func(route string, h http.HandlerFunc) http.Handler {
+		return instrument(e, m, opts.Logger, route, h)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.Handle("/v1/stats", instrument(m, "/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/v1/stats", ins("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET only"))
 			return
 		}
 		writeJSON(w, http.StatusOK, e.Stats())
 	}))
-	mux.Handle("/v1/metrics", instrument(m, "/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/v1/metrics", ins("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET only"))
 			return
 		}
 		writeJSON(w, http.StatusOK, m.Snapshot(e))
 	}))
-	mux.Handle("/v1/plan", instrument(m, "/v1/plan", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/metrics", ins("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET only"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		io.WriteString(w, PromText(e, m))
+	}))
+	mux.Handle("/v1/trace", ins("/v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET only"))
+			return
+		}
+		tracer := e.Tracer()
+		if tracer == nil {
+			writeError(w, http.StatusNotFound, errors.New("service: tracing disabled (engine has no tracer)"))
+			return
+		}
+		limit := 100
+		if ls := r.URL.Query().Get("limit"); ls != "" {
+			n, err := strconv.Atoi(ls)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad limit %q", ls))
+				return
+			}
+			limit = n
+		}
+		traces := tracer.Snapshot(r.URL.Query().Get("outcome"), limit)
+		if traces == nil {
+			traces = []*obs.Trace{}
+		}
+		writeJSON(w, http.StatusOK, traceEnvelope{Count: len(traces), Traces: traces})
+	}))
+	mux.Handle("/v1/plan", ins("/v1/plan", func(w http.ResponseWriter, r *http.Request) {
 		var req PlanRequest
 		if !decodePost(w, r, &req) {
 			return
 		}
-		res, err := e.PlanContext(r.Context(), req)
-		if err != nil {
-			writeOverloadAware(w, err)
-			return
+		ctx := r.Context()
+		// The handler owns the trace (rather than letting PlanContext begin
+		// one) so the response-write span lands inside it.
+		tracer := e.Tracer()
+		tc := tracer.Begin(obs.RequestID(ctx))
+		if tc != nil {
+			ctx = obs.WithTrace(ctx, tc)
 		}
-		writeJSON(w, http.StatusOK, planEnvelope{Cached: res.Cached, Collapsed: res.Collapsed, Warm: res.WarmResolved, Degraded: res.Degraded, Plan: res.JSON})
+		res, err := e.PlanContext(ctx, req)
+		status := http.StatusOK
+		if err != nil {
+			status = statusFor(err)
+			writeOverloadAware(w, err)
+		} else {
+			writeJSON(w, http.StatusOK, planEnvelope{Cached: res.Cached, Collapsed: res.Collapsed, Warm: res.WarmResolved, Degraded: res.Degraded, TraceID: res.TraceID, Plan: res.JSON})
+		}
+		if tc != nil {
+			tc.Add(obs.Event{Kind: obs.SpanResponse, Status: status})
+			tracer.Finish(tc, TraceOutcome(res, err))
+		}
+		if opts.Logger != nil {
+			opts.Logger.Info("plan",
+				"trace", obs.RequestID(ctx),
+				"outcome", TraceOutcome(res, err),
+				"status", status)
+		}
 	}))
-	mux.Handle("/v1/evaluate", instrument(m, "/v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/v1/evaluate", ins("/v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
 		var req EvaluateRequest
 		if !decodePost(w, r, &req) {
 			return
@@ -95,7 +192,7 @@ func NewHandler(e *Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, ev)
 	}))
-	mux.Handle("/v1/churn", instrument(m, "/v1/churn", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/v1/churn", ins("/v1/churn", func(w http.ResponseWriter, r *http.Request) {
 		var req ChurnRequest
 		if !decodePost(w, r, &req) {
 			return
@@ -135,16 +232,36 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	return sw.ResponseWriter.Write(b)
 }
 
-// instrument wraps a route handler with latency/error accounting and panic
-// recovery. A panic inside the engine or a handler is converted into a
-// structured {"error": ...} 500 (when the response has not started yet)
-// instead of a severed connection with an empty body.
-func instrument(m *Metrics, route string, h http.HandlerFunc) http.Handler {
+// instrument wraps a route handler with latency/error accounting, trace-ID
+// minting, structured request logging, and panic recovery. A panic inside
+// the engine or a handler is converted into a structured 500 whose body
+// carries the error, the request's trace ID, and its method/path (when the
+// response has not started yet) instead of a severed connection with an
+// empty body; the stack is logged with the same trace ID.
+func instrument(e *Engine, m *Metrics, logger *slog.Logger, route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
+		// Mint the request-scoped trace ID up front so it is in the response
+		// headers (and the panic body) no matter how the request ends; the
+		// /v1/plan handler picks it up from the context as its trace ID.
+		reqID := ""
+		if e != nil && e.Tracer() != nil {
+			reqID = obs.NewRequestID()
+			sw.Header().Set("X-Bcast-Trace", reqID)
+			r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+		}
 		start := time.Now()
 		defer func() {
 			if rec := recover(); rec != nil {
+				if logger != nil {
+					logger.Error("panic recovered",
+						"route", route,
+						"method", r.Method,
+						"path", r.URL.Path,
+						"trace", reqID,
+						"panic", fmt.Sprint(rec),
+						"stack", string(debug.Stack()))
+				}
 				// http.ErrAbortHandler is net/http's sanctioned way to abort
 				// a response, and a panic after the response started cannot
 				// be converted into a well-formed error body — re-panic in
@@ -157,9 +274,23 @@ func instrument(m *Metrics, route string, h http.HandlerFunc) http.Handler {
 					m.observe(route, http.StatusInternalServerError, time.Since(start))
 					panic(rec)
 				}
-				writeError(sw, http.StatusInternalServerError, fmt.Errorf("service: internal error: %v", rec))
+				writeJSON(sw, http.StatusInternalServerError, errorBody{
+					Error:   fmt.Sprintf("service: internal error: %v", rec),
+					TraceID: reqID,
+					Method:  r.Method,
+					Path:    r.URL.Path,
+				})
 			}
-			m.observe(route, sw.status, time.Since(start))
+			elapsed := time.Since(start)
+			m.observe(route, sw.status, elapsed)
+			if logger != nil {
+				logger.Info("request",
+					"route", route,
+					"method", r.Method,
+					"status", sw.status,
+					"durMs", float64(elapsed.Microseconds())/1000.0,
+					"trace", reqID)
+			}
 		}()
 		h(sw, r)
 	})

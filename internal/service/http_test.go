@@ -243,7 +243,7 @@ func TestHTTPMalformedJSONStructured400(t *testing.T) {
 // TestHTTPPanicRecovered asserts that a panic inside a handler surfaces as
 // a structured 500 JSON error, not a severed connection with an empty body.
 func TestHTTPPanicRecovered(t *testing.T) {
-	h := instrument(NewMetrics(), "/boom", func(w http.ResponseWriter, r *http.Request) {
+	h := instrument(nil, NewMetrics(), nil, "/boom", func(w http.ResponseWriter, r *http.Request) {
 		panic("kaboom")
 	})
 	srv := httptest.NewServer(h)
@@ -322,7 +322,7 @@ func TestHTTPMetricsEndpoint(t *testing.T) {
 // connection must be severed so the client detects the truncation instead
 // of reading a fabricated clean error.
 func TestHTTPAbortHandlerPropagates(t *testing.T) {
-	h := instrument(NewMetrics(), "/abort", func(w http.ResponseWriter, r *http.Request) {
+	h := instrument(nil, NewMetrics(), nil, "/abort", func(w http.ResponseWriter, r *http.Request) {
 		panic(http.ErrAbortHandler)
 	})
 	srv := httptest.NewServer(h)

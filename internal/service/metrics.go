@@ -51,12 +51,46 @@ type EndpointMetrics struct {
 	LatencyNs stats.HistogramSummary `json:"latencyNs"`
 }
 
+// OverloadCounters is the always-present view of the overload-contract
+// counters. The same numbers live in Stats, but there they carry omitempty
+// tags (zero values vanish from the JSON), so dashboards scraping
+// /v1/metrics could not tell "no shedding configured" from "no shedding
+// happened". Here every field marshals unconditionally.
+type OverloadCounters struct {
+	Shed              int64 `json:"shed"`
+	Queued            int64 `json:"queued"`
+	Canceled          int64 `json:"canceled"`
+	Degraded          int64 `json:"degraded"`
+	Refines           int64 `json:"refines"`
+	RefineFailures    int64 `json:"refineFailures"`
+	EvictionsDeferred int64 `json:"evictionsDeferred"`
+	QueueDepth        int   `json:"queueDepth"`
+}
+
+// overloadCounters extracts the always-present overload view from a stats
+// snapshot.
+func overloadCounters(s Stats) OverloadCounters {
+	return OverloadCounters{
+		Shed:              s.Shed,
+		Queued:            s.Queued,
+		Canceled:          s.Canceled,
+		Degraded:          s.Degraded,
+		Refines:           s.Refines,
+		RefineFailures:    s.RefineFailures,
+		EvictionsDeferred: s.EvictionsDeferred,
+		QueueDepth:        s.QueueDepth,
+	}
+}
+
 // MetricsSnapshot is the response body of GET /v1/metrics: the engine's
-// cache/solver counters plus per-endpoint HTTP counters and latency
+// cache/solver counters plus the always-present overload counters, the
+// solve-stage histograms, and per-endpoint HTTP counters and latency
 // quantiles. Endpoints marshal as a JSON object keyed by route, so the
 // serialization is stable (encoding/json sorts map keys).
 type MetricsSnapshot struct {
 	Engine    Stats                      `json:"engine"`
+	Overload  OverloadCounters           `json:"overload"`
+	Stage     StageStats                 `json:"stage"`
 	Endpoints map[string]EndpointMetrics `json:"endpoints"`
 }
 
@@ -66,6 +100,8 @@ func (m *Metrics) Snapshot(e *Engine) MetricsSnapshot {
 	snap := MetricsSnapshot{Endpoints: make(map[string]EndpointMetrics)}
 	if e != nil {
 		snap.Engine = e.Stats()
+		snap.Overload = overloadCounters(snap.Engine)
+		snap.Stage = e.StageStats()
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -17,6 +17,7 @@ import (
 	"repro/internal/heuristics"
 	"repro/internal/lp"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/platform"
 	"repro/internal/stats"
@@ -108,6 +109,11 @@ type Config struct {
 	// (metrics exporters, the load harness's deterministic burst gate). A nil
 	// Hooks — and any nil callback — costs nothing.
 	Hooks *Hooks
+	// Tracer, when non-nil, records a per-request trace (typed span events:
+	// lookup, admission, queue wait, solve, degraded answer, background
+	// refinement, cancellation) into its ring buffer; GET /v1/trace serves the
+	// retained traces. A nil Tracer costs one nil check per request.
+	Tracer *obs.Tracer
 }
 
 // Hooks are the engine's instrumentation points. Both callbacks may be
@@ -299,6 +305,10 @@ type PlanResult struct {
 	// Degraded reports that the answer is a degraded-mode heuristic plan
 	// (the background refinement had not landed yet).
 	Degraded bool
+	// TraceID is the request's trace ID when the engine (or the HTTP layer)
+	// traced it: deterministic tracers assign it when the trace finishes,
+	// WallClock tracers at Begin. Empty when tracing is off.
+	TraceID string
 }
 
 // Stats is a snapshot of the engine counters.
@@ -426,10 +436,20 @@ type Engine struct {
 	queue chan struct{}
 	bg    sync.WaitGroup // in-flight background refinements
 
-	// solveNs records the wall-clock latency of completed solves; Retry-
-	// After suggestions for shed requests derive from it.
-	latMu   sync.Mutex
-	solveNs stats.Histogram // guarded by latMu
+	// Solve-stage histograms. solveNs records the wall-clock latency of
+	// completed solves (Retry-After suggestions for shed requests derive from
+	// it), queueWaitNs the admission wait of admitted solves, refineNs the
+	// end-to-end latency of background refinements — all three are wall-clock
+	// data, exported via /metrics but never via canonical replay reports.
+	// solvePivots/solveRounds/solveCuts record the per-solve LP work and are
+	// deterministic for a deterministic request set.
+	latMu       sync.Mutex
+	solveNs     stats.Histogram // guarded by latMu
+	queueWaitNs stats.Histogram // guarded by latMu
+	refineNs    stats.Histogram // guarded by latMu
+	solvePivots stats.Histogram // guarded by latMu
+	solveRounds stats.Histogram // guarded by latMu
+	solveCuts   stats.Histogram // guarded by latMu
 
 	mu    sync.Mutex
 	lru   *list.List                 // guarded by mu; of *entry, most recently used in front
@@ -612,6 +632,77 @@ func (e *Engine) retryAfter() time.Duration {
 	return time.Duration(secs) * time.Second
 }
 
+// StageStats is a snapshot of the engine's solve-stage histograms. The
+// latency members (solve, queue wait, refine) are wall-clock data; the LP
+// work members (pivots, rounds, cuts per solve) are deterministic for a
+// deterministic request set and safe for canonical replay reports.
+type StageStats struct {
+	SolveLatencyNs  stats.HistogramSummary `json:"solveLatencyNs"`
+	QueueWaitNs     stats.HistogramSummary `json:"queueWaitNs"`
+	RefineLatencyNs stats.HistogramSummary `json:"refineLatencyNs"`
+	SolvePivots     stats.HistogramSummary `json:"solvePivots"`
+	SolveRounds     stats.HistogramSummary `json:"solveRounds"`
+	SolveCuts       stats.HistogramSummary `json:"solveCuts"`
+}
+
+// StageStats returns a snapshot of the solve-stage histograms.
+func (e *Engine) StageStats() StageStats {
+	e.latMu.Lock()
+	defer e.latMu.Unlock()
+	return StageStats{
+		SolveLatencyNs:  e.solveNs.Summary(),
+		QueueWaitNs:     e.queueWaitNs.Summary(),
+		RefineLatencyNs: e.refineNs.Summary(),
+		SolvePivots:     e.solvePivots.Summary(),
+		SolveRounds:     e.solveRounds.Summary(),
+		SolveCuts:       e.solveCuts.Summary(),
+	}
+}
+
+// Tracer returns the engine's configured tracer (nil when tracing is off);
+// the HTTP layer serves GET /v1/trace from it.
+func (e *Engine) Tracer() *obs.Tracer { return e.cfg.Tracer }
+
+// TraceOutcome classifies a plan result/error pair into the trace outcome
+// taxonomy (obs.Outcome*): degraded fresh answers, collapsed singleflight
+// hits, plain hits, misses, shed, canceled and error. The engine applies it
+// when it owns the request's trace; the HTTP layer reuses it when the trace
+// spans the response write.
+func TraceOutcome(res *PlanResult, err error) string {
+	switch {
+	case err == nil && res != nil:
+		switch {
+		case res.Degraded && !res.Cached:
+			return obs.OutcomeDegraded
+		case res.Collapsed:
+			return obs.OutcomeCollapsed
+		case res.Cached:
+			return obs.OutcomeHit
+		default:
+			return obs.OutcomeMiss
+		}
+	case errors.Is(err, ErrOverloaded):
+		return obs.OutcomeShed
+	case errors.Is(err, ErrCanceled):
+		return obs.OutcomeCanceled
+	default:
+		return obs.OutcomeError
+	}
+}
+
+// traceIdentity derives the 32-byte content identity a trace carries: the
+// hash of the platform's exact canonical encoding plus every request knob
+// that changes the answer — the same information that keys the cache, so
+// renumbered duplicates of one request class share an identity.
+func traceIdentity(key cacheKey) [32]byte {
+	h := sha256.New()
+	h.Write(key.exact[:])
+	fmt.Fprintf(h, "|%d|%s|%t|%d", key.source, key.heuristic, key.coldLP, key.maxIter)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
@@ -665,21 +756,40 @@ func (e *Engine) Plan(req PlanRequest) (*PlanResult, error) {
 // simplex pivots. A canceled request returns an error wrapping ErrCanceled
 // and never leaves a cache entry or a poisoned warm session behind. A nil
 // ctx is treated as context.Background().
-func (e *Engine) PlanContext(ctx context.Context, req PlanRequest) (*PlanResult, error) {
+func (e *Engine) PlanContext(ctx context.Context, req PlanRequest) (res *PlanResult, err error) {
 	ctx, cancel := e.requestContext(ctx, req.DeadlineMs)
 	if cancel != nil {
 		defer cancel()
+	}
+	// An externally owned trace (the HTTP layer's, which outlives this call
+	// to record the response write) is appended to; otherwise the engine owns
+	// the request's trace end to end.
+	tc := obs.TraceFrom(ctx)
+	if tc == nil && e.cfg.Tracer != nil {
+		tc = e.cfg.Tracer.Begin(obs.RequestID(ctx))
+		defer func() {
+			e.cfg.Tracer.Finish(tc, TraceOutcome(res, err))
+			if res != nil {
+				res.TraceID = tc.TraceID()
+			}
+		}()
+	} else if tc != nil {
+		defer func() {
+			if res != nil {
+				res.TraceID = tc.TraceID()
+			}
+		}()
 	}
 	if req.Base != "" {
 		if req.Platform != nil {
 			return nil, ErrBothPlatform
 		}
-		return e.planFromBase(ctx, req)
+		return e.planFromBase(ctx, req, tc)
 	}
 	if req.Platform == nil {
 		return nil, ErrNoPlatform
 	}
-	return e.planPlatform(ctx, req, req.Platform, nil)
+	return e.planPlatform(ctx, req, req.Platform, nil, tc)
 }
 
 // requestContext layers the request deadline (DeadlineMs, else the engine's
@@ -703,7 +813,7 @@ func (e *Engine) requestContext(ctx context.Context, deadlineMs int) (context.Co
 // warm session already positioned at the platform's exact state (the delta
 // path hands one in); it is consumed: either by the solve, or by donating
 // the session to the cache entry the request lands on.
-func (e *Engine) planPlatform(ctx context.Context, req PlanRequest, p *platform.Platform, taken *takenSession) (*PlanResult, error) {
+func (e *Engine) planPlatform(ctx context.Context, req PlanRequest, p *platform.Platform, taken *takenSession, tc *obs.Trace) (*PlanResult, error) {
 	if req.Heuristic != "" {
 		if _, err := heuristics.ByName(req.Heuristic); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -714,6 +824,9 @@ func (e *Engine) planPlatform(ctx context.Context, req PlanRequest, p *platform.
 	}
 	fp := p.Fingerprint()
 	key := cacheKey{fpKey: req.fpKey(fp), exact: exactHash(p)}
+	if tc != nil {
+		tc.SetIdentity(traceIdentity(key))
+	}
 
 	e.mu.Lock()
 	e.stats.Requests++
@@ -739,9 +852,11 @@ func (e *Engine) planPlatform(ctx context.Context, req PlanRequest, p *platform.
 		}
 		e.hook(LookupEvent{Collapsed: collapsed})
 		e.mu.Unlock()
+		tc.Add(obs.Event{Kind: obs.SpanLookup, Collapsed: collapsed})
 		select {
 		case <-ent.ready:
 		case <-ctx.Done():
+			tc.Add(obs.Event{Kind: obs.SpanCancel, At: "collapsed-wait"})
 			return nil, e.abandonHit(ctx)
 		}
 		if ent.refined != nil && !req.Degraded {
@@ -751,6 +866,7 @@ func (e *Engine) planPlatform(ctx context.Context, req PlanRequest, p *platform.
 			select {
 			case <-ent.refined:
 			case <-ctx.Done():
+				tc.Add(obs.Event{Kind: obs.SpanCancel, At: "refined-wait"})
 				return nil, e.abandonHit(ctx)
 			}
 		}
@@ -796,12 +912,13 @@ func (e *Engine) planPlatform(ctx context.Context, req PlanRequest, p *platform.
 	e.stats.Misses++
 	e.hook(LookupEvent{Miss: true, Twin: twin})
 	e.mu.Unlock()
+	tc.Add(obs.Event{Kind: obs.SpanLookup, Miss: true, Twin: twin})
 
 	if req.Degraded {
-		return e.planDegraded(req, p, ent, el, taken)
+		return e.planDegraded(req, p, ent, el, taken, tc)
 	}
 
-	plan, planJSON, sess, sp, err := e.solve(ctx, req, p, taken)
+	plan, planJSON, sess, sp, err := e.solve(ctx, req, p, taken, tc)
 	e.mu.Lock()
 	if err != nil {
 		if errors.Is(err, ErrCanceled) {
@@ -856,7 +973,7 @@ func (e *Engine) abandonHit(ctx context.Context) error {
 // from solve-cost to heuristic-cost. The refinement acquires a lane the
 // plain blocking way (no shedding, no deadline — the client already has its
 // answer).
-func (e *Engine) planDegraded(req PlanRequest, p *platform.Platform, ent *entry, el *list.Element, taken *takenSession) (*PlanResult, error) {
+func (e *Engine) planDegraded(req PlanRequest, p *platform.Platform, ent *entry, el *list.Element, taken *takenSession, tc *obs.Trace) (*PlanResult, error) {
 	plan, planJSON, err := e.degradedPlan(req, p)
 	e.mu.Lock()
 	if err != nil {
@@ -871,6 +988,7 @@ func (e *Engine) planDegraded(req PlanRequest, p *platform.Platform, ent *entry,
 	}
 	e.stats.Degraded++
 	e.mu.Unlock()
+	tc.Add(obs.Event{Kind: obs.SpanDegraded, Heuristic: plan.Heuristic})
 	ent.mu.Lock()
 	ent.plan = plan
 	ent.json = planJSON
@@ -926,17 +1044,43 @@ func (e *Engine) degradedPlan(req PlanRequest, p *platform.Platform) (*Plan, []b
 // nobody to surface the error to beyond the RefineFailures counter.
 func (e *Engine) refine(ent *entry, req PlanRequest, p *platform.Platform, taken *takenSession) {
 	defer e.bg.Done()
+	// The refinement records its own trace (outcome "refine", sharing the
+	// request's identity): the client's trace finished with the degraded
+	// answer before this solve even started.
+	rtc := e.cfg.Tracer.Begin("")
+	rtc.SetIdentity(traceIdentity(ent.key))
+	start := time.Now()
 	plan, planJSON, sess, sp, err := e.solveBackground(req, p, taken)
+	elapsed := time.Since(start)
+	e.latMu.Lock()
+	e.refineNs.Record(elapsed.Nanoseconds())
+	e.latMu.Unlock()
 	if err != nil {
 		e.mu.Lock()
 		e.stats.RefineFailures++
 		e.mu.Unlock()
+		rtc.Add(obs.Event{Kind: obs.SpanRefine, Err: err.Error()})
+		e.cfg.Tracer.Finish(rtc, obs.OutcomeError)
 		close(ent.refined)
 		return
 	}
 	e.mu.Lock()
 	e.stats.Refines++
 	e.mu.Unlock()
+	rev := obs.Event{
+		Kind:       obs.SpanRefine,
+		Warm:       taken != nil && taken.warm,
+		Rounds:     plan.LPRounds,
+		Cuts:       plan.LPCuts,
+		Pivots:     plan.LPPivots,
+		WarmPivots: plan.LPWarmPivots,
+		ColdPivots: plan.LPColdPivots,
+	}
+	if rtc.Wall() {
+		rev.DurNs = elapsed.Nanoseconds()
+	}
+	rtc.Add(rev)
+	e.cfg.Tracer.Finish(rtc, obs.OutcomeRefine)
 	ent.mu.Lock()
 	ent.plan = plan
 	ent.json = planJSON
@@ -961,16 +1105,34 @@ type takenSession struct {
 // request-path cold miss: admission-controlled lane acquisition (which may
 // shed), the BeforeSolve hook, then the solver itself under the request
 // context.
-func (e *Engine) solve(ctx context.Context, req PlanRequest, p *platform.Platform, taken *takenSession) (*Plan, []byte, *steady.Session, *platform.Platform, error) {
+func (e *Engine) solve(ctx context.Context, req PlanRequest, p *platform.Platform, taken *takenSession, tc *obs.Trace) (*Plan, []byte, *steady.Session, *platform.Platform, error) {
+	waitStart := time.Now()
 	release, err := e.acquire(ctx)
+	wait := time.Since(waitStart)
 	if err != nil {
+		// The admit event records only admitted-vs-shed: the lane-vs-queued
+		// split (AdmitKind) is scheduling-dependent, so — like Stats.Queued —
+		// it stays out of canonical trace output.
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			tc.Add(obs.Event{Kind: obs.SpanAdmit, Admitted: "shed"})
+		case errors.Is(err, ErrCanceled):
+			tc.Add(obs.Event{Kind: obs.SpanCancel, At: "queue"})
+		}
 		return nil, nil, nil, nil, err
 	}
 	defer release()
+	e.latMu.Lock()
+	e.queueWaitNs.Record(wait.Nanoseconds())
+	e.latMu.Unlock()
+	tc.Add(obs.Event{Kind: obs.SpanAdmit, Admitted: "admitted"})
+	if tc.Wall() {
+		tc.Add(obs.Event{Kind: obs.SpanQueueWait, DurNs: wait.Nanoseconds()})
+	}
 	if e.cfg.Hooks != nil && e.cfg.Hooks.BeforeSolve != nil {
 		e.cfg.Hooks.BeforeSolve()
 	}
-	return e.runSolve(ctx, req, p, taken)
+	return e.runSolve(ctx, req, p, taken, tc)
 }
 
 // solveBackground runs a degraded-mode refinement solve: plain blocking lane
@@ -979,14 +1141,14 @@ func (e *Engine) solve(ctx context.Context, req PlanRequest, p *platform.Platfor
 func (e *Engine) solveBackground(req PlanRequest, p *platform.Platform, taken *takenSession) (*Plan, []byte, *steady.Session, *platform.Platform, error) {
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
-	return e.runSolve(context.Background(), req, p, taken)
+	return e.runSolve(context.Background(), req, p, taken, nil)
 }
 
 // runSolve runs the steady-state solver (and the optional heuristic) on its
 // own clone of the platform; the caller holds a solve lane. It returns the
 // plan, its canonical bytes, and a session positioned at the solved state
 // for future delta requests.
-func (e *Engine) runSolve(ctx context.Context, req PlanRequest, p *platform.Platform, taken *takenSession) (*Plan, []byte, *steady.Session, *platform.Platform, error) {
+func (e *Engine) runSolve(ctx context.Context, req PlanRequest, p *platform.Platform, taken *takenSession, tc *obs.Trace) (*Plan, []byte, *steady.Session, *platform.Platform, error) {
 	var sess *steady.Session
 	var sp *platform.Platform
 	if taken != nil {
@@ -1003,6 +1165,9 @@ func (e *Engine) runSolve(ctx context.Context, req PlanRequest, p *platform.Plat
 	if err == nil {
 		e.latMu.Lock()
 		e.solveNs.Record(elapsed.Nanoseconds())
+		e.solvePivots.Record(int64(sol.LPIterations))
+		e.solveRounds.Record(int64(sol.Rounds))
+		e.solveCuts.Record(int64(sol.Cuts))
 		e.latMu.Unlock()
 	}
 	e.mu.Lock()
@@ -1014,8 +1179,26 @@ func (e *Engine) runSolve(ctx context.Context, req PlanRequest, p *platform.Plat
 	e.stats.SessionRebuilds += int64(after.Rebuilds - before.Rebuilds)
 	e.mu.Unlock()
 	if err != nil {
+		if errors.Is(err, ErrCanceled) {
+			tc.Add(obs.Event{Kind: obs.SpanCancel, At: "solve"})
+		} else {
+			tc.Add(obs.Event{Kind: obs.SpanSolve, Err: err.Error()})
+		}
 		return nil, nil, nil, nil, err
 	}
+	sev := obs.Event{
+		Kind:       obs.SpanSolve,
+		Warm:       taken != nil && taken.warm,
+		Rounds:     sol.Rounds,
+		Cuts:       sol.Cuts,
+		Pivots:     sol.LPIterations,
+		WarmPivots: sol.WarmPivots,
+		ColdPivots: sol.ColdPivots,
+	}
+	if tc.Wall() {
+		sev.DurNs = elapsed.Nanoseconds()
+	}
+	tc.Add(sev)
 
 	exact := exactHash(sp)
 	plan := &Plan{
@@ -1063,7 +1246,7 @@ func sol0(sol *steady.Solution) int {
 // planFromBase serves a near-duplicate request: the cached platform named by
 // the base fingerprint (and, when twins share it, the BaseExact key),
 // mutated by the request's deltas.
-func (e *Engine) planFromBase(ctx context.Context, req PlanRequest) (*PlanResult, error) {
+func (e *Engine) planFromBase(ctx context.Context, req PlanRequest, tc *obs.Trace) (*PlanResult, error) {
 	fp, err := platform.ParseFingerprint(req.Base)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -1112,6 +1295,7 @@ func (e *Engine) planFromBase(ctx context.Context, req PlanRequest) (*PlanResult
 		e.mu.Lock()
 		e.stats.Canceled++
 		e.mu.Unlock()
+		tc.Add(obs.Event{Kind: obs.SpanCancel, At: "base-wait"})
 		return nil, canceled(ctx)
 	}
 	if base.err != nil {
@@ -1140,9 +1324,10 @@ func (e *Engine) planFromBase(ctx context.Context, req PlanRequest) (*PlanResult
 			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
 	}
+	tc.Add(obs.Event{Kind: obs.SpanBase, Warm: taken.warm})
 	mutReq := req
 	mutReq.Base, mutReq.BaseExact, mutReq.Deltas = "", "", nil
-	return e.planPlatform(ctx, mutReq, taken.p, taken)
+	return e.planPlatform(ctx, mutReq, taken.p, taken, tc)
 }
 
 // PlanEach plans a batch of independent requests across the worker pool with
