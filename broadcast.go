@@ -28,6 +28,7 @@ import (
 	"repro/internal/load"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/pack"
 	"repro/internal/platform"
 	"repro/internal/scenarios"
 	"repro/internal/service"
@@ -101,6 +102,30 @@ type OptimalSolution = steady.Solution
 // pivot budgets, termination tolerances, and the warm-started vs cold-start
 // master LP mode.
 type OptimalOptions = steady.Options
+
+// Tree-packing types: the primal decomposition of the optimal edge rates
+// into an explicitly schedulable weighted set of broadcast trees.
+type (
+	// TreePacking is a weighted packing of broadcast trees realizing the
+	// steady-state LP optimum: k trees with positive weights whose combined
+	// per-edge rates stay within the optimal solution's rates.
+	TreePacking = steady.Packing
+	// PackedTree is one tree of a packing together with its steady-state
+	// weight (messages per time unit routed along that tree).
+	PackedTree = steady.PackedTree
+	// PackOptions tunes the decomposition: the tree-count cap and the
+	// relative throughput tolerance.
+	PackOptions = pack.Options
+)
+
+// PackOptimalRates decomposes a solved steady-state solution into a
+// weighted packing of broadcast trees whose total throughput matches the LP
+// optimum within the packing tolerance (deterministic: the same solution
+// always yields the byte-identical packing). The packing is also attached
+// to sol.Packing.
+func PackOptimalRates(p *Platform, source int, sol *OptimalSolution, opts *PackOptions) (*TreePacking, error) {
+	return pack.Decompose(p, source, sol, opts)
+}
 
 // Evaluation types.
 type (
@@ -260,6 +285,18 @@ type (
 	// WallClock mode (real timestamps and per-process IDs; the default is
 	// deterministic content-derived IDs with no wall-clock fields).
 	PlanTracerOptions = obs.Options
+	// ConcurrentPlanRequest asks the engine to schedule several broadcasts
+	// with distinct sources on one shared platform, splitting the one-port
+	// capacity by explicit (or equal) shares.
+	ConcurrentPlanRequest = service.ConcurrentRequest
+	// ConcurrentPlanSource is one broadcast of a concurrent request: its
+	// source processor and capacity share.
+	ConcurrentPlanSource = service.ConcurrentSource
+	// ConcurrentPlanResult is the engine's combined answer: per-source
+	// scaled plans plus the shared capacity ledger.
+	ConcurrentPlanResult = service.ConcurrentPlan
+	// ConcurrentBroadcastPlan is one broadcast of a concurrent plan.
+	ConcurrentBroadcastPlan = service.ConcurrentBroadcast
 )
 
 // PlatformFingerprint returns the canonical content fingerprint of a

@@ -26,6 +26,10 @@ func TestDetRandObsFixture(t *testing.T) {
 	atest.Run(t, analysis.DetRand, "detrand/obs")
 }
 
+func TestDetRandPackFixture(t *testing.T) {
+	atest.Run(t, analysis.DetRand, "detrand/pack")
+}
+
 func TestCtxFlowFixture(t *testing.T) {
 	atest.Run(t, analysis.CtxFlow, "ctxflow/service")
 }

@@ -13,7 +13,7 @@ import (
 // order can escape into output.
 var DetRand = &Analyzer{
 	Name: "detrand",
-	Doc: "In deterministic packages (scenarios, topology, dynamic, load, stats, platform, obs) " +
+	Doc: "In deterministic packages (scenarios, topology, dynamic, load, stats, platform, obs, pack) " +
 		"forbid time.Now/time.Since, the global math/rand functions and ad-hoc RNG " +
 		"construction (use topology.NewRNG/DeriveSeed), and flag range-over-map loops " +
 		"whose iteration order escapes un-sorted.",
@@ -30,6 +30,10 @@ var detrandPackages = map[string]bool{
 	"load":      true,
 	"stats":     true,
 	"platform":  true,
+	// pack decomposes LP rates into weighted tree packings whose JSON is
+	// pinned byte-identical by determinism tests (same solution in, same
+	// packing out), so it lives under the full contract.
+	"pack": true,
 	// obs produces the deterministic trace dumps (content-derived IDs,
 	// ID-sorted snapshots); its single sanctioned wall-clock read — the
 	// opt-in WallClock mode's timestamp source — carries a //lint:ignore

@@ -1,0 +1,62 @@
+// Package pack is a detrand fixture: the tree-packing package is in the
+// deterministic set (Decompose must emit byte-identical packings for the
+// same solution), so wall clocks, global rand draws and escaping map
+// iteration are flagged, while the sanctioned dedupe idioms the real
+// package relies on (key-indexed map writes, keys-then-sort) stay quiet.
+package pack
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func SolveDuration(start time.Time) time.Duration {
+	return time.Since(start) // want `wall clock \(time\.Since\)`
+}
+
+func JitterWeight(w float64) float64 {
+	return w * rand.Float64() // want `global math/rand stream \(rand\.Float64\)`
+}
+
+func PerturbedRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `ad-hoc RNG construction \(rand\.New\)` `ad-hoc RNG construction \(rand\.NewSource\)`
+}
+
+// EscapingColumnOrder leaks dedupe-map iteration order into the packing:
+// exactly the bug the real package's generation-order bookkeeping avoids.
+func EscapingColumnOrder(columns map[string]float64) []float64 {
+	var weights []float64
+	for _, w := range columns { // want `map iteration order escapes`
+		weights = append(weights, w)
+	}
+	return weights
+}
+
+// DedupeColumns is the real package's idiom — the map only answers "seen
+// before?", order never escapes: clean.
+func DedupeColumns(keys []string) map[string]int {
+	idx := make(map[string]int, len(keys))
+	for i, k := range keys {
+		idx[k] = i
+	}
+	return idx
+}
+
+// SortedTreeKeys collects then sorts: clean.
+func SortedTreeKeys(columns map[string]float64) []string {
+	keys := make([]string, 0, len(columns))
+	for k := range columns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TotalWeight commutes: clean.
+func TotalWeight(columns map[string]float64) (sum float64) {
+	for _, w := range columns {
+		sum += w
+	}
+	return sum
+}

@@ -73,6 +73,11 @@ type PhaseSpec struct {
 	// Heuristic optionally names a tree heuristic every request of the
 	// phase asks for (empty = LP optimum only).
 	Heuristic string `json:"heuristic,omitempty"`
+	// Trees, when positive, asks every plan of the phase for a k-tree
+	// packing of the optimal edge rates with at most that many trees. The
+	// cap is part of the service cache identity, so phases differing only
+	// in Trees never share cache entries.
+	Trees int `json:"trees,omitempty"`
 	// Lanes and Queue shape the engine of an overload phase: Lanes
 	// concurrent solve lanes and a bounded admission queue of Queue waiters
 	// (the replay builds its in-process engine with exactly this shape).
@@ -135,6 +140,9 @@ func (m Mix) validate() error {
 				return fmt.Errorf("load: mix %q: phase %q: %w", m.Name, ph.Name, err)
 			}
 		}
+		if ph.Trees < 0 {
+			return fmt.Errorf("load: mix %q: phase %q: negative trees cap %d", m.Name, ph.Name, ph.Trees)
+		}
 		switch ph.Kind {
 		case KindZipf:
 			if ph.Platforms < 1 || ph.Requests < ph.Platforms {
@@ -190,7 +198,7 @@ var builtinMixes = map[string]Mix{
 		Name:        "smoke",
 		Description: "tiny deterministic all-pattern workload (CI smoke and golden tests)",
 		Phases: []PhaseSpec{
-			{Name: "zipf-popular", Kind: KindZipf, Scenarios: []string{scenarios.NameStar, scenarios.NameChain}, Size: 8, Platforms: 3, Requests: 12, Skew: 1.4, Heuristic: "lp-grow-tree"},
+			{Name: "zipf-popular", Kind: KindZipf, Scenarios: []string{scenarios.NameStar, scenarios.NameChain}, Size: 8, Platforms: 3, Requests: 12, Skew: 1.4, Heuristic: "lp-grow-tree", Trees: 16},
 			{Name: "churn-lineages", Kind: KindLineage, Scenarios: []string{scenarios.NameLastMile}, Size: 10, Lineages: 2, Depth: 2},
 			{Name: "twin-storm", Kind: KindTwins, Scenarios: []string{scenarios.NameRing}, Size: 8, Platforms: 2, Dupes: 1},
 			{Name: "cold-flood", Kind: KindFlood, Scenarios: []string{scenarios.NameGrid}, Size: 9, Platforms: 2, Burst: 4},

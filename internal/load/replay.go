@@ -267,14 +267,16 @@ func (p *pacer) wait() {
 
 // outcome is the record of one issued request.
 type outcome struct {
-	cost      int64 // virtual ticks: 1 for a hit, 1+LP pivots for a solve
-	wallNs    int64
-	cached    bool
-	collapsed bool
-	warm      bool
-	shed      bool
-	degraded  bool
-	err       string
+	cost        int64 // virtual ticks: 1 for a hit, 1+LP pivots for a solve
+	wallNs      int64
+	cached      bool
+	collapsed   bool
+	warm        bool
+	shed        bool
+	degraded    bool
+	packed      bool
+	packedTrees int
+	err         string
 }
 
 // observe converts a plan result into its outcome record. A shed request is
@@ -298,6 +300,10 @@ func observe(res *service.PlanResult, err error, wall time.Duration) outcome {
 		if res.Plan != nil {
 			out.cost = 1 + int64(res.Plan.LPPivots)
 		}
+	}
+	if err == nil && res != nil && res.Plan != nil && res.Plan.PackedTrees > 0 {
+		out.packed = true
+		out.packedTrees = res.Plan.PackedTrees
 	}
 	return out
 }
@@ -365,6 +371,10 @@ func Run(target Planner, sched *Schedule, opts Options) (*Report, error) {
 			}
 			if out.degraded {
 				client.Degraded++
+			}
+			if out.packed {
+				client.Packed++
+				client.PackedTrees += out.packedTrees
 			}
 			if out.err != "" {
 				client.Errors++

@@ -25,7 +25,11 @@ type ClientCounters struct {
 	// background refinement).
 	Shed     int `json:"shed,omitempty"`
 	Degraded int `json:"degraded,omitempty"`
-	Errors   int `json:"errors"`
+	// Packed counts responses carrying a k-tree packing (phases with a
+	// Trees cap); PackedTrees sums their packed tree counts.
+	Packed      int `json:"packed,omitempty"`
+	PackedTrees int `json:"packedTrees,omitempty"`
+	Errors      int `json:"errors"`
 	// ErrorSamples holds the first few error strings (diagnostics; empty in
 	// a healthy replay).
 	ErrorSamples []string `json:"errorSamples,omitempty"`
@@ -38,6 +42,8 @@ func (c *ClientCounters) add(o ClientCounters) {
 	c.Warm += o.Warm
 	c.Shed += o.Shed
 	c.Degraded += o.Degraded
+	c.Packed += o.Packed
+	c.PackedTrees += o.PackedTrees
 	c.Errors += o.Errors
 	for _, s := range o.ErrorSamples {
 		if len(c.ErrorSamples) < 3 {
@@ -235,6 +241,10 @@ func (r *Report) Summary() string {
 	if t.Client.Shed > 0 || t.Client.Degraded > 0 {
 		fmt.Fprintf(&b, "overload: %d shed, %d degraded answers (%d refined, %d refine failures)\n",
 			t.Client.Shed, t.Client.Degraded, t.Engine.Refines, t.Engine.RefineFailures)
+	}
+	if t.Client.Packed > 0 {
+		fmt.Fprintf(&b, "packing: %d responses carried a k-tree packing (%d trees total)\n",
+			t.Client.Packed, t.Client.PackedTrees)
 	}
 	if r.SolveStages != nil {
 		s := r.SolveStages

@@ -141,6 +141,7 @@ type planKey struct {
 	fp        platform.Fingerprint
 	source    int
 	heuristic string
+	trees     int
 	exact     [32]byte
 }
 
@@ -148,6 +149,7 @@ type routeKey struct {
 	fp        platform.Fingerprint
 	source    int
 	heuristic string
+	trees     int
 }
 
 // compiler tracks the simulated cache contents across the whole schedule.
@@ -159,8 +161,8 @@ type compiler struct {
 
 func (c *compiler) classify(p *platform.Platform, req service.PlanRequest) (miss, twin bool) {
 	fp := p.Fingerprint()
-	key := planKey{fp: fp, source: req.Source, heuristic: req.Heuristic, exact: sha256.Sum256(p.CanonicalEncoding())}
-	rk := routeKey{fp: fp, source: req.Source, heuristic: req.Heuristic}
+	key := planKey{fp: fp, source: req.Source, heuristic: req.Heuristic, trees: req.Trees, exact: sha256.Sum256(p.CanonicalEncoding())}
+	rk := routeKey{fp: fp, source: req.Source, heuristic: req.Heuristic, trees: req.Trees}
 	if c.seen[key] {
 		return false, false
 	}
@@ -310,7 +312,7 @@ func (c *compiler) compileZipf(spec PhaseSpec) (CompiledPhase, error) {
 	var first, rest []Step
 	for _, idx := range draw {
 		p := plats[idx]
-		req := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic}
+		req := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic, Trees: spec.Trees}
 		miss, twin := c.classify(p, req)
 		step := Step{Req: req, Burst: 1, expectMiss: miss, expectTwin: twin}
 		if miss {
@@ -356,7 +358,7 @@ func (c *compiler) compileLineage(spec PhaseSpec) (CompiledPhase, error) {
 			return CompiledPhase{}, fmt.Errorf("load: phase %q lineage %d: %w", spec.Name, j, err)
 		}
 
-		req := service.PlanRequest{Platform: base, Source: 0, Heuristic: spec.Heuristic}
+		req := service.PlanRequest{Platform: base, Source: 0, Heuristic: spec.Heuristic, Trees: spec.Trees}
 		miss, twin := c.classify(base, req)
 		waves[0].Steps = append(waves[0].Steps, Step{Req: req, Burst: 1, expectMiss: miss, expectTwin: twin})
 
@@ -373,6 +375,7 @@ func (c *compiler) compileLineage(spec PhaseSpec) (CompiledPhase, error) {
 				Deltas:    []platform.Delta{ev.Delta},
 				Source:    0,
 				Heuristic: spec.Heuristic,
+				Trees:     spec.Trees,
 			}
 			miss, twin := c.classify(local, dreq)
 			// The warm session rides along only while the chain keeps
@@ -400,17 +403,17 @@ func (c *compiler) compileTwins(spec PhaseSpec) (CompiledPhase, error) {
 			return CompiledPhase{}, fmt.Errorf("load: phase %q platform %d: %w", spec.Name, i, err)
 		}
 
-		breq := service.PlanRequest{Platform: base, Source: 0, Heuristic: spec.Heuristic}
+		breq := service.PlanRequest{Platform: base, Source: 0, Heuristic: spec.Heuristic, Trees: spec.Trees}
 		miss, tw := c.classify(base, breq)
 		bases = append(bases, Step{Req: breq, Burst: 1, expectMiss: miss, expectTwin: tw})
 
-		treq := service.PlanRequest{Platform: twin, Source: 0, Heuristic: spec.Heuristic}
+		treq := service.PlanRequest{Platform: twin, Source: 0, Heuristic: spec.Heuristic, Trees: spec.Trees}
 		miss, tw = c.classify(twin, treq)
 		twins = append(twins, Step{Req: treq, Burst: 1, expectMiss: miss, expectTwin: tw})
 
 		for d := 0; d < spec.Dupes; d++ {
 			for _, p := range []*platform.Platform{base, twin} {
-				dreq := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic}
+				dreq := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic, Trees: spec.Trees}
 				miss, tw := c.classify(p, dreq)
 				dupes = append(dupes, Step{Req: dreq, Burst: 1, expectMiss: miss, expectTwin: tw})
 			}
@@ -433,7 +436,7 @@ func (c *compiler) compileFlood(spec PhaseSpec) (CompiledPhase, error) {
 		if err != nil {
 			return CompiledPhase{}, err
 		}
-		req := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic}
+		req := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic, Trees: spec.Trees}
 		miss, twin := c.classify(p, req)
 		waves = append(waves, Wave{
 			Steps: []Step{{Req: req, Burst: spec.Burst, expectMiss: miss, expectTwin: twin}},
@@ -460,7 +463,7 @@ func (c *compiler) compileOverload(spec PhaseSpec) (CompiledPhase, error) {
 			return CompiledPhase{}, err
 		}
 		hot[i] = p
-		req := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic}
+		req := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic, Trees: spec.Trees}
 		miss, twin := c.classify(p, req)
 		prewarm = append(prewarm, Step{Req: req, Burst: 1, expectMiss: miss, expectTwin: twin})
 	}
@@ -475,7 +478,7 @@ func (c *compiler) compileOverload(spec PhaseSpec) (CompiledPhase, error) {
 		if err != nil {
 			return CompiledPhase{}, err
 		}
-		req := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic}
+		req := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic, Trees: spec.Trees}
 		if i < admitted {
 			miss, twin := c.classify(p, req)
 			storm.Steps = append(storm.Steps, Step{Req: req, Burst: 1, expectMiss: miss, expectTwin: twin})
@@ -505,7 +508,7 @@ func (c *compiler) compileOverload(spec PhaseSpec) (CompiledPhase, error) {
 			idx = int(z.Uint64())
 		}
 		p := hot[idx]
-		req := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic}
+		req := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic, Trees: spec.Trees}
 		miss, twin := c.classify(p, req)
 		storm.Hits = append(storm.Hits, Step{Req: req, Burst: 1, expectMiss: miss, expectTwin: twin})
 	}
@@ -521,10 +524,10 @@ func (c *compiler) compileOverload(spec PhaseSpec) (CompiledPhase, error) {
 			if err != nil {
 				return CompiledPhase{}, err
 			}
-			dreq := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic, Degraded: true}
+			dreq := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic, Trees: spec.Trees, Degraded: true}
 			miss, twin := c.classify(p, dreq)
 			dsteps = append(dsteps, Step{Req: dreq, Burst: 1, expectMiss: miss, expectTwin: twin, expectDegraded: true})
-			rreq := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic}
+			rreq := service.PlanRequest{Platform: p, Source: 0, Heuristic: spec.Heuristic, Trees: spec.Trees}
 			rmiss, rtwin := c.classify(p, rreq)
 			rsteps = append(rsteps, Step{Req: rreq, Burst: 1, expectMiss: rmiss, expectTwin: rtwin})
 		}

@@ -1,0 +1,122 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// checkDuals verifies strong duality (c·x == y·b) and complementary
+// slackness for a solved problem whose constraints are given as rows.
+func checkDuals(t *testing.T, sol *Solution, obj []float64, rows [][]float64, rels []Relation, rhs []float64) {
+	t.Helper()
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if len(sol.Dual) != len(rows) {
+		t.Fatalf("got %d duals, want %d", len(sol.Dual), len(rows))
+	}
+	// Strong duality: the primal objective equals y·b.
+	var yb float64
+	for i, y := range sol.Dual {
+		yb += y * rhs[i]
+	}
+	if math.Abs(yb-sol.Objective) > 1e-7 {
+		t.Fatalf("strong duality violated: y·b = %v, objective = %v", yb, sol.Objective)
+	}
+	// Dual feasibility on the structural variables: for a maximization,
+	// yᵀA_j >= c_j for every variable j (equality when x_j > 0).
+	for j := range obj {
+		var ya float64
+		for i, row := range rows {
+			ya += sol.Dual[i] * row[j]
+		}
+		if ya < obj[j]-1e-7 {
+			t.Errorf("dual infeasible at var %d: yᵀA_j = %v < c_j = %v", j, ya, obj[j])
+		}
+		if sol.X[j] > 1e-9 && math.Abs(ya-obj[j]) > 1e-7 {
+			t.Errorf("complementary slackness violated at var %d: x = %v, yᵀA_j - c_j = %v", j, sol.X[j], ya-obj[j])
+		}
+	}
+	// Complementary slackness on the rows: a slack constraint has zero dual.
+	for i, row := range rows {
+		var ax float64
+		for j, v := range row {
+			ax += v * sol.X[j]
+		}
+		slack := rhs[i] - ax
+		if rels[i] == GE {
+			slack = ax - rhs[i]
+		}
+		if slack > 1e-7 && math.Abs(sol.Dual[i]) > 1e-7 {
+			t.Errorf("row %d is slack (%v) but has dual %v", i, slack, sol.Dual[i])
+		}
+	}
+}
+
+func TestDualsSimpleLE(t *testing.T) {
+	// maximize 3x + 2y s.t. x + y <= 4, x + 3y <= 6. Optimum (4, 0) with
+	// only the first row tight, so y = (3, 0).
+	obj := []float64{3, 2}
+	rows := [][]float64{{1, 1}, {1, 3}}
+	rels := []Relation{LE, LE}
+	rhs := []float64{4, 6}
+	p := NewProblem(2)
+	p.SetObjective(obj)
+	for i, r := range rows {
+		p.AddConstraint(r, rels[i], rhs[i])
+	}
+	sol := solveOK(t, p)
+	checkDuals(t, sol, obj, rows, rels, rhs)
+	// This instance is non-degenerate with a unique dual: y = (3, 0).
+	if math.Abs(sol.Dual[0]-3) > 1e-7 || math.Abs(sol.Dual[1]-0) > 1e-7 {
+		t.Fatalf("duals = %v, want [3 0]", sol.Dual)
+	}
+}
+
+func TestDualsMixedRelations(t *testing.T) {
+	// maximize x + y s.t. x + y <= 10, x >= 2, x + 2y == 12.
+	obj := []float64{1, 1}
+	rows := [][]float64{{1, 1}, {1, 0}, {1, 2}}
+	rels := []Relation{LE, GE, EQ}
+	rhs := []float64{10, 2, 12}
+	p := NewProblem(2)
+	p.SetObjective(obj)
+	for i, r := range rows {
+		p.AddConstraint(r, rels[i], rhs[i])
+	}
+	sol := solveOK(t, p)
+	checkDuals(t, sol, obj, rows, rels, rhs)
+}
+
+func TestDualsFlippedRow(t *testing.T) {
+	// A negative right-hand side forces newTableau to negate the row;
+	// -x - y <= -3 is x + y >= 3. maximize -x - 2y s.t. -x - y <= -3.
+	// Optimum x=3, y=0, objective -3; dObj/drhs for the row as given is +1
+	// (relaxing -3 toward -2 raises the objective by 1).
+	obj := []float64{-1, -2}
+	rows := [][]float64{{-1, -1}}
+	rels := []Relation{LE}
+	rhs := []float64{-3}
+	p := NewProblem(2)
+	p.SetObjective(obj)
+	p.AddConstraint(rows[0], rels[0], rhs[0])
+	sol := solveOK(t, p)
+	checkDuals(t, sol, obj, rows, rels, rhs)
+	if math.Abs(sol.Dual[0]-1) > 1e-7 {
+		t.Fatalf("flipped-row dual = %v, want 1", sol.Dual[0])
+	}
+}
+
+func TestDualsAbsentOffOptimal(t *testing.T) {
+	// An unbounded problem must not report duals.
+	p := NewProblem(1)
+	p.SetObjective([]float64{1})
+	p.AddConstraint([]float64{-1}, LE, 1)
+	sol := solveOK(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+	if sol.Dual != nil {
+		t.Fatalf("unbounded solve reported duals %v", sol.Dual)
+	}
+}

@@ -164,6 +164,14 @@ type Solution struct {
 	// the all-zero vector, which in general violates the constraints and must
 	// not be consumed as a solution.
 	Feasible bool
+	// Dual holds the optimal dual values (shadow prices) of the constraints,
+	// one per AddConstraint/AddSparseConstraint call in order, with respect to
+	// each constraint as given. It is populated only on a fresh Solve that
+	// reached Optimal (warm incremental re-solves rewrite rows and do not
+	// report duals) and is nil otherwise. For a maximization problem the dual
+	// of a binding LE row is >= 0: the objective gain per unit of slack added
+	// to that row's right-hand side.
+	Dual []float64
 }
 
 // Options tunes the solver.
@@ -241,7 +249,7 @@ func solveWithTableau(ctx context.Context, p *Problem, opts *Options) (*Solution
 				return &Solution{Status: Unbounded, X: make([]float64, p.numVars), Phase: 2}, nil, nil
 			}
 		}
-		return &Solution{Status: Optimal, Objective: 0, X: make([]float64, p.numVars), Phase: 2, Feasible: true}, nil, nil
+		return &Solution{Status: Optimal, Objective: 0, X: make([]float64, p.numVars), Phase: 2, Feasible: true, Dual: []float64{}}, nil, nil
 	}
 
 	t := newTableau(p, tol)
@@ -295,6 +303,9 @@ func solveWithTableau(ctx context.Context, p *Problem, opts *Options) (*Solution
 	t.extract(sol.X)
 	sol.Objective = dot(p.objective, sol.X)
 	sol.Feasible = true
+	if status == Optimal {
+		sol.Dual = t.duals()
+	}
 	return sol, t, nil
 }
 

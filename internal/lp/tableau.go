@@ -31,6 +31,16 @@ type tableau struct {
 	artificialCols []int
 	banned         []bool // columns forbidden from entering (artificials in phase 2)
 
+	// idCols[i] is the identity column created for row i (the slack of an LE
+	// row, the artificial of a GE/EQ row): the column whose initial
+	// coefficient vector is the i-th unit vector. At optimality its reduced
+	// cost is -y_i, the simplex multiplier of the row, which is how duals()
+	// recovers the shadow prices without a separate basis inverse. rowSign[i]
+	// is -1 when the row was negated on entry (negative right-hand side), so
+	// the dual is reported with respect to the constraint as given.
+	idCols  []int
+	rowSign []float64
+
 	tol float64
 }
 
@@ -70,6 +80,8 @@ func newTableau(p *Problem, tol float64) *tableau {
 		cost:    make([]float64, cols),
 		numVars: n,
 		banned:  make([]bool, cols),
+		idCols:  make([]int, m),
+		rowSign: make([]float64, m),
 		tol:     tol,
 	}
 
@@ -92,20 +104,24 @@ func newTableau(p *Problem, tol float64) *tableau {
 		case LE:
 			row[slackCol] = 1
 			t.basis[i] = slackCol
+			t.idCols[i] = slackCol
 			slackCol++
 		case GE:
 			row[slackCol] = -1
 			slackCol++
 			row[artCol] = 1
 			t.basis[i] = artCol
+			t.idCols[i] = artCol
 			t.artificialCols = append(t.artificialCols, artCol)
 			artCol++
 		case EQ:
 			row[artCol] = 1
 			t.basis[i] = artCol
+			t.idCols[i] = artCol
 			t.artificialCols = append(t.artificialCols, artCol)
 			artCol++
 		}
+		t.rowSign[i] = sign
 		t.a[i] = row
 		t.rhs[i] = rhs
 	}
@@ -348,7 +364,23 @@ func (t *tableau) appendRowLE(coeffs []float64, rhs float64) {
 	t.a = append(t.a, row)
 	t.rhs = append(t.rhs, rhs)
 	t.basis = append(t.basis, slack)
+	t.idCols = append(t.idCols, slack)
+	t.rowSign = append(t.rowSign, 1)
 	t.rows++
+}
+
+// duals returns the simplex multipliers (shadow prices) of the constraint
+// rows with respect to the constraints as originally given: the reduced cost
+// of each row's identity column is -y_i for the stored (sign-normalized) row,
+// and rowSign maps it back onto the caller's orientation. The values are
+// meaningful only at phase-2 optimality, where setCostRow has repriced every
+// column — banned artificials included — against the optimal basis.
+func (t *tableau) duals() []float64 {
+	out := make([]float64, t.rows)
+	for i := 0; i < t.rows; i++ {
+		out[i] = -t.cost[t.idCols[i]] * t.rowSign[i]
+	}
+	return out
 }
 
 // infeasibility is the total primal infeasibility: the negated sum of the

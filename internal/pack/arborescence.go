@@ -1,0 +1,263 @@
+package pack
+
+import (
+	"math"
+
+	"repro/internal/platform"
+)
+
+// edge is one support edge of the rate graph, carrying its platform link ID
+// so chosen arborescences can be expressed as platform trees.
+type edge struct {
+	from, to int
+	cost     float64
+	id       int // platform link ID
+}
+
+// maxBottleneckArborescence grows the arborescence rooted at root that
+// maximizes the minimum residual capacity over its edges: Prim-style
+// widest-path growth, at each step taking the highest-capacity support edge
+// crossing the cut (ties broken by smallest link ID, which the ascending
+// iteration order provides). Returns nil when some alive node is not
+// reachable from root through positive-residual support edges.
+//
+// The greedy choice is exact for the bottleneck objective on directed
+// graphs: if every alive node is reachable using only edges of capacity at
+// least t, then any cut between the grown set and the rest is crossed by
+// such an edge, so the maximum crossing edge is never below the optimal
+// threshold.
+func maxBottleneckArborescence(p *platform.Platform, root int, residual []float64, support []edge) *platform.Tree {
+	n := p.NumNodes()
+	inTree := make([]bool, n)
+	inTree[root] = true
+	need := p.NumAliveNodes() - 1
+	tree := platform.NewTree(n, root)
+	for added := 0; added < need; added++ {
+		best := -1
+		bestCap := 0.0
+		for i, e := range support {
+			if !inTree[e.from] || inTree[e.to] {
+				continue
+			}
+			if r := residual[e.id]; r > bestCap {
+				best, bestCap = i, r
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		e := support[best]
+		tree.SetParent(e.to, e.from, e.id)
+		inTree[e.to] = true
+	}
+	return tree
+}
+
+// bottleneck returns the minimum residual capacity over the tree's edges.
+func bottleneck(tree *platform.Tree, residual []float64) float64 {
+	b := math.Inf(1)
+	for _, id := range tree.LinkIDs() {
+		if residual[id] < b {
+			b = residual[id]
+		}
+	}
+	return b
+}
+
+// minCostArborescence finds the minimum-total-cost arborescence rooted at
+// root spanning the alive nodes, over the given support edges, with the
+// classic Chu-Liu/Edmonds contraction. Ties (equal cost up to eps) are
+// broken by smallest link ID so the result — and with it the whole packing
+// — is deterministic. Returns the chosen edges and ok=false when some alive
+// node is unreachable.
+func minCostArborescence(p *platform.Platform, root int, support []edge) (chosen []edge, total float64, ok bool) {
+	n := p.NumNodes()
+	// Compress the alive nodes to 0..k-1 with the root first; dead nodes do
+	// not participate.
+	label := make([]int, n)
+	for u := range label {
+		label[u] = -1
+	}
+	label[root] = 0
+	k := 1
+	for u := 0; u < n; u++ {
+		if u != root && p.NodeAlive(u) {
+			label[u] = k
+			k++
+		}
+	}
+	edges := make([]edge, len(support))
+	for i, e := range support {
+		edges[i] = edge{from: label[e.from], to: label[e.to], cost: e.cost, id: e.id}
+	}
+	ids, ok := chuLiu(k, 0, edges)
+	if !ok {
+		return nil, 0, false
+	}
+	byID := make(map[int]edge, len(support))
+	for _, e := range support {
+		byID[e.id] = e
+	}
+	chosen = make([]edge, len(ids))
+	for i, id := range ids {
+		chosen[i] = byID[id]
+		total += chosen[i].cost
+	}
+	return chosen, total, true
+}
+
+// costEps is the tolerance for cost comparisons in the min-incoming-edge
+// selection: costs within costEps are ties, resolved by smallest link ID.
+// Duals come out of the master LP with ~1e-9 noise, and stable tie-breaks
+// on that noise are what keep the packing byte-identical across runs.
+const costEps = 1e-12
+
+// chuLiu is the recursive Chu-Liu/Edmonds step on a compressed node set
+// 0..n-1: pick each node's cheapest incoming edge; if the picks are acyclic
+// they are the arborescence, otherwise one cycle is contracted into a
+// supernode (incoming costs reduced by the cycle edge they replace) and the
+// algorithm recurses on the relabeled graph. It returns the chosen original
+// link IDs; total cost is recomputed by the caller from the original edges.
+func chuLiu(n, root int, edges []edge) (ids []int, ok bool) {
+	// minIn[v]: index into edges of the cheapest edge entering v.
+	minIn := make([]int, n)
+	for v := range minIn {
+		minIn[v] = -1
+	}
+	for i, e := range edges {
+		if e.to == root || e.from == e.to {
+			continue
+		}
+		cur := minIn[e.to]
+		switch {
+		case cur < 0:
+			minIn[e.to] = i
+		case e.cost < edges[cur].cost-costEps:
+			minIn[e.to] = i
+		case e.cost <= edges[cur].cost+costEps && e.id < edges[cur].id:
+			minIn[e.to] = i
+		}
+	}
+	for v := 0; v < n; v++ {
+		if v != root && minIn[v] < 0 {
+			return nil, false
+		}
+	}
+
+	// Cycle detection over the chosen-parent graph.
+	const (
+		unseen = 0
+		onPath = 1
+		done   = 2
+	)
+	state := make([]int, n)
+	state[root] = done
+	var cycle []int
+	for v := 0; v < n && cycle == nil; v++ {
+		if state[v] != unseen {
+			continue
+		}
+		path := []int{}
+		u := v
+		for state[u] == unseen {
+			state[u] = onPath
+			path = append(path, u)
+			u = edges[minIn[u]].from
+		}
+		if state[u] == onPath {
+			// Extract the cycle: the tail of path from the first occurrence
+			// of u.
+			for i, w := range path {
+				if w == u {
+					cycle = append([]int(nil), path[i:]...)
+					break
+				}
+			}
+		}
+		for _, w := range path {
+			state[w] = done
+		}
+	}
+
+	if cycle == nil {
+		ids = make([]int, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v != root {
+				ids = append(ids, edges[minIn[v]].id)
+			}
+		}
+		return ids, true
+	}
+
+	// Contract the cycle into one supernode and relabel: non-cycle nodes
+	// keep their relative order (so labeling stays deterministic), the
+	// cycle folds onto the last index.
+	inCycle := make([]bool, n)
+	for _, v := range cycle {
+		inCycle[v] = true
+	}
+	relabel := make([]int, n)
+	m := 0
+	for v := 0; v < n; v++ {
+		if !inCycle[v] {
+			relabel[v] = m
+			m++
+		}
+	}
+	super := m
+	for _, v := range cycle {
+		relabel[v] = super
+	}
+	var contracted []edge
+	// displaced[i] is, for contracted edge i, the cycle node whose min-in
+	// edge the contracted edge would displace (-1 for edges not entering
+	// the cycle).
+	var displaced []int
+	for _, e := range edges {
+		switch {
+		case inCycle[e.from] && inCycle[e.to]:
+			// Internal to the cycle: drop.
+		case inCycle[e.to]:
+			// Entering the cycle: cost reduced by the cycle edge it would
+			// displace.
+			red := e.cost - edges[minIn[e.to]].cost
+			contracted = append(contracted, edge{from: relabel[e.from], to: super, cost: red, id: e.id})
+			displaced = append(displaced, e.to)
+		case inCycle[e.from]:
+			contracted = append(contracted, edge{from: super, to: relabel[e.to], cost: e.cost, id: e.id})
+			displaced = append(displaced, -1)
+		default:
+			contracted = append(contracted, edge{from: relabel[e.from], to: relabel[e.to], cost: e.cost, id: e.id})
+			displaced = append(displaced, -1)
+		}
+	}
+	subIDs, ok := chuLiu(m+1, relabel[root], contracted)
+	if !ok {
+		return nil, false
+	}
+
+	// Expand: exactly one chosen edge entered the supernode (it has exactly
+	// one parent in the sub-arborescence); keep every cycle min-in edge
+	// except the one that edge displaced.
+	idSet := make(map[int]bool, len(subIDs))
+	for _, id := range subIDs {
+		idSet[id] = true
+	}
+	entered := -1 // cycle node whose min-in edge is displaced
+	for ci, cv := range displaced {
+		if cv >= 0 && idSet[contracted[ci].id] {
+			entered = cv
+			break
+		}
+	}
+	if entered < 0 {
+		return nil, false
+	}
+	ids = subIDs
+	for _, v := range cycle {
+		if v != entered {
+			ids = append(ids, edges[minIn[v]].id)
+		}
+	}
+	return ids, true
+}

@@ -1,0 +1,35 @@
+// Package pack decomposes the optimal edge rates of a steady-state
+// broadcast solution into an explicit weighted packing of spanning
+// broadcast trees — the primal witness of the paper's Section 4.1 theorem
+// that the LP throughput TP is achieved by a convex combination of
+// broadcast trees, not by any single tree.
+//
+// The decomposition runs in two deterministic phases:
+//
+//  1. Peel: greedy flow-style extraction. A max-bottleneck arborescence
+//     (Prim-style widest-path growth, ties broken by smallest link ID) is
+//     repeatedly peeled out of the residual rate graph with weight equal to
+//     its bottleneck residual capacity, saturating at least one support
+//     edge per round, until the residual support no longer carries an
+//     arborescence or TP is exhausted.
+//
+//  2. Certify: restricted-master column generation. The peeled trees seed
+//     a master LP — maximize the total tree weight subject to the summed
+//     per-edge weights staying within the solution's edge rates n(u,v) —
+//     and the master's optimal duals price a min-cost arborescence
+//     (Chu-Liu/Edmonds, deterministic tie-breaks) per round. A tree whose
+//     dual cost is below 1 enters as a new column; when none exists, LP
+//     duality certifies the packing value is the maximum achievable within
+//     the rate graph, which Edmonds' arborescence-packing theorem puts at
+//     min-cut value — i.e. at TP itself.
+//
+// The result is a steady.Packing whose combined rate matches the LP
+// throughput within solver tolerance (far inside the 1e-6 contract pinned
+// by the differential tests) while never exceeding any per-edge rate or
+// one-port occupation bound the LP certified.
+//
+// Everything in this package is deterministic: no wall clock, no
+// randomness, no map-order dependence (enforced by the detrand analyzer —
+// the package is in bcast-lint's deterministic scope). Equal inputs produce
+// byte-identical packings on every run and worker count.
+package pack

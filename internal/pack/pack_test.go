@@ -1,0 +1,313 @@
+package pack_test
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/heuristics"
+	"repro/internal/pack"
+	"repro/internal/platform"
+	"repro/internal/scenarios"
+	"repro/internal/steady"
+	"repro/internal/throughput"
+)
+
+// packTol is the contract bar pinned by ISSUE acceptance: the packed
+// throughput matches the LP optimum within 1e-6 (scaled by the throughput
+// magnitude for platforms broadcasting hundreds of slices per unit).
+func packTol(tp float64) float64 { return 1e-6 * math.Max(1, math.Abs(tp)) }
+
+func solveAndPack(t *testing.T, p *platform.Platform, source int, opts *pack.Options) (*steady.Solution, *steady.Packing) {
+	t.Helper()
+	sol, err := steady.Solve(p, source, nil)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	pk, err := pack.Decompose(p, source, sol, opts)
+	if err != nil {
+		t.Fatalf("decompose: %v", err)
+	}
+	return sol, pk
+}
+
+// TestPackingInvariantsRegistryWide is the property tier over the whole
+// scenario registry at every default size: each packed tree spans the alive
+// nodes over live links rooted at the source, weights are strictly positive
+// and sum to the packed throughput, per-link packed rates stay within the
+// LP edge rates, one-port occupations stay within 1, and the packed
+// throughput reaches the LP optimum within 1e-6.
+func TestPackingInvariantsRegistryWide(t *testing.T) {
+	for _, s := range scenarios.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			for _, n := range s.DefaultSizes {
+				p, err := s.Generate(n, 42)
+				if err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				sol, pk := solveAndPack(t, p, 0, nil)
+				if err := pk.Validate(p, sol.EdgeRate, packTol(sol.Throughput)); err != nil {
+					t.Errorf("n=%d: %v", n, err)
+				}
+				if gap := sol.Throughput - pk.Throughput; math.Abs(gap) > packTol(sol.Throughput) {
+					t.Errorf("n=%d: packed %v vs LP optimum %v (gap %v, %d trees)",
+						n, pk.Throughput, sol.Throughput, gap, pk.NumTrees())
+				}
+				if pk.Source != 0 || pk.LPThroughput != sol.Throughput {
+					t.Errorf("n=%d: packing records source=%d lp=%v, want 0/%v", n, pk.Source, pk.LPThroughput, sol.Throughput)
+				}
+				if pk.Truncated {
+					t.Errorf("n=%d: uncapped decomposition reported Truncated", n)
+				}
+				if sol.Packing != pk {
+					t.Errorf("n=%d: Decompose did not attach the packing to the solution", n)
+				}
+			}
+		})
+	}
+}
+
+// TestPackedBeatsEverySingleTree is the registry-wide differential: the
+// k-tree packing throughput must dominate every single-tree one-port
+// heuristic (the paper's core claim — one tree cannot achieve TP in
+// general, a weighted forest always does).
+func TestPackedBeatsEverySingleTree(t *testing.T) {
+	for _, s := range scenarios.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			for _, n := range s.DefaultSizes {
+				p, err := s.Generate(n, 42)
+				if err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				sol, pk := solveAndPack(t, p, 0, nil)
+				bestName, best := "", 0.0
+				for _, name := range heuristics.OnePortNames() {
+					b, err := heuristics.ByNameWithRates(name, sol.EdgeRate)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tree, err := b.Build(p, 0)
+					if err != nil {
+						t.Fatalf("n=%d: %s: %v", n, name, err)
+					}
+					if tp := throughput.OnePortThroughput(p, tree); tp > best {
+						bestName, best = name, tp
+					}
+				}
+				if pk.Throughput < best-packTol(best) {
+					t.Errorf("n=%d: packed %v below best single tree %v (%s)", n, pk.Throughput, best, bestName)
+				}
+			}
+		})
+	}
+}
+
+// TestWarmRepackAfterChurnMatchesCold drives 50 churn events through a warm
+// steady session and re-packs the refreshed solution; the result must match
+// a cold re-solve + re-pack of the mutated platform to 1e-6 and satisfy
+// every packing invariant.
+func TestWarmRepackAfterChurnMatchesCold(t *testing.T) {
+	const churnEvents = 50
+	opts := &steady.Options{GapTolerance: 1e-9}
+	for _, s := range scenarios.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			size := s.DefaultSizes[0]
+			p, err := s.Generate(size, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof, err := dynamic.ProfileByName(s.EffectiveChurnProfile())
+			if err != nil {
+				t.Fatal(err)
+			}
+			trace, err := dynamic.GenerateTrace(p, 0, prof, churnEvents, scenarios.ChurnTraceSeed(42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess := steady.NewSession(p, 0, opts)
+			if _, err := sess.Resolve(); err != nil {
+				t.Fatalf("initial resolve: %v", err)
+			}
+			for i, ev := range trace.Events {
+				if _, err := p.ApplyDelta(ev.Delta); err != nil {
+					t.Fatalf("event %d: %v", i, err)
+				}
+			}
+			warmSol, err := sess.Resolve()
+			if err != nil {
+				t.Fatalf("warm resolve: %v", err)
+			}
+			warmPk, err := pack.Decompose(p, 0, warmSol, nil)
+			if err != nil {
+				t.Fatalf("warm re-pack: %v", err)
+			}
+			coldSol, err := steady.Solve(p, 0, opts)
+			if err != nil {
+				t.Fatalf("cold resolve: %v", err)
+			}
+			coldPk, err := pack.Decompose(p, 0, coldSol, nil)
+			if err != nil {
+				t.Fatalf("cold re-pack: %v", err)
+			}
+			if err := warmPk.Validate(p, warmSol.EdgeRate, packTol(warmSol.Throughput)); err != nil {
+				t.Errorf("warm packing: %v", err)
+			}
+			if gap := math.Abs(warmPk.Throughput - coldPk.Throughput); gap > packTol(coldPk.Throughput) {
+				t.Errorf("warm re-pack %v vs cold %v (gap %v)", warmPk.Throughput, coldPk.Throughput, gap)
+			}
+		})
+	}
+}
+
+// TestDecomposeDeterministic the same (platform, source, solution) must
+// produce byte-identical packings on repeated runs — including the priced
+// column order, which the JSON encoding exposes.
+func TestDecomposeDeterministic(t *testing.T) {
+	for _, name := range []string{scenarios.NameGrid, scenarios.NameRandomDense, scenarios.NameRing} {
+		s, err := scenarios.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := s.Generate(s.DefaultSizes[0], 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := steady.Solve(p, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev []byte
+		for run := 0; run < 3; run++ {
+			pk, err := pack.Decompose(p, 0, sol, nil)
+			if err != nil {
+				t.Fatalf("%s run %d: %v", name, run, err)
+			}
+			buf, err := json.Marshal(pk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev != nil && string(buf) != string(prev) {
+				t.Fatalf("%s: run %d packing differs from run %d", name, run, run-1)
+			}
+			prev = buf
+		}
+	}
+}
+
+// TestMaxTreesTruncation a tree cap below the optimal decomposition size
+// keeps the heaviest trees, reports Truncated with the honest (smaller)
+// throughput, and still satisfies every capacity invariant.
+func TestMaxTreesTruncation(t *testing.T) {
+	s, err := scenarios.Get(scenarios.NameGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Generate(12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, full := solveAndPack(t, p, 0, nil)
+	if full.NumTrees() < 3 {
+		t.Skipf("grid decomposition has only %d trees; cannot exercise truncation", full.NumTrees())
+	}
+	cap := full.NumTrees() - 2
+	capped, err := pack.Decompose(p, 0, sol, &pack.Options{MaxTrees: cap})
+	if err != nil {
+		t.Fatalf("capped decompose: %v", err)
+	}
+	if !capped.Truncated {
+		t.Error("capped packing not marked Truncated")
+	}
+	if capped.NumTrees() != cap {
+		t.Errorf("capped packing has %d trees, want %d", capped.NumTrees(), cap)
+	}
+	if capped.Throughput >= full.Throughput {
+		t.Errorf("truncated throughput %v not below full %v", capped.Throughput, full.Throughput)
+	}
+	if err := capped.Validate(p, sol.EdgeRate, packTol(sol.Throughput)); err != nil {
+		t.Errorf("capped packing invalid: %v", err)
+	}
+	// The kept trees must be the heaviest of the full decomposition.
+	minKept := math.Inf(1)
+	for _, pt := range capped.Trees {
+		if pt.Weight < minKept {
+			minKept = pt.Weight
+		}
+	}
+	dropped := 0
+	for _, pt := range full.Trees {
+		if pt.Weight < minKept {
+			dropped++
+		}
+	}
+	if dropped > full.NumTrees()-cap {
+		t.Errorf("truncation dropped a tree heavier than a kept one")
+	}
+}
+
+// TestDecomposeDegenerate degenerate inputs must fail loudly, not pack
+// garbage.
+func TestDecomposeDegenerate(t *testing.T) {
+	p := platform.New(1)
+	sol, err := steady.Solve(p, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pack.Decompose(p, 0, sol, nil); err == nil {
+		t.Error("decomposing the infinite single-node solution did not fail")
+	}
+	s, _ := scenarios.Get(scenarios.NameRing)
+	p2, err := s.Generate(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol2, err := steady.Solve(p2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pack.Decompose(p2, 0, &steady.Solution{Throughput: sol2.Throughput, EdgeRate: sol2.EdgeRate[:3]}, nil); err == nil {
+		t.Error("mismatched edge-rate length did not fail")
+	}
+	if _, err := pack.Decompose(p2, 0, nil, nil); err == nil {
+		t.Error("nil solution did not fail")
+	}
+}
+
+// BenchmarkDecompose measures the packing cost alone (solve excluded) on
+// representative platforms; CI publishes the n=96 numbers in BENCH_pack.
+func BenchmarkDecompose(b *testing.B) {
+	cases := []struct {
+		family string
+		size   int
+	}{
+		{scenarios.NameClusters, 96},
+		{scenarios.NameTiers, 96},
+		{scenarios.NameRandomDense, 50},
+		{scenarios.NameGrid, 36},
+	}
+	for _, c := range cases {
+		s, err := scenarios.Get(c.family)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := s.Generate(c.size, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sol, err := steady.Solve(p, 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.family, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pack.Decompose(p, 0, sol, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

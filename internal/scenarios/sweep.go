@@ -53,6 +53,12 @@ type SweepConfig struct {
 	// the reference optimum (0 = solver default). A limit low enough to bite
 	// surfaces as a per-run error, never as a silent zero-throughput sample.
 	LPMaxIterations int
+	// PackTrees, when positive, adds the k-tree axis to every run: the
+	// optimal edge rates are decomposed into a weighted packing of at most
+	// PackTrees broadcast trees (see internal/pack) and every run row
+	// carries the packed throughput, tree count, packed/LP ratio and the
+	// k-tree-vs-single-tree gain.
+	PackTrees int
 	// Churn enables the churn dimension: every generated platform is
 	// additionally played through its family's deterministic churn trace
 	// (see Scenario.ChurnProfile and ChurnTrace) and the keep/repair/rebuild
@@ -109,6 +115,16 @@ type RunResult struct {
 	Throughput float64 `json:"throughput"`
 	// Ratio is Throughput / Optimal (the paper's relative performance).
 	Ratio float64 `json:"ratio"`
+	// k-tree packing axis (only with SweepConfig.PackTrees): the packed
+	// throughput, tree count and packed/Optimal ratio are per platform and
+	// repeated on every heuristic row like the LP statistics; TreeGain is
+	// per heuristic — the packed throughput over THIS heuristic's
+	// single-tree throughput (>= 1 within tolerance, the paper's case for
+	// packing trees instead of picking one).
+	PackedThroughput float64 `json:"packedThroughput,omitempty"`
+	PackedTrees      int     `json:"packedTrees,omitempty"`
+	PackedRatio      float64 `json:"packedRatio,omitempty"`
+	TreeGain         float64 `json:"treeGain,omitempty"`
 	// WallNanos is the build+evaluate time (only with RecordTimings).
 	WallNanos int64 `json:"wallNanos,omitempty"`
 	// Error is non-empty when the generation, LP solve or heuristic failed.
@@ -134,6 +150,11 @@ type Aggregate struct {
 	// MeanWallNanos is the mean build+evaluate time (only with
 	// RecordTimings).
 	MeanWallNanos int64 `json:"meanWallNanos,omitempty"`
+	// MeanPackedRatio and MeanTreeGain summarize the k-tree axis of the
+	// cell (only with SweepConfig.PackTrees): mean packed/Optimal ratio and
+	// mean packed/single-tree gain over the successful runs.
+	MeanPackedRatio float64 `json:"meanPackedRatio,omitempty"`
+	MeanTreeGain    float64 `json:"meanTreeGain,omitempty"`
 	// Errors is the number of failed runs in the cell.
 	Errors int `json:"errors,omitempty"`
 }
@@ -153,6 +174,7 @@ type SweepMeta struct {
 	Source         int              `json:"source"`
 	EvalModel      string           `json:"evalModel"`
 	ColdStartLP    bool             `json:"coldStartLP,omitempty"`
+	PackTrees      int              `json:"packTrees,omitempty"`
 	TotalRuns      int              `json:"totalRuns"`
 	TotalWallNanos int64            `json:"totalWallNanos,omitempty"`
 	// TotalLPPivots aggregates the master-LP simplex pivots across the
@@ -323,6 +345,7 @@ func Sweep(cfg SweepConfig) (*SweepReport, error) {
 			Source:      cfg.Source,
 			EvalModel:   cfg.EvalModel.String(),
 			ColdStartLP: cfg.ColdStartLP,
+			PackTrees:   cfg.PackTrees,
 		},
 	}
 	if cfg.Churn {
@@ -397,6 +420,7 @@ func evaluateUnit(cfg SweepConfig, churn churnSettings, u unit, heur []string) [
 		Source:          cfg.Source,
 		ColdLP:          cfg.ColdStartLP,
 		LPMaxIterations: cfg.LPMaxIterations,
+		Trees:           cfg.PackTrees,
 	})
 	if err != nil {
 		return fail(fmt.Errorf("steady-state LP: %w", err))
@@ -408,6 +432,9 @@ func evaluateUnit(cfg SweepConfig, churn churnSettings, u unit, heur []string) [
 	base.LPPivots = opt.LPPivots
 	base.LPWarmPivots = opt.LPWarmPivots
 	base.LPColdPivots = opt.LPColdPivots
+	base.PackedThroughput = opt.PackedThroughput
+	base.PackedTrees = opt.PackedTrees
+	base.PackedRatio = opt.PackedRatio
 
 	if cfg.Churn {
 		// The churn run owns a private clone of the platform; its condensed
@@ -434,6 +461,9 @@ func evaluateUnit(cfg SweepConfig, churn churnSettings, u unit, heur []string) [
 				r.Ratio = tp / opt.Throughput
 			} else {
 				r.Ratio = math.NaN()
+			}
+			if r.PackedThroughput > 0 && tp > 0 {
+				r.TreeGain = r.PackedThroughput / tp
 			}
 		}
 		out[i] = r
@@ -462,6 +492,8 @@ func aggregate(runs []RunResult, scens []Scenario, sizes [][]int, heur []string,
 				agg := Aggregate{Scenario: s.Name, Size: size, Heuristic: h}
 				ratios := make([]float64, 0, len(cell))
 				var wall int64
+				var packed, gain float64
+				packedN := 0
 				for _, r := range cell {
 					if r.Error != "" {
 						agg.Errors++
@@ -475,6 +507,11 @@ func aggregate(runs []RunResult, scens []Scenario, sizes [][]int, heur []string,
 					}
 					ratios = append(ratios, r.Ratio)
 					wall += r.WallNanos
+					if r.PackedRatio > 0 {
+						packed += r.PackedRatio
+						gain += r.TreeGain
+						packedN++
+					}
 				}
 				sum := stats.Summarize(ratios)
 				agg.Samples = sum.Count
@@ -484,6 +521,10 @@ func aggregate(runs []RunResult, scens []Scenario, sizes [][]int, heur []string,
 				agg.MaxRatio = sum.Max
 				if timings && sum.Count > 0 {
 					agg.MeanWallNanos = wall / int64(sum.Count)
+				}
+				if packedN > 0 {
+					agg.MeanPackedRatio = packed / float64(packedN)
+					agg.MeanTreeGain = gain / float64(packedN)
 				}
 				out = append(out, agg)
 			}
@@ -528,6 +569,9 @@ func (rep *SweepReport) Format() string {
 			fmt.Fprintf(&b, ", %d errors", a.Errors)
 		}
 		b.WriteString(")")
+		if a.MeanPackedRatio > 0 {
+			fmt.Fprintf(&b, "  pack %.3f (gain %.3f)", a.MeanPackedRatio, a.MeanTreeGain)
+		}
 		if a.MeanWallNanos > 0 {
 			fmt.Fprintf(&b, "  %v", time.Duration(a.MeanWallNanos).Round(time.Microsecond))
 		}

@@ -1,0 +1,256 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/steady"
+)
+
+// TestPlanWithTreesPacksTheOptimum a trees=k plan must carry a valid packing
+// whose throughput matches the LP optimum within the 1e-6 contract, and the
+// tree cap must be part of the cache identity (distinct caps never share a
+// cached plan).
+func TestPlanWithTreesPacksTheOptimum(t *testing.T) {
+	e := New(Config{})
+	p := smallPlatform(t, 31)
+
+	res, err := e.Plan(PlanRequest{Platform: p, Source: 0, Trees: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := res.Plan
+	if plan.Packing == nil {
+		t.Fatal("trees=64 plan has no packing")
+	}
+	if plan.PackedTrees != plan.Packing.NumTrees() || plan.PackedTrees == 0 {
+		t.Fatalf("packedTrees=%d, packing has %d", plan.PackedTrees, plan.Packing.NumTrees())
+	}
+	tol := 1e-6 * math.Max(1, plan.Throughput)
+	if math.Abs(plan.PackedThroughput-plan.Throughput) > tol {
+		t.Errorf("packed throughput %v vs LP %v", plan.PackedThroughput, plan.Throughput)
+	}
+	if math.Abs(plan.PackedRatio-1) > 1e-6 {
+		t.Errorf("packed ratio %v, want ~1", plan.PackedRatio)
+	}
+	if err := plan.Packing.Validate(p, plan.EdgeRate, tol); err != nil {
+		t.Errorf("packing invalid: %v", err)
+	}
+
+	// Same platform without trees: separate cache identity, no packing.
+	bare, err := e.Plan(PlanRequest{Platform: p, Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Cached {
+		t.Error("bare plan hit the trees=64 cache entry")
+	}
+	if bare.Plan.Packing != nil {
+		t.Error("bare plan carries a packing")
+	}
+
+	// Identical trees request: cache hit with byte-identical plan.
+	again, err := e.Plan(PlanRequest{Platform: p, Source: 0, Trees: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("identical trees request missed the cache")
+	}
+	if !bytes.Equal(again.JSON, res.JSON) {
+		t.Error("cache hit returned different plan bytes")
+	}
+
+	// A different cap is a different plan class.
+	capped, err := e.Plan(PlanRequest{Platform: p, Source: 0, Trees: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Cached {
+		t.Error("trees=1 request hit the trees=64 entry")
+	}
+	if capped.Plan.PackedTrees > 1 {
+		t.Errorf("trees=1 plan packed %d trees", capped.Plan.PackedTrees)
+	}
+	if capped.Plan.PackedThroughput > plan.PackedThroughput+tol {
+		t.Errorf("capped packing %v beats uncapped %v", capped.Plan.PackedThroughput, plan.PackedThroughput)
+	}
+}
+
+// TestPlanTreesRejectsNegative a negative cap is a bad request.
+func TestPlanTreesRejectsNegative(t *testing.T) {
+	e := New(Config{})
+	if _, err := e.Plan(PlanRequest{Platform: smallPlatform(t, 31), Source: 0, Trees: -1}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("negative trees: err=%v, want ErrBadRequest", err)
+	}
+}
+
+// TestPlanDeltaRepacksWarmSession a trees plan followed by a delta request
+// must re-pack the refreshed solution: the new packing reflects the mutated
+// platform and still meets the 1e-6 contract.
+func TestPlanDeltaRepacksWarmSession(t *testing.T) {
+	e := New(Config{})
+	p := smallPlatform(t, 31)
+	base, err := e.Plan(PlanRequest{Platform: p, Source: 0, Trees: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Plan(PlanRequest{
+		Base:   base.Plan.Fingerprint,
+		Deltas: []platform.Delta{{Kind: platform.DeltaScaleLink, Link: 0, Factor: 2}},
+		Source: 0,
+		Trees:  64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := res.Plan
+	if plan.Packing == nil {
+		t.Fatal("delta plan has no packing")
+	}
+	tol := 1e-6 * math.Max(1, plan.Throughput)
+	if math.Abs(plan.PackedThroughput-plan.Throughput) > tol {
+		t.Errorf("delta re-pack %v vs refreshed LP %v", plan.PackedThroughput, plan.Throughput)
+	}
+	mutated := p.Clone()
+	if _, err := mutated.ApplyDelta(platform.Delta{Kind: platform.DeltaScaleLink, Link: 0, Factor: 2}); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := steady.Solve(mutated, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Throughput-cold.Throughput) > 1e-6*math.Max(1, cold.Throughput) {
+		t.Errorf("delta plan throughput %v vs cold re-solve %v", plan.Throughput, cold.Throughput)
+	}
+}
+
+// concurrentJSON runs one concurrent request and returns the marshaled plan.
+func concurrentJSON(t *testing.T, e *Engine, req ConcurrentRequest) []byte {
+	t.Helper()
+	cp, err := e.Concurrent(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestConcurrentBroadcastsShareCapacity three sources with explicit shares:
+// per-broadcast throughput must be share x solo optimum, the ledger must
+// stay within the one-port budgets, and the totals must add up.
+func TestConcurrentBroadcastsShareCapacity(t *testing.T) {
+	e := New(Config{})
+	p := smallPlatform(t, 31)
+	req := ConcurrentRequest{
+		Platform: p,
+		Sources: []ConcurrentSource{
+			{Source: 0, Share: 0.5},
+			{Source: 1, Share: 0.3},
+			{Source: 2, Share: 0.2},
+		},
+		Trees: 64,
+	}
+	cp, err := e.Concurrent(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Broadcasts) != 3 {
+		t.Fatalf("%d broadcasts, want 3", len(cp.Broadcasts))
+	}
+	total := 0.0
+	for i, b := range cp.Broadcasts {
+		if b.Source != req.Sources[i].Source || b.Share != req.Sources[i].Share {
+			t.Errorf("broadcast %d: source/share %d/%v, want %d/%v", i, b.Source, b.Share, req.Sources[i].Source, req.Sources[i].Share)
+		}
+		if solo, err := steady.Solve(p, b.Source, nil); err != nil {
+			t.Fatal(err)
+		} else if math.Abs(b.SoloThroughput-solo.Throughput) > 1e-6*math.Max(1, solo.Throughput) {
+			t.Errorf("broadcast %d: solo %v, independent solve %v", i, b.SoloThroughput, solo.Throughput)
+		}
+		if math.Abs(b.Throughput-b.Share*b.SoloThroughput) > 1e-9*math.Max(1, b.SoloThroughput) {
+			t.Errorf("broadcast %d: throughput %v != share %v x solo %v", i, b.Throughput, b.Share, b.SoloThroughput)
+		}
+		if b.Plan == nil || b.Plan.Packing == nil {
+			t.Errorf("broadcast %d: missing plan or packing", i)
+		}
+		total += b.Throughput
+	}
+	if math.Abs(total-cp.TotalThroughput) > 1e-9*math.Max(1, total) {
+		t.Errorf("total %v, sum of broadcasts %v", cp.TotalThroughput, total)
+	}
+	if cp.MaxInOccupation > 1+1e-6 || cp.MaxOutOccupation > 1+1e-6 {
+		t.Errorf("ledger oversubscribed: in %v out %v", cp.MaxInOccupation, cp.MaxOutOccupation)
+	}
+	if cp.MaxInOccupation <= 0 || cp.MaxOutOccupation <= 0 {
+		t.Errorf("ledger empty: in %v out %v", cp.MaxInOccupation, cp.MaxOutOccupation)
+	}
+}
+
+// TestConcurrentDefaultSharesAndValidation default shares are equal;
+// malformed requests fail loudly.
+func TestConcurrentDefaultSharesAndValidation(t *testing.T) {
+	e := New(Config{})
+	p := smallPlatform(t, 31)
+	cp, err := e.Concurrent(ConcurrentRequest{Platform: p, Sources: []ConcurrentSource{{Source: 0}, {Source: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range cp.Broadcasts {
+		if b.Share != 0.5 {
+			t.Errorf("broadcast %d: share %v, want 0.5", i, b.Share)
+		}
+	}
+	bad := []ConcurrentRequest{
+		{Platform: p},
+		{Platform: p, Sources: []ConcurrentSource{{Source: 0}, {Source: 0}}},
+		{Platform: p, Sources: []ConcurrentSource{{Source: -1}}},
+		{Platform: p, Sources: []ConcurrentSource{{Source: 0, Share: 0.8}, {Source: 1, Share: 0.9}}},
+		{Platform: p, Sources: []ConcurrentSource{{Source: 0, Share: 0.8}, {Source: 1}}},
+	}
+	for i, req := range bad {
+		if _, err := e.Concurrent(req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("bad request %d: err=%v, want ErrBadRequest", i, err)
+		}
+	}
+	if _, err := e.Concurrent(ConcurrentRequest{Sources: []ConcurrentSource{{Source: 0}}}); !errors.Is(err, ErrNoPlatform) {
+		t.Errorf("missing platform: err=%v, want ErrNoPlatform", err)
+	}
+}
+
+// TestConcurrentByteIdenticalAcrossWorkers the race-tier determinism
+// contract: the same concurrent request answered with 1, 4 and 16 workers
+// must marshal to byte-identical plans (per-source solves land in request
+// order regardless of scheduling). Run with -race.
+func TestConcurrentByteIdenticalAcrossWorkers(t *testing.T) {
+	p := smallPlatform(t, 47)
+	req := ConcurrentRequest{
+		Platform: p,
+		Sources: []ConcurrentSource{
+			{Source: 0, Share: 0.4},
+			{Source: 2, Share: 0.35},
+			{Source: 5, Share: 0.25},
+		},
+		Trees: 64,
+	}
+	var want []byte
+	for _, workers := range []int{1, 4, 16} {
+		// A fresh engine per worker count: no cross-pollination through the
+		// cache, every run solves from scratch.
+		e := New(Config{Workers: workers})
+		req.Workers = workers
+		got := concurrentJSON(t, e, req)
+		if want == nil {
+			want = got
+		} else if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d produced different concurrent plan bytes", workers)
+		}
+	}
+}

@@ -50,6 +50,9 @@ type traceEnvelope struct {
 //
 //	POST /v1/plan      PlanRequest  -> {cached, collapsed, warm, plan}
 //	POST /v1/evaluate  EvaluateRequest -> Evaluation
+//	POST /v1/concurrent ConcurrentRequest -> ConcurrentPlan (multiple
+//	                    sources broadcasting on one platform, capacity
+//	                    split by shares; trees=k packs each broadcast)
 //	POST /v1/churn     ChurnRequest -> ChurnReplay
 //	GET  /v1/stats     -> Stats (engine counters)
 //	GET  /v1/metrics   -> MetricsSnapshot (engine counters + per-endpoint
@@ -191,6 +194,18 @@ func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, ev)
+	}))
+	mux.Handle("/v1/concurrent", ins("/v1/concurrent", func(w http.ResponseWriter, r *http.Request) {
+		var req ConcurrentRequest
+		if !decodePost(w, r, &req) {
+			return
+		}
+		cp, err := e.ConcurrentContext(r.Context(), req)
+		if err != nil {
+			writeOverloadAware(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, cp)
 	}))
 	mux.Handle("/v1/churn", ins("/v1/churn", func(w http.ResponseWriter, r *http.Request) {
 		var req ChurnRequest

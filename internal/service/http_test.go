@@ -121,6 +121,39 @@ func TestHTTPEvaluateAndChurn(t *testing.T) {
 	}
 }
 
+func TestHTTPConcurrent(t *testing.T) {
+	e := New(Config{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+	p := smallPlatform(t, 53)
+
+	resp, body := postJSON(t, srv, "/v1/concurrent", ConcurrentRequest{
+		Platform: p,
+		Sources:  []ConcurrentSource{{Source: 0, Share: 0.6}, {Source: 1, Share: 0.4}},
+		Trees:    32,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("concurrent status %d: %s", resp.StatusCode, body)
+	}
+	var cp ConcurrentPlan
+	if err := json.Unmarshal(body, &cp); err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Broadcasts) != 2 || cp.TotalThroughput <= 0 {
+		t.Fatalf("concurrent plan = %+v", cp)
+	}
+	for i, b := range cp.Broadcasts {
+		if b.Plan == nil || b.Plan.Packing == nil || b.Throughput <= 0 {
+			t.Errorf("broadcast %d incomplete: %+v", i, b)
+		}
+	}
+
+	resp, body = postJSON(t, srv, "/v1/concurrent", ConcurrentRequest{Platform: p})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("no-sources status %d: %s", resp.StatusCode, body)
+	}
+}
+
 func TestHTTPStatsAndHealth(t *testing.T) {
 	e := New(Config{})
 	srv := httptest.NewServer(NewHandler(e))

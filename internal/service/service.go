@@ -18,6 +18,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/pack"
 	"repro/internal/parallel"
 	"repro/internal/platform"
 	"repro/internal/stats"
@@ -229,6 +230,12 @@ type PlanRequest struct {
 	// Heuristic optionally names a tree heuristic to build and evaluate on
 	// top of the optimal edge rates (empty = LP optimum only).
 	Heuristic string `json:"heuristic,omitempty"`
+	// Trees, when positive, asks for a k-tree plan: the optimal edge rates
+	// are decomposed into a weighted packing of at most Trees broadcast
+	// trees (Plan.Packing). The packing achieves the LP throughput when the
+	// cap is generous; a tight cap truncates to the heaviest trees and
+	// reports the honest reduced throughput. Part of the cache identity.
+	Trees int `json:"trees,omitempty"`
 	// ColdLP disables warm starts inside the master LP solves.
 	ColdLP bool `json:"coldLP,omitempty"`
 	// LPMaxIterations bounds the simplex pivots per master solve (0 = solver
@@ -279,6 +286,15 @@ type Plan struct {
 	Tree                *platform.Tree `json:"tree,omitempty"`
 	HeuristicThroughput float64        `json:"heuristicThroughput,omitempty"`
 	Ratio               float64        `json:"ratio,omitempty"`
+	// k-tree packing outcome (only when the request set Trees > 0):
+	// Packing is the weighted tree decomposition of EdgeRate,
+	// PackedThroughput its combined rate, PackedTrees the tree count and
+	// PackedRatio the packed/LP throughput ratio (1 within tolerance unless
+	// the tree cap truncated the packing).
+	Packing          *steady.Packing `json:"packing,omitempty"`
+	PackedThroughput float64         `json:"packedThroughput,omitempty"`
+	PackedTrees      int             `json:"packedTrees,omitempty"`
+	PackedRatio      float64         `json:"packedRatio,omitempty"`
 	// Degraded marks a heuristic-only answer served by degraded mode before
 	// its background LP refinement landed: Throughput is then the heuristic
 	// tree's throughput (a lower bound), EdgeRate is absent and the LP
@@ -377,6 +393,7 @@ type fpKey struct {
 	heuristic string
 	coldLP    bool
 	maxIter   int
+	trees     int
 }
 
 // cacheKey identifies one cacheable plan exactly: the routing fpKey plus
@@ -697,7 +714,7 @@ func TraceOutcome(res *PlanResult, err error) string {
 func traceIdentity(key cacheKey) [32]byte {
 	h := sha256.New()
 	h.Write(key.exact[:])
-	fmt.Fprintf(h, "|%d|%s|%t|%d", key.source, key.heuristic, key.coldLP, key.maxIter)
+	fmt.Fprintf(h, "|%d|%s|%t|%d|%d", key.source, key.heuristic, key.coldLP, key.maxIter, key.trees)
 	var out [32]byte
 	copy(out[:], h.Sum(nil))
 	return out
@@ -739,7 +756,7 @@ func (e *Engine) steadyOptions(req PlanRequest) *steady.Options {
 }
 
 func (req PlanRequest) fpKey(fp platform.Fingerprint) fpKey {
-	return fpKey{fp: fp, source: req.Source, heuristic: req.Heuristic, coldLP: req.ColdLP, maxIter: req.LPMaxIterations}
+	return fpKey{fp: fp, source: req.Source, heuristic: req.Heuristic, coldLP: req.ColdLP, maxIter: req.LPMaxIterations, trees: req.Trees}
 }
 
 // Plan answers one plan request: from the cache when the platform has been
@@ -818,6 +835,9 @@ func (e *Engine) planPlatform(ctx context.Context, req PlanRequest, p *platform.
 		if _, err := heuristics.ByName(req.Heuristic); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
+	}
+	if req.Trees < 0 {
+		return nil, fmt.Errorf("%w: negative tree cap %d", ErrBadRequest, req.Trees)
 	}
 	if p.NumAliveNodes() < 2 {
 		return nil, ErrTooSmall
@@ -1226,6 +1246,18 @@ func (e *Engine) runSolve(ctx context.Context, req PlanRequest, p *platform.Plat
 		plan.HeuristicThroughput = tp
 		if sol.Throughput > 0 {
 			plan.Ratio = tp / sol.Throughput
+		}
+	}
+	if req.Trees > 0 {
+		pk, err := pack.Decompose(sp, req.Source, sol, &pack.Options{MaxTrees: req.Trees})
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("service: tree packing: %w", err)
+		}
+		plan.Packing = pk
+		plan.PackedThroughput = pk.Throughput
+		plan.PackedTrees = pk.NumTrees()
+		if sol.Throughput > 0 {
+			plan.PackedRatio = pk.Throughput / sol.Throughput
 		}
 	}
 	planJSON, err := json.Marshal(plan)

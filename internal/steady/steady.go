@@ -40,6 +40,13 @@ type Solution struct {
 	// tableau: 1 for a fully warm-started run (plus any fallback), one per
 	// round for the cold-start path, and 1 for SolveDirect.
 	ColdSolves int
+	// Packing, when non-nil, is the weighted spanning-tree decomposition of
+	// EdgeRate: the primal witness that Throughput is achieved by an actual
+	// convex combination of broadcast trees. The solver itself leaves it
+	// nil; internal/pack (pack.Decompose) computes and attaches it, and
+	// warm sessions re-pack after churn deltas by decomposing the refreshed
+	// solution.
+	Packing *Packing
 }
 
 // Options tunes the solvers.
