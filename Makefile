@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet staticcheck check
+.PHONY: all build test race lint vet staticcheck check bench-lp
 
 all: build test lint
 
@@ -30,5 +30,11 @@ vet:
 staticcheck:
 	@command -v staticcheck >/dev/null || { echo "staticcheck not installed: go install honnef.co/go/tools/cmd/staticcheck@2024.1.1"; exit 1; }
 	staticcheck ./...
+
+# bench-lp mirrors the CI bench job's LP report: revised simplex vs dense
+# incremental master on the size ladder, with the >=5x LP-wall contract
+# enforced at n >= 512. Writes BENCH_lp.json in the repo root.
+bench-lp:
+	$(GO) run ./cmd/bcast-lpbench -sizes 96,256,512,1024 -seed 7 -min-speedup 5 -speedup-from 512 -pretty -o BENCH_lp.json
 
 check: build test lint

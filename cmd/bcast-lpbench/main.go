@@ -1,0 +1,190 @@
+// Command bcast-lpbench benchmarks the two warm-started master-LP solvers
+// against each other on the cutting-plane steady-state solve: the revised
+// simplex with a maintained sparse LU basis (lp.Revised) versus the dense
+// incremental tableau solver (lp.Incremental), across a ladder of platform
+// sizes. For every size it reports throughput, cutting-plane rounds, cut
+// counts, simplex pivots and the wall time spent inside master LP solves
+// (Solution.LPWallNanos), plus the revised-over-incremental speedup — the
+// artifact CI publishes as BENCH_lp.json.
+//
+// The run doubles as a differential check: the two solvers must agree on the
+// optimal throughput within 1e-6 relative at every size, and -min-speedup
+// (applied at sizes >= -speedup-from) turns the performance contract into a
+// hard exit code.
+//
+// Examples:
+//
+//	bcast-lpbench -sizes 96,256 -pretty
+//	bcast-lpbench -sizes 96,256,512,1024 -min-speedup 5 -o BENCH_lp.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/scenarios"
+	"repro/internal/steady"
+)
+
+// solverReport is one solver's side of a size cell.
+type solverReport struct {
+	Throughput float64 `json:"throughput"`
+	Rounds     int     `json:"rounds"`
+	Cuts       int     `json:"cuts"`
+	Pivots     int     `json:"pivots"`
+	LPWallNs   int64   `json:"lpWallNs"`
+	TotalNs    int64   `json:"totalNs"`
+	PerPivotNs float64 `json:"perPivotNs"`
+}
+
+// sizeReport is the revised-vs-incremental comparison at one platform size.
+type sizeReport struct {
+	N               int          `json:"n"`
+	Nodes           int          `json:"nodes"`
+	Links           int          `json:"links"`
+	Revised         solverReport `json:"revised"`
+	Incremental     solverReport `json:"incremental"`
+	ThroughputDiff  float64      `json:"throughputDiff"`
+	LPWallSpeedup   float64      `json:"lpWallSpeedup"`
+	PerPivotSpeedup float64      `json:"perPivotSpeedup"`
+}
+
+// report is the whole BENCH_lp.json document.
+type report struct {
+	Scenario string       `json:"scenario"`
+	Seed     int64        `json:"seed"`
+	Source   int          `json:"source"`
+	Sizes    []sizeReport `json:"sizes"`
+}
+
+func main() {
+	var (
+		scenarioName = flag.String("scenario", scenarios.NameClusters, "scenario family to generate the platforms from")
+		sizeList     = flag.String("sizes", "96,256,512,1024", "comma-separated platform sizes")
+		seed         = flag.Int64("seed", 7, "platform generation seed")
+		source       = flag.Int("source", 0, "broadcast source node")
+		minSpeedup   = flag.Float64("min-speedup", 0, "fail unless the revised LP-wall speedup reaches this factor at sizes >= -speedup-from (0 = report only)")
+		speedupFrom  = flag.Int("speedup-from", 512, "smallest size the -min-speedup contract applies to")
+		out          = flag.String("o", "", "write the JSON report to this file instead of stdout")
+		pretty       = flag.Bool("pretty", false, "indent the JSON output")
+		quiet        = flag.Bool("quiet", false, "suppress the per-size progress lines on stderr")
+	)
+	flag.Parse()
+
+	if err := run(*scenarioName, *sizeList, *seed, *source, *minSpeedup, *speedupFrom, *out, *pretty, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "bcast-lpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenarioName, sizeList string, seed int64, source int, minSpeedup float64, speedupFrom int, out string, pretty, quiet bool) error {
+	s, err := scenarios.Get(scenarioName)
+	if err != nil {
+		return err
+	}
+	var sizes []int
+	for _, f := range strings.Split(sizeList, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad size %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return fmt.Errorf("no sizes given")
+	}
+
+	rep := report{Scenario: scenarioName, Seed: seed, Source: source}
+	for _, n := range sizes {
+		p, err := s.Generate(n, seed)
+		if err != nil {
+			return fmt.Errorf("generate n=%d: %w", n, err)
+		}
+		rev, err := solveOnce(p, source, &steady.Options{Revised: true})
+		if err != nil {
+			return fmt.Errorf("revised n=%d: %w", n, err)
+		}
+		inc, err := solveOnce(p, source, nil)
+		if err != nil {
+			return fmt.Errorf("incremental n=%d: %w", n, err)
+		}
+		cell := sizeReport{
+			N:              n,
+			Nodes:          p.NumNodes(),
+			Links:          p.NumLinks(),
+			Revised:        rev,
+			Incremental:    inc,
+			ThroughputDiff: rev.Throughput - inc.Throughput,
+		}
+		if rev.LPWallNs > 0 {
+			cell.LPWallSpeedup = round2(float64(inc.LPWallNs) / float64(rev.LPWallNs))
+		}
+		if rev.PerPivotNs > 0 {
+			cell.PerPivotSpeedup = round2(inc.PerPivotNs / rev.PerPivotNs)
+		}
+		rep.Sizes = append(rep.Sizes, cell)
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "n=%d: revised %v vs incremental %v lp-wall (%.2fx), diff %.3e\n",
+				n, time.Duration(rev.LPWallNs), time.Duration(inc.LPWallNs), cell.LPWallSpeedup, cell.ThroughputDiff)
+		}
+		if rel := math.Abs(cell.ThroughputDiff) / math.Max(inc.Throughput, 1e-12); rel > 1e-6 {
+			return fmt.Errorf("n=%d: revised throughput %v vs incremental %v (rel %v > 1e-6)",
+				n, rev.Throughput, inc.Throughput, rel)
+		}
+		if minSpeedup > 0 && n >= speedupFrom && cell.LPWallSpeedup < minSpeedup {
+			return fmt.Errorf("n=%d: LP-wall speedup %.2fx below the %.2fx contract", n, cell.LPWallSpeedup, minSpeedup)
+		}
+	}
+
+	var data []byte
+	if pretty {
+		data, err = json.MarshalIndent(rep, "", "  ")
+	} else {
+		data, err = json.Marshal(rep)
+	}
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// solveOnce runs one steady solve and flattens the LP counters.
+func solveOnce(p *platform.Platform, source int, opts *steady.Options) (solverReport, error) {
+	t0 := time.Now()
+	sol, err := steady.Solve(p, source, opts)
+	if err != nil {
+		return solverReport{}, err
+	}
+	total := time.Since(t0)
+	r := solverReport{
+		Throughput: sol.Throughput,
+		Rounds:     sol.Rounds,
+		Cuts:       sol.Cuts,
+		Pivots:     sol.LPIterations,
+		LPWallNs:   sol.LPWallNanos,
+		TotalNs:    total.Nanoseconds(),
+	}
+	if sol.LPIterations > 0 {
+		r.PerPivotNs = round2(float64(sol.LPWallNanos) / float64(sol.LPIterations))
+	}
+	return r, nil
+}
+
+// round2 keeps the derived ratios readable in the JSON artifact.
+func round2(v float64) float64 { return math.Round(v*100) / 100 }

@@ -1,21 +1,41 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
-// programs in the form
+// Package lp implements simplex solvers for linear programs in the form
 //
 //	maximize    c·x
 //	subject to  a_i·x {<=, =, >=} b_i   for every constraint i
 //	            x >= 0
 //
 // It replaces the Maple/MuPAD LP solver the paper uses to compute the
-// optimal steady-state broadcast throughput (Section 4.1). The solver is
-// deliberately simple (dense tableau, Dantzig pricing with a Bland
-// anti-cycling fallback) but robust enough for the master problems produced
-// by the cutting-plane decomposition in package steady (a few hundred
-// variables, a few thousand constraints).
+// optimal steady-state broadcast throughput (Section 4.1), sized for the
+// master problems produced by the cutting-plane decomposition in package
+// steady (a few hundred variables, up to thousands of cut rows).
 //
-// Two entry points are provided. Solve performs a one-shot cold solve from
-// the slack basis. Incremental is a resolvable handle for the cutting-plane
-// pattern: after an Optimal solve, newly appended constraint rows are priced
-// into the solved tableau and re-optimized with dual simplex pivots from the
-// previous optimal basis, skipping phase 1 and the full primal
-// re-optimization entirely (see NewIncremental).
+// Three entry points are provided, all held to one differential contract
+// (agreement within 1e-6 relative, pinned by the FuzzIncrementalLP
+// three-way fuzz target and the registry-wide steady tiers):
+//
+//   - Solve performs a one-shot cold solve from the slack basis with the
+//     dense two-phase primal simplex (Dantzig pricing, Bland anti-cycling
+//     fallback). It is the oracle the warm solvers are measured against.
+//
+//   - Incremental is a resolvable handle over the dense tableau for the
+//     cutting-plane pattern: after an Optimal solve, newly appended
+//     constraint rows are priced into the solved tableau and re-optimized
+//     with dual simplex pivots from the previous optimal basis, skipping
+//     phase 1 entirely (see NewIncremental). Every pivot touches the whole
+//     tableau, which caps it at moderate sizes.
+//
+//   - Revised is the revised simplex with a maintained basis factorization,
+//     the hot path for large masters (n >= 256 platforms): the basis is
+//     split into logical singleton columns and a structural core factored
+//     by a sparse left-looking LU (Gilbert-Peierls) with partial pivoting;
+//     pivots run FTRAN/BTRAN through the factorization plus an eta file and
+//     refactorize on update-count, growth and staleness triggers
+//     (Options.RefactorInterval tunes the update-count trigger). Warm
+//     re-solves after appends and objective changes are allocation-free in
+//     steady state; numerical trouble falls back to the dense solvers (see
+//     NewRevised and FactorStats).
+//
+// All solvers support cooperative cancellation through SolveContext; a
+// canceled solve reports ErrCanceled and never leaves a reusable warm
+// basis behind.
 package lp

@@ -1,6 +1,8 @@
 package lp
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 )
@@ -63,38 +65,79 @@ func fuzzRow(p *Problem, data []byte) ([]Term, float64, []byte) {
 	return terms, float64(take()) / 64, data
 }
 
-// FuzzIncrementalLP drives the warm-started incremental solver against the
-// cold simplex on random feasible masters: after every batch of appended
-// rows, the warm re-solve and a cold solve of the same problem must both be
-// Optimal and agree on the objective within 1e-6 — the differential contract
-// the cutting-plane solver relies on.
+// FuzzIncrementalLP drives the two warm-started solvers against the cold
+// simplex on random feasible masters, three ways: after every batch of
+// appended rows, the warm incremental re-solve, the warm revised-simplex
+// re-solve and a cold solve of the same problem must all be Optimal and
+// agree on the objective within 1e-6 — the differential contract the
+// cutting-plane solver relies on.
+//
+// The leading control byte steers the revised solver's corners: its low bits
+// pin the refactorization trigger (exercising eta chains that end exactly on
+// a refactor boundary), the high bit injects a canceled SolveContext before
+// the differential check (a canceled solve must fail fast and leave the
+// handle cold but consistent).
 func FuzzIncrementalLP(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{2, 40, 10, 80, 20, 2, 64, 64, 64, 64, 32, 1, 30, 90, 10, 70, 16})
-	f.Add([]byte{3, 0, 0, 255, 255, 128, 128, 64, 64, 0, 3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14})
-	f.Add([]byte{1, 100, 100, 100, 100, 0, 2, 90, 80, 70, 60, 50, 40, 30, 20, 10})
+	f.Add([]byte{0, 2, 40, 10, 80, 20, 2, 64, 64, 64, 64, 32, 1, 30, 90, 10, 70, 16})
+	f.Add([]byte{0, 3, 0, 0, 255, 255, 128, 128, 64, 64, 0, 3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14})
+	f.Add([]byte{0, 1, 100, 100, 100, 100, 0, 2, 90, 80, 70, 60, 50, 40, 30, 20, 10})
+	// Append-row churn: several stages of appended cut rows.
+	f.Add([]byte{0, 4, 30, 60, 90, 120, 20, 40, 60, 80, 2, 3, 50, 60, 70, 80, 24, 2, 10, 20, 30, 40, 12, 1, 5, 15, 25, 35, 6})
+	// Cancellation mid-stream (high control bit): the canceled revised solve
+	// must never poison the following differential stages.
+	f.Add([]byte{0x80, 2, 40, 10, 80, 20, 1, 64, 64, 64, 64, 32, 2, 30, 90, 10, 70, 16, 40, 50, 8})
+	// Refactor boundary: trigger after every pivot (interval 1) and after
+	// every other pivot (interval 2).
+	f.Add([]byte{0x01, 3, 20, 40, 60, 10, 30, 50, 2, 2, 64, 32, 96, 16, 3, 48, 80, 24, 8})
+	f.Add([]byte{0x02, 2, 40, 10, 80, 20, 2, 64, 64, 64, 64, 32, 1, 30, 90, 10, 70, 16})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		var ctrl byte
+		if len(data) > 0 {
+			ctrl = data[0]
+			data = data[1:]
+		}
 		p, rest := fuzzMaster(data)
 		inc := NewIncremental(p, nil)
+		var revOpts *Options
+		if iv := int(ctrl & 0x07); iv > 0 {
+			revOpts = &Options{RefactorInterval: iv}
+		}
+		rev := NewRevised(p, revOpts)
+		if ctrl&0x80 != 0 {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if _, err := rev.SolveContext(ctx); !errors.Is(err, ErrCanceled) {
+				t.Fatalf("pre-canceled revised solve: want ErrCanceled, got %v", err)
+			}
+		}
 
 		check := func(stage int) {
 			warm, err := inc.Solve()
 			if err != nil {
 				t.Fatalf("stage %d: incremental solve: %v", stage, err)
 			}
+			rsol, err := rev.Solve()
+			if err != nil {
+				t.Fatalf("stage %d: revised solve: %v", stage, err)
+			}
 			cold, err := Solve(p, nil)
 			if err != nil {
 				t.Fatalf("stage %d: cold solve: %v", stage, err)
 			}
-			if warm.Status != Optimal || cold.Status != Optimal {
-				t.Fatalf("stage %d: status warm=%v cold=%v, want Optimal (problem is feasible and bounded)",
-					stage, warm.Status, cold.Status)
+			if warm.Status != Optimal || rsol.Status != Optimal || cold.Status != Optimal {
+				t.Fatalf("stage %d: status warm=%v revised=%v cold=%v, want Optimal (problem is feasible and bounded)",
+					stage, warm.Status, rsol.Status, cold.Status)
 			}
-			diff := math.Abs(warm.Objective - cold.Objective)
-			if diff > 1e-6*math.Max(1, math.Abs(cold.Objective)) {
+			tol := 1e-6 * math.Max(1, math.Abs(cold.Objective))
+			if diff := math.Abs(warm.Objective - cold.Objective); diff > tol {
 				t.Fatalf("stage %d: warm objective %v != cold %v (diff %g)",
 					stage, warm.Objective, cold.Objective, diff)
+			}
+			if diff := math.Abs(rsol.Objective - cold.Objective); diff > tol {
+				t.Fatalf("stage %d: revised objective %v != cold %v (diff %g)",
+					stage, rsol.Objective, cold.Objective, diff)
 			}
 		}
 		check(0)
@@ -110,7 +153,8 @@ func FuzzIncrementalLP(f *testing.F) {
 				if len(terms) == 0 {
 					continue
 				}
-				inc.AddSparseConstraint(terms, LE, rhs)
+				// Both warm handles watch the same problem; append once.
+				p.AddSparseConstraint(terms, LE, rhs)
 				appended = true
 			}
 			if !appended {

@@ -182,6 +182,12 @@ type Options struct {
 	// Tolerance is the numerical tolerance used for pivoting and
 	// feasibility tests (default 1e-9).
 	Tolerance float64
+	// RefactorInterval overrides the update-count refactorization trigger of
+	// the revised simplex (default etaLimit): after this many eta updates the
+	// basis factorization is rebuilt from scratch. Lower values trade
+	// refactorization work for shorter eta chains; tests use 1–8 to pin the
+	// refactor-boundary behavior. Ignored by the dense solvers.
+	RefactorInterval int
 }
 
 // ErrBadProblem is returned for structurally invalid problems.

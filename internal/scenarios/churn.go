@@ -149,8 +149,8 @@ func evaluateUnitChurn(cfg SweepConfig, cs churnSettings, u unit, p *platform.Pl
 		return res
 	}
 	var steadyOpts *steady.Options
-	if cfg.ColdStartLP || cfg.LPMaxIterations > 0 {
-		steadyOpts = &steady.Options{ColdStart: cfg.ColdStartLP}
+	if cfg.ColdStartLP || cfg.RevisedLP || cfg.LPMaxIterations > 0 {
+		steadyOpts = &steady.Options{ColdStart: cfg.ColdStartLP, Revised: cfg.RevisedLP}
 		if cfg.LPMaxIterations > 0 {
 			steadyOpts.LP = &lp.Options{MaxIterations: cfg.LPMaxIterations}
 		}

@@ -1,0 +1,173 @@
+package scenarios
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/pack"
+	"repro/internal/steady"
+)
+
+// TestSteadyRevisedAcrossRegistry is the differential harness of the
+// revised-simplex master LP: on every registered scenario family, the
+// revised solver, the warm dense incremental solver and the cold-start
+// oracle must agree on the optimal throughput within 1e-6 relative, the
+// revised solution must be achievable (its edge rates support the reported
+// throughput to every destination), and it must decompose into a valid
+// one-port-feasible spanning-tree packing.
+func TestSteadyRevisedAcrossRegistry(t *testing.T) {
+	const (
+		source = 0
+		seed   = 29
+		relTol = 1e-6
+	)
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			size := 8
+			if size < s.MinSize {
+				size = s.MinSize
+			}
+			p, err := s.Generate(size, seed)
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			rev, err := steady.Solve(p, source, &steady.Options{GapTolerance: 1e-9, Revised: true})
+			if err != nil {
+				t.Fatalf("revised: %v", err)
+			}
+			warm, err := steady.Solve(p, source, &steady.Options{GapTolerance: 1e-9})
+			if err != nil {
+				t.Fatalf("warm incremental: %v", err)
+			}
+			cold, err := steady.Solve(p, source, &steady.Options{GapTolerance: 1e-9, ColdStart: true})
+			if err != nil {
+				t.Fatalf("cold: %v", err)
+			}
+			ref := math.Max(cold.Throughput, 1e-12)
+			if math.Abs(rev.Throughput-warm.Throughput)/ref > relTol {
+				t.Errorf("revised %v vs warm incremental %v", rev.Throughput, warm.Throughput)
+			}
+			if math.Abs(rev.Throughput-cold.Throughput)/ref > relTol {
+				t.Errorf("revised %v vs cold %v", rev.Throughput, cold.Throughput)
+			}
+			assertAchievable(t, p, source, rev, "revised")
+
+			// The revised optimum must survive tree decomposition: the packed
+			// trees reach the LP throughput and stay one-port feasible
+			// (Packing.Validate checks rates, weights and occupations).
+			pk, err := pack.Decompose(p, source, rev, nil)
+			if err != nil {
+				t.Fatalf("decompose revised solution: %v", err)
+			}
+			tol := relTol * math.Max(1, math.Abs(rev.Throughput))
+			if err := pk.Validate(p, rev.EdgeRate, tol); err != nil {
+				t.Errorf("revised packing: %v", err)
+			}
+			if gap := rev.Throughput - pk.Throughput; math.Abs(gap) > tol {
+				t.Errorf("revised packing reaches %v, LP optimum %v (gap %v)", pk.Throughput, rev.Throughput, gap)
+			}
+		})
+	}
+}
+
+// TestChurnRevisedSessionMatchesColdSolve replays every registry family
+// through a 50-event churn trace with the revised-simplex warm session and
+// checks each re-solved optimum against a per-event cold solve within 1e-6
+// relative — the warm-restart contract of the revised solver under row
+// appends, row rewrites and platform deltas.
+func TestChurnRevisedSessionMatchesColdSolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential churn sweep is not short")
+	}
+	opts := &steady.Options{GapTolerance: 1e-9, Revised: true}
+	coldOpts := &steady.Options{GapTolerance: 1e-9}
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			size := smallestSize(s)
+			p, err := s.Generate(size, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof, err := dynamic.ProfileByName(s.EffectiveChurnProfile())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := dynamic.GenerateTrace(p, 0, prof, 50, ChurnTraceSeed(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm, err := dynamic.Run(p, 0, tr, dynamic.Config{Steady: opts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := dynamic.Run(p, 0, tr, dynamic.Config{Steady: coldOpts, ColdResolve: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range warm.Events {
+				w, c := warm.Events[i].Optimal, cold.Events[i].Optimal
+				rel := math.Abs(w-c) / math.Max(c, 1e-12)
+				if rel > 1e-6 {
+					t.Errorf("event %d (%v): revised optimum %v vs cold %v (rel %v)",
+						i, warm.Events[i].Delta, w, c, rel)
+				}
+			}
+		})
+	}
+}
+
+// TestRevisedLargeScenarioSizes pins the scaling contract of the revised
+// solver: the large-sweep tier sizes must complete and, where the dense
+// incremental solver is still tractable, agree with it. n=256 runs in the
+// regular (non-short) tier; the full n=1024 sweep size is gated behind
+// BCAST_LARGE=1 because the comparison-free revised solve alone takes
+// O(seconds) and belongs to the bench/CI-artifact tier, not every test run.
+func TestRevisedLargeScenarioSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-size revised solve is not short")
+	}
+	const source = 0
+	s, err := Get(NameClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Generate(256, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := steady.Solve(p, source, &steady.Options{Revised: true})
+	if err != nil {
+		t.Fatalf("revised n=256: %v", err)
+	}
+	inc, err := steady.Solve(p, source, nil)
+	if err != nil {
+		t.Fatalf("incremental n=256: %v", err)
+	}
+	rel := math.Abs(rev.Throughput-inc.Throughput) / math.Max(inc.Throughput, 1e-12)
+	if rel > 1e-6 {
+		t.Errorf("n=256: revised %v vs incremental %v (rel %v)", rev.Throughput, inc.Throughput, rel)
+	}
+	assertAchievable(t, p, source, rev, "revised n=256")
+
+	if os.Getenv("BCAST_LARGE") == "" {
+		t.Log("set BCAST_LARGE=1 to run the n=1024 tier")
+		return
+	}
+	big, err := s.Generate(1024, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := steady.Solve(big, source, &steady.Options{Revised: true})
+	if err != nil {
+		t.Fatalf("revised n=1024: %v", err)
+	}
+	if !(sol.Throughput > 0) {
+		t.Fatalf("n=1024: degenerate throughput %v", sol.Throughput)
+	}
+	assertAchievable(t, big, source, sol, "revised n=1024")
+}

@@ -32,6 +32,13 @@ type Scenario struct {
 	MinSize int
 	// DefaultSizes are the sizes swept when the caller does not specify any.
 	DefaultSizes []int
+	// LargeSizes is the family's large-scale sweep tier: sizes beyond the
+	// defaults that the generator supports with a link count that keeps the
+	// master LP tractable, intended to be swept with the revised-simplex
+	// master (SweepConfig.RevisedLP). Empty means the family has no large
+	// tier — e.g. the complete graph or the dense random family, whose link
+	// counts (and so LP column counts) grow quadratically with size.
+	LargeSizes []int
 	// Generate builds a platform of the given size from the seed.
 	Generate Generator
 	// ChurnProfile names the dynamic churn profile of the family (see
@@ -111,6 +118,11 @@ func (s Scenario) validate() error {
 	for _, sz := range s.DefaultSizes {
 		if sz < s.MinSize {
 			return fmt.Errorf("scenarios: scenario %q default size %d below minimum %d", s.Name, sz, s.MinSize)
+		}
+	}
+	for _, sz := range s.LargeSizes {
+		if sz < s.MinSize {
+			return fmt.Errorf("scenarios: scenario %q large size %d below minimum %d", s.Name, sz, s.MinSize)
 		}
 	}
 	if s.ChurnProfile != "" {
@@ -428,6 +440,11 @@ func init() {
 			// exactly where the cutting-plane master accumulates the most
 			// cuts and warm starts pay off most.
 			DefaultSizes: []int{16, 32, 64, 96},
+			// The large tier became affordable when the master gained the
+			// revised-simplex backend (lp.Revised): links grow linearly
+			// (star-shaped cluster internals + backbone chain), so the LP
+			// column count stays near 2n even at n=1024.
+			LargeSizes:   []int{256, 512, 1024},
 			ChurnProfile: dynamic.ProfileFailures,
 			Generate:     clusterOfClusters,
 		},
@@ -436,6 +453,7 @@ func init() {
 			Description:  "Tiers-like WAN/MAN/LAN internet hierarchy, core scaled with size",
 			MinSize:      8,
 			DefaultSizes: []int{16, 32, 64, 96},
+			LargeSizes:   []int{256, 512, 1024},
 			ChurnProfile: dynamic.ProfileFailures,
 			Generate:     scaledTiers,
 		},
@@ -444,6 +462,7 @@ func init() {
 			Description:  "node 0 connected to every other node (one-port worst case)",
 			MinSize:      2,
 			DefaultSizes: []int{8, 16, 32},
+			LargeSizes:   []int{256, 512, 1024},
 			// Every link is a bridge: failures would always disconnect.
 			ChurnProfile: dynamic.ProfileDrift,
 			Generate: withOverheads(func(size int, r *rand.Rand) (*platform.Platform, error) {
@@ -455,6 +474,7 @@ func init() {
 			Description:  "bidirectional line 0 - 1 - ... - n-1",
 			MinSize:      2,
 			DefaultSizes: []int{8, 16, 32},
+			LargeSizes:   []int{256, 512, 1024},
 			ChurnProfile: dynamic.ProfileDrift,
 			Generate: withOverheads(func(size int, r *rand.Rand) (*platform.Platform, error) {
 				return topology.Chain(size, topology.PaperBandwidth, r)
@@ -465,6 +485,7 @@ func init() {
 			Description:  "bidirectional ring",
 			MinSize:      2,
 			DefaultSizes: []int{8, 16, 32},
+			LargeSizes:   []int{256, 512, 1024},
 			ChurnProfile: dynamic.ProfileFlakyLinks,
 			Generate: withOverheads(func(size int, r *rand.Rand) (*platform.Platform, error) {
 				return topology.Ring(size, topology.PaperBandwidth, r)
@@ -475,6 +496,7 @@ func init() {
 			Description:  "2-D mesh, most square rows x cols factorisation of the size",
 			MinSize:      2,
 			DefaultSizes: []int{9, 16, 36},
+			LargeSizes:   []int{256, 512, 1024},
 			ChurnProfile: dynamic.ProfileFlakyLinks,
 			Generate: withOverheads(func(size int, r *rand.Rand) (*platform.Platform, error) {
 				rows, cols := gridDims(size)

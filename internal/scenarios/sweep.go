@@ -49,6 +49,12 @@ type SweepConfig struct {
 	// warm-starting from the previous round's basis. Slower; kept for A/B
 	// comparisons against the warm-started default.
 	ColdStartLP bool
+	// RevisedLP routes the steady-state reference solves through the
+	// revised-simplex master (lp.Revised): maintained LU basis, sparse cut
+	// rows, per-pivot cost nearly independent of the accumulated cut count.
+	// Required in practice for the large sweep sizes (n ≥ 512); ignored when
+	// ColdStartLP is set.
+	RevisedLP bool
 	// LPMaxIterations bounds the simplex pivots of each master LP solve of
 	// the reference optimum (0 = solver default). A limit low enough to bite
 	// surfaces as a per-run error, never as a silent zero-throughput sample.
@@ -174,6 +180,7 @@ type SweepMeta struct {
 	Source         int              `json:"source"`
 	EvalModel      string           `json:"evalModel"`
 	ColdStartLP    bool             `json:"coldStartLP,omitempty"`
+	RevisedLP      bool             `json:"revisedLP,omitempty"`
 	PackTrees      int              `json:"packTrees,omitempty"`
 	TotalRuns      int              `json:"totalRuns"`
 	TotalWallNanos int64            `json:"totalWallNanos,omitempty"`
@@ -345,6 +352,7 @@ func Sweep(cfg SweepConfig) (*SweepReport, error) {
 			Source:      cfg.Source,
 			EvalModel:   cfg.EvalModel.String(),
 			ColdStartLP: cfg.ColdStartLP,
+			RevisedLP:   cfg.RevisedLP,
 			PackTrees:   cfg.PackTrees,
 		},
 	}
@@ -419,6 +427,7 @@ func evaluateUnit(cfg SweepConfig, churn churnSettings, u unit, heur []string) [
 		Platform:        p,
 		Source:          cfg.Source,
 		ColdLP:          cfg.ColdStartLP,
+		RevisedLP:       cfg.RevisedLP,
 		LPMaxIterations: cfg.LPMaxIterations,
 		Trees:           cfg.PackTrees,
 	})

@@ -238,6 +238,10 @@ type PlanRequest struct {
 	Trees int `json:"trees,omitempty"`
 	// ColdLP disables warm starts inside the master LP solves.
 	ColdLP bool `json:"coldLP,omitempty"`
+	// RevisedLP routes the master LP solves through the revised-simplex
+	// solver (maintained LU basis; see steady.Options.Revised). Part of the
+	// cache identity. Ignored when ColdLP is set.
+	RevisedLP bool `json:"revisedLP,omitempty"`
 	// LPMaxIterations bounds the simplex pivots per master solve (0 = solver
 	// default).
 	LPMaxIterations int `json:"lpMaxIterations,omitempty"`
@@ -392,6 +396,7 @@ type fpKey struct {
 	source    int
 	heuristic string
 	coldLP    bool
+	revisedLP bool
 	maxIter   int
 	trees     int
 }
@@ -714,7 +719,7 @@ func TraceOutcome(res *PlanResult, err error) string {
 func traceIdentity(key cacheKey) [32]byte {
 	h := sha256.New()
 	h.Write(key.exact[:])
-	fmt.Fprintf(h, "|%d|%s|%t|%d|%d", key.source, key.heuristic, key.coldLP, key.maxIter, key.trees)
+	fmt.Fprintf(h, "|%d|%s|%t|%t|%d|%d", key.source, key.heuristic, key.coldLP, key.revisedLP, key.maxIter, key.trees)
 	var out [32]byte
 	copy(out[:], h.Sum(nil))
 	return out
@@ -742,6 +747,9 @@ func (e *Engine) steadyOptions(req PlanRequest) *steady.Options {
 	if req.ColdLP {
 		opts.ColdStart = true
 	}
+	if req.RevisedLP {
+		opts.Revised = true
+	}
 	if req.LPMaxIterations > 0 {
 		// Override only the pivot budget; any other LP tuning configured on
 		// the engine (tolerances, ...) stays in force.
@@ -756,7 +764,7 @@ func (e *Engine) steadyOptions(req PlanRequest) *steady.Options {
 }
 
 func (req PlanRequest) fpKey(fp platform.Fingerprint) fpKey {
-	return fpKey{fp: fp, source: req.Source, heuristic: req.Heuristic, coldLP: req.ColdLP, maxIter: req.LPMaxIterations, trees: req.Trees}
+	return fpKey{fp: fp, source: req.Source, heuristic: req.Heuristic, coldLP: req.ColdLP, revisedLP: req.RevisedLP, maxIter: req.LPMaxIterations, trees: req.Trees}
 }
 
 // Plan answers one plan request: from the cache when the platform has been
@@ -1398,6 +1406,7 @@ type EvaluateRequest struct {
 	// Heuristics to evaluate (empty = every registered heuristic).
 	Heuristics      []string `json:"heuristics,omitempty"`
 	ColdLP          bool     `json:"coldLP,omitempty"`
+	RevisedLP       bool     `json:"revisedLP,omitempty"`
 	LPMaxIterations int      `json:"lpMaxIterations,omitempty"`
 }
 
@@ -1429,7 +1438,7 @@ func (e *Engine) EvaluateContext(ctx context.Context, req EvaluateRequest) (*Eva
 	if req.Platform == nil {
 		return nil, ErrNoPlatform
 	}
-	planReq := PlanRequest{Platform: req.Platform, Source: req.Source, ColdLP: req.ColdLP, LPMaxIterations: req.LPMaxIterations}
+	planReq := PlanRequest{Platform: req.Platform, Source: req.Source, ColdLP: req.ColdLP, RevisedLP: req.RevisedLP, LPMaxIterations: req.LPMaxIterations}
 	res, err := e.PlanContext(ctx, planReq)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"repro/internal/lp"
 	"repro/internal/maxflow"
@@ -49,8 +50,11 @@ type Session struct {
 	// Master LP state. problem always holds the complete row set of the
 	// current master; inc prices appended rows into the previous basis
 	// (nil in ColdStart mode, where every round re-solves from scratch).
+	// Options.Revised selects which warm solver backs the handle: the dense
+	// incremental tableau (lp.Incremental, the oracle) or the revised
+	// simplex with a maintained basis factorization (lp.Revised).
 	problem *lp.Problem
-	inc     *lp.Incremental
+	inc     master
 	seen    map[string]bool
 	cutSeq  int       // monotone row counter driving the anti-degeneracy RHS perturbation
 	times   []float64 // per-link slice times priced into the current master
@@ -86,6 +90,14 @@ type SessionStats struct {
 	// cumulative number of pooled cuts re-materialized into rebuilt masters.
 	PoolCuts   int
 	PoolReused int
+}
+
+// master is the warm-solver seam of the session: both lp.Incremental and
+// lp.Revised satisfy it with identical warm/cold/cancellation semantics, so
+// the cutting-plane loop and the pivot accounting are solver-agnostic.
+type master interface {
+	SolveContext(ctx context.Context) (*lp.Solution, error)
+	Stats() lp.IncrementalStats
 }
 
 // NewSession returns a session over the platform. Nothing is solved until
@@ -247,9 +259,12 @@ func (s *Session) rebuild(ctx context.Context) (*Solution, error) {
 		}
 	}
 
-	if s.opts.coldStart() {
+	switch {
+	case s.opts.coldStart():
 		s.inc = nil
-	} else {
+	case s.opts.revised():
+		s.inc = lp.NewRevised(s.problem, s.opts.lpOptions())
+	default:
 		s.inc = lp.NewIncremental(s.problem, s.opts.lpOptions())
 	}
 	s.started = true
@@ -371,6 +386,8 @@ func (s *Session) runLoop(ctx context.Context) (*Solution, error) {
 	}
 	coldRounds := 0
 	solveMaster := func() (*lp.Solution, error) {
+		start := time.Now()
+		defer func() { sol.LPWallNanos += time.Since(start).Nanoseconds() }()
 		if s.inc != nil {
 			return s.inc.SolveContext(ctx)
 		}

@@ -40,6 +40,13 @@ type Solution struct {
 	// tableau: 1 for a fully warm-started run (plus any fallback), one per
 	// round for the cold-start path, and 1 for SolveDirect.
 	ColdSolves int
+	// LPWallNanos is the wall-clock time spent inside master LP solves
+	// during this resolve, excluding cut separation (the per-destination
+	// max-flows) and everything else around the cutting-plane loop. It
+	// exists for the solver benchmarks (BENCH_lp.json compares the dense
+	// and revised masters on LP cost alone) and is never marshaled into the
+	// deterministic reports.
+	LPWallNanos int64
 	// Packing, when non-nil, is the weighted spanning-tree decomposition of
 	// EdgeRate: the primal witness that Throughput is achieved by an actual
 	// convex combination of broadcast trees. The solver itself leaves it
@@ -72,6 +79,14 @@ type Options struct {
 	// default produces the same throughput (up to LP degeneracy) with far
 	// fewer simplex pivots once the master accumulates cuts.
 	ColdStart bool
+	// Revised selects the revised-simplex master (lp.Revised): sparse
+	// columns and a maintained LU basis factorization instead of the dense
+	// tableau, making per-pivot cost nearly independent of the accumulated
+	// cut count. Semantics (warm re-optimization across appended cuts and
+	// churn deltas, cancellation, fallbacks) are identical to the default
+	// incremental master, which remains the differential oracle; large
+	// sweeps (n ≳ 256) should set this. Ignored when ColdStart is set.
+	Revised bool
 }
 
 func (o *Options) maxRounds() int {
@@ -109,6 +124,8 @@ func (o *Options) lpOptions() *lp.Options {
 }
 
 func (o *Options) coldStart() bool { return o != nil && o.ColdStart }
+
+func (o *Options) revised() bool { return o != nil && o.Revised }
 
 // Errors returned by the solvers.
 var (
